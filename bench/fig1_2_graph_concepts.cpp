@@ -1,0 +1,117 @@
+// Figs. 1-2 reproduction: the Graph Edge / Incidence Graph concepts as
+// first-class entities, plus the zero-overhead claim — accessing a graph
+// through the concept interface costs the same as hand-written loops.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "core/registry.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using cgp::graph::adjacency_list;
+using cgp::graph::edge;
+
+adjacency_list<double> make_graph(std::size_t n, std::size_t out_deg) {
+  adjacency_list<double> g(n);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t k = 0; k < out_deg; ++k)
+      g.add_edge(v, pick(rng), 1.0);
+  return g;
+}
+
+/// Traversal through the Fig. 2 concept interface (out_edges/target).
+template <cgp::core::IncidenceGraph G>
+std::size_t concept_traversal(const G& g, std::size_t n) {
+  std::size_t acc = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    auto [first, last] = out_edges(v, g);
+    for (; first != last; ++first) acc += target(*first);
+  }
+  return acc;
+}
+
+void bm_concept_interface_traversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = make_graph(n, 8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(concept_traversal(g, n));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(bm_concept_interface_traversal)->Arg(1024)->Arg(16384);
+
+void bm_direct_vector_traversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = make_graph(n, 8);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      for (const auto& e : g.out_edges_of(v)) acc += e.dst;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(bm_direct_vector_traversal)->Arg(1024)->Arg(16384);
+
+void bm_first_neighbor(benchmark::State& state) {
+  const auto g = make_graph(4096, 8);
+  std::size_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cgp::graph::first_neighbor(g, v));
+    v = (v + 1) % 4096;
+  }
+}
+BENCHMARK(bm_first_neighbor);
+
+void bm_bfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = make_graph(n, 8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cgp::graph::bfs_distances(g, 0));
+}
+BENCHMARK(bm_bfs)->Arg(1024)->Arg(16384);
+
+void bm_dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = make_graph(n, 8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cgp::graph::dijkstra_shortest_paths(
+        g, 0, [](const edge<double>& e) { return e.property; }));
+}
+BENCHMARK(bm_dijkstra)->Arg(1024)->Arg(16384);
+
+void report() {
+  std::printf("================================================================\n");
+  std::printf("Figs. 1-2: graph concepts as first-class entities\n");
+  std::printf("================================================================\n");
+  const auto& reg = cgp::core::concept_registry::global();
+  std::printf("%s\n", reg.describe("GraphEdge").c_str());
+  std::printf("%s\n", reg.describe("IncidenceGraph").c_str());
+  std::printf("%s\n", reg.describe("VertexListGraph").c_str());
+  static_assert(cgp::core::GraphEdge<edge<double>>);
+  static_assert(cgp::core::IncidenceGraph<adjacency_list<double>>);
+  std::printf("static checks: adjacency_list models IncidenceGraph; its edge "
+              "models GraphEdge\n");
+  std::printf("\nSection 2.3 constraint-propagation accounting:\n");
+  std::printf("  first_neighbor with first-class concepts : 1 constraint, "
+              "1 type parameter\n");
+  std::printf("  paper's emulation without associated types: 3 constraints, "
+              "4 type parameters\n");
+  std::printf("\nbenchmarks compare concept-interface traversal vs "
+              "hand-written loops (expect parity):\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

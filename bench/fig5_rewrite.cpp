@@ -1,0 +1,163 @@
+// Fig. 5 reproduction: the concept-based rewrite table.
+//
+//  * Correctness shape: 2 generic concept-guarded rules fire on all 10
+//    enumerated per-type instances (the report prints the table).
+//  * Scaling shape: a traditional simplifier needs O(#types x #ops) rules;
+//    the concept-based one needs O(#axioms) — new types join by declaring a
+//    model, with no new rules ("optimization ... comes essentially for
+//    free").
+//  * Throughput: simplification cost with generic vs enumerated rules, and
+//    the evaluation speedup of simplified expressions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "rewrite/engine.hpp"
+#include "rewrite/eval.hpp"
+
+namespace {
+
+using cgp::rewrite::expr;
+using E = expr;
+
+cgp::rewrite::simplifier generic_simplifier() {
+  cgp::rewrite::simplifier s;
+  s.add_concept_rule({"Monoid", "right_identity"});
+  s.add_concept_rule({"Group", "right_inverse"});
+  s.add_expr_rule(cgp::rewrite::reciprocal_normalization_rule("double"));
+  return s;
+}
+
+cgp::rewrite::simplifier enumerated_simplifier() {
+  cgp::rewrite::simplifier s;
+  for (auto& r : cgp::rewrite::fig5_instance_rules()) s.add_expr_rule(r);
+  return s;
+}
+
+std::vector<expr> fig5_inputs() {
+  const E i = E::var("i", "int");
+  const E f = E::var("f", "double");
+  const E b = E::var("b", "bool");
+  const E u = E::var("u", "unsigned");
+  const E s = E::var("s", "string");
+  const E A = E::var("A", "matrix");
+  const E r = E::var("r", "rational");
+  return {
+      E::binary_op("*", i, E::int_lit(1)),
+      E::binary_op("*", f, E::double_lit(1.0)),
+      E::binary_op("&&", b, E::bool_lit(true)),
+      E::binary_op("&", u, E::uint_lit(0xFFFFFFFFull)),
+      E::call_fn("concat", {s, E::string_lit("")}, "string"),
+      E::call_fn("matmul", {A, E::constant("I", "matrix")}, "matrix"),
+      E::binary_op("+", i, E::unary_op("-", i)),
+      E::binary_op("*", f, E::binary_op("/", E::double_lit(1.0), f)),
+      E::binary_op("*", r, E::call_fn("reciprocal", {r}, "rational")),
+      E::call_fn("matmul", {A, E::call_fn("inverse", {A}, "matrix")},
+                 "matrix"),
+  };
+}
+
+/// A deep expression with plenty of identities to fold, for throughput.
+expr deep_expression(int depth) {
+  E e = E::var("i", "int");
+  for (int k = 0; k < depth; ++k) {
+    e = E::binary_op("*", E::binary_op("+", e, E::int_lit(0)), E::int_lit(1));
+    e = E::binary_op("+", e,
+                     E::binary_op("+", E::var("j", "int"),
+                                  E::unary_op("-", E::var("j", "int"))));
+  }
+  return e;
+}
+
+void bm_simplify_generic_rules(benchmark::State& state) {
+  const auto s = generic_simplifier();
+  const expr e = deep_expression(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(s.simplify(e));
+}
+BENCHMARK(bm_simplify_generic_rules)->Arg(4)->Arg(16)->Arg(64);
+
+void bm_simplify_enumerated_rules(benchmark::State& state) {
+  // The instance-rule baseline only covers int/double/... patterns; on the
+  // same input it must do the same folds.
+  cgp::rewrite::simplifier s = enumerated_simplifier();
+  s.add_expr_rule({"i+0",
+                   E::binary_op("+", E::meta("x", "int"), E::int_lit(0)),
+                   E::meta("x", "int"),
+                   "instance",
+                   {}});
+  const expr e = deep_expression(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(s.simplify(e));
+}
+BENCHMARK(bm_simplify_enumerated_rules)->Arg(4)->Arg(16)->Arg(64);
+
+void bm_eval_original(benchmark::State& state) {
+  const expr e = deep_expression(16);
+  const cgp::rewrite::environment env{{"i", std::int64_t{3}},
+                                      {"j", std::int64_t{5}}};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cgp::rewrite::evaluate(e, env));
+}
+BENCHMARK(bm_eval_original);
+
+void bm_eval_simplified(benchmark::State& state) {
+  const expr e = generic_simplifier().simplify(deep_expression(16));
+  const cgp::rewrite::environment env{{"i", std::int64_t{3}},
+                                      {"j", std::int64_t{5}}};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cgp::rewrite::evaluate(e, env));
+}
+BENCHMARK(bm_eval_simplified);
+
+void report() {
+  std::printf("================================================================\n");
+  std::printf("Fig. 5: concept-based rewrite rules\n");
+  std::printf("================================================================\n");
+  const auto s = generic_simplifier();
+  const cgp::rewrite::cost_model cm;
+  std::printf("%-36s %-16s %-28s %9s\n", "instance", "result",
+              "fired rule (concept-guarded)", "cost");
+  std::size_t covered = 0;
+  const auto inputs = fig5_inputs();
+  for (const expr& e : inputs) {
+    std::vector<cgp::rewrite::rewrite_step> trace;
+    const expr out = s.simplify(e, &trace);
+    if (out != e) ++covered;
+    std::printf("%-36s %-16s %-28s %4.0f->%3.0f\n", e.to_string().c_str(),
+                out.to_string().c_str(),
+                trace.empty() ? "-" : trace.back().rule.c_str(), cm.total(e),
+                cm.total(out));
+  }
+  std::printf("\n%zu/%zu instances covered by %zu generic rules "
+              "(traditional simplifier: %zu enumerated rules)\n",
+              covered, inputs.size(), s.concept_rule_count(),
+              cgp::rewrite::fig5_instance_rules().size());
+
+  // Advantage 1 of the paper: new model => new instances for free.
+  cgp::core::concept_registry reg;
+  cgp::core::register_builtin_concepts(reg);
+  reg.declare_model(
+      {"Monoid", {"duration", "+"}, {{"op", "+"}, {"e", "0"}}});
+  cgp::rewrite::simplifier s2(reg);
+  s2.add_default_concept_rules();
+  const expr d = E::binary_op("+", E::var("t", "duration"),
+                              cgp::rewrite::parse_literal("0", "duration")
+                                  .value());
+  std::printf("\nextensibility: after declaring (duration,+) a Monoid, "
+              "%s -> %s with NO new rule\n",
+              d.to_string().c_str(), s2.simplify(d).to_string().c_str());
+
+  std::printf("\nrule-count scaling: enumerated = #types x #ops instances; "
+              "concept-based = #axioms.\n");
+  std::printf("guarded soundness: every rewrite is licensed by a declared "
+              "model whose axioms the\nproof module can check "
+              "(see fig6_proof and tests/proof_test.cpp).\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 6 reproduction: machine-checked derivation that a Strict Weak
+// Order's induced relation E is an equivalence relation, plus the
+// Section 3.3 performance claims:
+//  * proof CHECKING is fast (linear in proof size) — we measure
+//    microseconds per theorem;
+//  * generic proofs amortize: instantiating for the k-th model costs the
+//    same as for the first (flat per-instantiation time).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "proof/theories.hpp"
+
+namespace {
+
+using namespace cgp::proof;
+
+void bm_check_swo_reflexive(benchmark::State& state) {
+  const theorem thm = theories::equivalence_reflexive();
+  for (auto _ : state) benchmark::DoNotOptimize(thm.check());
+}
+BENCHMARK(bm_check_swo_reflexive);
+
+void bm_check_swo_equivalence(benchmark::State& state) {
+  const theorem thm = theories::equivalence_relation();
+  for (auto _ : state) benchmark::DoNotOptimize(thm.check());
+}
+BENCHMARK(bm_check_swo_equivalence);
+
+void bm_check_group_cancellation(benchmark::State& state) {
+  const theorem thm = theories::group_left_cancellation();
+  for (auto _ : state) benchmark::DoNotOptimize(thm.check());
+}
+BENCHMARK(bm_check_group_cancellation);
+
+void bm_check_ring_annihilation(benchmark::State& state) {
+  const theorem thm = theories::ring_annihilation();
+  for (auto _ : state) benchmark::DoNotOptimize(thm.check());
+}
+BENCHMARK(bm_check_ring_annihilation);
+
+void bm_instantiate_many_models(benchmark::State& state) {
+  // One generic proof text, N signatures: per-model cost must stay flat.
+  const theorem thm = theories::equivalence_relation();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < n; ++k) {
+      benchmark::DoNotOptimize(thm.check(
+          signature{{{"lt", "lt_" + std::to_string(k)},
+                     {"E", "eq_" + std::to_string(k)}}}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_instantiate_many_models)->Arg(1)->Arg(8)->Arg(64);
+
+void report() {
+  std::printf("================================================================\n");
+  std::printf("Fig. 6: Strict Weak Order => E is an equivalence relation\n");
+  std::printf("================================================================\n");
+  std::printf("axioms:\n");
+  for (const prop& ax : theories::strict_weak_order_axioms({}))
+    std::printf("  %s\n", ax.to_string().c_str());
+  std::printf("\ncertified theorems (steps = primitive inferences checked):\n");
+  for (const theorem& thm :
+       {theories::equivalence_reflexive(), theories::equivalence_symmetric(),
+        theories::equivalence_relation(), theories::group_identity_unique(),
+        theories::group_left_cancellation(),
+        theories::group_inverse_unique(), theories::ring_annihilation()}) {
+    std::size_t steps = 0;
+    const prop proved = thm.check({}, &steps);
+    std::printf("  %-28s %4zu steps   %s\n", thm.name.c_str(), steps,
+                proved.to_string().substr(0, 80).c_str());
+  }
+  std::printf("\ninstantiation like a generic algorithm — same proof, three "
+              "orders:\n");
+  const theorem generic = theories::equivalence_relation();
+  for (const char* lt : {"int_less", "string_lex", "version_precedes"}) {
+    std::size_t steps = 0;
+    (void)generic.check(signature{{{"lt", lt}}}, &steps);
+    std::printf("  lt := %-18s checked in %zu steps\n", lt, steps);
+  }
+  std::printf("\nbenchmarks: micro-seconds per CHECK (no search), flat "
+              "per-instantiation cost:\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

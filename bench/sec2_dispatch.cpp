@@ -1,0 +1,147 @@
+// Section 2.1 reproduction: concept-based overloading.
+//
+//  * `sort` dispatches to introsort on random access and to the in-place
+//    mergesort "default algorithm" otherwise — the shape to reproduce is
+//    introsort-on-vector decisively beating forward-mergesort-on-list
+//    (indexing wins), with zero dispatch overhead vs calling introsort
+//    directly.
+//  * `advance` is O(1) by concept on random access, O(n) on lists —
+//    concept dispatch and classic tag dispatch are identical in cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <list>
+#include <random>
+#include <vector>
+
+#include "sequences/checked.hpp"
+#include "sequences/sort.hpp"
+
+namespace {
+
+std::vector<int> random_ints(std::size_t n, unsigned seed = 17) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(-1000000, 1000000);
+  std::vector<int> v(n);
+  for (int& x : v) x = d(rng);
+  return v;
+}
+
+void bm_sort_vector_concept_dispatch(benchmark::State& state) {
+  const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    cgp::sequences::sort(v.begin(), v.end());  // dispatches to introsort
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sort_vector_concept_dispatch)->Arg(1 << 12)->Arg(1 << 16);
+
+void bm_sort_vector_direct_introsort(benchmark::State& state) {
+  const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    cgp::sequences::intro_sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sort_vector_direct_introsort)->Arg(1 << 12)->Arg(1 << 16);
+
+void bm_sort_vector_std(benchmark::State& state) {
+  const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sort_vector_std)->Arg(1 << 12)->Arg(1 << 16);
+
+void bm_sort_list_default_algorithm(benchmark::State& state) {
+  const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::list<int> l(base.begin(), base.end());
+    cgp::sequences::sort(l.begin(), l.end());  // forward_merge_sort
+    benchmark::DoNotOptimize(&l);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sort_list_default_algorithm)->Arg(1 << 12)->Arg(1 << 16);
+
+void bm_advance_random_access(benchmark::State& state) {
+  std::vector<int> v(1 << 16, 1);
+  for (auto _ : state) {
+    auto it = v.begin();
+    cgp::sequences::advance(it, state.range(0));
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(bm_advance_random_access)->Arg(1 << 15);
+
+void bm_advance_bidirectional(benchmark::State& state) {
+  std::list<int> l(1 << 16, 1);
+  for (auto _ : state) {
+    auto it = l.begin();
+    cgp::sequences::advance(it, state.range(0));
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(bm_advance_bidirectional)->Arg(1 << 15);
+
+void bm_advance_tag_dispatch(benchmark::State& state) {
+  std::vector<int> v(1 << 16, 1);
+  for (auto _ : state) {
+    auto it = v.begin();
+    cgp::sequences::advance_tagged(it, state.range(0));
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(bm_advance_tag_dispatch)->Arg(1 << 15);
+
+void bm_checked_sort_entry_exit_handlers(benchmark::State& state) {
+  const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    cgp::sequences::checked::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_checked_sort_entry_exit_handlers)->Arg(1 << 12);
+
+void report() {
+  std::printf("================================================================\n");
+  std::printf("Section 2.1: concept-based overloading\n");
+  std::printf("================================================================\n");
+  std::printf("compile-time selection:\n");
+  std::printf("  vector<int>::iterator        -> %s\n",
+              std::string(cgp::sequences::sort_algorithm_for<
+                          std::vector<int>::iterator>()).c_str());
+  std::printf("  list<int>::iterator          -> %s\n",
+              std::string(cgp::sequences::sort_algorithm_for<
+                          std::list<int>::iterator>()).c_str());
+  std::printf("  int*                         -> %s\n",
+              std::string(cgp::sequences::sort_algorithm_for<int*>())
+                  .c_str());
+  std::printf("\nexpected shapes:\n"
+              "  sort(vector) via dispatch == direct introsort (zero "
+              "dispatch cost), ~ std::sort;\n"
+              "  sort(list) default algorithm pays the O(n log^2 n) "
+              "rotation merge AND cache misses;\n"
+              "  advance: O(1) on random access vs O(n) on lists; concept "
+              "== tag dispatch;\n"
+              "  checked::sort adds the entry/exit handler + archetype "
+              "auditing overhead.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Graph library walkthrough: a small road network exercised through the
+// Fig. 1/Fig. 2 concept interface — BFS, Dijkstra, MST, components, and the
+// Section 2.3 `first_neighbor` with its single concept constraint.
+//
+// Build: cmake --build build && ./build/examples/graph_routing
+#include <cstdio>
+
+#include "graph/algorithms.hpp"
+
+int main() {
+  using namespace cgp::graph;
+
+  // Cities: 0 Aachen, 1 Bonn, 2 Cologne, 3 Dortmund, 4 Essen, 5 Fulda.
+  const char* city[] = {"Aachen", "Bonn", "Cologne", "Dortmund", "Essen",
+                        "Fulda"};
+  adjacency_list<double> roads(6, directedness::undirected);
+  roads.add_edge(0, 2, 70.0);
+  roads.add_edge(1, 2, 30.0);
+  roads.add_edge(2, 3, 95.0);
+  roads.add_edge(2, 4, 68.0);
+  roads.add_edge(3, 4, 38.0);
+  roads.add_edge(1, 5, 170.0);
+
+  static_assert(cgp::core::IncidenceGraph<adjacency_list<double>>);
+  static_assert(cgp::core::GraphEdge<edge<double>>);
+
+  std::printf("network: %zu cities, %zu roads\n", num_vertices(roads),
+              num_edges(roads));
+  for (auto v : vertices(roads))
+    std::printf("  %-8s degree %zu\n", city[v], out_degree(v, roads));
+
+  // Section 2.3: one constraint, no associated-type boilerplate.
+  const auto [found, nb] = first_neighbor(roads, vertex_descriptor{0});
+  if (found) std::printf("\nfirst neighbor of %s: %s\n", city[0], city[nb]);
+
+  // BFS hop counts from Aachen.
+  const auto hops = bfs_distances(roads, 0);
+  std::printf("\nBFS hops from %s:\n", city[0]);
+  for (std::size_t v = 0; v < 6; ++v)
+    std::printf("  %-8s %ld\n", city[v], hops[v]);
+
+  // Dijkstra driving distances.
+  const auto [dist, pred] = dijkstra_shortest_paths(
+      roads, 0, [](const edge<double>& e) { return e.property; });
+  std::printf("\nshortest driving distance from %s:\n", city[0]);
+  for (std::size_t v = 0; v < 6; ++v) {
+    std::printf("  %-8s %6.1f km  (route: %s", city[v], dist[v], city[v]);
+    for (std::size_t u = v; pred[u] != u; u = pred[u])
+      std::printf(" <- %s", city[pred[u]]);
+    std::printf(")\n");
+  }
+
+  // Kruskal: the cheapest road subset keeping everything connected.
+  const auto mst = kruskal_mst(roads);
+  double total = 0.0;
+  std::printf("\nminimum spanning tree:\n");
+  for (const auto& e : mst) {
+    std::printf("  %s -- %s (%.0f km)\n", city[e.src], city[e.dst],
+                e.property);
+    total += e.property;
+  }
+  std::printf("  total: %.0f km\n", total);
+
+  // Components after a road closure.
+  adjacency_list<double> broken(6, directedness::undirected);
+  broken.add_edge(0, 2, 70.0);
+  broken.add_edge(1, 2, 30.0);
+  broken.add_edge(3, 4, 38.0);
+  const auto comp = connected_components(broken);
+  std::printf("\nafter closures, components: ");
+  for (std::size_t v = 0; v < 6; ++v)
+    std::printf("%s=%zu ", city[v], comp[v]);
+  std::printf("\n");
+  return 0;
+}

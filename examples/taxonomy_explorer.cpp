@@ -1,0 +1,76 @@
+// Walks all three algorithm concept taxonomies (sequence, graph,
+// distributed — Sections 1 and 4), then answers "which algorithm should I
+// use?" queries the way the paper envisions a system designer would.
+//
+// Build: cmake --build build && ./build/examples/taxonomy_explorer
+#include <cstdio>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace {
+
+void ask(const cgp::taxonomy::taxonomy& t,
+         const cgp::taxonomy::requirements& req, const std::string& metric,
+         std::map<std::string, double> env, const char* story) {
+  std::printf("\nQ: %s\n   requirements:", story);
+  for (const auto& [d, c] : req) std::printf(" %s=%s", d.c_str(), c.c_str());
+  std::printf("; minimize %s at {", metric.c_str());
+  for (const auto& [k, v] : env) std::printf(" %s=%.0f", k.c_str(), v);
+  std::printf(" }\n");
+  const auto matches = t.query(req);
+  std::printf("   candidates:");
+  for (const auto& m : matches) std::printf(" %s", m.name.c_str());
+  if (matches.empty()) std::printf(" (none)");
+  std::printf("\n");
+  if (const auto best = t.select(req, metric, env)) {
+    std::printf("   A: %s  [%s]  (%s = %s)\n", best->name.c_str(),
+                best->implemented_by.c_str(), metric.c_str(),
+                best->costs.at(metric).to_string().c_str());
+    if (!best->notes.empty()) std::printf("      note: %s\n",
+                                          best->notes.c_str());
+  } else {
+    std::printf("   A: no algorithm satisfies these requirements\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using cgp::taxonomy::requirements;
+
+  const auto seq = cgp::taxonomy::sequence_taxonomy();
+  const auto gph = cgp::taxonomy::graph_taxonomy();
+  const auto dst = cgp::taxonomy::distributed_taxonomy();
+
+  std::printf("%s\n", seq.describe().c_str());
+  std::printf("%s\n", gph.describe().c_str());
+  std::printf("%s\n", dst.describe().c_str());
+
+  std::printf("================ designer queries ================\n");
+  ask(seq, {{"problem", "searching"}, {"precondition", "none"}},
+      "comparisons", {{"n", 1e6}},
+      "search a million unsorted records (cannot guarantee order)");
+  ask(seq, {{"problem", "searching"}, {"precondition", "sorted"}},
+      "comparisons", {{"n", 1e6}},
+      "search a million records I just sorted");
+  ask(seq, {{"problem", "sorting"}, {"iterator", "forward"}}, "comparisons",
+      {{"n", 1e5}},
+      "sort data reachable only through forward iterators");
+  ask(gph, {{"problem", "shortest-paths"}}, "time",
+      {{"V", 1e4}, {"E", 1e5}},
+      "route over a 10k-node road network");
+  ask(dst, {{"problem", "leader-election"}, {"topology", "ring"}},
+      "messages", {{"n", 4096}},
+      "elect a coordinator on a 4096-node token ring");
+  ask(dst,
+      {{"problem", "leader-election"}, {"topology", "ring"},
+       {"strategy", "randomized"}},
+      "messages", {{"n", 64}},
+      "elect on an ANONYMOUS ring (no unique ids => must randomize)");
+  ask(dst, {{"problem", "failure-detection"}, {"fault-tolerance", "crash"}},
+      "messages", {{"E", 500}, {"R", 100}},
+      "watch a 500-link cluster for crashes over 100 rounds");
+  ask(dst, {{"problem", "consensus"}}, "messages", {{"n", 10}},
+      "byzantine consensus (not implemented: taxonomy answers honestly)");
+  return 0;
+}

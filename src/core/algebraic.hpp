@@ -1,0 +1,357 @@
+// Algebraic concepts: Semigroup, Monoid, Group, AbelianGroup, Ring, Field,
+// and the multi-type VectorSpace concept of Fig. 3.
+//
+// Design notes (mirroring the paper):
+//  * Syntactic requirements (valid expressions, associated types) are checked
+//    structurally by C++20 `requires` clauses — what the paper asks for in
+//    Section 2 and what the language has since gained.
+//  * Semantic requirements (associativity, identity laws, distributivity)
+//    cannot be deduced from syntax.  As with Haskell type class instances
+//    (Section 2.1: "the modeling relation ... is by nominal conformance"),
+//    a type/operation pair becomes a model only when explicitly *declared*
+//    via a traits specialization that also supplies the semantic witnesses
+//    (identity element, inverse function).  The axioms a declaration promises
+//    are the equational axioms registered in `core::registries` and are
+//    exercised by the property tests.
+#pragma once
+
+#include <complex>
+#include <concepts>
+#include <functional>
+#include <string>
+
+#include "core/term.hpp"
+
+namespace cgp::core {
+
+// ---------------------------------------------------------------------------
+// Syntactic layer
+// ---------------------------------------------------------------------------
+
+/// A closed binary operation on T — the syntactic skeleton every algebraic
+/// concept refines.
+template <class T, class Op>
+concept BinaryOperation =
+    std::regular<T> && requires(const T& a, const T& b, const Op& op) {
+      { op(a, b) } -> std::convertible_to<T>;
+    };
+
+// ---------------------------------------------------------------------------
+// Semantic declarations (nominal conformance)
+// ---------------------------------------------------------------------------
+
+/// Specialize and derive from std::true_type to declare that (T, Op) is
+/// associative — the Semigroup axiom.
+template <class T, class Op>
+struct declares_associative : std::false_type {};
+
+/// Specialize and derive from std::true_type to declare commutativity.
+template <class T, class Op>
+struct declares_commutative : std::false_type {};
+
+/// Specialize to declare the Monoid identity element for (T, Op).
+/// Must provide `static T identity()`.
+template <class T, class Op>
+struct monoid_traits;
+
+/// Specialize to declare the Group inverse for (T, Op).
+/// Must provide `static T inverse(const T&)`.
+template <class T, class Op>
+struct group_traits;
+
+/// Specialize to declare that (T, Add, Mul) satisfies the ring
+/// distributivity axioms (an empty tag specialization is enough).
+template <class T, class Add, class Mul>
+struct declares_distributive : std::false_type {};
+
+/// Specialize to declare that T is a field under its canonical +, * with
+/// multiplicative inverses for nonzero elements.
+template <class T>
+struct declares_field : std::false_type {};
+
+// ---------------------------------------------------------------------------
+// The algebraic concept hierarchy
+// ---------------------------------------------------------------------------
+
+/// Semigroup: closed associative binary operation.
+template <class T, class Op>
+concept Semigroup = BinaryOperation<T, Op> && declares_associative<T, Op>::value;
+
+/// Monoid refines Semigroup with a declared two-sided identity.
+/// This is exactly the guard of Fig. 5's `x + 0 -> x` rewrite rule.
+template <class T, class Op>
+concept Monoid = Semigroup<T, Op> && requires {
+  { monoid_traits<T, Op>::identity() } -> std::convertible_to<T>;
+};
+
+/// Group refines Monoid with a declared inverse.
+/// Guard of Fig. 5's `x + (-x) -> 0` rule.
+template <class T, class Op>
+concept Group = Monoid<T, Op> && requires(const T& a) {
+  { group_traits<T, Op>::inverse(a) } -> std::convertible_to<T>;
+};
+
+/// Commutative variants.
+template <class T, class Op>
+concept CommutativeMonoid = Monoid<T, Op> && declares_commutative<T, Op>::value;
+
+template <class T, class Op>
+concept AbelianGroup = Group<T, Op> && declares_commutative<T, Op>::value;
+
+/// Ring: abelian group under Add, monoid under Mul, declared distributivity.
+template <class T, class Add = std::plus<>, class Mul = std::multiplies<>>
+concept Ring = AbelianGroup<T, Add> && Monoid<T, Mul> &&
+               declares_distributive<T, Add, Mul>::value;
+
+/// Field: commutative ring with declared multiplicative inverses.
+template <class T>
+concept Field =
+    Ring<T, std::plus<>, std::multiplies<>> &&
+    declares_commutative<T, std::multiplies<>>::value && declares_field<T>::value;
+
+/// Additive abelian group under the canonical `+` (the refinement named in
+/// Fig. 3's caption).
+template <class T>
+concept AdditiveAbelianGroup = AbelianGroup<T, std::plus<>>;
+
+// ---------------------------------------------------------------------------
+// Vector Space: a genuinely multi-type concept (Fig. 3)
+// ---------------------------------------------------------------------------
+
+/// The scalar type S of a vector space is *not* an associated type of the
+/// vector type V (Section 2.4's CLACRM argument: complex vectors over real
+/// scalars must stay mixed-precision).  VectorSpace therefore constrains the
+/// pair (V, S) directly: V models Additive Abelian Group, S models Field,
+/// and the two `mult` expressions of Fig. 3 are valid.
+template <class V, class S>
+concept VectorSpace =
+    AdditiveAbelianGroup<V> && Field<S> && requires(const V& v, const S& s) {
+      { mult(v, s) } -> std::convertible_to<V>;
+      { mult(s, v) } -> std::convertible_to<V>;
+    };
+
+// ---------------------------------------------------------------------------
+// Extra operation function objects used across the library and in Fig. 5
+// ---------------------------------------------------------------------------
+
+/// min / max as semigroup operations.
+struct min_op {
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+struct max_op {
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Built-in model declarations
+// ---------------------------------------------------------------------------
+
+namespace detail {
+template <class T>
+concept BuiltinArithmetic = std::integral<T> || std::floating_point<T>;
+}
+
+// (arithmetic, +): abelian group.
+template <detail::BuiltinArithmetic T>
+struct declares_associative<T, std::plus<>> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_commutative<T, std::plus<>> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct monoid_traits<T, std::plus<>> {
+  static constexpr T identity() { return T{0}; }
+};
+template <detail::BuiltinArithmetic T>
+struct group_traits<T, std::plus<>> {
+  static constexpr T inverse(const T& a) { return static_cast<T>(-a); }
+};
+
+// (arithmetic, *): commutative monoid; fields additionally get inverses.
+template <detail::BuiltinArithmetic T>
+struct declares_associative<T, std::multiplies<>> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_commutative<T, std::multiplies<>> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct monoid_traits<T, std::multiplies<>> {
+  static constexpr T identity() { return T{1}; }
+};
+template <detail::BuiltinArithmetic T>
+struct declares_distributive<T, std::plus<>, std::multiplies<>>
+    : std::true_type {};
+template <std::floating_point T>
+struct declares_field<T> : std::true_type {};
+template <std::floating_point T>
+struct group_traits<T, std::multiplies<>> {
+  static constexpr T inverse(const T& a) { return T{1} / a; }
+};
+
+// std::complex<F>: field.
+template <std::floating_point F>
+struct declares_associative<std::complex<F>, std::plus<>> : std::true_type {};
+template <std::floating_point F>
+struct declares_commutative<std::complex<F>, std::plus<>> : std::true_type {};
+template <std::floating_point F>
+struct monoid_traits<std::complex<F>, std::plus<>> {
+  static constexpr std::complex<F> identity() { return {}; }
+};
+template <std::floating_point F>
+struct group_traits<std::complex<F>, std::plus<>> {
+  static constexpr std::complex<F> inverse(const std::complex<F>& a) {
+    return -a;
+  }
+};
+template <std::floating_point F>
+struct declares_associative<std::complex<F>, std::multiplies<>>
+    : std::true_type {};
+template <std::floating_point F>
+struct declares_commutative<std::complex<F>, std::multiplies<>>
+    : std::true_type {};
+template <std::floating_point F>
+struct monoid_traits<std::complex<F>, std::multiplies<>> {
+  static constexpr std::complex<F> identity() { return {F{1}, F{0}}; }
+};
+template <std::floating_point F>
+struct group_traits<std::complex<F>, std::multiplies<>> {
+  static std::complex<F> inverse(const std::complex<F>& a) {
+    return std::complex<F>{F{1}, F{0}} / a;
+  }
+};
+template <std::floating_point F>
+struct declares_distributive<std::complex<F>, std::plus<>, std::multiplies<>>
+    : std::true_type {};
+template <std::floating_point F>
+struct declares_field<std::complex<F>> : std::true_type {};
+
+// (bool, &&) and (bool, ||): commutative monoids (Fig. 5: `b && true -> b`).
+template <>
+struct declares_associative<bool, std::logical_and<>> : std::true_type {};
+template <>
+struct declares_commutative<bool, std::logical_and<>> : std::true_type {};
+template <>
+struct monoid_traits<bool, std::logical_and<>> {
+  static constexpr bool identity() { return true; }
+};
+template <>
+struct declares_associative<bool, std::logical_or<>> : std::true_type {};
+template <>
+struct declares_commutative<bool, std::logical_or<>> : std::true_type {};
+template <>
+struct monoid_traits<bool, std::logical_or<>> {
+  static constexpr bool identity() { return false; }
+};
+
+// (unsigned integral, &) and (|): commutative monoids
+// (Fig. 5: `i & 0xFFF... -> i`).
+template <std::unsigned_integral T>
+struct declares_associative<T, std::bit_and<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct declares_commutative<T, std::bit_and<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct monoid_traits<T, std::bit_and<>> {
+  static constexpr T identity() { return static_cast<T>(~T{0}); }
+};
+template <std::unsigned_integral T>
+struct declares_associative<T, std::bit_or<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct declares_commutative<T, std::bit_or<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct monoid_traits<T, std::bit_or<>> {
+  static constexpr T identity() { return T{0}; }
+};
+// (unsigned integral, ^): abelian group (self-inverse).
+template <std::unsigned_integral T>
+struct declares_associative<T, std::bit_xor<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct declares_commutative<T, std::bit_xor<>> : std::true_type {};
+template <std::unsigned_integral T>
+struct monoid_traits<T, std::bit_xor<>> {
+  static constexpr T identity() { return T{0}; }
+};
+template <std::unsigned_integral T>
+struct group_traits<T, std::bit_xor<>> {
+  static constexpr T inverse(const T& a) { return a; }
+};
+
+// (std::string, +): non-commutative monoid (Fig. 5: `concat(s, "") -> s`).
+template <>
+struct declares_associative<std::string, std::plus<>> : std::true_type {};
+template <>
+struct monoid_traits<std::string, std::plus<>> {
+  static std::string identity() { return {}; }
+};
+
+// (totally ordered arithmetic, min/max): commutative semigroups; max over
+// unsigned and min over unsigned get identities (0 / max value) so they are
+// monoids where an identity exists.
+template <detail::BuiltinArithmetic T>
+struct declares_associative<T, min_op> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_commutative<T, min_op> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_associative<T, max_op> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_commutative<T, max_op> : std::true_type {};
+template <std::unsigned_integral T>
+struct monoid_traits<T, max_op> {
+  static constexpr T identity() { return T{0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Order concepts (Fig. 6's Strict Weak Order)
+// ---------------------------------------------------------------------------
+
+/// Declare that Cmp is a strict weak order on T (irreflexive, transitive,
+/// with transitive incomparability).  The axioms themselves live in
+/// `core::registries` and are machine-checked in the proof module; the
+/// property tests sample-check concrete declarations.
+template <class T, class Cmp>
+struct declares_strict_weak_order : std::false_type {};
+
+template <detail::BuiltinArithmetic T>
+struct declares_strict_weak_order<T, std::less<>> : std::true_type {};
+template <detail::BuiltinArithmetic T>
+struct declares_strict_weak_order<T, std::less<T>> : std::true_type {};
+template <>
+struct declares_strict_weak_order<std::string, std::less<>> : std::true_type {};
+template <>
+struct declares_strict_weak_order<std::string, std::less<std::string>>
+    : std::true_type {};
+
+/// Syntactic relation requirement plus the nominal SWO declaration.
+template <class Cmp, class T>
+concept StrictWeakOrder =
+    std::strict_weak_order<Cmp, T, T> && declares_strict_weak_order<T, Cmp>::value;
+
+/// The equivalence induced by a strict weak order:
+/// E(a, b) iff !(a < b) && !(b < a).  Fig. 6 derives (and our proof module
+/// machine-checks) that E is reflexive, symmetric, and transitive.
+template <class T, class Cmp = std::less<>>
+[[nodiscard]] constexpr bool equivalent_under(const T& a, const T& b,
+                                              Cmp cmp = {}) {
+  return !cmp(a, b) && !cmp(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Convenience witnesses
+// ---------------------------------------------------------------------------
+
+/// The identity element of a Monoid model.
+template <class T, class Op>
+  requires Monoid<T, Op>
+[[nodiscard]] constexpr T identity_element() {
+  return monoid_traits<T, Op>::identity();
+}
+
+/// The inverse in a Group model.
+template <class T, class Op>
+  requires Group<T, Op>
+[[nodiscard]] constexpr T inverse_element(const T& a) {
+  return group_traits<T, Op>::inverse(a);
+}
+
+}  // namespace cgp::core

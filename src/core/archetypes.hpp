@@ -1,0 +1,205 @@
+// Concept archetypes: minimal models used to verify that generic algorithms
+// do not require more than their stated concept constraints (Section 2.1),
+// extended to *semantic* archetypes that emulate "the behavior of the most
+// restrictive model of a particular concept" (Section 3.1).
+//
+// The flagship semantic archetype here is the single-pass input sequence:
+// its iterators share one underlying cursor, so any algorithm that performs
+// a second traversal — or dereferences a saved iterator after the cursor
+// moved on — trips a `semantic_archetype_violation`.  This is exactly how
+// the paper describes catching `max_element`'s undocumented dependence on
+// the Forward Iterator multipass property.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace cgp::core {
+
+/// Thrown when a generic algorithm exceeds the semantic guarantees of the
+/// archetype it was instantiated with.
+class semantic_archetype_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// ---------------------------------------------------------------------------
+// Syntactic archetypes
+// ---------------------------------------------------------------------------
+
+/// Minimal syntactic model of ForwardIterator over T.  Instantiating an
+/// algorithm with this type proves the algorithm uses no syntax beyond the
+/// Forward Iterator concept (e.g. no `--`, no `+ n`, no `<`).
+template <class T>
+class forward_iterator_archetype {
+ public:
+  using value_type = T;
+  using difference_type = std::ptrdiff_t;
+  using reference = const T&;
+  using pointer = const T*;
+  using iterator_category = std::forward_iterator_tag;
+
+  forward_iterator_archetype() = default;
+  explicit forward_iterator_archetype(const T* p) : p_(p) {}
+
+  reference operator*() const { return *p_; }
+  pointer operator->() const { return p_; }
+  forward_iterator_archetype& operator++() {
+    ++p_;
+    return *this;
+  }
+  forward_iterator_archetype operator++(int) {
+    auto old = *this;
+    ++p_;
+    return old;
+  }
+  friend bool operator==(const forward_iterator_archetype&,
+                         const forward_iterator_archetype&) = default;
+
+ private:
+  const T* p_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Semantic archetype: the most restrictive Input Iterator
+// ---------------------------------------------------------------------------
+
+/// A single-pass sequence over a vector<T>.  All iterators obtained from one
+/// sequence share a cursor; each iterator is valid only while it coincides
+/// with the cursor.  Dereferencing or advancing a stale iterator — the thing
+/// a multipass algorithm inevitably does — throws.
+///
+/// Deliberately, the iterator *claims* forward_iterator_tag: its syntax is a
+/// perfectly good Forward Iterator, and no compiler or type check can tell
+/// otherwise.  Only the multipass *semantic* requirement is violated — which
+/// is the paper's argument for semantic concepts: instantiating
+/// `max_element` with this type compiles cleanly and fails only the
+/// archetype's dynamic semantic checks (Section 3.1).
+template <class T>
+class single_pass_sequence {
+  struct stream_state {
+    std::vector<T> data;
+    std::size_t cursor = 0;   ///< next unconsumed position
+    std::size_t passes = 0;   ///< completed traversals (must stay <= 1)
+  };
+
+ public:
+  explicit single_pass_sequence(std::vector<T> data)
+      : state_(std::make_shared<stream_state>(
+            stream_state{std::move(data), 0, 0})) {}
+
+  class iterator {
+   public:
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using reference = const T&;
+    using pointer = const T*;
+    // Syntactically Forward; semantically single-pass (see class comment).
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+
+    reference operator*() const {
+      require_fresh("dereference");
+      return state_->data[pos_];
+    }
+    pointer operator->() const { return &**this; }
+
+    iterator& operator++() {
+      require_fresh("increment");
+      ++pos_;
+      state_->cursor = pos_;
+      return *this;
+    }
+    iterator operator++(int) {
+      auto old = *this;
+      ++*this;
+      return old;
+    }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      const bool a_end = a.is_end();
+      const bool b_end = b.is_end();
+      if (a_end || b_end) return a_end == b_end;
+      return a.pos_ == b.pos_;
+    }
+
+   private:
+    friend class single_pass_sequence;
+    iterator(std::shared_ptr<stream_state> s, std::size_t pos)
+        : state_(std::move(s)), pos_(pos) {}
+
+    [[nodiscard]] bool is_end() const {
+      return state_ == nullptr || pos_ >= state_->data.size();
+    }
+
+    void require_fresh(const char* what) const {
+      if (state_ == nullptr || pos_ >= state_->data.size())
+        throw semantic_archetype_violation(
+            std::string("input-iterator archetype: ") + what +
+            " past the end");
+      if (pos_ != state_->cursor)
+        throw semantic_archetype_violation(
+            std::string("input-iterator archetype: ") + what +
+            " of a stale iterator (multipass use of a single-pass "
+            "sequence; the algorithm requires ForwardIterator)");
+    }
+
+    std::shared_ptr<stream_state> state_;
+    std::size_t pos_ = 0;
+  };
+
+  /// Starts (or restarts) a traversal.  A second call after a completed
+  /// traversal throws: single-pass means ONE pass.
+  [[nodiscard]] iterator begin() {
+    if (state_->cursor > 0 || state_->passes > 0) {
+      ++state_->passes;
+      throw semantic_archetype_violation(
+          "input-iterator archetype: second traversal of a single-pass "
+          "sequence");
+    }
+    return iterator(state_, 0);
+  }
+  [[nodiscard]] iterator end() {
+    return iterator(state_, state_->data.size());
+  }
+
+ private:
+  std::shared_ptr<stream_state> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Semantic archetype: instrumented Strict Weak Order
+// ---------------------------------------------------------------------------
+
+/// Wraps a comparator and dynamically spot-checks the Fig. 6 axioms on every
+/// call: irreflexivity when both arguments compare equal both ways is free;
+/// antisymmetry (lt(a,b) and lt(b,a) cannot both hold) is checked on each
+/// invocation.  Counts calls so complexity guarantees can be audited.
+template <class T, class Cmp>
+class checked_strict_weak_order {
+ public:
+  explicit checked_strict_weak_order(Cmp cmp = {}) : cmp_(std::move(cmp)) {}
+
+  bool operator()(const T& a, const T& b) const {
+    ++calls_;
+    const bool ab = cmp_(a, b);
+    const bool ba = cmp_(b, a);
+    if (ab && ba)
+      throw semantic_archetype_violation(
+          "strict-weak-order archetype: asymmetry violated (lt(a,b) and "
+          "lt(b,a) both hold)");
+    return ab;
+  }
+
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+
+ private:
+  Cmp cmp_;
+  mutable std::size_t calls_ = 0;
+};
+
+}  // namespace cgp::core

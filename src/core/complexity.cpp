@@ -1,0 +1,174 @@
+#include "core/complexity.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cgp::core {
+
+monomial monomial::operator*(const monomial& o) const {
+  monomial out = *this;
+  out.coefficient *= o.coefficient;
+  for (const auto& [v, p] : o.vars) {
+    auto& vp = out.vars[v];
+    vp.poly += p.poly;
+    vp.log += p.log;
+  }
+  // Drop zeroed-out variables so equality stays structural.
+  for (auto it = out.vars.begin(); it != out.vars.end();) {
+    if (it->second.poly == 0 && it->second.log == 0)
+      it = out.vars.erase(it);
+    else
+      ++it;
+  }
+  return out;
+}
+
+bool monomial::dominates(const monomial& o) const {
+  // Variable-wise comparison: (poly, log) lexicographically, since n^p
+  // dominates n^p' log^q for p > p' regardless of q.
+  for (const auto& [v, theirs] : o.vars) {
+    auto it = vars.find(v);
+    const var_power ours = it == vars.end() ? var_power{} : it->second;
+    if (ours.poly < theirs.poly) return false;
+    if (ours.poly == theirs.poly && ours.log < theirs.log) return false;
+  }
+  return true;
+}
+
+double monomial::eval(const std::map<std::string, double>& env) const {
+  double r = coefficient;
+  for (const auto& [v, p] : vars) {
+    auto it = env.find(v);
+    const double x = it == env.end() ? 1.0 : it->second;
+    if (p.poly != 0) r *= std::pow(x, p.poly);
+    if (p.log != 0) r *= std::pow(std::log(std::max(x, 2.0)), p.log);
+  }
+  return r;
+}
+
+std::string monomial::to_string() const {
+  std::ostringstream out;
+  bool wrote = false;
+  if (coefficient != 1.0 || vars.empty()) {
+    if (coefficient == static_cast<std::int64_t>(coefficient))
+      out << static_cast<std::int64_t>(coefficient);
+    else
+      out << coefficient;
+    wrote = true;
+  }
+  for (const auto& [v, p] : vars) {
+    for (int rep = 0; rep < 2; ++rep) {
+      const int e = rep == 0 ? p.poly : p.log;
+      if (e == 0) continue;
+      if (wrote) out << " ";
+      if (rep == 0)
+        out << v;
+      else
+        out << "log(" << v << ")";
+      if (e != 1) out << "^" << e;
+      wrote = true;
+    }
+  }
+  return out.str();
+}
+
+big_o big_o::one() { return constant(1.0); }
+
+big_o big_o::constant(double c) {
+  big_o b;
+  b.terms_.push_back(monomial{c, {}});
+  return b;
+}
+
+big_o big_o::n(const std::string& v) { return power(v, 1, 0); }
+
+big_o big_o::log_n(const std::string& v) { return power(v, 0, 1); }
+
+big_o big_o::power(const std::string& v, int p, int q) {
+  big_o b;
+  monomial m;
+  if (p != 0 || q != 0) m.vars[v] = monomial::var_power{p, q};
+  b.terms_.push_back(std::move(m));
+  return b;
+}
+
+void big_o::add_term(monomial m) {
+  for (auto& t : terms_) {
+    if (t.vars == m.vars) {  // Theta-equal monomials: keep the larger constant
+      t.coefficient = std::max(t.coefficient, m.coefficient);
+      return;
+    }
+    if (t.dominates(m)) return;  // already subsumed
+  }
+  // Remove terms the newcomer dominates, then insert.
+  std::erase_if(terms_, [&](const monomial& t) { return m.dominates(t); });
+  terms_.push_back(std::move(m));
+}
+
+big_o big_o::operator+(const big_o& o) const {
+  big_o out = *this;
+  for (const monomial& m : o.terms_) out.add_term(m);
+  return out;
+}
+
+big_o big_o::operator*(const big_o& o) const {
+  big_o out;
+  for (const monomial& a : terms_)
+    for (const monomial& b : o.terms_) out.add_term(a * b);
+  return out;
+}
+
+bool big_o::dominates(const big_o& o) const {
+  return std::all_of(o.terms_.begin(), o.terms_.end(), [&](const monomial& m) {
+    return std::any_of(terms_.begin(), terms_.end(),
+                       [&](const monomial& t) { return t.dominates(m); });
+  });
+}
+
+double big_o::eval(const std::map<std::string, double>& env) const {
+  double r = 0.0;
+  for (const monomial& m : terms_) r += m.eval(env);
+  return r;
+}
+
+std::optional<double> big_o::crossover_against(
+    const big_o& other, const std::string& var, double lo, double hi,
+    std::map<std::string, double> env) const {
+  const auto at_or_above = [&](double x) {
+    env[var] = x;
+    return eval(env) >= other.eval(env);
+  };
+  if (!at_or_above(hi)) return std::nullopt;
+  if (at_or_above(lo)) return lo;
+  // Monotone growth difference is assumed (true for our monomials with
+  // non-negative exponents): binary search on integers.
+  double a = lo, b = hi;
+  while (b - a > 1.0) {
+    const double mid = std::floor((a + b) / 2.0);
+    if (at_or_above(mid))
+      b = mid;
+    else
+      a = mid;
+  }
+  return b;
+}
+
+std::string big_o::to_string() const {
+  if (terms_.empty()) return "O(0)";
+  // Deterministic output: sort term renderings.
+  std::vector<std::string> parts;
+  parts.reserve(terms_.size());
+  for (const monomial& m : terms_) parts.push_back(m.to_string());
+  std::sort(parts.begin(), parts.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() != b.size() ? a.size() > b.size() : a < b;
+            });
+  std::string out = "O(";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += parts[i];
+  }
+  return out + ")";
+}
+
+}  // namespace cgp::core

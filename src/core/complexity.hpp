@@ -1,0 +1,108 @@
+// Symbolic asymptotic-complexity algebra.
+//
+// Section 1 and Section 4 of the paper argue that concepts should carry
+// *performance constraints* — complexity guarantees precise enough to make
+// "useful distinctions" between algorithms (e.g. LCR's Theta(n^2) messages vs
+// HS's Theta(n log n) on a ring).  This module provides the small algebra the
+// taxonomies need: multivariate big-O expressions closed under +, *, and max,
+// with a dominance partial order and numeric evaluation for crossover
+// analysis.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cgp::core {
+
+/// One monomial `n^p * log(n)^q * m^r * ...` with a leading coefficient.
+/// The variable map is keyed by variable name; each variable carries a
+/// polynomial power and a log power (both small non-negative integers in
+/// practice, but signed to allow e.g. O(1/n) if ever needed).
+struct monomial {
+  struct var_power {
+    int poly = 0;  ///< exponent of the variable itself
+    int log = 0;   ///< exponent of log(variable)
+    friend bool operator==(const var_power&, const var_power&) = default;
+  };
+
+  double coefficient = 1.0;
+  std::map<std::string, var_power> vars;
+
+  friend bool operator==(const monomial&, const monomial&) = default;
+
+  /// Product of two monomials: coefficients multiply, exponents add.
+  [[nodiscard]] monomial operator*(const monomial& o) const;
+
+  /// Asymptotic dominance: does this monomial grow at least as fast as `o`
+  /// in every variable (ignoring coefficients)?  Partial order.
+  [[nodiscard]] bool dominates(const monomial& o) const;
+
+  /// Numeric evaluation with the given variable assignment (missing
+  /// variables default to 1).  Logs are natural.
+  [[nodiscard]] double eval(const std::map<std::string, double>& env) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A big-O expression: the max (sum, asymptotically) of monomials.
+/// Canonical form keeps only non-dominated monomials.
+class big_o {
+ public:
+  big_o() = default;  ///< O(0): the identity of `+`/max
+
+  /// O(1).
+  [[nodiscard]] static big_o one();
+  /// O(v) for variable `v`.
+  [[nodiscard]] static big_o n(const std::string& v = "n");
+  /// O(log v).
+  [[nodiscard]] static big_o log_n(const std::string& v = "n");
+  /// O(v^p * log(v)^q).
+  [[nodiscard]] static big_o power(const std::string& v, int p, int q = 0);
+  /// O(c) with an explicit constant; asymptotically equal to one() but kept
+  /// distinct for cost-model evaluation.
+  [[nodiscard]] static big_o constant(double c);
+
+  /// Sum (asymptotically: max) of two complexities.
+  [[nodiscard]] big_o operator+(const big_o& o) const;
+  /// Product of two complexities (e.g. iterations * body cost).
+  [[nodiscard]] big_o operator*(const big_o& o) const;
+
+  friend bool operator==(const big_o&, const big_o&) = default;
+
+  /// True when every monomial of `o` is dominated by some monomial here.
+  /// `a.dominates(b) && b.dominates(a)` means Theta-equivalence.
+  [[nodiscard]] bool dominates(const big_o& o) const;
+
+  /// Strict asymptotic ordering: this grows strictly slower than `o`.
+  [[nodiscard]] bool strictly_below(const big_o& o) const {
+    return o.dominates(*this) && !dominates(o);
+  }
+
+  [[nodiscard]] double eval(const std::map<std::string, double>& env) const;
+
+  /// "O(n log n + m)"-style rendering of the canonical form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Smallest integer value of `var` in [lo, hi] at which `*this`
+  /// evaluates at or above `other` (other variables fixed by `env`);
+  /// nullopt if this stays below other on the whole range.  Used by the
+  /// taxonomies to report where algorithm selection flips.
+  [[nodiscard]] std::optional<double> crossover_against(
+      const big_o& other, const std::string& var, double lo, double hi,
+      std::map<std::string, double> env = {}) const;
+
+  [[nodiscard]] const std::vector<monomial>& terms() const noexcept {
+    return terms_;
+  }
+
+ private:
+  void add_term(monomial m);
+  std::vector<monomial> terms_;
+};
+
+}  // namespace cgp::core

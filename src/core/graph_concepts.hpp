@@ -1,0 +1,131 @@
+// Graph concepts of Figs. 1 and 2, expressed with the first-class language
+// support the paper calls for (C++20 concepts + associated types via traits).
+//
+// Fig. 1 — Graph Edge:
+//   Edge::vertex_type       associated vertex type
+//   source(e) -> vertex     target(e) -> vertex
+//
+// Fig. 2 — Incidence Graph:
+//   Graph::vertex_type / ::edge_type / ::out_edge_iterator associated types
+//   out_edge_iterator::value_type == edge_type
+//   edge_type models Graph Edge; out_edge_iterator models Iterator
+//   out_edges(v, g) -> iterator range; out_degree(v, g)
+//
+// Associated types are resolved through `graph_traits`, the traits-class
+// idiom the paper cites (ref. 23) as C++'s encapsulation mechanism for
+// concept information; types with nested member types get them picked up
+// automatically.  Constraint propagation (Section 2.3) comes for free:
+// `IncidenceGraph<G>` implies `GraphEdge<edge_t<G>>`, so algorithms such as
+// `first_neighbor` state ONE constraint, not three.
+#pragma once
+
+#include <concepts>
+#include <iterator>
+#include <ranges>
+
+namespace cgp::core {
+
+/// Primary graph traits template: forwards to nested member types when they
+/// exist (SFINAE-friendly: types without them get an empty traits, so the
+/// concepts below evaluate to false instead of a hard error).  Graph types
+/// without members specialize this instead (non-intrusive adaptation,
+/// exactly what traits were invented for).
+template <class G>
+struct graph_traits {};
+
+template <class G>
+  requires requires {
+    typename G::vertex_type;
+    typename G::edge_type;
+    typename G::out_edge_iterator;
+  }
+struct graph_traits<G> {
+  using vertex_type = typename G::vertex_type;
+  using edge_type = typename G::edge_type;
+  using out_edge_iterator = typename G::out_edge_iterator;
+};
+
+/// Edge traits, analogously.
+template <class E>
+struct edge_traits {};
+
+template <class E>
+  requires requires { typename E::vertex_type; }
+struct edge_traits<E> {
+  using vertex_type = typename E::vertex_type;
+};
+
+template <class G>
+using vertex_t = typename graph_traits<G>::vertex_type;
+template <class G>
+using edge_t = typename graph_traits<G>::edge_type;
+template <class G>
+using out_edge_iterator_t = typename graph_traits<G>::out_edge_iterator;
+template <class E>
+using edge_vertex_t = typename edge_traits<E>::vertex_type;
+
+/// Fig. 1: the Graph Edge concept.
+template <class E>
+concept GraphEdge =
+    std::copyable<E> && requires(const E& e) {
+      typename edge_vertex_t<E>;
+      { source(e) } -> std::convertible_to<edge_vertex_t<E>>;
+      { target(e) } -> std::convertible_to<edge_vertex_t<E>>;
+    };
+
+/// Fig. 2: the Incidence Graph concept.
+///
+/// All of Fig. 2's rows appear below: the three associated types; the
+/// same-type constraint between the iterator's value type and the edge type;
+/// the requirement that the edge type model Graph Edge (and thereby that its
+/// vertex type agree with the graph's); the iterator requirement; and the
+/// two valid expressions.
+template <class G>
+concept IncidenceGraph = requires {
+  typename vertex_t<G>;
+  typename edge_t<G>;
+  typename out_edge_iterator_t<G>;
+} && GraphEdge<edge_t<G>> &&
+  std::same_as<typename std::iterator_traits<out_edge_iterator_t<G>>::value_type,
+               edge_t<G>> &&
+  std::same_as<edge_vertex_t<edge_t<G>>, vertex_t<G>> &&
+  std::forward_iterator<out_edge_iterator_t<G>> &&
+  requires(const G& g, const vertex_t<G>& v) {
+    { out_edges(v, g) } -> std::convertible_to<
+        std::pair<out_edge_iterator_t<G>, out_edge_iterator_t<G>>>;
+    { out_degree(v, g) } -> std::convertible_to<std::size_t>;
+  };
+
+/// Refinement: graphs that can enumerate all vertices.
+template <class G>
+concept VertexListGraph = IncidenceGraph<G> && requires(const G& g) {
+  { vertices(g) } -> std::ranges::forward_range;
+  { num_vertices(g) } -> std::convertible_to<std::size_t>;
+};
+
+/// Refinement: graphs that can enumerate all edges.
+template <class G>
+concept EdgeListGraph = requires(const G& g) {
+  typename edge_t<G>;
+  { edges(g) } -> std::ranges::forward_range;
+  { num_edges(g) } -> std::convertible_to<std::size_t>;
+};
+
+/// Read-only property map over keys K (the BGL-style concept the paper's
+/// taxonomy work builds on).
+template <class PM, class K>
+concept ReadablePropertyMap = requires(const PM& pm, const K& k) {
+  { get(pm, k) };
+};
+
+/// Read-write property map.
+template <class PM, class K, class V>
+concept WritablePropertyMap = requires(PM& pm, const K& k, const V& v) {
+  put(pm, k, v);
+};
+
+template <class PM, class K, class V>
+concept ReadWritePropertyMap =
+    ReadablePropertyMap<PM, K> && WritablePropertyMap<PM, K, V>;
+
+}  // namespace cgp::core

@@ -1,0 +1,126 @@
+#include "core/term.hpp"
+
+#include <algorithm>
+
+namespace cgp::core {
+namespace {
+
+bool is_infix_symbol(std::string_view s) {
+  static constexpr std::string_view infix[] = {
+      "+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^",
+      "&&", "||", "."};
+  return std::find(std::begin(infix), std::end(infix), s) != std::end(infix);
+}
+
+void collect_vars(const term& t, std::vector<std::string>& out) {
+  if (t.is_variable()) {
+    if (std::find(out.begin(), out.end(), t.symbol()) == out.end())
+      out.push_back(t.symbol());
+    return;
+  }
+  for (const term& a : t.args()) collect_vars(a, out);
+}
+
+bool match_impl(const term& subject, const term& pattern,
+                std::map<std::string, term>& binding) {
+  switch (pattern.node_kind()) {
+    case term::kind::variable: {
+      auto [it, inserted] = binding.emplace(pattern.symbol(), subject);
+      return inserted || it->second == subject;
+    }
+    case term::kind::constant:
+      return subject.is_constant() && subject.symbol() == pattern.symbol();
+    case term::kind::apply: {
+      if (!subject.is_apply() || subject.symbol() != pattern.symbol() ||
+          subject.arity() != pattern.arity())
+        return false;
+      for (std::size_t i = 0; i < pattern.arity(); ++i)
+        if (!match_impl(subject.args()[i], pattern.args()[i], binding))
+          return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string term::to_string() const {
+  switch (node_kind()) {
+    case kind::variable:
+    case kind::constant:
+      return symbol();
+    case kind::apply: {
+      if (arity() == 2 && is_infix_symbol(symbol())) {
+        return "(" + args()[0].to_string() + " " + symbol() + " " +
+               args()[1].to_string() + ")";
+      }
+      std::string out = symbol() + "(";
+      for (std::size_t i = 0; i < arity(); ++i) {
+        if (i > 0) out += ", ";
+        out += args()[i].to_string();
+      }
+      return out + ")";
+    }
+  }
+  return {};
+}
+
+term term::substitute(const std::map<std::string, term>& s) const {
+  switch (node_kind()) {
+    case kind::variable: {
+      auto it = s.find(symbol());
+      return it == s.end() ? *this : it->second;
+    }
+    case kind::constant:
+      return *this;
+    case kind::apply: {
+      std::vector<term> new_args;
+      new_args.reserve(arity());
+      for (const term& a : args()) new_args.push_back(a.substitute(s));
+      return app(symbol(), std::move(new_args));
+    }
+  }
+  return *this;
+}
+
+term term::rename_symbols(const std::map<std::string, std::string>& m) const {
+  const auto renamed = [&](const std::string& s) {
+    auto it = m.find(s);
+    return it == m.end() ? s : it->second;
+  };
+  switch (node_kind()) {
+    case kind::variable:
+      return *this;  // variables are bound names, not signature symbols
+    case kind::constant:
+      return cst(renamed(symbol()));
+    case kind::apply: {
+      std::vector<term> new_args;
+      new_args.reserve(arity());
+      for (const term& a : args()) new_args.push_back(a.rename_symbols(m));
+      return app(renamed(symbol()), std::move(new_args));
+    }
+  }
+  return *this;
+}
+
+std::vector<std::string> term::variables() const {
+  std::vector<std::string> out;
+  collect_vars(*this, out);
+  return out;
+}
+
+std::optional<std::map<std::string, term>> term::match(
+    const term& pattern) const {
+  std::map<std::string, term> binding;
+  if (match_impl(*this, pattern, binding)) return binding;
+  return std::nullopt;
+}
+
+std::size_t term::size() const noexcept {
+  std::size_t n = 1;
+  for (const term& a : args()) n += a.size();
+  return n;
+}
+
+}  // namespace cgp::core

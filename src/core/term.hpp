@@ -1,0 +1,138 @@
+// Tiny first-order term language shared by the concept registry, the
+// Simplicissimus-style rewrite engine, and the Athena-style proof checker.
+//
+// The paper's Section 3.2 observes that concept-based rewrite rules are
+// "directly related to and derivable from the axioms governing the Monoid and
+// Group concepts".  To make that derivability real rather than rhetorical,
+// axioms are stated once, here, over abstract operator symbols; the rewrite
+// engine turns an equational axiom into a guarded rewrite rule, and the proof
+// module turns it into a universally quantified proposition.
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cgp::core {
+
+/// An immutable first-order term: a variable, a constant symbol, or an
+/// application of a function symbol to argument terms.  Terms are shared via
+/// `shared_ptr` internally, so copies are cheap and values behave like an
+/// immutable tree.
+class term {
+ public:
+  enum class kind { variable, constant, apply };
+
+  /// Universally quantified variable (e.g. `x` in `op(x, e) = x`).
+  [[nodiscard]] static term var(std::string name) {
+    return term(kind::variable, std::move(name), {});
+  }
+
+  /// Constant symbol (e.g. the identity element `e`).
+  [[nodiscard]] static term cst(std::string name) {
+    return term(kind::constant, std::move(name), {});
+  }
+
+  /// Application of function symbol `fn` to `args`.
+  [[nodiscard]] static term app(std::string fn, std::vector<term> args) {
+    return term(kind::apply, std::move(fn), std::move(args));
+  }
+
+  [[nodiscard]] kind node_kind() const noexcept { return node_->k; }
+  [[nodiscard]] const std::string& symbol() const noexcept {
+    return node_->symbol;
+  }
+  [[nodiscard]] const std::vector<term>& args() const noexcept {
+    return node_->args;
+  }
+  [[nodiscard]] std::size_t arity() const noexcept {
+    return node_->args.size();
+  }
+
+  [[nodiscard]] bool is_variable() const noexcept {
+    return node_->k == kind::variable;
+  }
+  [[nodiscard]] bool is_constant() const noexcept {
+    return node_->k == kind::constant;
+  }
+  [[nodiscard]] bool is_apply() const noexcept {
+    return node_->k == kind::apply;
+  }
+
+  /// Structural equality.
+  [[nodiscard]] friend bool operator==(const term& a, const term& b) {
+    if (a.node_ == b.node_) return true;
+    if (a.node_->k != b.node_->k || a.node_->symbol != b.node_->symbol ||
+        a.node_->args.size() != b.node_->args.size())
+      return false;
+    for (std::size_t i = 0; i < a.node_->args.size(); ++i)
+      if (!(a.node_->args[i] == b.node_->args[i])) return false;
+    return true;
+  }
+  [[nodiscard]] friend bool operator!=(const term& a, const term& b) {
+    return !(a == b);
+  }
+
+  /// Renders `op(x, e)`-style syntax, with infix sugar for common binary
+  /// operator symbols (`+`, `*`, `<`, ...).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Simultaneously substitutes variables by terms.
+  [[nodiscard]] term substitute(const std::map<std::string, term>& s) const;
+
+  /// Renames function/constant symbols according to `m` (a signature
+  /// morphism).  Symbols absent from `m` are kept.  This is how one generic
+  /// axiom (over the abstract `op`/`e`) is instantiated for a concrete model
+  /// (e.g. `op -> +`, `e -> 0`).
+  [[nodiscard]] term rename_symbols(
+      const std::map<std::string, std::string>& m) const;
+
+  /// Collects the free variables in order of first occurrence.
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// First-order syntactic matching: finds a substitution `s` with
+  /// `pattern.substitute(s) == *this`, treating the pattern's variables as
+  /// match holes.  Returns nullopt when no such substitution exists.
+  [[nodiscard]] std::optional<std::map<std::string, term>> match(
+      const term& pattern) const;
+
+  /// Total number of nodes; used by the rewrite engine as a crude cost proxy.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  struct node {
+    kind k;
+    std::string symbol;
+    std::vector<term> args;
+  };
+
+  term(kind k, std::string symbol, std::vector<term> args)
+      : node_(std::make_shared<node>(
+            node{k, std::move(symbol), std::move(args)})) {}
+
+  std::shared_ptr<const node> node_;
+};
+
+/// An equational axiom `forall vars . lhs = rhs`, attached to a concept.
+///
+/// Example (Monoid right identity, the guard of Fig. 5's first rewrite rule):
+///   axiom{"right_identity", {"x"}, app("op", {var("x"), cst("e")}), var("x")}
+struct axiom {
+  std::string name;                ///< e.g. "right_identity"
+  std::vector<std::string> vars;   ///< universally quantified variables
+  term lhs;                        ///< left-hand side of the equation
+  term rhs;                        ///< right-hand side of the equation
+  std::string note;                ///< free-form commentary
+
+  /// `op(x, e) = x` rendered for diagnostics and docs.
+  [[nodiscard]] std::string to_string() const {
+    return lhs.to_string() + " = " + rhs.to_string();
+  }
+};
+
+}  // namespace cgp::core

@@ -1,0 +1,505 @@
+#include "distributed/algorithms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cgp::distributed {
+namespace {
+
+int ring_successor(const context& ctx) {
+  return static_cast<int>((static_cast<std::size_t>(ctx.id()) + 1) %
+                          ctx.node_count());
+}
+int ring_predecessor(const context& ctx) {
+  const std::size_t n = ctx.node_count();
+  return static_cast<int>((static_cast<std::size_t>(ctx.id()) + n - 1) % n);
+}
+/// On a ring, the neighbor a message should continue to (the one that is
+/// not its source); with a single neighbor (n == 2) it loops back.
+int onward(const context& ctx, int from) {
+  for (int nb : ctx.neighbors())
+    if (nb != from) return nb;
+  return from;
+}
+
+// ---------------------------------------------------------------------------
+// LCR
+// ---------------------------------------------------------------------------
+
+class lcr_process final : public process {
+ public:
+  void start(context& ctx) override {
+    if (ctx.neighbors().empty()) {  // 1-node ring
+      ctx.decide("leader", ctx.uid());
+      return;
+    }
+    ctx.send(ring_successor(ctx), "uid", {ctx.uid()});
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (m.tag == "uid") {
+      const long u = m.payload.at(0);
+      ctx.charge(1);  // one comparison
+      if (u > ctx.uid()) {
+        ctx.send(ring_successor(ctx), "uid", {u});
+      } else if (u == ctx.uid()) {
+        ctx.decide("leader", ctx.uid());
+        ctx.send(ring_successor(ctx), "leader", {ctx.uid()});
+      }
+      // u < uid: swallow.
+      return;
+    }
+    if (m.tag == "leader") {
+      const long u = m.payload.at(0);
+      if (u != ctx.uid()) {
+        ctx.decide("leader_known", u);
+        ctx.send(ring_successor(ctx), "leader", {u});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// HS (Hirschberg–Sinclair)
+// ---------------------------------------------------------------------------
+
+class hs_process final : public process {
+ public:
+  void start(context& ctx) override {
+    if (ctx.neighbors().empty()) {
+      ctx.decide("leader", ctx.uid());
+      return;
+    }
+    send_probes(ctx);
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (m.tag == "probe") {
+      const long u = m.payload.at(0);
+      const long phase = m.payload.at(1);
+      const long hops = m.payload.at(2);
+      ctx.charge(1);
+      if (u > ctx.uid()) {
+        if (hops > 1) {
+          ctx.send(onward(ctx, m.src), "probe", {u, phase, hops - 1});
+        } else {
+          ctx.send(m.src, "reply", {u, phase});
+        }
+      } else if (u == ctx.uid()) {
+        // The probe circumnavigated: this node wins.
+        if (!elected_) {
+          elected_ = true;
+          ctx.decide("leader", ctx.uid());
+          ctx.send(ring_successor(ctx), "leader", {ctx.uid()});
+        }
+      }
+      // u < uid: swallow the probe.
+      return;
+    }
+    if (m.tag == "reply") {
+      const long u = m.payload.at(0);
+      const long phase = m.payload.at(1);
+      if (u != ctx.uid()) {
+        ctx.send(onward(ctx, m.src), "reply", {u, phase});
+        return;
+      }
+      if (phase != phase_) return;  // stale
+      if (++replies_ == 2) {
+        ++phase_;
+        replies_ = 0;
+        send_probes(ctx);
+      }
+      return;
+    }
+    if (m.tag == "leader") {
+      const long u = m.payload.at(0);
+      if (u != ctx.uid()) {
+        ctx.decide("leader_known", u);
+        ctx.send(ring_successor(ctx), "leader", {u});
+      }
+    }
+  }
+
+ private:
+  void send_probes(context& ctx) {
+    const long hops = 1L << phase_;
+    ctx.send(ring_successor(ctx), "probe", {ctx.uid(), phase_, hops});
+    ctx.send(ring_predecessor(ctx), "probe", {ctx.uid(), phase_, hops});
+  }
+
+  long phase_ = 0;
+  int replies_ = 0;
+  bool elected_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Peterson's unidirectional election
+// ---------------------------------------------------------------------------
+
+class peterson_process final : public process {
+ public:
+  void start(context& ctx) override {
+    if (ctx.neighbors().empty()) {
+      ctx.decide("leader", ctx.uid());
+      return;
+    }
+    tid_ = ctx.uid();
+    ctx.send(ring_successor(ctx), "one", {tid_});
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (m.tag == "leader") {
+      if (!elected_) {
+        ctx.decide("leader_known", m.payload.at(0));
+        ctx.send(ring_successor(ctx), "leader", m.payload);
+      }
+      return;
+    }
+    if (elected_) return;  // stray phase messages after election
+    if (!active_) {        // relay: forward everything unchanged
+      ctx.send(ring_successor(ctx), m.tag, m.payload);
+      return;
+    }
+    ctx.charge(1);
+    if (m.tag == "one") {
+      const long t1 = m.payload.at(0);
+      if (t1 == tid_) {
+        // Our temp id came all the way around: only one active node is
+        // left, and it holds the maximum original uid as its temp id.
+        elected_ = true;
+        ctx.decide("leader", tid_);
+        ctx.send(ring_successor(ctx), "leader", {tid_});
+        return;
+      }
+      d1_ = t1;
+      ctx.send(ring_successor(ctx), "two", {t1});
+      return;
+    }
+    // m.tag == "two"
+    const long t2 = m.payload.at(0);
+    if (d1_ > tid_ && d1_ > t2) {
+      tid_ = d1_;  // adopt the local-maximum predecessor id
+      ctx.send(ring_successor(ctx), "one", {tid_});
+    } else {
+      active_ = false;  // become a relay
+    }
+  }
+
+ private:
+  bool active_ = true;
+  bool elected_ = false;
+  long tid_ = 0;
+  long d1_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Randomized anonymous election (Itai–Rodeh flavour, synchronous)
+// ---------------------------------------------------------------------------
+
+class itai_rodeh_process final : public process {
+ public:
+  void start(context& ctx) override {
+    if (ctx.neighbors().empty()) {
+      ctx.decide("leader", 1);
+      return;
+    }
+    draw_and_send(ctx);
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (m.tag == "leader") {
+      if (!leader_known_) {
+        leader_known_ = true;
+        ctx.decide("leader_known", m.payload.at(0));
+        ctx.send(ring_successor(ctx), "leader", m.payload);
+      }
+      return;
+    }
+    // token: {phase, rand, hops, unique}
+    const long phase = m.payload.at(0);
+    const long rand = m.payload.at(1);
+    const long hops = m.payload.at(2);
+    long unique = m.payload.at(3);
+    ctx.charge(1);
+    if (hops == static_cast<long>(ctx.node_count())) {
+      // The token is back at its origin (us).
+      if (!candidate_ || phase != phase_) return;
+      if (unique == 1) {
+        ctx.decide("leader", id_);
+        ctx.send(ring_successor(ctx), "leader", {id_});
+      } else {
+        ++phase_;
+        draw_and_send(ctx);
+      }
+      return;
+    }
+    if (!candidate_) {
+      ctx.send(ring_successor(ctx), "token",
+               {phase, rand, hops + 1, unique});
+      return;
+    }
+    if (phase > phase_) {
+      // A later-phase token means this node's own token was dropped
+      // somewhere: it lost the earlier phase and becomes a relay.
+      candidate_ = false;
+      ctx.send(ring_successor(ctx), "token",
+               {phase, rand, hops + 1, unique});
+      return;
+    }
+    if (rand > id_) {
+      candidate_ = false;
+      ctx.send(ring_successor(ctx), "token",
+               {phase, rand, hops + 1, unique});
+    } else if (rand == id_) {
+      ctx.send(ring_successor(ctx), "token", {phase, rand, hops + 1, 0L});
+    }
+    // rand < id_: drop the token.
+  }
+
+ private:
+  void draw_and_send(context& ctx) {
+    std::uniform_int_distribution<long> d(1, 8);  // small range: collisions!
+    id_ = d(ctx.rng());
+    ctx.send(ring_successor(ctx), "token", {phase_, id_, 1L, 1L});
+  }
+
+  long phase_ = 0;
+  long id_ = 0;
+  bool candidate_ = true;
+  bool leader_known_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Flooding broadcast
+// ---------------------------------------------------------------------------
+
+class flooding_process final : public process {
+ public:
+  explicit flooding_process(bool is_root) : is_root_(is_root) {}
+
+  void start(context& ctx) override {
+    if (!is_root_) return;
+    got_ = true;
+    ctx.decide("got", 0);
+    for (int nb : ctx.neighbors()) ctx.send(nb, "data", {0});
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (got_) return;  // duplicate
+    got_ = true;
+    ctx.decide("got", m.payload.at(0) + 1);  // hop count
+    for (int nb : ctx.neighbors())
+      if (nb != m.src) ctx.send(nb, "data", {m.payload.at(0) + 1});
+  }
+
+ private:
+  bool is_root_;
+  bool got_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Echo (probe-echo wave): exactly 2|E| messages
+// ---------------------------------------------------------------------------
+
+class echo_process final : public process {
+ public:
+  explicit echo_process(bool is_root) : is_root_(is_root) {}
+
+  void start(context& ctx) override {
+    if (!is_root_) return;
+    engaged_ = true;
+    for (int nb : ctx.neighbors()) ctx.send(nb, "probe");
+  }
+
+  void receive(context& ctx, const message& m) override {
+    ++received_;
+    if (!engaged_ && !is_root_) {
+      engaged_ = true;
+      parent_ = m.src;
+      ctx.decide("parent", parent_);
+      for (int nb : ctx.neighbors())
+        if (nb != parent_) ctx.send(nb, "probe");
+    }
+    if (received_ == ctx.neighbors().size()) {
+      if (is_root_) {
+        ctx.decide("done", 1);
+      } else {
+        ctx.send(parent_, "echo");
+      }
+    }
+  }
+
+ private:
+  bool is_root_;
+  bool engaged_ = false;
+  int parent_ = -1;
+  std::size_t received_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Convergecast aggregation (echo wave carrying partial sums)
+// ---------------------------------------------------------------------------
+
+class aggregate_process final : public process {
+ public:
+  explicit aggregate_process(bool is_root) : is_root_(is_root) {}
+
+  void start(context& ctx) override {
+    acc_ = ctx.uid();  // this node's contribution
+    if (!is_root_) return;
+    engaged_ = true;
+    if (ctx.neighbors().empty()) {
+      ctx.decide("aggregate", acc_);
+      return;
+    }
+    for (int nb : ctx.neighbors()) ctx.send(nb, "probe");
+  }
+
+  void receive(context& ctx, const message& m) override {
+    ++received_;
+    if (m.tag == "echo") acc_ += m.payload.at(0);  // commutative monoid op
+    if (!engaged_ && !is_root_) {
+      engaged_ = true;
+      parent_ = m.src;
+      for (int nb : ctx.neighbors())
+        if (nb != parent_) ctx.send(nb, "probe");
+    }
+    if (received_ == ctx.neighbors().size()) {
+      if (is_root_)
+        ctx.decide("aggregate", acc_);
+      else
+        ctx.send(parent_, "echo", {acc_});
+    }
+  }
+
+ private:
+  bool is_root_;
+  bool engaged_ = false;
+  int parent_ = -1;
+  long acc_ = 0;
+  std::size_t received_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// BFS spanning tree (synchronous flooding = BFS layers)
+// ---------------------------------------------------------------------------
+
+class bfs_tree_process final : public process {
+ public:
+  explicit bfs_tree_process(bool is_root) : is_root_(is_root) {}
+
+  void start(context& ctx) override {
+    if (!is_root_) return;
+    done_ = true;
+    ctx.decide("dist", 0);
+    for (int nb : ctx.neighbors()) ctx.send(nb, "probe", {0});
+  }
+
+  void receive(context& ctx, const message& m) override {
+    if (done_) return;
+    done_ = true;
+    ctx.decide("parent", m.src);
+    ctx.decide("dist", m.payload.at(0) + 1);
+    for (int nb : ctx.neighbors())
+      if (nb != m.src) ctx.send(nb, "probe", {m.payload.at(0) + 1});
+  }
+
+ private:
+  bool is_root_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure detector
+// ---------------------------------------------------------------------------
+
+class heartbeat_process final : public process {
+ public:
+  explicit heartbeat_process(std::size_t timeout) : timeout_(timeout) {}
+
+  void receive(context& ctx, const message& m) override {
+    last_heard_[m.src] = ctx.round();
+  }
+
+  void on_round(context& ctx) override {
+    for (int nb : ctx.neighbors()) {
+      ctx.send(nb, "beat");
+      const auto it = last_heard_.find(nb);
+      const std::size_t last = it == last_heard_.end() ? 0 : it->second;
+      if (ctx.round() > last + timeout_ && !suspected_.contains(nb)) {
+        suspected_.insert(nb);
+        ctx.decide("suspects:" + std::to_string(nb),
+                   static_cast<long>(ctx.round()));
+      }
+    }
+  }
+
+ private:
+  std::size_t timeout_;
+  std::map<int, std::size_t> last_heard_;
+  std::set<int> suspected_;
+};
+
+}  // namespace
+
+process_factory lcr_leader_election() {
+  return [](int) { return std::make_unique<lcr_process>(); };
+}
+
+process_factory hs_leader_election() {
+  return [](int) { return std::make_unique<hs_process>(); };
+}
+
+process_factory peterson_leader_election() {
+  return [](int) { return std::make_unique<peterson_process>(); };
+}
+
+process_factory randomized_anonymous_election() {
+  return [](int) { return std::make_unique<itai_rodeh_process>(); };
+}
+
+process_factory flooding_broadcast(int root) {
+  return [root](int id) {
+    return std::make_unique<flooding_process>(id == root);
+  };
+}
+
+process_factory echo_wave(int root) {
+  return [root](int id) { return std::make_unique<echo_process>(id == root); };
+}
+
+process_factory aggregate_sum(int root) {
+  return [root](int id) {
+    return std::make_unique<aggregate_process>(id == root);
+  };
+}
+
+process_factory bfs_spanning_tree(int root) {
+  return [root](int id) {
+    return std::make_unique<bfs_tree_process>(id == root);
+  };
+}
+
+process_factory heartbeat_detector(std::size_t timeout_rounds) {
+  return [timeout_rounds](int) {
+    return std::make_unique<heartbeat_process>(timeout_rounds);
+  };
+}
+
+election_outcome run_ring_election(const process_factory& algo,
+                                   std::size_t n, timing mode,
+                                   std::uint32_t seed) {
+  network net(n, topology::ring, mode, seed);
+  net.spawn(algo);
+  election_outcome out;
+  out.stats = net.run();
+  for (int node : net.deciders("leader")) {
+    ++out.leaders;
+    out.leader_node = node;
+    out.leader_uid = *net.decision(node, "leader");
+  }
+  return out;
+}
+
+}  // namespace cgp::distributed

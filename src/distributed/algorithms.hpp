@@ -1,0 +1,89 @@
+// Distributed algorithms for the Section 4 taxonomy, implemented against
+// the network simulator.  Each algorithm's taxonomy classification and
+// claimed complexity live in src/taxonomy; the tests and
+// bench/sec4_distributed verify the claimed message bounds against the
+// simulator's measured counts.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "distributed/network.hpp"
+
+namespace cgp::distributed {
+
+// ---------------------------------------------------------------------------
+// Leader election on a ring
+// ---------------------------------------------------------------------------
+
+/// LCR (LeLann–Chang–Roberts): each node sends its uid clockwise; a node
+/// forwards uids larger than its own and elects itself when its own uid
+/// returns.  Messages: Theta(n^2) worst case, O(n log n) expected for random
+/// uid placement.  Strategy: distributed control; works asynchronously.
+[[nodiscard]] process_factory lcr_leader_election();
+
+/// HS (Hirschberg–Sinclair): phased bidirectional probes to distance 2^k
+/// with echoes.  Messages: Theta(n log n) worst case.  Synchronous phases.
+[[nodiscard]] process_factory hs_leader_election();
+
+/// Peterson's UNIDIRECTIONAL election: active nodes adopt the id of their
+/// nearest active predecessor when it is a local maximum, halving the
+/// active set each phase.  Messages: <= 2 n log n + O(n); needs only
+/// one-way links and per-link FIFO delivery (the network's default).
+[[nodiscard]] process_factory peterson_leader_election();
+
+/// Randomized leader election for ANONYMOUS rings (Itai–Rodeh flavour):
+/// nodes draw random identifiers and re-draw on collision of the maximum.
+/// Terminates with probability 1; rounds are geometric.
+[[nodiscard]] process_factory randomized_anonymous_election();
+
+// ---------------------------------------------------------------------------
+// Broadcast / spanning structures on arbitrary topologies
+// ---------------------------------------------------------------------------
+
+/// Flooding broadcast from `root`: every node forwards the first copy to
+/// all other neighbors.  Messages: Theta(E).
+[[nodiscard]] process_factory flooding_broadcast(int root);
+
+/// Echo (probe-echo wave): flooding probe + convergecast echo; the root
+/// terminates knowing the wave covered the graph.  Messages: exactly 2*E.
+[[nodiscard]] process_factory echo_wave(int root);
+
+/// Asynchronous BFS-flavoured spanning tree: nodes adopt the first probe's
+/// sender as parent (on a synchronous network this IS the BFS tree).
+[[nodiscard]] process_factory bfs_spanning_tree(int root);
+
+/// Convergecast aggregation over the echo wave's spanning tree: every node
+/// contributes a value (its uid by default) and the root decides
+/// ("aggregate") the combined result.  The combiner must be associative and
+/// commutative (children echo in arbitrary order) — the distributed twin of
+/// the data-parallel library's CommutativeMonoid-constrained reduce.
+[[nodiscard]] process_factory aggregate_sum(int root);
+
+// ---------------------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------------------
+
+/// Heartbeat failure detector: every node beats to all neighbors each
+/// round; a neighbor silent for `timeout_rounds` is suspected (decision
+/// "suspects:<id>").  Tolerates crash faults; strategy: heart beat.
+[[nodiscard]] process_factory heartbeat_detector(std::size_t timeout_rounds);
+
+// ---------------------------------------------------------------------------
+// Convenience drivers
+// ---------------------------------------------------------------------------
+
+struct election_outcome {
+  int leader_node = -1;    ///< index of the elected node (-1: none)
+  long leader_uid = -1;
+  std::size_t leaders = 0; ///< how many nodes claimed leadership (must be 1)
+  run_stats stats;
+};
+
+/// Runs a leader election algorithm on a fresh ring of size n.
+[[nodiscard]] election_outcome run_ring_election(const process_factory& algo,
+                                                 std::size_t n,
+                                                 timing mode,
+                                                 std::uint32_t seed = 42);
+
+}  // namespace cgp::distributed

@@ -1,0 +1,261 @@
+#include "distributed/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cgp::distributed {
+
+const char* to_string(topology t) {
+  switch (t) {
+    case topology::ring:
+      return "ring";
+    case topology::complete:
+      return "complete";
+    case topology::star:
+      return "star";
+    case topology::grid:
+      return "grid";
+    case topology::random_connected:
+      return "random_connected";
+    case topology::line:
+      return "line";
+  }
+  return "?";
+}
+
+// --- context ----------------------------------------------------------------
+
+long context::uid() const { return net_->uid_of(id_); }
+const std::vector<int>& context::neighbors() const {
+  return net_->neighbors_of(id_);
+}
+std::size_t context::round() const { return net_->round_; }
+std::size_t context::node_count() const { return net_->node_count(); }
+
+void context::send(int to, std::string tag, std::vector<long> payload) {
+  net_->do_send(id_, to, std::move(tag), std::move(payload));
+}
+
+void context::charge(std::size_t steps) {
+  net_->stats_.local_steps += steps;
+  net_->stats_.local_steps_per_node.at(static_cast<std::size_t>(id_)) +=
+      steps;
+}
+
+void context::decide(const std::string& key, long value) {
+  net_->decisions_[{id_, key}] = value;
+}
+
+std::mt19937& context::rng() {
+  return net_->node_rngs_.at(static_cast<std::size_t>(id_));
+}
+
+// --- network construction -----------------------------------------------------
+
+network::network(std::size_t n, topology topo, timing mode,
+                 std::uint32_t seed, bool fifo_links)
+    : adjacency_(n),
+      uids_(n),
+      crashed_(n, false),
+      crash_round_(n, 0),
+      mode_(mode),
+      rng_(seed),
+      fifo_links_(fifo_links) {
+  if (n == 0) throw std::invalid_argument("network: need at least one node");
+  const auto link = [&](std::size_t a, std::size_t b) {
+    adjacency_[a].push_back(static_cast<int>(b));
+    adjacency_[b].push_back(static_cast<int>(a));
+    ++edges_;
+  };
+  switch (topo) {
+    case topology::ring:
+      for (std::size_t i = 0; i < n; ++i) link(i, (i + 1) % n);
+      if (n == 1) adjacency_[0].clear(), edges_ = 0;
+      break;
+    case topology::line:
+      for (std::size_t i = 0; i + 1 < n; ++i) link(i, i + 1);
+      break;
+    case topology::complete:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) link(i, j);
+      break;
+    case topology::star:
+      for (std::size_t i = 1; i < n; ++i) link(0, i);
+      break;
+    case topology::grid: {
+      const std::size_t side =
+          static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = i / side, c = i % side;
+        if (c + 1 < side && i + 1 < n) link(i, i + 1);
+        if ((r + 1) * side + c < n) link(i, (r + 1) * side + c);
+      }
+      break;
+    }
+    case topology::random_connected: {
+      // Random spanning tree + extra random edges: connected by
+      // construction.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::shuffle(order.begin(), order.end(), rng_);
+      for (std::size_t i = 1; i < n; ++i) {
+        std::uniform_int_distribution<std::size_t> pick(0, i - 1);
+        link(order[i], order[pick(rng_)]);
+      }
+      std::uniform_int_distribution<std::size_t> any(0, n - 1);
+      for (std::size_t extra = 0; extra < n / 2; ++extra) {
+        const std::size_t a = any(rng_);
+        const std::size_t b = any(rng_);
+        if (a == b) continue;
+        if (std::find(adjacency_[a].begin(), adjacency_[a].end(),
+                      static_cast<int>(b)) != adjacency_[a].end())
+          continue;
+        link(a, b);
+      }
+      break;
+    }
+  }
+  // Deduplicate parallel links (e.g. a 2-node ring), then recount edges.
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  std::size_t degree_sum = 0;
+  for (const auto& adj : adjacency_) degree_sum += adj.size();
+  edges_ = degree_sum / 2;
+  // uids: a seeded permutation of 1..n.
+  std::iota(uids_.begin(), uids_.end(), 1L);
+  std::shuffle(uids_.begin(), uids_.end(), rng_);
+  node_rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    node_rngs_.emplace_back(seed + 1000003u * static_cast<std::uint32_t>(i));
+  stats_.local_steps_per_node.assign(n, 0);
+}
+
+void network::spawn(const process_factory& factory) {
+  procs_.clear();
+  procs_.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i)
+    procs_.push_back(factory(static_cast<int>(i)));
+}
+
+void network::set_uids(std::vector<long> uids) {
+  if (uids.size() != node_count())
+    throw std::invalid_argument("set_uids: need one uid per node");
+  uids_ = std::move(uids);
+}
+
+void network::crash(int node, std::size_t at_round) {
+  crash_round_.at(static_cast<std::size_t>(node)) = at_round;
+  if (at_round == 0) crashed_.at(static_cast<std::size_t>(node)) = true;
+}
+
+void network::corrupt(int node, std::function<void(message&)> hook) {
+  corruption_[node] = std::move(hook);
+}
+
+void network::do_send(int from, int to, std::string tag,
+                      std::vector<long> payload) {
+  if (crashed_.at(static_cast<std::size_t>(from))) return;
+  const auto& adj = adjacency_.at(static_cast<std::size_t>(from));
+  if (std::find(adj.begin(), adj.end(), to) == adj.end())
+    throw std::invalid_argument(
+        "send: node " + std::to_string(from) + " is not adjacent to " +
+        std::to_string(to) + " in this topology");
+  message m{from, to, std::move(tag), std::move(payload)};
+  if (auto it = corruption_.find(from); it != corruption_.end())
+    it->second(m);
+  ++stats_.messages_total;
+  ++stats_.messages_by_tag[m.tag];
+  if (mode_ == timing::synchronous) {
+    outbox_.push_back(std::move(m));
+  } else {
+    std::uniform_int_distribution<std::uint64_t> delay(1, 8);
+    std::uint64_t t = now_ + delay(rng_);
+    if (fifo_links_) {
+      auto& last = link_last_delivery_[{m.src, m.dst}];
+      t = std::max(t, last + 1);
+      last = t;
+    }
+    events_.push(event{t, seq_++, std::move(m)});
+  }
+}
+
+void network::deliver(const message& m) {
+  const auto dst = static_cast<std::size_t>(m.dst);
+  if (crashed_.at(dst)) return;
+  ++stats_.local_steps;
+  ++stats_.local_steps_per_node[dst];
+  context ctx(*this, m.dst);
+  procs_.at(dst)->receive(ctx, m);
+}
+
+run_stats network::run(std::size_t max_rounds) {
+  if (procs_.size() != node_count())
+    throw std::logic_error("network::run: spawn() a process per node first");
+  // start handlers.
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (crashed_[i]) continue;
+    ++stats_.local_steps;
+    ++stats_.local_steps_per_node[i];
+    context ctx(*this, static_cast<int>(i));
+    procs_[i]->start(ctx);
+  }
+  if (mode_ == timing::synchronous) {
+    for (round_ = 1; round_ <= max_rounds; ++round_) {
+      // Crash-stop nodes whose time has come.
+      for (std::size_t i = 0; i < node_count(); ++i)
+        if (crash_round_[i] != 0 && round_ >= crash_round_[i])
+          crashed_[i] = true;
+      std::vector<message> inflight;
+      inflight.swap(outbox_);
+      if (inflight.empty()) {
+        // Give on_round a chance to make progress (timeout-driven logic).
+        bool any_alive = false;
+        for (std::size_t i = 0; i < node_count(); ++i) {
+          if (crashed_[i]) continue;
+          any_alive = true;
+          context ctx(*this, static_cast<int>(i));
+          procs_[i]->on_round(ctx);
+        }
+        if (outbox_.empty() || !any_alive) break;  // quiescent
+        continue;
+      }
+      for (const message& m : inflight) deliver(m);
+      for (std::size_t i = 0; i < node_count(); ++i) {
+        if (crashed_[i]) continue;
+        context ctx(*this, static_cast<int>(i));
+        procs_[i]->on_round(ctx);
+      }
+    }
+    stats_.rounds = round_;
+  } else {
+    std::size_t delivered = 0;
+    const std::size_t max_events = max_rounds * node_count();
+    while (!events_.empty() && delivered < max_events) {
+      const event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      deliver(ev.msg);
+      ++delivered;
+    }
+    stats_.rounds = static_cast<std::size_t>(now_);
+  }
+  return stats_;
+}
+
+std::optional<long> network::decision(int node, const std::string& key) const {
+  auto it = decisions_.find({node, key});
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<int> network::deciders(const std::string& key) const {
+  std::vector<int> out;
+  for (const auto& [k, v] : decisions_)
+    if (k.second == key) out.push_back(k.first);
+  return out;
+}
+
+}  // namespace cgp::distributed

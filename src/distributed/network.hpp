@@ -1,0 +1,188 @@
+// An in-process message-passing network simulator — the experimental
+// substrate for Section 4's distributed algorithm concept taxonomy.
+//
+// Substitution note (see DESIGN.md): the paper's Section 4 argues that a
+// taxonomy should organize algorithms by *measured* message counts, time
+// (rounds), and — often neglected — LOCAL COMPUTATION per node.  This
+// simulator counts exactly those three quantities for every run:
+//   * messages_sent, total and per tag;
+//   * rounds executed (synchronous) / virtual time (asynchronous);
+//   * local computation steps (one per handler invocation plus whatever the
+//     handler explicitly charges).
+// Topologies (ring, complete, star, grid, random) are the taxonomy's
+// Topology dimension; crash and Byzantine corruption hooks exercise its
+// Fault-Tolerance dimension; synchronous vs asynchronous delivery its
+// Timing dimension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cgp::distributed {
+
+/// A message: source/destination node ids, a tag, and an integer payload.
+struct message {
+  int src = -1;
+  int dst = -1;
+  std::string tag;
+  std::vector<long> payload;
+};
+
+/// Topologies for the taxonomy's Topology dimension.
+enum class topology { ring, complete, star, grid, random_connected, line };
+
+[[nodiscard]] const char* to_string(topology t);
+
+/// Delivery timing for the taxonomy's Timing dimension.
+enum class timing { synchronous, asynchronous };
+
+class network;
+
+/// Per-node view of the network handed to process handlers.
+class context {
+ public:
+  context(network& net, int id) : net_(&net), id_(id) {}
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  /// The node's unique identifier (a pseudonymized uid, not its index).
+  [[nodiscard]] long uid() const;
+  [[nodiscard]] const std::vector<int>& neighbors() const;
+  [[nodiscard]] std::size_t round() const;
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Sends to a neighbor; throws if `to` is not adjacent (the simulator
+  /// enforces the topology).
+  void send(int to, std::string tag, std::vector<long> payload = {});
+
+  /// Charges extra local computation steps to this node (Section 4: "local
+  /// computation at a node is rarely accounted for").
+  void charge(std::size_t steps);
+
+  /// Records a decision (e.g. "leader", "parent") for this node.
+  void decide(const std::string& key, long value);
+
+  /// Deterministic per-node randomness (for randomized strategies).
+  [[nodiscard]] std::mt19937& rng();
+
+ private:
+  network* net_;
+  int id_;
+};
+
+/// A distributed process: implement the handlers, register with a network.
+class process {
+ public:
+  virtual ~process() = default;
+  /// Invoked once before the first round / event.
+  virtual void start(context& ctx) { (void)ctx; }
+  /// Invoked on message delivery.
+  virtual void receive(context& ctx, const message& m) = 0;
+  /// Synchronous mode only: invoked once per round after deliveries.
+  virtual void on_round(context& ctx) { (void)ctx; }
+};
+
+using process_factory = std::function<std::unique_ptr<process>(int id)>;
+
+/// Run statistics — the taxonomy's measured performance data.
+struct run_stats {
+  std::size_t messages_total = 0;
+  std::map<std::string, std::size_t> messages_by_tag;
+  std::size_t rounds = 0;
+  std::size_t local_steps = 0;
+  std::vector<std::size_t> local_steps_per_node;
+};
+
+/// The simulated network.
+class network {
+ public:
+  /// Builds `n` nodes wired by `topo`; uids are a seeded permutation of
+  /// 1..n so identifier order is independent of ring order.
+  /// `fifo_links` makes asynchronous delivery per-link FIFO (the channel
+  /// assumption algorithms like Peterson's election rely on); set false to
+  /// model fully reordering channels.
+  network(std::size_t n, topology topo, timing mode = timing::synchronous,
+          std::uint32_t seed = 42, bool fifo_links = true);
+
+  /// Installs the algorithm (one process per node).
+  void spawn(const process_factory& factory);
+
+  /// Overrides the seeded uid permutation (e.g. to build the adversarial
+  /// descending-uid layout that realizes LCR's Theta(n^2) worst case).
+  /// Must be a permutation-like assignment of distinct values.
+  void set_uids(std::vector<long> uids);
+
+  /// Crash-stops a node before the given round (fault injection).
+  void crash(int node, std::size_t at_round = 0);
+
+  /// Installs a Byzantine corruption hook: called for every message sent by
+  /// `node`; may alter the payload.
+  void corrupt(int node, std::function<void(message&)> hook);
+
+  /// Runs to quiescence (no messages in flight and no pending events) or
+  /// `max_rounds`, whichever first.  Returns the statistics.
+  run_stats run(std::size_t max_rounds = 100000);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] const std::vector<int>& neighbors_of(int id) const {
+    return adjacency_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] long uid_of(int id) const {
+    return uids_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Decisions recorded via context::decide, keyed by (node, key).
+  [[nodiscard]] std::optional<long> decision(int node,
+                                             const std::string& key) const;
+  /// All nodes that decided `key` to some value.
+  [[nodiscard]] std::vector<int> deciders(const std::string& key) const;
+
+ private:
+  friend class context;
+  void do_send(int from, int to, std::string tag, std::vector<long> payload);
+  void deliver(const message& m);
+
+  std::vector<std::vector<int>> adjacency_;
+  std::size_t edges_ = 0;
+  std::vector<long> uids_;
+  std::vector<std::unique_ptr<process>> procs_;
+  std::vector<bool> crashed_;
+  std::vector<std::size_t> crash_round_;
+  std::map<int, std::function<void(message&)>> corruption_;
+  timing mode_;
+  std::mt19937 rng_;
+  std::vector<std::mt19937> node_rngs_;
+
+  // synchronous: messages sent in round r are delivered in round r+1.
+  std::vector<message> outbox_;
+  // asynchronous: (delivery_time, sequence, message) min-heap.
+  struct event {
+    std::uint64_t time;
+    std::uint64_t seq;
+    message msg;
+    friend bool operator>(const event& a, const event& b) {
+      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    }
+  };
+  std::priority_queue<event, std::vector<event>, std::greater<>> events_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  bool fifo_links_ = true;
+  std::map<std::pair<int, int>, std::uint64_t> link_last_delivery_;
+
+  std::size_t round_ = 0;
+  run_stats stats_;
+  std::map<std::pair<int, std::string>, long> decisions_;
+};
+
+}  // namespace cgp::distributed

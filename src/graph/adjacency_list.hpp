@@ -1,0 +1,161 @@
+// A BGL-flavoured adjacency list modeling the paper's graph concepts.
+//
+// `adjacency_list<P>` models Incidence Graph (Fig. 2), Vertex List Graph,
+// and Edge List Graph; its edge type models Graph Edge (Fig. 1).  All
+// concept conformance is checked by static_asserts in tests/graph_test.cpp
+// against the C++20 concepts in core/graph_concepts.hpp.
+#pragma once
+
+#include <cstddef>
+#include <ranges>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/graph_concepts.hpp"
+
+namespace cgp::graph {
+
+using vertex_descriptor = std::size_t;
+
+/// Tag type for property-less edges.
+struct no_property {
+  friend bool operator==(const no_property&, const no_property&) = default;
+};
+
+/// An edge value: models Graph Edge (Fig. 1) via the `vertex_type`
+/// associated type and the `source`/`target` valid expressions.
+template <class P = no_property>
+struct edge {
+  using vertex_type = vertex_descriptor;
+
+  vertex_descriptor src = 0;
+  vertex_descriptor dst = 0;
+  P property{};
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+template <class P>
+[[nodiscard]] constexpr vertex_descriptor source(const edge<P>& e) {
+  return e.src;
+}
+template <class P>
+[[nodiscard]] constexpr vertex_descriptor target(const edge<P>& e) {
+  return e.dst;
+}
+
+/// Directedness selector.
+enum class directedness { directed, undirected };
+
+/// The graph.  Vertices are dense indices; out-edges are stored per vertex
+/// and the full edge list is kept for Edge List Graph support.
+template <class P = no_property>
+class adjacency_list {
+ public:
+  using vertex_type = vertex_descriptor;
+  using edge_type = edge<P>;
+  using out_edge_iterator = typename std::vector<edge_type>::const_iterator;
+
+  explicit adjacency_list(std::size_t n = 0,
+                          directedness d = directedness::directed)
+      : out_(n), directed_(d) {}
+
+  [[nodiscard]] vertex_type add_vertex() {
+    out_.emplace_back();
+    return out_.size() - 1;
+  }
+
+  /// Adds an edge (and its reverse for undirected graphs).
+  edge_type add_edge(vertex_type u, vertex_type v, P property = {}) {
+    require_vertex(u);
+    require_vertex(v);
+    const edge_type e{u, v, property};
+    out_[u].push_back(e);
+    if (directed_ == directedness::undirected && u != v)
+      out_[v].push_back(edge_type{v, u, property});
+    edges_.push_back(e);
+    return e;
+  }
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return out_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] directedness direction() const noexcept { return directed_; }
+
+  [[nodiscard]] const std::vector<edge_type>& out_edges_of(
+      vertex_type v) const {
+    require_vertex(v);
+    return out_[v];
+  }
+  [[nodiscard]] const std::vector<edge_type>& all_edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  void require_vertex(vertex_type v) const {
+    if (v >= out_.size())
+      throw std::out_of_range("adjacency_list: vertex " + std::to_string(v) +
+                              " out of range (have " +
+                              std::to_string(out_.size()) + ")");
+  }
+
+  std::vector<std::vector<edge_type>> out_;
+  std::vector<edge_type> edges_;
+  directedness directed_;
+};
+
+// --- the Fig. 2 interface, as free functions found by ADL -------------------
+
+template <class P>
+[[nodiscard]] std::pair<typename adjacency_list<P>::out_edge_iterator,
+                        typename adjacency_list<P>::out_edge_iterator>
+out_edges(vertex_descriptor v, const adjacency_list<P>& g) {
+  const auto& list = g.out_edges_of(v);
+  return {list.begin(), list.end()};
+}
+
+template <class P>
+[[nodiscard]] std::size_t out_degree(vertex_descriptor v,
+                                     const adjacency_list<P>& g) {
+  return g.out_edges_of(v).size();
+}
+
+template <class P>
+[[nodiscard]] auto vertices(const adjacency_list<P>& g) {
+  return std::views::iota(vertex_descriptor{0}, g.vertex_count());
+}
+
+template <class P>
+[[nodiscard]] std::size_t num_vertices(const adjacency_list<P>& g) {
+  return g.vertex_count();
+}
+
+template <class P>
+[[nodiscard]] const std::vector<edge<P>>& edges(const adjacency_list<P>& g) {
+  return g.all_edges();
+}
+
+template <class P>
+[[nodiscard]] std::size_t num_edges(const adjacency_list<P>& g) {
+  return g.edge_count();
+}
+
+// --- Section 2.3's example algorithm ----------------------------------------
+
+/// Returns the first neighbor of v, or `none` when v has no out-edges.
+/// With first-class concepts (and constraint propagation) the declaration
+/// needs exactly ONE constraint; compare the 4-type-parameter versions the
+/// paper shows for languages without associated types.
+template <core::IncidenceGraph G>
+[[nodiscard]] std::pair<bool, core::vertex_t<G>> first_neighbor(
+    const G& g, const core::vertex_t<G>& v) {
+  auto [first, last] = out_edges(v, g);
+  if (first == last) return {false, {}};
+  return {true, target(*first)};
+}
+
+}  // namespace cgp::graph

@@ -1,0 +1,292 @@
+// Generic graph algorithms, concept-constrained in the BGL style the paper
+// builds its taxonomy work on (Section 1, ref. 9).
+//
+// Every algorithm is constrained only by the graph concepts it needs
+// (IncidenceGraph / VertexListGraph / EdgeListGraph) and, where relevant, a
+// visitor concept — so any type modeling Fig. 2's requirements can be used,
+// not just our adjacency_list.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/graph_concepts.hpp"
+#include "graph/adjacency_list.hpp"
+#include "graph/disjoint_sets.hpp"
+#include "graph/property_map.hpp"
+#include "sequences/sort.hpp"
+
+namespace cgp::graph {
+
+// ---------------------------------------------------------------------------
+// Visitor concepts (syntactic, checked at instantiation)
+// ---------------------------------------------------------------------------
+
+template <class V, class G>
+concept BFSVisitor = core::IncidenceGraph<G> &&
+    requires(V vis, core::vertex_t<G> v, core::edge_t<G> e, const G& g) {
+      vis.discover_vertex(v, g);
+      vis.examine_edge(e, g);
+      vis.tree_edge(e, g);
+      vis.finish_vertex(v, g);
+    };
+
+/// A do-nothing visitor to derive from (only override what you need — but
+/// since conformance is structural, deriving is optional).
+template <class G>
+struct null_visitor {
+  void discover_vertex(core::vertex_t<G>, const G&) {}
+  void examine_edge(const core::edge_t<G>&, const G&) {}
+  void tree_edge(const core::edge_t<G>&, const G&) {}
+  void finish_vertex(core::vertex_t<G>, const G&) {}
+};
+
+// ---------------------------------------------------------------------------
+// Breadth-first search
+// ---------------------------------------------------------------------------
+
+/// BFS from `start`; vertices are dense indices < num_vertices(g).
+/// Returns the BFS distance map (-1 = unreachable).
+template <core::VertexListGraph G, BFSVisitor<G> Vis>
+std::vector<long> breadth_first_search(const G& g, core::vertex_t<G> start,
+                                       Vis&& vis) {
+  std::vector<long> dist(num_vertices(g), -1);
+  std::queue<core::vertex_t<G>> frontier;
+  dist.at(start) = 0;
+  vis.discover_vertex(start, g);
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const auto u = frontier.front();
+    frontier.pop();
+    auto [first, last] = out_edges(u, g);
+    for (; first != last; ++first) {
+      vis.examine_edge(*first, g);
+      const auto v = target(*first);
+      if (dist.at(v) == -1) {
+        dist[v] = dist[u] + 1;
+        vis.tree_edge(*first, g);
+        vis.discover_vertex(v, g);
+        frontier.push(v);
+      }
+    }
+    vis.finish_vertex(u, g);
+  }
+  return dist;
+}
+
+template <core::VertexListGraph G>
+std::vector<long> bfs_distances(const G& g, core::vertex_t<G> start) {
+  return breadth_first_search(g, start, null_visitor<G>{});
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first search / topological sort
+// ---------------------------------------------------------------------------
+
+/// Thrown by topological_sort on a cyclic graph.
+class not_a_dag : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+enum class color { white, gray, black };
+
+template <core::VertexListGraph G>
+void dfs_visit(const G& g, core::vertex_t<G> u, std::vector<color>& colors,
+               std::vector<core::vertex_t<G>>& finish_order,
+               bool throw_on_back_edge) {
+  colors.at(u) = color::gray;
+  auto [first, last] = out_edges(u, g);
+  for (; first != last; ++first) {
+    const auto v = target(*first);
+    if (colors.at(v) == color::white)
+      dfs_visit(g, v, colors, finish_order, throw_on_back_edge);
+    else if (colors[v] == color::gray && throw_on_back_edge)
+      throw not_a_dag("topological_sort: the graph has a cycle through vertex " +
+                      std::to_string(v));
+  }
+  colors[u] = color::black;
+  finish_order.push_back(u);
+}
+}  // namespace detail
+
+/// Vertices in DFS finish order (reverse topological order for DAGs).
+template <core::VertexListGraph G>
+std::vector<core::vertex_t<G>> dfs_finish_order(const G& g,
+                                                bool throw_on_back_edge =
+                                                    false) {
+  std::vector<detail::color> colors(num_vertices(g), detail::color::white);
+  std::vector<core::vertex_t<G>> order;
+  order.reserve(num_vertices(g));
+  for (const auto v : vertices(g))
+    if (colors.at(v) == detail::color::white)
+      detail::dfs_visit(g, v, colors, order, throw_on_back_edge);
+  return order;
+}
+
+/// Topological order of a DAG; throws not_a_dag otherwise.
+template <core::VertexListGraph G>
+std::vector<core::vertex_t<G>> topological_sort(const G& g) {
+  auto order = dfs_finish_order(g, /*throw_on_back_edge=*/true);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Dijkstra
+// ---------------------------------------------------------------------------
+
+/// Shortest path distances from `start` using non-negative edge weights
+/// supplied by a readable property-map-like callable `weight(edge)`.
+/// Returns (distances, predecessors); unreachable = +inf / self.
+template <core::VertexListGraph G, class WeightFn>
+  requires requires(WeightFn w, core::edge_t<G> e) {
+    { w(e) } -> std::convertible_to<double>;
+  }
+std::pair<std::vector<double>, std::vector<core::vertex_t<G>>>
+dijkstra_shortest_paths(const G& g, core::vertex_t<G> start, WeightFn weight) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const std::size_t n = num_vertices(g);
+  std::vector<double> dist(n, inf);
+  std::vector<core::vertex_t<G>> pred(n);
+  for (std::size_t i = 0; i < n; ++i) pred[i] = i;
+  using entry = std::pair<double, core::vertex_t<G>>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> pq;
+  dist.at(start) = 0.0;
+  pq.emplace(0.0, start);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    auto [first, last] = out_edges(u, g);
+    for (; first != last; ++first) {
+      const double w = weight(*first);
+      if (w < 0.0)
+        throw std::invalid_argument(
+            "dijkstra_shortest_paths: negative edge weight");
+      const auto v = target(*first);
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        pred[v] = u;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  return {std::move(dist), std::move(pred)};
+}
+
+/// Bellman-Ford: shortest paths with arbitrary (possibly negative) edge
+/// weights over any EdgeListGraph.  Returns nullopt when a negative cycle
+/// is reachable — the case Dijkstra's precondition excludes (the two
+/// algorithms are distinguished in the graph taxonomy exactly by this
+/// requirement).
+template <class G, class WeightFn>
+  requires core::EdgeListGraph<G> && requires(const G& g, WeightFn w,
+                                              core::edge_t<G> e) {
+    { num_vertices(g) } -> std::convertible_to<std::size_t>;
+    { w(e) } -> std::convertible_to<double>;
+  }
+std::optional<std::vector<double>> bellman_ford_shortest_paths(
+    const G& g, std::size_t start, WeightFn weight) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const std::size_t n = num_vertices(g);
+  std::vector<double> dist(n, inf);
+  dist.at(start) = 0.0;
+  for (std::size_t pass = 0; pass + 1 < n; ++pass) {
+    bool changed = false;
+    for (const auto& e : edges(g)) {
+      const auto u = source(e);
+      const auto v = target(e);
+      if (dist[u] != inf && dist[u] + weight(e) < dist[v]) {
+        dist[v] = dist[u] + weight(e);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  for (const auto& e : edges(g))
+    if (dist[source(e)] != inf &&
+        dist[source(e)] + weight(e) < dist[target(e)])
+      return std::nullopt;  // negative cycle reachable
+  return dist;
+}
+
+/// Prim's MST (undirected weighted adjacency_list), lazy-deletion heap.
+/// The spanning forest of the component containing `start`.
+template <class P>
+std::vector<edge<P>> prim_mst(const adjacency_list<P>& g,
+                              vertex_descriptor start = 0) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> in_tree(n, false);
+  std::vector<edge<P>> mst;
+  if (n == 0) return mst;
+  struct entry {
+    P weight;
+    edge<P> e;
+    bool operator>(const entry& o) const { return o.weight < weight; }
+  };
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> pq;
+  const auto scan = [&](vertex_descriptor v) {
+    in_tree[v] = true;
+    for (const edge<P>& e : g.out_edges_of(v))
+      if (!in_tree[e.dst]) pq.push(entry{e.property, e});
+  };
+  scan(start);
+  while (!pq.empty()) {
+    const entry top = pq.top();
+    pq.pop();
+    if (in_tree[top.e.dst]) continue;
+    mst.push_back(top.e);
+    scan(top.e.dst);
+  }
+  return mst;
+}
+
+// ---------------------------------------------------------------------------
+// Connected components / Kruskal MST (via the disjoint-sets substrate)
+// ---------------------------------------------------------------------------
+
+/// Component id per vertex (undirected interpretation: every edge links its
+/// endpoints).  Works for any EdgeListGraph.
+template <class G>
+  requires core::EdgeListGraph<G> && requires(const G& g) {
+    { num_vertices(g) } -> std::convertible_to<std::size_t>;
+  }
+std::vector<std::size_t> connected_components(const G& g) {
+  disjoint_sets sets(num_vertices(g));
+  for (const auto& e : edges(g)) sets.unite(source(e), target(e));
+  std::vector<std::size_t> comp(num_vertices(g));
+  std::vector<std::size_t> remap(num_vertices(g),
+                                 std::numeric_limits<std::size_t>::max());
+  std::size_t next = 0;
+  for (std::size_t v = 0; v < comp.size(); ++v) {
+    const std::size_t root = sets.find(v);
+    if (remap[root] == std::numeric_limits<std::size_t>::max())
+      remap[root] = next++;
+    comp[v] = remap[root];
+  }
+  return comp;
+}
+
+/// Kruskal's minimum spanning forest over an undirected weighted graph.
+/// Uses the concept-dispatched cgp::sequences::sort — the library eating
+/// its own dog food.
+template <class P>
+std::vector<edge<P>> kruskal_mst(const adjacency_list<P>& g) {
+  std::vector<edge<P>> sorted = g.all_edges();
+  cgp::sequences::sort(sorted.begin(), sorted.end(),
+                       [](const edge<P>& a, const edge<P>& b) {
+                         return a.property < b.property;
+                       });
+  disjoint_sets sets(g.vertex_count());
+  std::vector<edge<P>> mst;
+  for (const edge<P>& e : sorted)
+    if (sets.unite(e.src, e.dst)) mst.push_back(e);
+  return mst;
+}
+
+}  // namespace cgp::graph

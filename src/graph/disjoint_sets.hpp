@@ -1,0 +1,54 @@
+// Union-find with union-by-rank and path compression — the substrate for
+// Kruskal's MST and connected components.  Near-O(alpha(n)) amortized finds.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cgp::graph {
+
+class disjoint_sets {
+ public:
+  explicit disjoint_sets(std::size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  [[nodiscard]] std::size_t find(std::size_t x) {
+    // Path halving: every other node points to its grandparent.
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unites the sets of a and b; returns false if they were already united.
+  bool unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --sets_removed_correction_;
+    return true;
+  }
+
+  [[nodiscard]] bool same_set(std::size_t a, std::size_t b) {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t count_sets() const {
+    return static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(parent_.size()) +
+        sets_removed_correction_);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+  std::ptrdiff_t sets_removed_correction_ = 0;
+};
+
+}  // namespace cgp::graph

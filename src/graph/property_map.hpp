@@ -1,0 +1,40 @@
+// Property maps: the BGL-style external-property mechanism, modeling the
+// ReadWritePropertyMap concept from core/graph_concepts.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph_concepts.hpp"
+
+namespace cgp::graph {
+
+/// Dense vector-backed property map keyed by vertex_descriptor.
+template <class T>
+class vector_property_map {
+ public:
+  explicit vector_property_map(std::size_t n = 0, T init = {})
+      : data_(n, init) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] const T& operator[](std::size_t k) const { return data_.at(k); }
+  [[nodiscard]] T& operator[](std::size_t k) { return data_.at(k); }
+
+ private:
+  std::vector<T> data_;
+};
+
+template <class T>
+[[nodiscard]] const T& get(const vector_property_map<T>& pm, std::size_t k) {
+  return pm[k];
+}
+
+template <class T>
+void put(vector_property_map<T>& pm, std::size_t k, const T& v) {
+  pm[k] = v;
+}
+
+static_assert(
+    core::ReadWritePropertyMap<vector_property_map<int>, std::size_t, int>);
+
+}  // namespace cgp::graph

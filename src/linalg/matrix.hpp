@@ -1,0 +1,109 @@
+// Dense row-major matrices and the CLACRM-style mixed-precision kernels
+// (Section 2.4 / Fig. 3).
+#pragma once
+
+#include <complex>
+#include <concepts>
+#include <stdexcept>
+#include <vector>
+
+namespace cgp::linalg {
+
+template <class T>
+class matrix {
+ public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols, T init = {})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+
+  friend bool operator==(const matrix&, const matrix&) = default;
+
+  [[nodiscard]] static matrix identity(std::size_t n) {
+    matrix m(n, n, T{});
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+namespace detail {
+inline void require_multiplicable(std::size_t a_cols, std::size_t b_rows) {
+  if (a_cols != b_rows)
+    throw std::invalid_argument("gemm: inner dimensions differ");
+}
+}  // namespace detail
+
+/// Generic GEMM: C = A * B for any semiring-ish element type.
+template <class T>
+[[nodiscard]] matrix<T> gemm(const matrix<T>& a, const matrix<T>& b) {
+  detail::require_multiplicable(a.cols(), b.rows());
+  matrix<T> c(a.rows(), b.cols(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  return c;
+}
+
+/// CLACRM analogue, mixed path: complex matrix times REAL matrix without
+/// promotion — each inner product multiplies a complex by a real scalar
+/// (2 real multiply-adds) instead of a full complex multiply (4 multiplies
+/// + 2 adds).  This is the efficiency the paper says an
+/// associated-scalar-type design would forfeit.
+template <std::floating_point F>
+[[nodiscard]] matrix<std::complex<F>> clacrm_mixed(
+    const matrix<std::complex<F>>& a, const matrix<F>& b) {
+  detail::require_multiplicable(a.cols(), b.rows());
+  matrix<std::complex<F>> c(a.rows(), b.cols(), std::complex<F>{});
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const std::complex<F> aik = a(i, k);
+      const F re = aik.real();
+      const F im = aik.imag();
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        const F s = b(k, j);
+        auto& cij = c(i, j);
+        cij = std::complex<F>(cij.real() + re * s, cij.imag() + im * s);
+      }
+    }
+  return c;
+}
+
+/// The promoted path an associated-type design forces: convert B to complex
+/// and run the general complex GEMM.
+template <std::floating_point F>
+[[nodiscard]] matrix<std::complex<F>> clacrm_promoted(
+    const matrix<std::complex<F>>& a, const matrix<F>& b) {
+  matrix<std::complex<F>> bc(b.rows(), b.cols());
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      bc(i, j) = std::complex<F>(b(i, j), F{});
+  return gemm(a, bc);
+}
+
+/// axpy: y += alpha * x, with an independent scalar type (mixed allowed).
+template <class T, class S>
+  requires requires(T t, S s) { { t * s } -> std::convertible_to<T>; }
+void axpy(const S& alpha, const std::vector<T>& x, std::vector<T>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i] * alpha;
+}
+
+}  // namespace cgp::linalg

@@ -1,0 +1,101 @@
+// Dense linear algebra modeling Fig. 3's Vector Space concept.
+//
+// The design point of Section 2.4: the scalar type of a vector space is an
+// INDEPENDENT constrained type, not an associated type of the vector type.
+// `vec<std::complex<float>>` forms a vector space over `float` *and* over
+// `complex<float>`; tying the scalar to the vector type would force the
+// promoted (slower) scalar everywhere — the LAPACK CLACRM argument, measured
+// in bench/fig3_vector_space.
+//
+// Algebraic footnote: the additive identity of `vec<T>` is the empty vector,
+// which acts as the zero of every dimension (x + {} == x).  This gives the
+// Monoid/Group traits a well-defined identity() without dragging the
+// dimension into the type.
+#pragma once
+
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/algebraic.hpp"
+
+namespace cgp::linalg {
+
+template <class T>
+class vec {
+ public:
+  vec() = default;
+  explicit vec(std::size_t n, T init = {}) : data_(n, init) {}
+  vec(std::initializer_list<T> init) : data_(init) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+
+  friend bool operator==(const vec&, const vec&) = default;
+
+  /// Elementwise sum; the empty vector is the universal zero.
+  friend vec operator+(const vec& a, const vec& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    if (a.size() != b.size())
+      throw std::invalid_argument("vec +: dimension mismatch");
+    vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+  }
+
+  friend vec operator-(const vec& a) {
+    vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = -a[i];
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+};
+
+// --- Fig. 3's valid expressions: mult(v, s) and mult(s, v) -------------------
+// The scalar type S is a separate template parameter; any S with T*S -> T
+// elementwise works — including mixed complex<float> * float, which never
+// promotes (2 real multiplies per element instead of a full complex
+// multiply).
+
+template <class T, class S>
+  requires requires(T t, S s) { { t * s } -> std::convertible_to<T>; }
+[[nodiscard]] vec<T> mult(const vec<T>& v, const S& s) {
+  vec<T> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+template <class T, class S>
+  requires requires(T t, S s) { { t * s } -> std::convertible_to<T>; }
+[[nodiscard]] vec<T> mult(const S& s, const vec<T>& v) {
+  return mult(v, s);
+}
+
+}  // namespace cgp::linalg
+
+// --- model declarations: vec<T> is an additive abelian group -----------------
+namespace cgp::core {
+
+template <class T>
+struct declares_associative<linalg::vec<T>, std::plus<>> : std::true_type {};
+template <class T>
+struct declares_commutative<linalg::vec<T>, std::plus<>> : std::true_type {};
+template <class T>
+struct monoid_traits<linalg::vec<T>, std::plus<>> {
+  static linalg::vec<T> identity() { return {}; }
+};
+template <class T>
+struct group_traits<linalg::vec<T>, std::plus<>> {
+  static linalg::vec<T> inverse(const linalg::vec<T>& v) { return -v; }
+};
+
+}  // namespace cgp::core

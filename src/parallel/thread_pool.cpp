@@ -1,0 +1,82 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace cgp::parallel {
+
+thread_pool::thread_pool(unsigned n) {
+  workers_ = n != 0 ? n : std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void thread_pool::run_chunks(std::size_t chunks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    fn(0);
+    return;
+  }
+  struct barrier_state {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  barrier_state bs{.remaining = chunks};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    submit([&bs, &fn, c] {
+      try {
+        fn(c);
+      } catch (...) {
+        const std::lock_guard lock(bs.m);
+        if (!bs.error) bs.error = std::current_exception();
+      }
+      const std::lock_guard lock(bs.m);
+      if (--bs.remaining == 0) bs.done.notify_all();
+    });
+  }
+  std::unique_lock lock(bs.m);
+  bs.done.wait(lock, [&bs] { return bs.remaining == 0; });
+  if (bs.error) std::rethrow_exception(bs.error);
+}
+
+thread_pool& thread_pool::default_pool() {
+  static thread_pool pool;
+  return pool;
+}
+
+}  // namespace cgp::parallel

@@ -1,0 +1,55 @@
+// A work-queue thread pool: the execution substrate for the data-parallel
+// generic library of Section 4.
+//
+// Design follows the C++ Core Guidelines concurrency rules: RAII thread
+// ownership (jthread-style join-on-destroy), no detached threads, condition
+// variables always paired with predicates, and all shared state behind one
+// mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgp::parallel {
+
+class thread_pool {
+ public:
+  /// Spawns `n` workers (defaults to hardware concurrency, at least 1).
+  explicit thread_pool(unsigned n = 0);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return workers_; }
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Runs `chunk_fn(0..chunks-1)` across the pool and BLOCKS until all
+  /// chunks finish.  Exceptions from chunks are rethrown (first one wins).
+  void run_chunks(std::size_t chunks,
+                  const std::function<void(std::size_t)>& chunk_fn);
+
+  /// Process-wide default pool.
+  [[nodiscard]] static thread_pool& default_pool();
+
+ private:
+  void worker_loop();
+
+  unsigned workers_ = 0;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cgp::parallel

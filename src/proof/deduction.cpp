@@ -1,0 +1,339 @@
+#include "proof/deduction.hpp"
+
+namespace cgp::proof {
+
+void assumption_base::insert(const prop& p) {
+  props_.emplace(p.to_string(), p);
+}
+
+bool assumption_base::contains(const prop& p) const {
+  auto it = props_.find(p.to_string());
+  return it != props_.end() && it->second == p;
+}
+
+prop proof_context::assert_axiom(const prop& p) {
+  ab_.insert(p);
+  return p;
+}
+
+prop proof_context::conclude(prop p) {
+  ++*steps_;
+  ab_.insert(p);
+  return p;
+}
+
+void proof_context::require(const prop& p, const char* method) const {
+  if (!ab_.contains(p))
+    throw proof_error(std::string(method) + ": premise not in assumption base: " +
+                      p.to_string());
+}
+
+void proof_context::fail(const std::string& msg) const {
+  throw proof_error(msg);
+}
+
+prop proof_context::claim(const prop& p) {
+  require(p, "claim");
+  return conclude(p);
+}
+
+prop proof_context::modus_ponens(const prop& implication,
+                                 const prop& antecedent) {
+  require(implication, "modus-ponens");
+  require(antecedent, "modus-ponens");
+  if (!implication.is(prop::kind::implication))
+    fail("modus-ponens: first premise is not an implication: " +
+         implication.to_string());
+  if (!(implication.children()[0] == antecedent))
+    fail("modus-ponens: antecedent mismatch: wanted " +
+         implication.children()[0].to_string() + ", got " +
+         antecedent.to_string());
+  return conclude(implication.children()[1]);
+}
+
+prop proof_context::modus_tollens(const prop& implication,
+                                  const prop& not_consequent) {
+  require(implication, "modus-tollens");
+  require(not_consequent, "modus-tollens");
+  if (!implication.is(prop::kind::implication))
+    fail("modus-tollens: first premise is not an implication");
+  if (!not_consequent.is(prop::kind::negation) ||
+      !(not_consequent.children()[0] == implication.children()[1]))
+    fail("modus-tollens: second premise is not the negated consequent");
+  return conclude(prop::negation(implication.children()[0]));
+}
+
+prop proof_context::and_intro(const prop& a, const prop& b) {
+  require(a, "and-intro");
+  require(b, "and-intro");
+  return conclude(prop::conjunction(a, b));
+}
+
+prop proof_context::and_elim_left(const prop& conj) {
+  require(conj, "and-elim-left");
+  if (!conj.is(prop::kind::conjunction))
+    fail("and-elim-left: premise is not a conjunction");
+  return conclude(conj.children()[0]);
+}
+
+prop proof_context::and_elim_right(const prop& conj) {
+  require(conj, "and-elim-right");
+  if (!conj.is(prop::kind::conjunction))
+    fail("and-elim-right: premise is not a conjunction");
+  return conclude(conj.children()[1]);
+}
+
+prop proof_context::or_intro_left(const prop& a, const prop& b) {
+  require(a, "or-intro-left");
+  return conclude(prop::disjunction(a, b));
+}
+
+prop proof_context::or_intro_right(const prop& a, const prop& b) {
+  require(b, "or-intro-right");
+  return conclude(prop::disjunction(a, b));
+}
+
+prop proof_context::absurd(const prop& a, const prop& not_a) {
+  require(a, "absurd");
+  require(not_a, "absurd");
+  if (!not_a.is(prop::kind::negation) || !(not_a.children()[0] == a))
+    fail("absurd: second premise is not the negation of the first");
+  return conclude(prop::falsum());
+}
+
+prop proof_context::ex_falso(const prop& goal) {
+  require(prop::falsum(), "ex-falso");
+  return conclude(goal);
+}
+
+prop proof_context::double_negation(const prop& nn) {
+  require(nn, "double-negation");
+  if (!nn.is(prop::kind::negation) ||
+      !nn.children()[0].is(prop::kind::negation))
+    fail("double-negation: premise is not a double negation");
+  return conclude(nn.children()[0].children()[0]);
+}
+
+prop proof_context::iff_elim_forward(const prop& iff) {
+  require(iff, "iff-elim-forward");
+  if (!iff.is(prop::kind::biconditional))
+    fail("iff-elim-forward: premise is not a biconditional");
+  return conclude(prop::implication(iff.children()[0], iff.children()[1]));
+}
+
+prop proof_context::iff_elim_backward(const prop& iff) {
+  require(iff, "iff-elim-backward");
+  if (!iff.is(prop::kind::biconditional))
+    fail("iff-elim-backward: premise is not a biconditional");
+  return conclude(prop::implication(iff.children()[1], iff.children()[0]));
+}
+
+prop proof_context::iff_intro(const prop& fwd, const prop& bwd) {
+  require(fwd, "iff-intro");
+  require(bwd, "iff-intro");
+  if (!fwd.is(prop::kind::implication) || !bwd.is(prop::kind::implication))
+    fail("iff-intro: premises must be implications");
+  if (!(fwd.children()[0] == bwd.children()[1]) ||
+      !(fwd.children()[1] == bwd.children()[0]))
+    fail("iff-intro: implications are not converses of each other");
+  return conclude(prop::biconditional(fwd.children()[0], fwd.children()[1]));
+}
+
+prop proof_context::assume(const prop& hypothesis,
+                           const std::function<prop(proof_context&)>& body) {
+  proof_context child(ab_, steps_, fresh_);
+  child.ab_.insert(hypothesis);
+  const prop result = body(child);
+  if (!child.ab_.contains(result))
+    fail("assume: body returned a proposition it did not prove");
+  return conclude(prop::implication(hypothesis, result));
+}
+
+prop proof_context::by_contradiction(
+    const prop& goal, const std::function<prop(proof_context&)>& body) {
+  proof_context child(ab_, steps_, fresh_);
+  child.ab_.insert(prop::negation(goal));
+  const prop result = body(child);
+  if (!(result == prop::falsum()))
+    fail("by-contradiction: body must derive falsum, got " +
+         result.to_string());
+  if (!child.ab_.contains(result))
+    fail("by-contradiction: body returned an unproved proposition");
+  return conclude(goal);
+}
+
+prop proof_context::cases(const prop& disjunction, const prop& goal,
+                          const std::function<prop(proof_context&)>& left,
+                          const std::function<prop(proof_context&)>& right) {
+  require(disjunction, "cases");
+  if (!disjunction.is(prop::kind::disjunction))
+    fail("cases: premise is not a disjunction");
+  proof_context lchild(ab_, steps_, fresh_);
+  lchild.ab_.insert(disjunction.children()[0]);
+  const prop lres = left(lchild);
+  if (!(lres == goal) || !lchild.ab_.contains(lres))
+    fail("cases: left branch did not prove the goal");
+  proof_context rchild(ab_, steps_, fresh_);
+  rchild.ab_.insert(disjunction.children()[1]);
+  const prop rres = right(rchild);
+  if (!(rres == goal) || !rchild.ab_.contains(rres))
+    fail("cases: right branch did not prove the goal");
+  return conclude(goal);
+}
+
+prop proof_context::uspec(const prop& universal, const term& t) {
+  require(universal, "uspec");
+  if (!universal.is(prop::kind::forall))
+    fail("uspec: premise is not universally quantified: " +
+         universal.to_string());
+  return conclude(universal.children()[0].substitute_var(universal.symbol(), t));
+}
+
+prop proof_context::ugen(
+    const std::string& var,
+    const std::function<prop(proof_context&, const term&)>& body) {
+  const std::string fresh_name = "$c" + std::to_string((*fresh_)++);
+  const term fresh_const = term::cst(fresh_name);
+  proof_context child(ab_, steps_, fresh_);
+  const prop instance = body(child, fresh_const);
+  if (!child.ab_.contains(instance))
+    fail("ugen: body returned an unproved proposition");
+  const prop generalized =
+      prop::forall(var, instance.generalize_constant(fresh_name, var));
+  if (generalized.mentions_constant(fresh_name))
+    fail("ugen: fresh constant leaked into the conclusion");
+  return conclude(generalized);
+}
+
+prop proof_context::egen(const prop& existential, const term& witness) {
+  if (!existential.is(prop::kind::exists))
+    fail("egen: goal is not existentially quantified");
+  const prop instance = existential.children()[0].substitute_var(
+      existential.symbol(), witness);
+  require(instance, "egen");
+  return conclude(existential);
+}
+
+prop proof_context::eq_reflexive(const term& t) {
+  return conclude(prop::equal(t, t));
+}
+
+prop proof_context::eq_symmetric(const prop& eq) {
+  require(eq, "eq-symmetric");
+  if (!eq.is(prop::kind::equal)) fail("eq-symmetric: premise not an equality");
+  return conclude(prop::equal(eq.terms()[1], eq.terms()[0]));
+}
+
+prop proof_context::eq_transitive(const prop& ab, const prop& bc) {
+  require(ab, "eq-transitive");
+  require(bc, "eq-transitive");
+  if (!ab.is(prop::kind::equal) || !bc.is(prop::kind::equal))
+    fail("eq-transitive: premises must be equalities");
+  if (!(ab.terms()[1] == bc.terms()[0]))
+    fail("eq-transitive: middle terms differ: " + ab.terms()[1].to_string() +
+         " vs " + bc.terms()[0].to_string());
+  return conclude(prop::equal(ab.terms()[0], bc.terms()[1]));
+}
+
+prop proof_context::eq_congruence(const std::string& fn,
+                                  const std::vector<prop>& eqs) {
+  std::vector<term> lhs, rhs;
+  lhs.reserve(eqs.size());
+  rhs.reserve(eqs.size());
+  for (const prop& e : eqs) {
+    require(e, "eq-congruence");
+    if (!e.is(prop::kind::equal))
+      fail("eq-congruence: premise is not an equality");
+    lhs.push_back(e.terms()[0]);
+    rhs.push_back(e.terms()[1]);
+  }
+  return conclude(
+      prop::equal(term::app(fn, std::move(lhs)), term::app(fn, std::move(rhs))));
+}
+
+prop proof_context::eq_substitute(const prop& eq, const prop& p,
+                                  const prop& replacement) {
+  require(eq, "eq-substitute");
+  require(p, "eq-substitute");
+  if (!eq.is(prop::kind::equal)) fail("eq-substitute: first premise not an =");
+  // Soundness check without occurrence bookkeeping: abstract both sides.
+  // `replacement` is p with some occurrences of a replaced by b.  We verify
+  // by checking that replacing *all* occurrences of a by b in both p and
+  // replacement yields the same proposition (so replacement differs from p
+  // only at positions that held a and now hold b).
+  const std::string marker = "$subst";
+  const term a = eq.terms()[0];
+  const term b = eq.terms()[1];
+  const auto replace_all = [&](const prop& q) {
+    // Replace occurrences of term `a` by `b` via generalize-through-render:
+    // simplest sound approach — rebuild by structural recursion.
+    struct rec {
+      const term& from;
+      const term& to;
+      term on_term(const term& t) const {
+        if (t == from) return to;
+        if (!t.is_apply()) return t;
+        std::vector<term> args;
+        args.reserve(t.arity());
+        for (const term& x : t.args()) args.push_back(on_term(x));
+        return term::app(t.symbol(), std::move(args));
+      }
+      prop on_prop(const prop& q) const {
+        switch (q.node_kind()) {
+          case prop::kind::atom: {
+            std::vector<term> ts;
+            for (const term& t : q.terms()) ts.push_back(on_term(t));
+            return prop::atom(q.symbol(), std::move(ts));
+          }
+          case prop::kind::equal:
+            return prop::equal(on_term(q.terms()[0]), on_term(q.terms()[1]));
+          case prop::kind::falsum:
+            return q;
+          case prop::kind::forall:
+            return prop::forall(q.symbol(), on_prop(q.children()[0]));
+          case prop::kind::exists:
+            return prop::exists(q.symbol(), on_prop(q.children()[0]));
+          case prop::kind::negation:
+            return prop::negation(on_prop(q.children()[0]));
+          case prop::kind::conjunction:
+            return prop::conjunction(on_prop(q.children()[0]),
+                                     on_prop(q.children()[1]));
+          case prop::kind::disjunction:
+            return prop::disjunction(on_prop(q.children()[0]),
+                                     on_prop(q.children()[1]));
+          case prop::kind::implication:
+            return prop::implication(on_prop(q.children()[0]),
+                                     on_prop(q.children()[1]));
+          case prop::kind::biconditional:
+            return prop::biconditional(on_prop(q.children()[0]),
+                                       on_prop(q.children()[1]));
+        }
+        return q;
+      }
+    };
+    return rec{a, b}.on_prop(q);
+  };
+  (void)marker;
+  if (!(replace_all(p) == replace_all(replacement)))
+    fail("eq-substitute: replacement is not obtained from the premise by "
+         "rewriting " + a.to_string() + " to " + b.to_string());
+  return conclude(replacement);
+}
+
+prop theorem::check(const signature& sig, std::size_t* steps_out) const {
+  proof_context ctx;
+  for (const prop& ax : axioms(sig)) ctx.assert_axiom(ax);
+  const prop proved = prove(ctx, sig);
+  if (!ctx.holds(proved))
+    throw proof_error("theorem '" + name +
+                      "': proof returned an unproved proposition");
+  const prop wanted = statement(sig);
+  if (!(proved == wanted))
+    throw proof_error("theorem '" + name + "': proof produced " +
+                      proved.to_string() + " but the statement is " +
+                      wanted.to_string());
+  if (steps_out != nullptr) *steps_out = ctx.steps();
+  return proved;
+}
+
+}  // namespace cgp::proof

@@ -1,0 +1,187 @@
+// The deduction engine: an embedded Denotational Proof Language.
+//
+// Following Arkoudas's DPL design as summarized in Section 3.3:
+//  * all proof activity centres on an *assumption base* — an associative
+//    store of propositions that have been asserted or proved;
+//  * primitive *methods* consume propositions that must already be in the
+//    assumption base and produce a new theorem, which is added to it;
+//  * "proper deductions ... produce theorems; improper deductions result in
+//    an error condition" — here, `proof_error` is thrown and nothing is
+//    added, so a completed run *is* the certificate;
+//  * methods are first-class (`deduction` is just a function), so proofs can
+//    be packaged, passed around, and parameterized by operator mappings —
+//    the paper's recipe for genericity without modules or templates.
+//
+// The engine only ever *checks* proofs (each method is O(size of inputs));
+// there is no proof search, which is the efficiency argument of Section 3.3.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proof/prop.hpp"
+
+namespace cgp::proof {
+
+/// Thrown by improper deductions.
+class proof_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// The assumption base: an associative memory of propositions.
+class assumption_base {
+ public:
+  void insert(const prop& p);
+  [[nodiscard]] bool contains(const prop& p) const;
+  [[nodiscard]] std::size_t size() const noexcept { return props_.size(); }
+
+ private:
+  // Keyed by rendered text; renderings are injective for our constructors.
+  std::unordered_map<std::string, prop> props_;
+};
+
+/// A proof context: assumption base + inference counters.  Methods verify
+/// their premises against the base, then record their conclusion in it.
+class proof_context {
+ public:
+  proof_context() = default;
+
+  /// Asserts `p` as an axiom (no proof obligation).
+  prop assert_axiom(const prop& p);
+
+  /// The number of primitive inference steps executed (proof size metric
+  /// for bench/fig6_proof).
+  [[nodiscard]] std::size_t steps() const noexcept { return *steps_; }
+  [[nodiscard]] const assumption_base& base() const noexcept { return ab_; }
+  [[nodiscard]] bool holds(const prop& p) const { return ab_.contains(p); }
+
+  // --- primitive methods ---------------------------------------------------
+  /// Reiterates a proposition already in the base.
+  prop claim(const prop& p);
+  /// From `a ==> b` and `a`, concludes `b`.
+  prop modus_ponens(const prop& implication, const prop& antecedent);
+  /// From `a ==> b` and `!b`, concludes `!a`.
+  prop modus_tollens(const prop& implication, const prop& not_consequent);
+  /// From `a` and `b`, concludes `a & b`.
+  prop and_intro(const prop& a, const prop& b);
+  prop and_elim_left(const prop& conj);   ///< from `a & b`, concludes `a`
+  prop and_elim_right(const prop& conj);  ///< from `a & b`, concludes `b`
+  /// From `a`, concludes `a | b` (b arbitrary).
+  prop or_intro_left(const prop& a, const prop& b);
+  prop or_intro_right(const prop& a, const prop& b);
+  /// From `a` and `!a`, concludes falsum.
+  prop absurd(const prop& a, const prop& not_a);
+  /// From falsum, concludes anything.
+  prop ex_falso(const prop& goal);
+  /// From `!!a`, concludes `a`.
+  prop double_negation(const prop& not_not_a);
+  /// From `a <=> b`, concludes `a ==> b` / `b ==> a`.
+  prop iff_elim_forward(const prop& iff);
+  prop iff_elim_backward(const prop& iff);
+  /// From `a ==> b` and `b ==> a`, concludes `a <=> b`.
+  prop iff_intro(const prop& fwd, const prop& bwd);
+
+  // --- hypothetical / structured deductions --------------------------------
+  /// Conditional proof: runs `body` in a child context where `hypothesis`
+  /// holds; concludes `hypothesis ==> body-result`.
+  prop assume(const prop& hypothesis,
+              const std::function<prop(proof_context&)>& body);
+  /// Proof by contradiction: derives falsum under `!goal`; concludes `goal`.
+  prop by_contradiction(const prop& goal,
+                        const std::function<prop(proof_context&)>& body);
+  /// Case analysis on `a | b`; both branches must conclude `goal`.
+  prop cases(const prop& disjunction, const prop& goal,
+             const std::function<prop(proof_context&)>& left,
+             const std::function<prop(proof_context&)>& right);
+
+  // --- quantifiers ----------------------------------------------------------
+  /// Universal instantiation: from `forall v. P(v)`, concludes `P(t)`.
+  prop uspec(const prop& universal, const term& t);
+  /// Universal generalization: `body` receives a fresh constant `c` and must
+  /// prove P(c); concludes `forall var. P(var)`.  Improper if `c` leaks into
+  /// the conclusion.
+  prop ugen(const std::string& var,
+            const std::function<prop(proof_context&, const term&)>& body);
+  /// Existential introduction: from P(t), concludes `exists v. P(v)` where
+  /// `witnessed` is P with `t` generalized at the caller's direction.
+  prop egen(const prop& existential, const term& witness);
+
+  // --- equality -------------------------------------------------------------
+  prop eq_reflexive(const term& t);          ///< concludes t = t
+  prop eq_symmetric(const prop& eq);         ///< from a = b, concludes b = a
+  prop eq_transitive(const prop& ab, const prop& bc);  ///< a = b, b = c |- a = c
+  /// Congruence: from a1 = b1, ..., an = bn, concludes
+  /// f(a1..an) = f(b1..bn).
+  prop eq_congruence(const std::string& fn, const std::vector<prop>& eqs);
+  /// Leibniz: from `a = b` and theorem P containing occurrences of `a`,
+  /// concludes `replacement`, which must be P with some occurrences of a
+  /// replaced by b (checked by re-substitution in both directions).
+  prop eq_substitute(const prop& eq, const prop& p, const prop& replacement);
+
+ private:
+  explicit proof_context(const assumption_base& parent,
+                         std::shared_ptr<std::size_t> steps,
+                         std::shared_ptr<std::size_t> fresh)
+      : ab_(parent), steps_(std::move(steps)), fresh_(std::move(fresh)) {}
+
+  prop conclude(prop p);
+  void require(const prop& p, const char* method) const;
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  assumption_base ab_;
+  std::shared_ptr<std::size_t> steps_ = std::make_shared<std::size_t>(0);
+  std::shared_ptr<std::size_t> fresh_ = std::make_shared<std::size_t>(0);
+};
+
+/// A deduction is a first-class proof method.
+using deduction = std::function<prop(proof_context&)>;
+
+/// An operator mapping — Section 3.3: "we simulate type-parameterization
+/// simply by parameterizing functions and methods by functions that carry
+/// operator mappings."  Symbols not in the map denote themselves.
+class signature {
+ public:
+  signature() = default;
+  explicit signature(std::map<std::string, std::string> m)
+      : map_(std::move(m)) {}
+
+  [[nodiscard]] std::string operator()(const std::string& s) const {
+    auto it = map_.find(s);
+    return it == map_.end() ? s : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& mapping() const {
+    return map_;
+  }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+/// A generic proof method: builds its deduction through the signature, so
+/// one proof text certifies every instantiation.
+using generic_deduction =
+    std::function<prop(proof_context&, const signature&)>;
+
+/// A named theorem with a generic statement, the axioms it assumes, and its
+/// generic proof.  `check` re-executes the proof for a concrete signature —
+/// instantiating a proof exactly the way one instantiates a generic
+/// algorithm.
+struct theorem {
+  std::string name;
+  std::function<prop(const signature&)> statement;
+  std::function<std::vector<prop>(const signature&)> axioms;
+  generic_deduction prove;
+
+  /// Seeds a fresh context with `axioms(sig)`, runs the proof, and verifies
+  /// the produced theorem equals `statement(sig)`.  Returns the certified
+  /// instance; throws proof_error otherwise.  `steps_out` receives the
+  /// number of primitive inferences checked.
+  prop check(const signature& sig = {},
+             std::size_t* steps_out = nullptr) const;
+};
+
+}  // namespace cgp::proof

@@ -1,0 +1,211 @@
+#include "proof/prop.hpp"
+
+namespace cgp::proof {
+namespace {
+
+term term_generalize_constant(const term& t, const std::string& c,
+                              const std::string& v) {
+  switch (t.node_kind()) {
+    case term::kind::variable:
+      return t;
+    case term::kind::constant:
+      return t.symbol() == c ? term::var(v) : t;
+    case term::kind::apply: {
+      std::vector<term> args;
+      args.reserve(t.arity());
+      for (const term& a : t.args())
+        args.push_back(term_generalize_constant(a, c, v));
+      return term::app(t.symbol(), std::move(args));
+    }
+  }
+  return t;
+}
+
+bool term_mentions_constant(const term& t, const std::string& c) {
+  if (t.is_constant()) return t.symbol() == c;
+  for (const term& a : t.args())
+    if (term_mentions_constant(a, c)) return true;
+  return false;
+}
+
+}  // namespace
+
+prop prop::falsum() { return make({kind::falsum, {}, {}, {}}); }
+prop prop::atom(std::string predicate, std::vector<term> args) {
+  return make({kind::atom, std::move(predicate), std::move(args), {}});
+}
+prop prop::equal(term lhs, term rhs) {
+  return make({kind::equal, "=", {std::move(lhs), std::move(rhs)}, {}});
+}
+prop prop::negation(prop p) {
+  return make({kind::negation, {}, {}, {std::move(p)}});
+}
+prop prop::conjunction(prop a, prop b) {
+  return make({kind::conjunction, {}, {}, {std::move(a), std::move(b)}});
+}
+prop prop::disjunction(prop a, prop b) {
+  return make({kind::disjunction, {}, {}, {std::move(a), std::move(b)}});
+}
+prop prop::implication(prop a, prop b) {
+  return make({kind::implication, {}, {}, {std::move(a), std::move(b)}});
+}
+prop prop::biconditional(prop a, prop b) {
+  return make({kind::biconditional, {}, {}, {std::move(a), std::move(b)}});
+}
+prop prop::forall(std::string var, prop body) {
+  return make({kind::forall, std::move(var), {}, {std::move(body)}});
+}
+prop prop::exists(std::string var, prop body) {
+  return make({kind::exists, std::move(var), {}, {std::move(body)}});
+}
+prop prop::forall_all(const std::vector<std::string>& vars, prop body) {
+  prop out = std::move(body);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it)
+    out = forall(*it, std::move(out));
+  return out;
+}
+
+bool operator==(const prop& a, const prop& b) {
+  if (a.node_ == b.node_) return true;
+  if (a.node_->k != b.node_->k || a.node_->symbol != b.node_->symbol ||
+      a.node_->terms.size() != b.node_->terms.size() ||
+      a.node_->children.size() != b.node_->children.size())
+    return false;
+  for (std::size_t i = 0; i < a.node_->terms.size(); ++i)
+    if (!(a.node_->terms[i] == b.node_->terms[i])) return false;
+  for (std::size_t i = 0; i < a.node_->children.size(); ++i)
+    if (!(a.node_->children[i] == b.node_->children[i])) return false;
+  return true;
+}
+
+std::string prop::to_string() const {
+  switch (node_kind()) {
+    case kind::falsum:
+      return "false";
+    case kind::atom: {
+      std::string out = symbol() + "(";
+      for (std::size_t i = 0; i < terms().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += terms()[i].to_string();
+      }
+      return out + ")";
+    }
+    case kind::equal:
+      return terms()[0].to_string() + " = " + terms()[1].to_string();
+    case kind::negation:
+      return "!" + children()[0].to_string();
+    case kind::conjunction:
+      return "(" + children()[0].to_string() + " & " +
+             children()[1].to_string() + ")";
+    case kind::disjunction:
+      return "(" + children()[0].to_string() + " | " +
+             children()[1].to_string() + ")";
+    case kind::implication:
+      return "(" + children()[0].to_string() + " ==> " +
+             children()[1].to_string() + ")";
+    case kind::biconditional:
+      return "(" + children()[0].to_string() + " <=> " +
+             children()[1].to_string() + ")";
+    case kind::forall:
+      return "forall " + symbol() + ". " + children()[0].to_string();
+    case kind::exists:
+      return "exists " + symbol() + ". " + children()[0].to_string();
+  }
+  return {};
+}
+
+prop prop::substitute_var(const std::string& var, const term& t) const {
+  switch (node_kind()) {
+    case kind::falsum:
+      return *this;
+    case kind::atom:
+    case kind::equal: {
+      std::vector<term> new_terms;
+      new_terms.reserve(terms().size());
+      const std::map<std::string, term> sub{{var, t}};
+      for (const term& x : terms()) new_terms.push_back(x.substitute(sub));
+      return node_kind() == kind::atom
+                 ? atom(symbol(), std::move(new_terms))
+                 : equal(new_terms[0], new_terms[1]);
+    }
+    case kind::forall:
+    case kind::exists: {
+      if (symbol() == var) return *this;  // shadowed: stop
+      prop body = children()[0].substitute_var(var, t);
+      return node_kind() == kind::forall ? forall(symbol(), std::move(body))
+                                         : exists(symbol(), std::move(body));
+    }
+    default: {
+      std::vector<prop> new_children;
+      new_children.reserve(children().size());
+      for (const prop& c : children())
+        new_children.push_back(c.substitute_var(var, t));
+      node n{node_kind(), symbol(), {}, std::move(new_children)};
+      return make(std::move(n));
+    }
+  }
+}
+
+prop prop::generalize_constant(const std::string& c,
+                               const std::string& v) const {
+  switch (node_kind()) {
+    case kind::falsum:
+      return *this;
+    case kind::atom:
+    case kind::equal: {
+      std::vector<term> new_terms;
+      new_terms.reserve(terms().size());
+      for (const term& x : terms())
+        new_terms.push_back(term_generalize_constant(x, c, v));
+      return node_kind() == kind::atom
+                 ? atom(symbol(), std::move(new_terms))
+                 : equal(new_terms[0], new_terms[1]);
+    }
+    default: {
+      std::vector<prop> new_children;
+      new_children.reserve(children().size());
+      for (const prop& ch : children())
+        new_children.push_back(ch.generalize_constant(c, v));
+      node n{node_kind(), symbol(), {}, std::move(new_children)};
+      return make(std::move(n));
+    }
+  }
+}
+
+prop prop::rename_symbols(const std::map<std::string, std::string>& m) const {
+  const auto renamed = [&](const std::string& s) {
+    auto it = m.find(s);
+    return it == m.end() ? s : it->second;
+  };
+  switch (node_kind()) {
+    case kind::falsum:
+      return *this;
+    case kind::atom:
+    case kind::equal: {
+      std::vector<term> new_terms;
+      new_terms.reserve(terms().size());
+      for (const term& x : terms()) new_terms.push_back(x.rename_symbols(m));
+      return node_kind() == kind::atom
+                 ? atom(renamed(symbol()), std::move(new_terms))
+                 : equal(new_terms[0], new_terms[1]);
+    }
+    default: {
+      std::vector<prop> new_children;
+      new_children.reserve(children().size());
+      for (const prop& ch : children())
+        new_children.push_back(ch.rename_symbols(m));
+      node n{node_kind(), symbol(), {}, std::move(new_children)};
+      return make(std::move(n));
+    }
+  }
+}
+
+bool prop::mentions_constant(const std::string& c) const {
+  for (const term& t : terms())
+    if (term_mentions_constant(t, c)) return true;
+  for (const prop& ch : children())
+    if (ch.mentions_constant(c)) return true;
+  return false;
+}
+
+}  // namespace cgp::proof

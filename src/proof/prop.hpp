@@ -1,0 +1,106 @@
+// First-order propositions for the Denotational-Proof-Language-style checker
+// (Section 3.3).  Terms are shared with the concept registry (core::term),
+// so a concept's equational axioms can be lifted into the logic unchanged.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/term.hpp"
+
+namespace cgp::proof {
+
+using core::term;
+
+/// Immutable first-order proposition.
+class prop {
+ public:
+  enum class kind {
+    falsum,   ///< the absurd proposition
+    atom,     ///< predicate applied to terms, e.g. lt(x, y)
+    equal,    ///< term equality, e.g. op(x, e) = x
+    negation,
+    conjunction,
+    disjunction,
+    implication,
+    biconditional,
+    forall,
+    exists,
+  };
+
+  // -- constructors ---------------------------------------------------------
+  [[nodiscard]] static prop falsum();
+  [[nodiscard]] static prop atom(std::string predicate,
+                                 std::vector<term> args);
+  [[nodiscard]] static prop equal(term lhs, term rhs);
+  [[nodiscard]] static prop negation(prop p);
+  [[nodiscard]] static prop conjunction(prop a, prop b);
+  [[nodiscard]] static prop disjunction(prop a, prop b);
+  [[nodiscard]] static prop implication(prop a, prop b);
+  [[nodiscard]] static prop biconditional(prop a, prop b);
+  [[nodiscard]] static prop forall(std::string var, prop body);
+  [[nodiscard]] static prop exists(std::string var, prop body);
+
+  /// forall over several variables, outermost first.
+  [[nodiscard]] static prop forall_all(const std::vector<std::string>& vars,
+                                       prop body);
+
+  // -- observers ------------------------------------------------------------
+  [[nodiscard]] kind node_kind() const noexcept { return node_->k; }
+  [[nodiscard]] const std::string& symbol() const noexcept {
+    return node_->symbol;  // predicate name or quantified variable
+  }
+  [[nodiscard]] const std::vector<term>& terms() const noexcept {
+    return node_->terms;
+  }
+  [[nodiscard]] const std::vector<prop>& children() const noexcept {
+    return node_->children;
+  }
+  [[nodiscard]] bool is(kind k) const noexcept { return node_->k == k; }
+
+  /// Structural equality (variables compared by name; theories use
+  /// deterministic naming so this is sufficient for assumption-base lookup).
+  friend bool operator==(const prop& a, const prop& b);
+  friend bool operator!=(const prop& a, const prop& b) { return !(a == b); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Capture-avoiding-enough substitution of free occurrences of variable
+  /// `var` by `t`: substitution stops at a binder of the same name.  Theories
+  /// instantiate with fresh constants, so capture cannot occur in practice.
+  [[nodiscard]] prop substitute_var(const std::string& var,
+                                    const term& t) const;
+
+  /// Replaces every occurrence of the *constant* named `c` by variable `v`
+  /// (used by universal generalization to abstract a fresh constant).
+  [[nodiscard]] prop generalize_constant(const std::string& c,
+                                         const std::string& v) const;
+
+  /// Renames predicate/function/constant symbols (a signature morphism) —
+  /// the mechanism that makes proofs generic: prove once over the abstract
+  /// signature, instantiate per model (Section 3.3).
+  [[nodiscard]] prop rename_symbols(
+      const std::map<std::string, std::string>& m) const;
+
+  /// True if constant `c` occurs anywhere in the proposition.
+  [[nodiscard]] bool mentions_constant(const std::string& c) const;
+
+ private:
+  struct node {
+    kind k;
+    std::string symbol;
+    std::vector<term> terms;
+    std::vector<prop> children;
+  };
+  explicit prop(std::shared_ptr<const node> n) : node_(std::move(n)) {}
+  [[nodiscard]] static prop make(node n) {
+    return prop(std::make_shared<const node>(std::move(n)));
+  }
+  std::shared_ptr<const node> node_;
+};
+
+}  // namespace cgp::proof

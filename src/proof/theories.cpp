@@ -1,0 +1,517 @@
+#include "proof/theories.hpp"
+
+namespace cgp::proof::theories {
+namespace {
+
+// Term/prop construction helpers that route symbols through the signature.
+term V(const std::string& v) { return term::var(v); }
+
+prop lt(const signature& s, const term& a, const term& b) {
+  return prop::atom(s("lt"), {a, b});
+}
+prop E(const signature& s, const term& a, const term& b) {
+  return prop::atom(s("E"), {a, b});
+}
+term op2(const signature& s, const term& a, const term& b) {
+  return term::app(s("op"), {a, b});
+}
+term mul2(const signature& s, const term& a, const term& b) {
+  return term::app(s("mul"), {a, b});
+}
+term inv1(const signature& s, const term& a) {
+  return term::app(s("inv"), {a});
+}
+term ident(const signature& s) { return term::cst(s("e")); }
+
+}  // namespace
+
+// ===========================================================================
+// Strict Weak Order
+// ===========================================================================
+
+std::vector<prop> strict_weak_order_axioms(const signature& s) {
+  const term x = V("x"), y = V("y"), z = V("z");
+  return {
+      // irreflexivity: forall x. !lt(x, x)
+      prop::forall("x", prop::negation(lt(s, x, x))),
+      // transitivity: forall x y z. lt(x,y) & lt(y,z) ==> lt(x,z)
+      prop::forall_all(
+          {"x", "y", "z"},
+          prop::implication(prop::conjunction(lt(s, x, y), lt(s, y, z)),
+                            lt(s, x, z))),
+      // definition of the induced equivalence:
+      // forall x y. E(x,y) <=> (!lt(x,y) & !lt(y,x))
+      prop::forall_all(
+          {"x", "y"},
+          prop::biconditional(E(s, x, y),
+                              prop::conjunction(prop::negation(lt(s, x, y)),
+                                                prop::negation(lt(s, y, x))))),
+      // transitivity of the equivalence (the subtle SWO axiom):
+      prop::forall_all(
+          {"x", "y", "z"},
+          prop::implication(prop::conjunction(E(s, x, y), E(s, y, z)),
+                            E(s, x, z))),
+  };
+}
+
+namespace {
+
+// Reusable first-class sub-proofs (methods, in DPL terms).
+
+/// Derives `E(c, c)` for a given term c.
+prop derive_E_reflexive_at(proof_context& ctx, const signature& s,
+                           const term& c) {
+  const std::vector<prop> ax = strict_weak_order_axioms(s);
+  const prop not_ltcc = ctx.uspec(ax[0], c);             // !lt(c,c)
+  const prop conj = ctx.and_intro(not_ltcc, not_ltcc);   // !lt(c,c) & !lt(c,c)
+  const prop iff_cc = ctx.uspec(ctx.uspec(ax[2], c), c); // E(c,c) <=> ...
+  const prop back = ctx.iff_elim_backward(iff_cc);       // conj ==> E(c,c)
+  return ctx.modus_ponens(back, conj);                   // E(c,c)
+}
+
+/// Derives `E(c,d) ==> E(d,c)` for given terms c, d.
+prop derive_E_symmetric_at(proof_context& ctx, const signature& s,
+                           const term& c, const term& d) {
+  const std::vector<prop> ax = strict_weak_order_axioms(s);
+  return ctx.assume(E(s, c, d), [&](proof_context& h) {
+    const prop iff_cd = h.uspec(h.uspec(ax[2], c), d);
+    const prop fwd = h.iff_elim_forward(iff_cd);         // E(c,d) ==> conj
+    const prop conj = h.modus_ponens(fwd, E(s, c, d));   // !lt(c,d) & !lt(d,c)
+    const prop l = h.and_elim_left(conj);
+    const prop r = h.and_elim_right(conj);
+    const prop flipped = h.and_intro(r, l);              // !lt(d,c) & !lt(c,d)
+    const prop iff_dc = h.uspec(h.uspec(ax[2], d), c);
+    const prop back = h.iff_elim_backward(iff_dc);
+    return h.modus_ponens(back, flipped);                // E(d,c)
+  });
+}
+
+}  // namespace
+
+theorem equivalence_reflexive() {
+  return theorem{
+      .name = "swo-equivalence-reflexive",
+      .statement =
+          [](const signature& s) {
+            return prop::forall("x", E(s, V("x"), V("x")));
+          },
+      .axioms = strict_weak_order_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            return ctx.ugen("x", [&](proof_context& c, const term& fresh) {
+              return derive_E_reflexive_at(c, s, fresh);
+            });
+          },
+  };
+}
+
+theorem equivalence_symmetric() {
+  return theorem{
+      .name = "swo-equivalence-symmetric",
+      .statement =
+          [](const signature& s) {
+            return prop::forall_all(
+                {"x", "y"}, prop::implication(E(s, V("x"), V("y")),
+                                              E(s, V("y"), V("x"))));
+          },
+      .axioms = strict_weak_order_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            return ctx.ugen("x", [&](proof_context& cx, const term& c) {
+              return cx.ugen("y", [&](proof_context& cy, const term& d) {
+                return derive_E_symmetric_at(cy, s, c, d);
+              });
+            });
+          },
+  };
+}
+
+theorem equivalence_relation() {
+  return theorem{
+      .name = "swo-equivalence-relation",
+      .statement =
+          [](const signature& s) {
+            const term x = V("x"), y = V("y"), z = V("z");
+            const prop refl = prop::forall("x", E(s, x, x));
+            const prop symm = prop::forall_all(
+                {"x", "y"},
+                prop::implication(E(s, x, y), E(s, y, x)));
+            const prop trans = prop::forall_all(
+                {"x", "y", "z"},
+                prop::implication(prop::conjunction(E(s, x, y), E(s, y, z)),
+                                  E(s, x, z)));
+            return prop::conjunction(prop::conjunction(refl, symm), trans);
+          },
+      .axioms = strict_weak_order_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = strict_weak_order_axioms(s);
+            const prop refl =
+                ctx.ugen("x", [&](proof_context& c, const term& fc) {
+                  return derive_E_reflexive_at(c, s, fc);
+                });
+            const prop symm =
+                ctx.ugen("x", [&](proof_context& cx, const term& c) {
+                  return cx.ugen("y", [&](proof_context& cy, const term& d) {
+                    return derive_E_symmetric_at(cy, s, c, d);
+                  });
+                });
+            const prop trans = ctx.claim(ax[3]);  // given as an SWO axiom
+            return ctx.and_intro(ctx.and_intro(refl, symm), trans);
+          },
+  };
+}
+
+std::vector<prop> total_order_axioms(const signature& s) {
+  std::vector<prop> ax = strict_weak_order_axioms(s);
+  const term x = V("x"), y = V("y");
+  // trichotomy: forall x y. lt(x,y) | (x = y | lt(y,x))
+  ax.push_back(prop::forall_all(
+      {"x", "y"},
+      prop::disjunction(lt(s, x, y),
+                        prop::disjunction(prop::equal(x, y), lt(s, y, x)))));
+  return ax;
+}
+
+theorem total_order_equivalence_is_equality() {
+  return theorem{
+      .name = "total-order-equivalence-is-equality",
+      .statement =
+          [](const signature& s) {
+            return prop::forall_all(
+                {"x", "y"}, prop::implication(E(s, V("x"), V("y")),
+                                              prop::equal(V("x"), V("y"))));
+          },
+      .axioms = total_order_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = total_order_axioms(s);
+            return ctx.ugen("x", [&](proof_context& cx, const term& a) {
+              return cx.ugen("y", [&](proof_context& cy, const term& b) {
+                return cy.assume(E(s, a, b), [&](proof_context& h) {
+                  // Unpack E(a,b) into !lt(a,b) and !lt(b,a).
+                  const prop iff_ab = h.uspec(h.uspec(ax[2], a), b);
+                  const prop fwd = h.iff_elim_forward(iff_ab);
+                  const prop conj = h.modus_ponens(fwd, E(s, a, b));
+                  const prop not_ab = h.and_elim_left(conj);
+                  const prop not_ba = h.and_elim_right(conj);
+                  // Trichotomy instance.
+                  const prop tri = h.uspec(h.uspec(ax[4], a), b);
+                  const prop goal = prop::equal(a, b);
+                  // Case split on lt(a,b) | (a = b | lt(b,a)).
+                  return h.cases(
+                      tri, goal,
+                      [&](proof_context& c1) {
+                        (void)c1.absurd(c1.claim(lt(s, a, b)), not_ab);
+                        return c1.ex_falso(goal);
+                      },
+                      [&](proof_context& c2) {
+                        const prop inner = prop::disjunction(
+                            prop::equal(a, b), lt(s, b, a));
+                        return c2.cases(
+                            inner, goal,
+                            [&](proof_context& c3) { return c3.claim(goal); },
+                            [&](proof_context& c4) {
+                              (void)c4.absurd(c4.claim(lt(s, b, a)), not_ba);
+                              return c4.ex_falso(goal);
+                            });
+                      });
+                });
+              });
+            });
+          },
+  };
+}
+
+// ===========================================================================
+// Group theory
+// ===========================================================================
+
+std::vector<prop> group_axioms(const signature& s) {
+  const term x = V("x"), y = V("y"), z = V("z");
+  const term e = ident(s);
+  return {
+      // [0] associativity
+      prop::forall_all({"x", "y", "z"},
+                       prop::equal(op2(s, op2(s, x, y), z),
+                                   op2(s, x, op2(s, y, z)))),
+      // [1] left identity, [2] right identity
+      prop::forall("x", prop::equal(op2(s, e, x), x)),
+      prop::forall("x", prop::equal(op2(s, x, e), x)),
+      // [3] left inverse, [4] right inverse
+      prop::forall("x", prop::equal(op2(s, inv1(s, x), x), e)),
+      prop::forall("x", prop::equal(op2(s, x, inv1(s, x)), e)),
+  };
+}
+
+namespace {
+
+/// First-class method deriving `B = C` from a proved `op(A,B) = op(A,C)`.
+/// Reused by left-cancellation, inverse uniqueness, and ring annihilation —
+/// the paper's point about packaging proofs as passable functions.
+prop derive_left_cancel(proof_context& ctx, const signature& s, const term& A,
+                        const term& B, const term& C) {
+  const std::vector<prop> ax = group_axioms(s);
+  const term e = ident(s);
+  const term iA = inv1(s, A);
+  const std::string opn = s("op");
+
+  // op(inv A, op(A,B)) = op(inv A, op(A,C))   [congruence on the hypothesis]
+  const prop hyp = prop::equal(op2(s, A, B), op2(s, A, C));
+  const prop refl_iA = ctx.eq_reflexive(iA);
+  const prop cong = ctx.eq_congruence(opn, {refl_iA, ctx.claim(hyp)});
+
+  // B = op(e,B) = op(op(iA,A),B) = op(iA,op(A,B))
+  const prop left_id_B = ctx.uspec(ax[1], B);            // op(e,B) = B
+  const prop s1 = ctx.eq_symmetric(left_id_B);           // B = op(e,B)
+  const prop linv_A = ctx.uspec(ax[3], A);               // op(iA,A) = e
+  const prop cong2 = ctx.eq_congruence(
+      opn, {linv_A, ctx.eq_reflexive(B)});               // op(op(iA,A),B)=op(e,B)
+  const prop s2 = ctx.eq_symmetric(cong2);               // op(e,B)=op(op(iA,A),B)
+  const prop assoc_B = ctx.uspec(ctx.uspec(ctx.uspec(ax[0], iA), A), B);
+  // assoc_B: op(op(iA,A),B) = op(iA,op(A,B))
+  const prop t1 = ctx.eq_transitive(s1, s2);
+  const prop t2 = ctx.eq_transitive(t1, assoc_B);        // B = op(iA,op(A,B))
+  const prop t3 = ctx.eq_transitive(t2, cong);           // B = op(iA,op(A,C))
+
+  // op(iA,op(A,C)) = op(op(iA,A),C) = op(e,C) = C
+  const prop assoc_C = ctx.uspec(ctx.uspec(ctx.uspec(ax[0], iA), A), C);
+  const prop s3 = ctx.eq_symmetric(assoc_C);  // op(iA,op(A,C)) = op(op(iA,A),C)
+  const prop cong3 = ctx.eq_congruence(
+      opn, {linv_A, ctx.eq_reflexive(C)});               // op(op(iA,A),C)=op(e,C)
+  const prop left_id_C = ctx.uspec(ax[1], C);            // op(e,C) = C
+  const prop t4 = ctx.eq_transitive(t3, s3);
+  const prop t5 = ctx.eq_transitive(t4, cong3);
+  return ctx.eq_transitive(t5, left_id_C);               // B = C
+}
+
+}  // namespace
+
+theorem group_identity_unique() {
+  return theorem{
+      .name = "group-identity-unique",
+      .statement =
+          [](const signature& s) {
+            const term u = V("u"), x = V("x");
+            return prop::forall(
+                "u", prop::implication(
+                         prop::forall("x", prop::equal(op2(s, x, u), x)),
+                         prop::equal(u, ident(s))));
+          },
+      .axioms = group_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = group_axioms(s);
+            const term e = ident(s);
+            return ctx.ugen("u", [&](proof_context& cu, const term& c) {
+              const prop hyp =
+                  prop::forall("x", prop::equal(op2(s, V("x"), c), V("x")));
+              return cu.assume(hyp, [&](proof_context& h) {
+                const prop a = h.uspec(hyp, e);       // op(e,c) = e
+                const prop b = h.uspec(ax[1], c);     // op(e,c) = c
+                const prop c_eq = h.eq_symmetric(b);  // c = op(e,c)
+                return h.eq_transitive(c_eq, a);      // c = e
+              });
+            });
+          },
+  };
+}
+
+theorem group_left_cancellation() {
+  return theorem{
+      .name = "group-left-cancellation",
+      .statement =
+          [](const signature& s) {
+            const term a = V("a"), b = V("b"), c = V("c");
+            return prop::forall_all(
+                {"a", "b", "c"},
+                prop::implication(prop::equal(op2(s, a, b), op2(s, a, c)),
+                                  prop::equal(b, c)));
+          },
+      .axioms = group_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            return ctx.ugen("a", [&](proof_context& ca, const term& A) {
+              return ca.ugen("b", [&](proof_context& cb, const term& B) {
+                return cb.ugen("c", [&](proof_context& cc, const term& C) {
+                  const prop hyp =
+                      prop::equal(op2(s, A, B), op2(s, A, C));
+                  return cc.assume(hyp, [&](proof_context& h) {
+                    return derive_left_cancel(h, s, A, B, C);
+                  });
+                });
+              });
+            });
+          },
+  };
+}
+
+theorem group_inverse_unique() {
+  return theorem{
+      .name = "group-inverse-unique",
+      .statement =
+          [](const signature& s) {
+            const term a = V("a"), b = V("b");
+            return prop::forall_all(
+                {"a", "b"},
+                prop::implication(prop::equal(op2(s, a, b), ident(s)),
+                                  prop::equal(b, inv1(s, a))));
+          },
+      .axioms = group_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = group_axioms(s);
+            return ctx.ugen("a", [&](proof_context& ca, const term& A) {
+              return ca.ugen("b", [&](proof_context& cb, const term& B) {
+                const prop hyp = prop::equal(op2(s, A, B), ident(s));
+                return cb.assume(hyp, [&](proof_context& h) {
+                  // op(A,B) = e = op(A, inv(A))  ==> cancel A.
+                  const prop rinv = h.uspec(ax[4], A);  // op(A,inv A) = e
+                  const prop sym = h.eq_symmetric(rinv);
+                  const prop chain =
+                      h.eq_transitive(h.claim(hyp), sym);
+                  // chain: op(A,B) = op(A, inv(A)); reuse the cancellation
+                  // method — a first-class sub-proof.
+                  (void)chain;
+                  return derive_left_cancel(h, s, A, B, inv1(s, A));
+                });
+              });
+            });
+          },
+  };
+}
+
+theorem group_inverse_of_identity() {
+  return theorem{
+      .name = "group-inverse-of-identity",
+      .statement =
+          [](const signature& s) {
+            return prop::equal(inv1(s, ident(s)), ident(s));
+          },
+      .axioms = group_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = group_axioms(s);
+            const term e = ident(s);
+            const term ie = inv1(s, e);
+            // op(e, inv(e)) = e   [right inverse at e]
+            const prop rinv = ctx.uspec(ax[4], e);
+            // op(e, inv(e)) = inv(e)   [left identity at inv(e)]
+            const prop lid = ctx.uspec(ax[1], ie);
+            // inv(e) = op(e, inv(e)) = e
+            return ctx.eq_transitive(ctx.eq_symmetric(lid), rinv);
+          },
+  };
+}
+
+theorem group_double_inverse() {
+  return theorem{
+      .name = "group-double-inverse",
+      .statement =
+          [](const signature& s) {
+            return prop::forall(
+                "a", prop::equal(inv1(s, inv1(s, V("a"))), V("a")));
+          },
+      .axioms = group_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = group_axioms(s);
+            return ctx.ugen("a", [&](proof_context& c, const term& A) {
+              const term iA = inv1(s, A);
+              const term iiA = inv1(s, iA);
+              // op(inv(a), a) = e        [left inverse at a]
+              const prop linv = c.uspec(ax[3], A);
+              // op(inv(a), inv(inv(a))) = e  [right inverse at inv(a)]
+              const prop rinv = c.uspec(ax[4], iA);
+              // op(inv(a), a) = op(inv(a), inv(inv(a)))
+              const prop chain =
+                  c.eq_transitive(linv, c.eq_symmetric(rinv));
+              (void)chain;  // the cancellation premise, now in the base
+              // cancel inv(a): a = inv(inv(a)), then flip.
+              const prop a_eq = derive_left_cancel(c, s, iA, A, iiA);
+              return c.eq_symmetric(a_eq);
+            });
+          },
+  };
+}
+
+// ===========================================================================
+// Ring theory
+// ===========================================================================
+
+std::vector<prop> ring_axioms(const signature& s) {
+  std::vector<prop> ax = group_axioms(s);  // additive group (op, e, inv)
+  const term x = V("x"), y = V("y"), z = V("z");
+  const term one = term::cst(s("one"));
+  // [5] mul associativity
+  ax.push_back(prop::forall_all(
+      {"x", "y", "z"}, prop::equal(mul2(s, mul2(s, x, y), z),
+                                   mul2(s, x, mul2(s, y, z)))));
+  // [6] left distributivity: mul(x, op(y,z)) = op(mul(x,y), mul(x,z))
+  ax.push_back(prop::forall_all(
+      {"x", "y", "z"},
+      prop::equal(mul2(s, x, op2(s, y, z)),
+                  op2(s, mul2(s, x, y), mul2(s, x, z)))));
+  // [7][8] mul identities
+  ax.push_back(prop::forall("x", prop::equal(mul2(s, x, one), x)));
+  ax.push_back(prop::forall("x", prop::equal(mul2(s, one, x), x)));
+  return ax;
+}
+
+theorem ring_annihilation() {
+  return theorem{
+      .name = "ring-annihilation",
+      .statement =
+          [](const signature& s) {
+            return prop::forall(
+                "x", prop::equal(mul2(s, V("x"), ident(s)), ident(s)));
+          },
+      .axioms = ring_axioms,
+      .prove =
+          [](proof_context& ctx, const signature& s) {
+            const std::vector<prop> ax = ring_axioms(s);
+            const term e = ident(s);
+            const std::string muln = s("mul");
+            return ctx.ugen("x", [&](proof_context& c, const term& X) {
+              const term m = mul2(s, X, e);
+              // op(e,e) = e  (left identity at e)
+              const prop ee = c.uspec(ax[1], e);
+              // mul(X, op(e,e)) = mul(X, e)   [congruence]
+              const prop cong =
+                  c.eq_congruence(muln, {c.eq_reflexive(X), ee});
+              // distributivity at (X, e, e):
+              // mul(X, op(e,e)) = op(mul(X,e), mul(X,e))
+              const prop dist =
+                  c.uspec(c.uspec(c.uspec(ax[6], X), e), e);
+              // op(m, m) = m
+              const prop sym_dist = c.eq_symmetric(dist);
+              const prop mm = c.eq_transitive(sym_dist, cong);
+              // op(m, e) = m  (right identity), so op(m,m) = op(m,e)
+              const prop rid = c.uspec(ax[2], m);  // op(m,e) = m
+              const prop t = c.eq_transitive(mm, c.eq_symmetric(rid));
+              (void)t;  // t : op(m,m) = op(m,e) — the cancellation premise
+              // cancel m on the left: m = e
+              return derive_left_cancel(c, s, m, m, e);
+            });
+          },
+  };
+}
+
+// ===========================================================================
+// Bridge from the concept registry
+// ===========================================================================
+
+prop from_axiom(const core::axiom& ax) {
+  return prop::forall_all(ax.vars, prop::equal(ax.lhs, ax.rhs));
+}
+
+std::vector<prop> axioms_of_concept(const core::concept_registry& reg,
+                                    const std::string& concept_name,
+                                    const signature& s) {
+  std::vector<prop> out;
+  for (const core::axiom& ax : reg.all_axioms(concept_name))
+    out.push_back(from_axiom(ax).rename_symbols(s.mapping()));
+  return out;
+}
+
+}  // namespace cgp::proof::theories

@@ -1,0 +1,87 @@
+// Formalized theories: orderings (Fig. 6's Strict Weak Order), groups, and
+// rings — "numerous properties of ordering concepts ..., algebraic concepts
+// (such as monoid, group, ring, ...)" (Section 3.3).
+//
+// Every theorem is *generic*: its statement, axioms, and proof are built
+// through a signature (operator mapping), so checking it for `<` on int,
+// lexicographic string order, or any other declared model is one
+// `thm.check(signature{...})` call — proofs instantiate like generic
+// algorithms.
+#pragma once
+
+#include <vector>
+
+#include "core/registry.hpp"
+#include "proof/deduction.hpp"
+
+namespace cgp::proof::theories {
+
+// --- Strict Weak Order (Fig. 6) ---------------------------------------------
+// Abstract signature symbols: predicate `lt`, defined predicate `E`.
+// Axioms: irreflexivity, transitivity, the definition of E, and transitivity
+// of E.  Fig. 6: "From these axioms two additional properties of E, symmetry
+// and reflexivity, can be derived as theorems, showing that E is in fact an
+// equivalence relation."
+
+[[nodiscard]] std::vector<prop> strict_weak_order_axioms(const signature& s);
+
+/// forall x. E(x, x)
+[[nodiscard]] theorem equivalence_reflexive();
+/// forall x, y. E(x, y) ==> E(y, x)
+[[nodiscard]] theorem equivalence_symmetric();
+/// The Fig. 6 headline: reflexivity & symmetry & transitivity of E, i.e.
+/// E is an equivalence relation.
+[[nodiscard]] theorem equivalence_relation();
+
+// --- Total Order ---------------------------------------------------------------
+// Strict weak order + trichotomy: forall x y. lt(x,y) | (x = y | lt(y,x)).
+
+[[nodiscard]] std::vector<prop> total_order_axioms(const signature& s);
+
+/// forall x, y. E(x, y) ==> x = y — under a TOTAL order the induced
+/// equivalence collapses to equality (the property that separates
+/// TotalOrder from StrictWeakOrder in the registry).  The proof exercises
+/// case analysis and ex falso.
+[[nodiscard]] theorem total_order_equivalence_is_equality();
+
+// --- Group theory -------------------------------------------------------------
+// Abstract signature symbols: `op`, constant `e`, function `inv`.
+
+[[nodiscard]] std::vector<prop> group_axioms(const signature& s);
+
+/// forall u. (forall x. op(x, u) = x) ==> u = e
+[[nodiscard]] theorem group_identity_unique();
+/// forall a, b, c. op(a, b) = op(a, c) ==> b = c
+[[nodiscard]] theorem group_left_cancellation();
+/// forall a, b. op(a, b) = e ==> b = inv(a)
+[[nodiscard]] theorem group_inverse_unique();
+/// inv(e) = e
+[[nodiscard]] theorem group_inverse_of_identity();
+/// forall a. inv(inv(a)) = a — licenses the rewrite `-(-x) -> x`.
+[[nodiscard]] theorem group_double_inverse();
+
+// --- Ring theory ---------------------------------------------------------------
+// Extends the (additive) group signature with `mul` and constant `one`.
+
+[[nodiscard]] std::vector<prop> ring_axioms(const signature& s);
+
+/// forall x. mul(x, e) = e  — the annihilation theorem.  Its machine-checked
+/// proof is what licenses the rewrite engine's derived rule `x * 0 -> 0`
+/// (see rewrite::simplifier and tests/rewrite_test.cpp).
+[[nodiscard]] theorem ring_annihilation();
+
+// --- Bridge from the concept registry's equational axioms --------------------
+
+/// Lifts a core equational axiom (`forall vars . lhs = rhs`) into a
+/// proposition — the single-source-of-truth pipeline: the SAME axiom object
+/// that generates a rewrite rule in src/rewrite becomes a usable premise
+/// here.
+[[nodiscard]] prop from_axiom(const core::axiom& ax);
+
+/// All axioms of a registry concept (including inherited ones) as
+/// propositions under a signature.
+[[nodiscard]] std::vector<prop> axioms_of_concept(
+    const core::concept_registry& reg, const std::string& concept_name,
+    const signature& s = {});
+
+}  // namespace cgp::proof::theories

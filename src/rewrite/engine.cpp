@@ -1,0 +1,282 @@
+#include "rewrite/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "rewrite/eval.hpp"
+
+namespace cgp::rewrite {
+namespace {
+
+bool is_binary_op_symbol(std::string_view s) {
+  static constexpr std::string_view ops[] = {"+",  "-",  "*",  "/",  "%",
+                                             "&",  "|",  "^",  "&&", "||",
+                                             "<",  "<=", ">",  ">=", "==",
+                                             "!="};
+  return std::find(std::begin(ops), std::end(ops), s) != std::end(ops);
+}
+
+bool is_unary_op_symbol(std::string_view s) {
+  return s == "-" || s == "!" || s == "~";
+}
+
+}  // namespace
+
+expr pattern_from_term(const core::term& t, const std::string& type) {
+  using core::term;
+  switch (t.node_kind()) {
+    case term::kind::variable:
+      return expr::meta(t.symbol(), type);
+    case term::kind::constant: {
+      if (auto lit = parse_literal(t.symbol(), type)) return *lit;
+      return expr::constant(t.symbol(), type);
+    }
+    case term::kind::apply: {
+      // `id(x)` collapses to `x`: self-inverse operations (e.g. xor).
+      if (t.symbol() == "id" && t.arity() == 1)
+        return pattern_from_term(t.args()[0], type);
+      std::vector<expr> children;
+      children.reserve(t.arity());
+      for (const core::term& a : t.args())
+        children.push_back(pattern_from_term(a, type));
+      if (t.arity() == 2 && is_binary_op_symbol(t.symbol()))
+        return expr::binary_op(t.symbol(), std::move(children[0]),
+                               std::move(children[1]), type);
+      if (t.arity() == 1 && is_unary_op_symbol(t.symbol()))
+        return expr::unary_op(t.symbol(), std::move(children[0]), type);
+      return expr::call_fn(t.symbol(), std::move(children), type);
+    }
+  }
+  return expr::constant("<bad-term>", type);
+}
+
+void simplifier::add_default_concept_rules() {
+  // The two rules of Fig. 5 ...
+  add_concept_rule({.concept_name = "Monoid", .axiom_name = "right_identity"});
+  add_concept_rule({.concept_name = "Group", .axiom_name = "right_inverse"});
+  // ... plus their mirror images, available from the same axioms.
+  add_concept_rule({.concept_name = "Monoid", .axiom_name = "left_identity"});
+  add_concept_rule({.concept_name = "Group", .axiom_name = "left_inverse"});
+}
+
+std::optional<expr> simplifier::rewrite_at_root(
+    const expr& e, std::vector<rewrite_step>* trace) const {
+  // Library-specific expression rules take priority (Section 3.2: user
+  // extensions often specialize general expressions to faster calls).
+  for (const expr_rule& r : expr_rules_) {
+    auto binding = e.match(r.pattern);
+    if (!binding) continue;
+    if (r.guard && !r.guard(*binding)) continue;
+    expr out = r.replacement.substitute(*binding);
+    if (trace)
+      trace->push_back({r.name, r.provenance, e.to_string(), out.to_string()});
+    return out;
+  }
+
+  // Generic concept-guarded rules.
+  if (!e.is(expr::kind::unary) && !e.is(expr::kind::binary) &&
+      !e.is(expr::kind::call)) {
+    return std::nullopt;
+  }
+  for (std::size_t ri = 0; ri < concept_rules_.size(); ++ri) {
+    const concept_rule& r = concept_rules_[ri];
+    // Memoized instantiation of the rule for this (type, operator) shape.
+    const std::string key = std::to_string(ri) + "\x1f" + e.type() + "\x1f" +
+                            e.symbol();
+    auto cached = instantiation_cache_.find(key);
+    if (cached == instantiation_cache_.end()) {
+      std::optional<std::pair<expr, expr>> inst;
+      if (const auto model =
+              registry_->find_model(r.concept_name, {e.type(), e.symbol()})) {
+        const auto axioms = registry_->all_axioms(r.concept_name);
+        const auto ax = std::find_if(
+            axioms.begin(), axioms.end(),
+            [&](const core::axiom& a) { return a.name == r.axiom_name; });
+        if (ax != axioms.end()) {
+          // Instantiate the abstract axiom through the symbol binding.
+          const std::map<std::string, std::string> rename(
+              model->symbol_binding.begin(), model->symbol_binding.end());
+          expr pattern =
+              pattern_from_term(ax->lhs.rename_symbols(rename), e.type());
+          expr replacement =
+              pattern_from_term(ax->rhs.rename_symbols(rename), e.type());
+          if (!r.require_shrink || replacement.size() < pattern.size())
+            inst = std::pair{std::move(pattern), std::move(replacement)};
+        }
+      } else {
+        // No model (yet): do NOT cache — declaring one later must take
+        // effect immediately (the "for free" extensibility of Section 3.2).
+        continue;
+      }
+      cached = instantiation_cache_.emplace(key, std::move(inst)).first;
+    }
+    if (!cached->second) continue;
+    const auto& [pattern, replacement] = *cached->second;
+
+    auto binding = e.match(pattern);
+    if (!binding) continue;
+    expr out = replacement.substitute(*binding);
+    if (trace)
+      trace->push_back({r.concept_name + "::" + r.axiom_name, r.concept_name,
+                        e.to_string(), out.to_string()});
+    return out;
+  }
+
+  // Constant folding: all-literal operands evaluate at rewrite time.
+  if (fold_constants_ && !e.children().empty()) {
+    const bool all_literal = std::all_of(
+        e.children().begin(), e.children().end(),
+        [](const expr& c) { return c.is(expr::kind::literal); });
+    if (all_literal) {
+      try {
+        const value v = evaluate(e, {});
+        expr out = expr::lit(v, e.type());
+        if (!(out == e)) {
+          if (trace)
+            trace->push_back(
+                {"constant-fold", "evaluator", e.to_string(),
+                 out.to_string()});
+          return out;
+        }
+      } catch (const eval_error&) {
+        // Not evaluable (division by zero, unknown call): leave it alone.
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+expr simplifier::simplify_once(const expr& e, bool& changed,
+                               std::vector<rewrite_step>* trace) const {
+  // Bottom-up: simplify children first so identities cascade outward.
+  expr cur = e;
+  switch (e.node_kind()) {
+    case expr::kind::unary:
+      cur = expr::unary_op(e.symbol(),
+                           simplify_once(e.children()[0], changed, trace),
+                           e.type());
+      break;
+    case expr::kind::binary:
+      cur = expr::binary_op(e.symbol(),
+                            simplify_once(e.children()[0], changed, trace),
+                            simplify_once(e.children()[1], changed, trace),
+                            e.type());
+      break;
+    case expr::kind::call: {
+      std::vector<expr> args;
+      args.reserve(e.children().size());
+      for (const expr& c : e.children())
+        args.push_back(simplify_once(c, changed, trace));
+      cur = expr::call_fn(e.symbol(), std::move(args), e.type());
+      break;
+    }
+    default:
+      break;
+  }
+  if (auto rewritten = rewrite_at_root(cur, trace)) {
+    changed = true;
+    return *rewritten;
+  }
+  return cur;
+}
+
+expr simplifier::simplify(const expr& e,
+                          std::vector<rewrite_step>* trace) const {
+  expr cur = e;
+  // Node count strictly decreases on every effective pass for the shipped
+  // shrink-checked rules, but user rules may grow terms; cap passes.
+  constexpr int kMaxPasses = 64;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    cur = simplify_once(cur, changed, trace);
+    if (!changed) break;
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 instance rules (the traditional-simplifier baseline)
+// ---------------------------------------------------------------------------
+
+std::vector<expr_rule> fig5_instance_rules() {
+  using E = expr;
+  std::vector<expr_rule> rules;
+  const auto add = [&](std::string name, expr pat, expr rep) {
+    rules.push_back(
+        {std::move(name), std::move(pat), std::move(rep), "instance", {}});
+  };
+  const expr i = E::meta("i", "int");
+  const expr f = E::meta("f", "double");
+  const expr b = E::meta("b", "bool");
+  const expr u = E::meta("u", "unsigned");
+  const expr s = E::meta("s", "string");
+  const expr A = E::meta("A", "matrix");
+  const expr r = E::meta("r", "rational");
+
+  // Row 1 of Fig. 5: x + 0 -> x instances.
+  add("i*1->i", E::binary_op("*", i, E::int_lit(1)), i);
+  add("f*1.0->f", E::binary_op("*", f, E::double_lit(1.0)), f);
+  add("b&&true->b", E::binary_op("&&", b, E::bool_lit(true)), b);
+  add("u&0xFFFFFFFF->u",
+      E::binary_op("&", u, E::uint_lit(0xFFFFFFFFull)), u);
+  add("concat(s,\"\")->s",
+      E::call_fn("concat", {s, E::string_lit("")}, "string"), s);
+  add("A.I->A",
+      E::call_fn("matmul", {A, E::constant("I", "matrix")}, "matrix"), A);
+
+  // Row 2 of Fig. 5: x + (-x) -> 0 instances.
+  add("i+(-i)->0", E::binary_op("+", i, E::unary_op("-", i)), E::int_lit(0));
+  add("f*(1.0/f)->1.0",
+      E::binary_op("*", f, E::binary_op("/", E::double_lit(1.0), f)),
+      E::double_lit(1.0));
+  add("r*reciprocal(r)->1",
+      E::binary_op("*", r, E::call_fn("reciprocal", {r}, "rational")),
+      E::lit(1.0, "rational"));
+  add("A.inverse(A)->I",
+      E::call_fn("matmul", {A, E::call_fn("inverse", {A}, "matrix")},
+                 "matrix"),
+      E::constant("I", "matrix"));
+  return rules;
+}
+
+expr_rule lidia_inverse_rule() {
+  const expr f = expr::meta("f", "bigfloat");
+  return {"lidia:1.0/f->f.Inverse()",
+          expr::binary_op("/", expr::lit(1.0, "bigfloat"), f),
+          expr::call_fn("Inverse", {f}, "bigfloat"),
+          "user",
+          {}};
+}
+
+std::vector<expr_rule> derived_theorem_rules() {
+  using E = expr;
+  std::vector<expr_rule> rules;
+  for (const char* type : {"int", "double"}) {
+    const expr x = E::meta("x", type);
+    const expr zero = parse_literal(type == std::string("int") ? "0" : "0.0",
+                                    type)
+                          .value();
+    rules.push_back({std::string("annihilation[") + type + "]",
+                     E::binary_op("*", x, zero), zero, "derived-theorem", {}});
+    rules.push_back({std::string("annihilation-left[") + type + "]",
+                     E::binary_op("*", zero, x), zero, "derived-theorem", {}});
+    rules.push_back({std::string("double-negation[") + type + "]",
+                     E::unary_op("-", E::unary_op("-", x)), x,
+                     "derived-theorem",
+                     {}});
+  }
+  return rules;
+}
+
+expr_rule reciprocal_normalization_rule(const std::string& type) {
+  const expr x = expr::meta("x", type);
+  auto one = parse_literal("1.0", type);
+  return {"normalize:1/x->reciprocal(x) [" + type + "]",
+          expr::binary_op("/", one.value(), x),
+          expr::call_fn("reciprocal", {x}, type),
+          "normalization",
+          {}};
+}
+
+}  // namespace cgp::rewrite

@@ -1,0 +1,57 @@
+// Evaluation and cost modelling for the rewrite IR.
+//
+// The evaluator gives the ground truth the property tests check rewrites
+// against: for every rule application, evaluating the expression before and
+// after the rewrite (over randomized environments) must give equal values —
+// i.e. rewrites are semantics-preserving exactly because the model declared
+// the concept whose axiom generated the rule.
+//
+// The cost model supplies the "optimization" in the optimizer: each operator
+// carries an abstract cost (division and matrix products are expensive,
+// identities are free), so `cost(simplify(e)) <= cost(e)` quantifies the
+// benefit in bench/fig5_rewrite.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "rewrite/expr.hpp"
+
+namespace cgp::rewrite {
+
+/// Thrown on evaluation of an ill-formed expression (unknown variable,
+/// operator/type mismatch, non-square matrix inverse, ...).
+class eval_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Variable / named-constant environment.
+using environment = std::map<std::string, value>;
+
+/// Evaluates `e` under `env`.  Supports: int/unsigned/double/bool/string
+/// arithmetic and logic, `concat`, `reciprocal`, `Inverse` (bigfloat),
+/// `matmul`/`inverse` on matrices, and the named constant `I` (resolved to
+/// an identity matrix matching its context, or taken from `env`).
+[[nodiscard]] value evaluate(const expr& e, const environment& env);
+
+/// Abstract per-operation cost model.  Costs compose additively over the
+/// tree; leaves are free.
+class cost_model {
+ public:
+  /// Defaults: +,-,logic = 1; * = 2; / = 12; concat = 6; matmul = 250;
+  /// matrix inverse = 900; reciprocal = 12; Inverse (bigfloat) = 4;
+  /// unknown calls = 4.
+  cost_model();
+
+  void set_cost(const std::string& op, double c) { costs_[op] = c; }
+  [[nodiscard]] double op_cost(const std::string& op) const;
+  [[nodiscard]] double total(const expr& e) const;
+
+ private:
+  std::map<std::string, double> costs_;
+  double default_call_cost_ = 4.0;
+};
+
+}  // namespace cgp::rewrite

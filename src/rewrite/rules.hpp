@@ -1,0 +1,70 @@
+// Rewrite rules for the Simplicissimus-style engine.
+//
+// Two rule species, mirroring Section 3.2:
+//
+//  * `concept_rule` — a *generic* rule derived from a concept axiom (e.g.
+//    Monoid::right_identity gives `op(x, e) -> x`).  It fires on any
+//    (type, operation) pair the concept registry says models the concept;
+//    the model's symbol binding instantiates the abstract `op`/`e`/`inv`
+//    to the concrete operator and identity literal.  Two such rules cover
+//    all ten instances in Fig. 5.
+//
+//  * `expr_rule` — a concrete expression-level rule, used for (a) the
+//    enumerated per-type instances a traditional simplifier would need
+//    (the baseline in bench/fig5_rewrite) and (b) user/library-specific
+//    rules like LiDIA's `1.0 / f  ->  f.Inverse()`.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "rewrite/expr.hpp"
+
+namespace cgp::rewrite {
+
+/// Generic rule: orient a concept axiom left-to-right.
+struct concept_rule {
+  std::string concept_name;  ///< e.g. "Monoid"
+  std::string axiom_name;    ///< e.g. "right_identity"
+  /// Apply only when the rewrite reduces node count (guards against using
+  /// e.g. associativity as a non-terminating rule).
+  bool require_shrink = true;
+};
+
+/// Concrete rule over the expression IR.  Metavariables in `pattern` are
+/// match holes; an optional guard further restricts applicability.
+struct expr_rule {
+  std::string name;
+  expr pattern;
+  expr replacement;
+  std::string provenance;  ///< "instance", "user", "derived-theorem", ...
+  std::function<bool(const std::map<std::string, expr>& binding)> guard;
+};
+
+/// Converts an (already symbol-renamed) axiom term into an expression
+/// pattern for expressions of type `type`.
+///
+/// Conversion rules:
+///  * term variables become typed metavariables;
+///  * constants become literals parsed for `type` (or symbolic constants,
+///    e.g. the identity matrix `I`);
+///  * arity-2 applications of operator-like symbols become binary nodes,
+///    arity-1 applications of `-`/`!`/`~` become unary nodes, everything
+///    else becomes a call node;
+///  * the special symbol `id` applied to one argument collapses to the
+///    argument itself (for self-inverse operations such as xor).
+[[nodiscard]] expr pattern_from_term(const core::term& t,
+                                     const std::string& type);
+
+/// One record of a rule application, for diagnostics, tests, and the bench.
+struct rewrite_step {
+  std::string rule;        ///< rule or axiom name
+  std::string provenance;  ///< concept name or expr_rule provenance
+  std::string before;
+  std::string after;
+};
+
+}  // namespace cgp::rewrite

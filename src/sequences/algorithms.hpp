@@ -1,0 +1,325 @@
+// Concept-constrained sequence algorithms (the STL slice of the paper).
+//
+// Three language-level points from Section 2.1 are demonstrated here, with
+// the support C++20 has since gained:
+//  * concept-bounded polymorphism — every algorithm's type parameters are
+//    constrained by iterator/order concepts, so misuse fails at the call
+//    site, not deep inside the implementation;
+//  * concept-based overloading — `sort` selects introsort when iterators
+//    model RandomAccessIterator and a rotation-based mergesort when they
+//    model only ForwardIterator ("if they can be accessed efficiently via
+//    indexing ... we can apply the more-efficient quicksort algorithm");
+//  * the legacy tag-dispatching technique is provided alongside
+//    (advance_tagged) so the two mechanisms can be compared.
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <iterator>
+#include <utility>
+
+#include "core/algebraic.hpp"
+
+namespace cgp::sequences {
+
+// ---------------------------------------------------------------------------
+// advance / distance: the canonical dispatch example
+// ---------------------------------------------------------------------------
+
+/// O(1) for random access, O(n) otherwise — selected by concept.
+template <std::input_iterator I>
+constexpr void advance(I& it, std::iter_difference_t<I> n) {
+  if constexpr (std::random_access_iterator<I>) {
+    it += n;
+  } else if constexpr (std::bidirectional_iterator<I>) {
+    for (; n > 0; --n) ++it;
+    for (; n < 0; ++n) --it;
+  } else {
+    for (; n > 0; --n) ++it;
+  }
+}
+
+template <std::input_iterator I>
+[[nodiscard]] constexpr std::iter_difference_t<I> distance(I first, I last) {
+  if constexpr (std::random_access_iterator<I>) {
+    return last - first;
+  } else {
+    std::iter_difference_t<I> n = 0;
+    for (; first != last; ++first) ++n;
+    return n;
+  }
+}
+
+/// Pre-concepts tag dispatching (ref. 12's technique), for comparison in
+/// tests and the dispatch bench.
+namespace detail {
+template <class I>
+constexpr void advance_impl(I& it, std::iter_difference_t<I> n,
+                            std::random_access_iterator_tag) {
+  it += n;
+}
+template <class I>
+constexpr void advance_impl(I& it, std::iter_difference_t<I> n,
+                            std::input_iterator_tag) {
+  for (; n > 0; --n) ++it;
+}
+}  // namespace detail
+
+template <std::input_iterator I>
+constexpr void advance_tagged(I& it, std::iter_difference_t<I> n) {
+  detail::advance_impl(
+      it, n, typename std::iterator_traits<I>::iterator_category{});
+}
+
+// ---------------------------------------------------------------------------
+// Linear searches and folds
+// ---------------------------------------------------------------------------
+
+template <std::input_iterator I, class T>
+[[nodiscard]] constexpr I find(I first, I last, const T& value) {
+  for (; first != last; ++first)
+    if (*first == value) return first;
+  return last;
+}
+
+template <std::input_iterator I, std::predicate<std::iter_value_t<I>> P>
+[[nodiscard]] constexpr I find_if(I first, I last, P pred) {
+  for (; first != last; ++first)
+    if (pred(*first)) return first;
+  return last;
+}
+
+template <std::input_iterator I, class T>
+[[nodiscard]] constexpr std::iter_difference_t<I> count(I first, I last,
+                                                        const T& value) {
+  std::iter_difference_t<I> n = 0;
+  for (; first != last; ++first)
+    if (*first == value) ++n;
+  return n;
+}
+
+/// Monoid-constrained reduction: the operation and its identity come from a
+/// declared model, so `reduce<std::plus<>>(f, l)` cannot be instantiated
+/// with a non-associative operation — the semantic concept is enforced at
+/// compile time (Section 3's promise).
+template <class Op, std::input_iterator I>
+  requires core::Monoid<std::iter_value_t<I>, Op>
+[[nodiscard]] constexpr std::iter_value_t<I> reduce(I first, I last,
+                                                    Op op = {}) {
+  auto acc = core::identity_element<std::iter_value_t<I>, Op>();
+  for (; first != last; ++first) acc = op(acc, *first);
+  return acc;
+}
+
+/// Plain accumulate for explicit init (no concept requirement beyond syntax).
+template <std::input_iterator I, class T, class Op = std::plus<>>
+[[nodiscard]] constexpr T accumulate(I first, I last, T init, Op op = {}) {
+  for (; first != last; ++first) init = op(std::move(init), *first);
+  return init;
+}
+
+// ---------------------------------------------------------------------------
+// Order-based algorithms: require ForwardIterator (multipass!) and a
+// Strict Weak Order (Fig. 6's axioms)
+// ---------------------------------------------------------------------------
+
+/// Requires ForwardIterator: the `best` iterator is revisited after the
+/// traversal has moved on — exactly the multipass dependence STLlint's
+/// semantic archetype catches when handed an input iterator (Section 3.1).
+template <std::forward_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+[[nodiscard]] constexpr I max_element(I first, I last, Cmp cmp = {}) {
+  if (first == last) return last;
+  I best = first;
+  for (++first; first != last; ++first)
+    if (cmp(*best, *first)) best = first;
+  return best;
+}
+
+template <std::forward_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+[[nodiscard]] constexpr I min_element(I first, I last, Cmp cmp = {}) {
+  if (first == last) return last;
+  I best = first;
+  for (++first; first != last; ++first)
+    if (cmp(*first, *best)) best = first;
+  return best;
+}
+
+template <std::forward_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+[[nodiscard]] constexpr bool is_sorted(I first, I last, Cmp cmp = {}) {
+  if (first == last) return true;
+  for (I next = std::next(first); next != last; ++first, ++next)
+    if (cmp(*next, *first)) return false;
+  return true;
+}
+
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] constexpr I lower_bound(I first, I last, const T& value,
+                                      Cmp cmp = {}) {
+  auto n = cgp::sequences::distance(first, last);
+  while (n > 0) {
+    const auto half = n / 2;
+    I mid = first;
+    cgp::sequences::advance(mid, half);
+    if (cmp(*mid, value)) {
+      first = std::next(mid);
+      n -= half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return first;
+}
+
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] constexpr I upper_bound(I first, I last, const T& value,
+                                      Cmp cmp = {}) {
+  auto n = cgp::sequences::distance(first, last);
+  while (n > 0) {
+    const auto half = n / 2;
+    I mid = first;
+    cgp::sequences::advance(mid, half);
+    if (!cmp(value, *mid)) {
+      first = std::next(mid);
+      n -= half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return first;
+}
+
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] constexpr bool binary_search(I first, I last, const T& value,
+                                           Cmp cmp = {}) {
+  const I it = cgp::sequences::lower_bound(first, last, value, cmp);
+  return it != last && !cmp(value, *it);
+}
+
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] constexpr std::pair<I, I> equal_range(I first, I last,
+                                                    const T& value,
+                                                    Cmp cmp = {}) {
+  return {cgp::sequences::lower_bound(first, last, value, cmp),
+          cgp::sequences::upper_bound(first, last, value, cmp)};
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers
+// ---------------------------------------------------------------------------
+
+template <std::input_iterator I, std::weakly_incrementable O>
+constexpr O copy(I first, I last, O out) {
+  for (; first != last; ++first, ++out) *out = *first;
+  return out;
+}
+
+template <std::permutable I>
+constexpr void iter_swap(I a, I b) {
+  using std::swap;
+  swap(*a, *b);
+}
+
+template <std::bidirectional_iterator I>
+constexpr void reverse(I first, I last) {
+  while (first != last && first != --last) {
+    cgp::sequences::iter_swap(first, last);
+    ++first;
+  }
+}
+
+/// std::rotate for forward iterators (the workhorse of the buffer-free
+/// mergesort below).
+template <std::permutable I>
+constexpr I rotate(I first, I middle, I last) {
+  if (first == middle) return last;
+  if (middle == last) return first;
+  I write = first;
+  I next_read = first;
+  for (I read = middle; read != last; ++write, ++read) {
+    if (write == next_read) next_read = read;
+    cgp::sequences::iter_swap(write, read);
+  }
+  // Rotate the remaining [write, last) range.
+  (void)cgp::sequences::rotate(write, next_read, last);
+  return write;
+}
+
+template <std::input_iterator I1, std::input_iterator I2,
+          std::weakly_incrementable O, class Cmp = std::less<>>
+constexpr O merge(I1 f1, I1 l1, I2 f2, I2 l2, O out, Cmp cmp = {}) {
+  while (f1 != l1 && f2 != l2) {
+    if (cmp(*f2, *f1)) {
+      *out = *f2;
+      ++f2;
+    } else {
+      *out = *f1;
+      ++f1;
+    }
+    ++out;
+  }
+  for (; f1 != l1; ++f1, ++out) *out = *f1;
+  for (; f2 != l2; ++f2, ++out) *out = *f2;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning and uniqueness (ForwardIterator is enough for all of these)
+// ---------------------------------------------------------------------------
+
+/// Moves elements satisfying `pred` to the front; returns the partition
+/// point.  Forward-iterator algorithm (swap-based single pass).
+template <std::permutable I, std::predicate<std::iter_value_t<I>> P>
+constexpr I partition(I first, I last, P pred) {
+  // Skip the already-true prefix.
+  while (first != last && pred(*first)) ++first;
+  if (first == last) return first;
+  for (I it = std::next(first); it != last; ++it) {
+    if (pred(*it)) {
+      cgp::sequences::iter_swap(it, first);
+      ++first;
+    }
+  }
+  return first;
+}
+
+template <std::input_iterator I, std::predicate<std::iter_value_t<I>> P>
+[[nodiscard]] constexpr bool is_partitioned(I first, I last, P pred) {
+  for (; first != last && pred(*first); ++first) {
+  }
+  for (; first != last; ++first)
+    if (pred(*first)) return false;
+  return true;
+}
+
+/// First position where two adjacent elements satisfy `pred` (equality by
+/// default); `last` if none.
+template <std::forward_iterator I, class P = std::equal_to<>>
+[[nodiscard]] constexpr I adjacent_find(I first, I last, P pred = {}) {
+  if (first == last) return last;
+  for (I next = std::next(first); next != last; ++first, ++next)
+    if (pred(*first, *next)) return first;
+  return last;
+}
+
+/// Removes consecutive duplicates in place; returns the new logical end.
+/// On a sorted range this deduplicates globally — the sortedness
+/// precondition the taxonomy and STLlint track.
+template <std::permutable I, class P = std::equal_to<>>
+constexpr I unique(I first, I last, P pred = {}) {
+  first = cgp::sequences::adjacent_find(first, last, pred);
+  if (first == last) return last;
+  I write = first;
+  ++first;
+  for (; first != last; ++first) {
+    if (!pred(*write, *first)) {
+      ++write;
+      *write = std::move(*first);
+    }
+  }
+  return ++write;
+}
+
+}  // namespace cgp::sequences

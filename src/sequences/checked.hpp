@@ -1,0 +1,90 @@
+// Entry/exit handlers for algorithm concepts (Section 3.1):
+// "entry handlers check preconditions and exit handlers check/enforce
+// postconditions.  For example, sorting algorithms introduce a sortedness
+// property that can be used in checking for proper use of algorithms that
+// require it, such as binary search."
+//
+// The `checked` namespace wraps the generic algorithms with dynamic
+// verification of the semantic contract; it is the runtime complement to
+// STLlint's static checking, sharing the same property vocabulary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/archetypes.hpp"
+#include "sequences/sort.hpp"
+
+namespace cgp::sequences::checked {
+
+/// Thrown by an entry handler when a precondition fails.
+class precondition_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown by an exit handler when a postcondition fails — this indicates a
+/// bug in the *algorithm*, not the caller.
+class postcondition_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Per-call handler statistics so tests/benches can audit checking cost.
+struct handler_stats {
+  std::size_t entry_checks = 0;
+  std::size_t exit_checks = 0;
+};
+
+[[nodiscard]] inline handler_stats& stats() {
+  static handler_stats s;
+  return s;
+}
+
+/// binary_search with its Sorted entry handler.
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] bool binary_search(I first, I last, const T& value,
+                                 Cmp cmp = {}) {
+  ++stats().entry_checks;
+  if (!cgp::sequences::is_sorted(first, last, cmp))
+    throw precondition_violation(
+        "binary_search: the range [first, last) is not sorted with respect "
+        "to the supplied strict weak order");
+  return cgp::sequences::binary_search(first, last, value, cmp);
+}
+
+/// lower_bound with its Sorted entry handler.
+template <std::forward_iterator I, class T, class Cmp = std::less<>>
+[[nodiscard]] I lower_bound(I first, I last, const T& value, Cmp cmp = {}) {
+  ++stats().entry_checks;
+  if (!cgp::sequences::is_sorted(first, last, cmp))
+    throw precondition_violation(
+        "lower_bound: the range [first, last) is not sorted");
+  return cgp::sequences::lower_bound(first, last, value, cmp);
+}
+
+/// sort with (a) an archetype-checked strict weak order — every comparison
+/// is audited against the Fig. 6 asymmetry requirement — and (b) a
+/// sortedness exit handler.
+template <std::forward_iterator I, class Cmp = std::less<>>
+  requires std::permutable<I>
+void sort(I first, I last, Cmp cmp = {}) {
+  core::checked_strict_weak_order<std::iter_value_t<I>, Cmp> checked_cmp(cmp);
+  cgp::sequences::sort(first, last, std::ref(checked_cmp));
+  ++stats().exit_checks;
+  if (!cgp::sequences::is_sorted(first, last, cmp))
+    throw postcondition_violation(
+        "sort: the range is not sorted on exit (broken comparator or "
+        "algorithm bug)");
+}
+
+/// max_element with its nonempty entry handler.
+template <std::forward_iterator I, class Cmp = std::less<>>
+[[nodiscard]] I max_element(I first, I last, Cmp cmp = {}) {
+  ++stats().entry_checks;
+  if (first == last)
+    throw precondition_violation("max_element: empty range has no maximum");
+  return cgp::sequences::max_element(first, last, cmp);
+}
+
+}  // namespace cgp::sequences::checked

@@ -1,0 +1,248 @@
+// Sorting with concept-based overloading (Section 2.1's motivating example):
+// "when applying a sorting algorithm to a data structure, we must consider
+// how the elements ... are accessed: if they can only be accessed linearly
+// (as with a linked list) we might select a default algorithm, but if they
+// can be accessed efficiently via indexing (as with an array) we can apply
+// the more-efficient quicksort algorithm."
+//
+//  * RandomAccessIterator  -> introsort (median-of-3 quicksort + heapsort
+//                             depth fallback + insertion sort for small
+//                             ranges), O(n log n) worst case;
+//  * ForwardIterator       -> rotation-based top-down mergesort, in-place,
+//                             O(n log^2 n) — the "default algorithm".
+//
+// `sort` picks between them by concept at compile time with zero runtime
+// dispatch cost (measured in bench/sec2_dispatch).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <string_view>
+#include <vector>
+
+#include "sequences/algorithms.hpp"
+
+namespace cgp::sequences {
+
+namespace detail {
+
+constexpr std::ptrdiff_t kInsertionThreshold = 16;
+
+template <std::random_access_iterator I, class Cmp>
+constexpr void insertion_sort(I first, I last, Cmp& cmp) {
+  for (I i = first; i != last; ++i) {
+    auto value = std::move(*i);
+    I j = i;
+    while (j != first && cmp(value, *(j - 1))) {
+      *j = std::move(*(j - 1));
+      --j;
+    }
+    *j = std::move(value);
+  }
+}
+
+template <std::random_access_iterator I, class Cmp>
+constexpr void sift_down(I first, std::ptrdiff_t start, std::ptrdiff_t end,
+                         Cmp& cmp) {
+  std::ptrdiff_t root = start;
+  for (;;) {
+    std::ptrdiff_t child = 2 * root + 1;
+    if (child >= end) return;
+    if (child + 1 < end && cmp(first[child], first[child + 1])) ++child;
+    if (!cmp(first[root], first[child])) return;
+    cgp::sequences::iter_swap(first + root, first + child);
+    root = child;
+  }
+}
+
+template <std::random_access_iterator I, class Cmp>
+constexpr void heap_sort(I first, I last, Cmp& cmp) {
+  const std::ptrdiff_t n = last - first;
+  for (std::ptrdiff_t start = n / 2 - 1; start >= 0; --start)
+    sift_down(first, start, n, cmp);
+  for (std::ptrdiff_t end = n - 1; end > 0; --end) {
+    cgp::sequences::iter_swap(first, first + end);
+    sift_down(first, 0, end, cmp);
+  }
+}
+
+template <std::random_access_iterator I, class Cmp>
+constexpr I median_of_three(I a, I b, I c, Cmp& cmp) {
+  if (cmp(*a, *b)) {
+    if (cmp(*b, *c)) return b;
+    return cmp(*a, *c) ? c : a;
+  }
+  if (cmp(*a, *c)) return a;
+  return cmp(*b, *c) ? c : b;
+}
+
+template <std::random_access_iterator I, class Cmp>
+constexpr void introsort_loop(I first, I last, int depth_budget, Cmp& cmp) {
+  while (last - first > kInsertionThreshold) {
+    if (depth_budget-- == 0) {
+      heap_sort(first, last, cmp);
+      return;
+    }
+    const I mid = first + (last - first) / 2;
+    const I pivot_it = median_of_three(first, mid, last - 1, cmp);
+    cgp::sequences::iter_swap(pivot_it, last - 1);
+    const auto& pivot = *(last - 1);
+    I cut = first;
+    for (I i = first; i != last - 1; ++i) {
+      if (cmp(*i, pivot)) {
+        cgp::sequences::iter_swap(i, cut);
+        ++cut;
+      }
+    }
+    cgp::sequences::iter_swap(cut, last - 1);
+    // Recurse on the smaller side, loop on the larger (O(log n) stack).
+    if (cut - first < last - (cut + 1)) {
+      introsort_loop(first, cut, depth_budget, cmp);
+      first = cut + 1;
+    } else {
+      introsort_loop(cut + 1, last, depth_budget, cmp);
+      last = cut;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Introsort; requires random access.
+template <std::random_access_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+constexpr void intro_sort(I first, I last, Cmp cmp = {}) {
+  if (last - first <= 1) return;
+  const int depth =
+      2 * std::bit_width(static_cast<std::size_t>(last - first));
+  detail::introsort_loop(first, last, depth, cmp);
+  detail::insertion_sort(first, last, cmp);
+}
+
+/// Buffer-free top-down mergesort; needs only forward iterators.
+/// O(n log^2 n) because the merge uses rotations instead of a buffer.
+template <std::forward_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+  requires std::permutable<I>
+constexpr void forward_merge_sort(I first, I last, Cmp cmp = {}) {
+  const auto n = cgp::sequences::distance(first, last);
+  if (n <= 1) return;
+  I mid = first;
+  cgp::sequences::advance(mid, n / 2);
+  forward_merge_sort(first, mid, cmp);
+  forward_merge_sort(mid, last, cmp);
+  // In-place merge by recursive rotation.
+  struct merger {
+    Cmp& cmp;
+    void operator()(I f, I m, I l, std::ptrdiff_t len1,
+                    std::ptrdiff_t len2) const {
+      if (len1 == 0 || len2 == 0) return;
+      if (len1 + len2 == 2) {
+        if (cmp(*m, *f)) cgp::sequences::iter_swap(f, m);
+        return;
+      }
+      I cut1 = f;
+      I cut2 = m;
+      std::ptrdiff_t half1 = 0, half2 = 0;
+      if (len1 > len2) {
+        half1 = len1 / 2;
+        cgp::sequences::advance(cut1, half1);
+        cut2 = cgp::sequences::lower_bound(m, l, *cut1, cmp);
+        half2 = cgp::sequences::distance(m, cut2);
+      } else {
+        half2 = len2 / 2;
+        cgp::sequences::advance(cut2, half2);
+        cut1 = cgp::sequences::upper_bound(f, m, *cut2, cmp);
+        half1 = cgp::sequences::distance(f, cut1);
+      }
+      const I new_mid = cgp::sequences::rotate(cut1, m, cut2);
+      (*this)(f, cut1, new_mid, half1, half2);
+      (*this)(new_mid, cut2, l, len1 - half1, len2 - half2);
+    }
+  };
+  merger{cmp}(first, mid, last, static_cast<std::ptrdiff_t>(n / 2),
+              static_cast<std::ptrdiff_t>(n - n / 2));
+}
+
+/// Concept-based overload selection: the public `sort`.
+template <std::forward_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+  requires std::permutable<I>
+constexpr void sort(I first, I last, Cmp cmp = {}) {
+  if constexpr (std::random_access_iterator<I>) {
+    intro_sort(first, last, cmp);
+  } else {
+    forward_merge_sort(first, last, cmp);
+  }
+}
+
+/// Which algorithm `sort` selects for iterator type I — introspection for
+/// tests and the dispatch bench.
+template <class I>
+[[nodiscard]] constexpr std::string_view sort_algorithm_for() {
+  if constexpr (std::random_access_iterator<I>)
+    return "introsort";
+  else
+    return "forward_merge_sort";
+}
+
+/// Quickselect: after the call, `*nth` holds the element that would be
+/// there after a full sort, with everything before it no greater (under
+/// cmp).  Expected O(n); random access required (Section 2.1's indexing
+/// argument again).
+template <std::random_access_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+constexpr void nth_element(I first, I nth, I last, Cmp cmp = {}) {
+  if (nth == last) return;
+  while (last - first > detail::kInsertionThreshold) {
+    const I mid = first + (last - first) / 2;
+    const I pivot_it = detail::median_of_three(first, mid, last - 1, cmp);
+    cgp::sequences::iter_swap(pivot_it, last - 1);
+    const auto& pivot = *(last - 1);
+    I cut = first;
+    for (I i = first; i != last - 1; ++i) {
+      if (cmp(*i, pivot)) {
+        cgp::sequences::iter_swap(i, cut);
+        ++cut;
+      }
+    }
+    cgp::sequences::iter_swap(cut, last - 1);
+    if (cut == nth) return;
+    if (nth < cut)
+      last = cut;
+    else
+      first = cut + 1;
+  }
+  detail::insertion_sort(first, last, cmp);
+}
+
+/// Stable mergesort with an explicit buffer (random access), used as the
+/// baseline in benches.
+template <std::random_access_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+void buffered_merge_sort(I first, I last, Cmp cmp = {}) {
+  const auto n = last - first;
+  if (n <= 1) return;
+  using T = std::iter_value_t<I>;
+  std::vector<T> buffer(first, last);
+  // Bottom-up merge between buffer and range.
+  for (std::ptrdiff_t width = 1; width < n; width *= 2) {
+    for (std::ptrdiff_t i = 0; i < n; i += 2 * width) {
+      const auto m = std::min(i + width, static_cast<std::ptrdiff_t>(n));
+      const auto r = std::min(i + 2 * width, static_cast<std::ptrdiff_t>(n));
+      cgp::sequences::merge(first + i, first + m, first + m, first + r,
+                            buffer.begin() + i, cmp);
+    }
+    cgp::sequences::copy(buffer.begin(), buffer.begin() + n, first);
+  }
+}
+
+/// Stable sort: buffered bottom-up mergesort (the merge keeps the left
+/// run's elements first on ties).
+template <std::random_access_iterator I,
+          std::indirect_strict_weak_order<I> Cmp = std::less<>>
+void stable_sort(I first, I last, Cmp cmp = {}) {
+  buffered_merge_sort(first, last, cmp);
+}
+
+}  // namespace cgp::sequences

@@ -1,0 +1,1133 @@
+#include "stllint/analyzer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+
+namespace cgp::stllint {
+namespace {
+
+using validity = iterator_state::validity;
+using position = iterator_state::position;
+
+validity join_validity(validity a, validity b) {
+  if (a == b) return a;
+  return validity::maybe_singular;
+}
+
+iterator_state join_iterators(const iterator_state& a,
+                              const iterator_state& b) {
+  if (a == b) return a;
+  iterator_state out;
+  out.valid = join_validity(a.valid, b.valid);
+  out.reason = a.reason.empty() ? b.reason : a.reason;
+  out.unverified_from =
+      a.unverified_from.empty() ? b.unverified_from : a.unverified_from;
+  if (a.container == b.container) {
+    out.container = a.container;
+    if (a.pos == b.pos && a.offset == b.offset) {
+      out.pos = a.pos;
+      out.offset = a.offset;
+    } else {
+      out.pos = position::somewhere;
+    }
+  } else {
+    out.container.clear();
+    out.pos = position::somewhere;
+  }
+  if (out.valid == validity::singular) out.pos = position::none;
+  return out;
+}
+
+abstract_value join_values(const abstract_value& a, const abstract_value& b) {
+  if (a == b) return a;
+  if (a.k != b.k) return abstract_value::unknown_value();
+  switch (a.k) {
+    case abstract_value::kind::integer:
+      return abstract_value::integer(a.num.join(b.num));
+    case abstract_value::kind::boolean:
+      return abstract_value::boolean(a.truth == b.truth ? a.truth
+                                                        : std::nullopt);
+    case abstract_value::kind::iterator:
+      return abstract_value::iterator(join_iterators(a.iter, b.iter));
+    default:
+      return abstract_value::unknown_value();
+  }
+}
+
+container_state join_containers(const container_state& a,
+                                const container_state& b) {
+  container_state out = a;
+  out.size = a.size.join(b.size);
+  out.sorted = join(a.sorted, b.sorted);
+  out.consumed = a.consumed || b.consumed;
+  return out;
+}
+
+}  // namespace
+
+abstract_state join(const abstract_state& a, const abstract_state& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  abstract_state out;
+  out.reachable = true;
+  for (const auto& [name, ca] : a.containers) {
+    auto it = b.containers.find(name);
+    out.containers[name] = it == b.containers.end()
+                               ? ca
+                               : join_containers(ca, it->second);
+  }
+  for (const auto& [name, cb] : b.containers)
+    if (!out.containers.contains(name)) out.containers[name] = cb;
+  for (const auto& [name, va] : a.values) {
+    auto it = b.values.find(name);
+    out.values[name] = it == b.values.end() ? va : join_values(va, it->second);
+  }
+  for (const auto& [name, vb] : b.values)
+    if (!out.values.contains(name)) out.values[name] = vb;
+  return out;
+}
+
+// ===========================================================================
+// The executor
+// ===========================================================================
+
+class exec_impl {
+ public:
+  exec_impl(analyzer& a) : a_(a) {}
+
+  void run_function(const ast_function& fn) {
+    ++a_.stats_.functions;
+    abstract_state st;
+    for (const ast_param& p : fn.params) bind_param(p, st);
+    if (fn.body) exec(*fn.body, st);
+  }
+
+ private:
+  // --- reporting ------------------------------------------------------------
+  void report(severity sev, int line, int col, std::string msg) {
+    const std::string key =
+        std::to_string(line) + ":" + std::to_string(col) + ":" + msg;
+    if (!a_.reported_.insert(key).second) return;
+    std::string echo;
+    if (line >= 1 &&
+        static_cast<std::size_t>(line) <= a_.source_lines_.size()) {
+      echo = a_.source_lines_[static_cast<std::size_t>(line) - 1];
+      const std::size_t first = echo.find_first_not_of(" \t");
+      if (first != std::string::npos) echo = echo.substr(first);
+    }
+    a_.diags_.push_back({sev, line, col, std::move(msg), std::move(echo)});
+  }
+
+  // --- state helpers ----------------------------------------------------------
+  static container_state* container_of(abstract_state& st,
+                                       const std::string& name) {
+    auto it = st.containers.find(name);
+    return it == st.containers.end() ? nullptr : &it->second;
+  }
+
+  void bind_param(const ast_param& p, abstract_state& st) {
+    if (p.type.is_container()) {
+      const container_spec& spec = spec_for(p.type.container);
+      container_state c;
+      c.kind = p.type.container;
+      c.size = interval{0, interval::pos_inf};
+      c.sorted = spec.keeps_sorted ? sorted3::yes : sorted3::unknown;
+      st.containers[p.name] = c;
+    } else if (p.type.is_iterator()) {
+      st.values[p.name] =
+          abstract_value::iterator(iterator_state::somewhere_in(""));
+    } else if (p.type.k == mini_type::kind::int_t) {
+      st.values[p.name] = abstract_value::integer(interval::unknown());
+    } else if (p.type.k == mini_type::kind::bool_t) {
+      st.values[p.name] = abstract_value::boolean(std::nullopt);
+    } else {
+      st.values[p.name] = abstract_value::unknown_value();
+    }
+  }
+
+  void invalidate_all(abstract_state& st, const std::string& cont,
+                      const std::string& why) {
+    for (auto& [name, v] : st.values) {
+      if (v.k == abstract_value::kind::iterator && v.iter.container == cont &&
+          v.iter.valid != validity::singular) {
+        v.iter.valid = validity::singular;
+        v.iter.pos = position::none;
+        v.iter.reason = why;
+      }
+    }
+  }
+
+  void invalidate_matching(abstract_state& st, const std::string& cont,
+                           const iterator_state& target,
+                           const std::string& arg_var,
+                           const std::string& why) {
+    for (auto& [name, v] : st.values) {
+      if (v.k != abstract_value::kind::iterator || v.iter.container != cont)
+        continue;
+      const bool is_arg_var = !arg_var.empty() && name == arg_var;
+      const bool same_known_pos = target.pos != position::somewhere &&
+                                  target.pos != position::none &&
+                                  v.iter.pos == target.pos &&
+                                  v.iter.offset == target.offset;
+      if (is_arg_var || same_known_pos) {
+        v.iter.valid = validity::singular;
+        v.iter.pos = position::none;
+        v.iter.reason = why;
+      }
+    }
+  }
+
+  void apply_invalidation(abstract_state& st, const std::string& cont,
+                          invalidation rule, const iterator_state& arg,
+                          const std::string& arg_var, const std::string& why) {
+    switch (rule) {
+      case invalidation::none:
+        break;
+      case invalidation::argument:
+        invalidate_matching(st, cont, arg, arg_var, why);
+        break;
+      case invalidation::all:
+        invalidate_all(st, cont, why);
+        break;
+    }
+  }
+
+  /// After reporting a singular-iterator misuse rooted at variable `var`,
+  /// heal the variable so one root cause yields one report.
+  void heal(abstract_state& st, const std::string& var) {
+    if (var.empty()) return;
+    auto it = st.values.find(var);
+    if (it == st.values.end() ||
+        it->second.k != abstract_value::kind::iterator)
+      return;
+    iterator_state& s = it->second.iter;
+    s.valid = validity::valid;
+    s.pos = position::somewhere;
+    s.reason.clear();
+  }
+
+  static std::string var_name_of(const ast_expr& e) {
+    return e.k == ast_expr::kind::var ? e.text : std::string{};
+  }
+
+  // --- iterator use checks -------------------------------------------------
+  void check_deref(abstract_state& st, const iterator_state& it,
+                   const std::string& var, int line, int col) {
+    if (it.valid == validity::valid && !it.unverified_from.empty()) {
+      report(severity::warning, line, col,
+             "dereferencing the result of '" + it.unverified_from +
+                 "' without comparing it against end() first — it may be "
+                 "the not-found sentinel");
+      if (!var.empty()) {
+        auto vit = st.values.find(var);
+        if (vit != st.values.end() &&
+            vit->second.k == abstract_value::kind::iterator)
+          vit->second.iter.unverified_from.clear();
+      }
+      return;
+    }
+    if (it.valid != validity::valid) {
+      report(severity::warning, line, col,
+             "attempt to dereference a singular iterator" +
+                 (it.reason.empty() ? "" : " (" + it.reason + ")"));
+      heal(st, var);
+      return;
+    }
+    if (it.pos == position::from_end && it.offset == 0) {
+      report(severity::warning, line, col,
+             "attempt to dereference a past-the-end iterator");
+      return;
+    }
+    if (it.pos == position::from_begin) {
+      if (container_state* c = container_of(st, it.container);
+          c != nullptr && it.offset >= c->size.hi) {
+        report(severity::warning, line, col,
+               "attempt to dereference a past-the-end iterator (position "
+               "begin+" +
+                   std::to_string(it.offset) + ", size at most " +
+                   std::to_string(c->size.hi) + ")");
+      }
+    }
+  }
+
+  void check_advance(abstract_state& st, const iterator_state& it,
+                     const std::string& var, bool forward, int line,
+                     int col) {
+    if (it.valid != validity::valid) {
+      report(severity::warning, line, col,
+             std::string("attempt to ") + (forward ? "advance" : "decrement") +
+                 " a singular iterator" +
+                 (it.reason.empty() ? "" : " (" + it.reason + ")"));
+      heal(st, var);
+      return;
+    }
+    if (!forward && it.pos == position::from_begin && it.offset == 0) {
+      report(severity::warning, line, col,
+             "attempt to decrement an iterator already at the beginning");
+    }
+    if (forward && it.pos == position::from_end && it.offset == 0) {
+      report(severity::warning, line, col,
+             "attempt to advance a past-the-end iterator");
+    }
+  }
+
+  // --- expression evaluation -------------------------------------------------
+  abstract_value eval(const ast_expr& e, abstract_state& st) {
+    ++a_.stats_.expressions;
+    switch (e.k) {
+      case ast_expr::kind::int_lit: {
+        long v = 0;
+        std::from_chars(e.text.data(), e.text.data() + e.text.size(), v);
+        return abstract_value::integer(interval::exact(v));
+      }
+      case ast_expr::kind::double_lit:
+      case ast_expr::kind::string_lit:
+        return abstract_value::unknown_value();
+      case ast_expr::kind::bool_lit:
+        return abstract_value::boolean(e.text == "true");
+      case ast_expr::kind::var:
+        return eval_var(e, st);
+      case ast_expr::kind::unary:
+        return eval_unary(e, st);
+      case ast_expr::kind::postfix:
+        return eval_incdec(e, *e.children[0], e.text == "++", st);
+      case ast_expr::kind::binary:
+        return eval_binary(e, st);
+      case ast_expr::kind::assign:
+        return eval_assign(e, st);
+      case ast_expr::kind::member_call:
+        return eval_member_call(e, st);
+      case ast_expr::kind::call:
+        return eval_call(e, st);
+    }
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_var(const ast_expr& e, abstract_state& st) {
+    if (auto it = st.values.find(e.text); it != st.values.end())
+      return it->second;
+    if (st.containers.contains(e.text)) {
+      abstract_value v;
+      v.k = abstract_value::kind::container_ref;
+      v.container = e.text;
+      return v;
+    }
+    report(severity::error, e.line, e.column,
+           "use of undeclared variable '" + e.text + "'");
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_unary(const ast_expr& e, abstract_state& st) {
+    const ast_expr& operand = *e.children[0];
+    if (e.text == "*") {
+      const abstract_value v = eval(operand, st);
+      if (v.k == abstract_value::kind::iterator)
+        check_deref(st, v.iter, var_name_of(operand), e.line, e.column);
+      return abstract_value::unknown_value();
+    }
+    if (e.text == "++" || e.text == "--")
+      return eval_incdec(e, operand, e.text == "++", st);
+    const abstract_value v = eval(operand, st);
+    if (e.text == "!") {
+      if (v.k == abstract_value::kind::boolean && v.truth.has_value())
+        return abstract_value::boolean(!*v.truth);
+      return abstract_value::boolean(std::nullopt);
+    }
+    if (e.text == "-" && v.k == abstract_value::kind::integer) {
+      return abstract_value::integer(
+          {v.num.hi >= interval::pos_inf ? interval::neg_inf : -v.num.hi,
+           v.num.lo <= interval::neg_inf ? interval::pos_inf : -v.num.lo});
+    }
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_incdec(const ast_expr& site, const ast_expr& operand,
+                             bool forward, abstract_state& st) {
+    const abstract_value before = eval(operand, st);
+    const std::string var = var_name_of(operand);
+    if (before.k == abstract_value::kind::iterator) {
+      check_advance(st, before.iter, var, forward, site.line, site.column);
+      iterator_state next = before.iter;
+      if (next.valid == validity::valid) {
+        if (next.pos == position::from_begin)
+          next.offset += forward ? 1 : -1;
+        else if (next.pos == position::from_end)
+          next.offset += forward ? -1 : 1;
+        // somewhere stays somewhere
+      }
+      if (!var.empty() && st.values.contains(var) &&
+          st.values[var].k == abstract_value::kind::iterator &&
+          st.values[var].iter.valid == validity::valid)
+        st.values[var] = abstract_value::iterator(next);
+      return abstract_value::iterator(next);
+    }
+    if (before.k == abstract_value::kind::integer) {
+      const abstract_value after =
+          abstract_value::integer(before.num.plus(forward ? 1 : -1));
+      if (!var.empty() && st.values.contains(var)) st.values[var] = after;
+      return after;
+    }
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_binary(const ast_expr& e, abstract_state& st) {
+    const abstract_value a = eval(*e.children[0], st);
+    const abstract_value b = eval(*e.children[1], st);
+    const std::string& op = e.text;
+
+    // Iterator comparison: flag cross-container comparisons.
+    if (a.k == abstract_value::kind::iterator &&
+        b.k == abstract_value::kind::iterator) {
+      // Any comparison verifies a search result (the `it != end()` idiom).
+      for (const auto& child : e.children) {
+        const std::string vn = var_name_of(*child);
+        if (vn.empty()) continue;
+        auto vit = st.values.find(vn);
+        if (vit != st.values.end() &&
+            vit->second.k == abstract_value::kind::iterator)
+          vit->second.iter.unverified_from.clear();
+      }
+      if (!a.iter.container.empty() && !b.iter.container.empty() &&
+          a.iter.container != b.iter.container) {
+        report(severity::warning, e.line, e.column,
+               "comparison of iterators from different containers ('" +
+                   a.iter.container + "' and '" + b.iter.container + "')");
+        return abstract_value::boolean(std::nullopt);
+      }
+      if ((op == "==" || op == "!=") && a.iter.valid == validity::valid &&
+          b.iter.valid == validity::valid &&
+          a.iter.container == b.iter.container) {
+        // Known positions let us decide the comparison.
+        if (a.iter.pos == b.iter.pos && a.iter.pos != position::somewhere &&
+            a.iter.pos != position::none) {
+          const bool eq = a.iter.offset == b.iter.offset;
+          return abstract_value::boolean(op == "==" ? eq : !eq);
+        }
+        if (container_state* c = container_of(st, a.iter.container)) {
+          // begin+k vs end-j with exact size: decidable.
+          const iterator_state* fb = nullptr;
+          const iterator_state* fe = nullptr;
+          if (a.iter.pos == position::from_begin &&
+              b.iter.pos == position::from_end) {
+            fb = &a.iter;
+            fe = &b.iter;
+          } else if (b.iter.pos == position::from_begin &&
+                     a.iter.pos == position::from_end) {
+            fb = &b.iter;
+            fe = &a.iter;
+          }
+          if (fb != nullptr && c->size.is_exact()) {
+            const bool eq = fb->offset == c->size.lo - fe->offset;
+            return abstract_value::boolean(op == "==" ? eq : !eq);
+          }
+          // begin+k vs end: if k < minimum size, definitely not equal.
+          if (fb != nullptr && fe->offset == 0 && fb->offset < c->size.lo) {
+            return abstract_value::boolean(op == "==" ? false : true);
+          }
+        }
+      }
+      return abstract_value::boolean(std::nullopt);
+    }
+
+    // Integer arithmetic and comparisons over intervals.
+    if (a.k == abstract_value::kind::integer &&
+        b.k == abstract_value::kind::integer) {
+      const interval& x = a.num;
+      const interval& y = b.num;
+      const auto sat_add = [](long p, long q) {
+        if (p <= interval::neg_inf || q <= interval::neg_inf)
+          return interval::neg_inf;
+        if (p >= interval::pos_inf || q >= interval::pos_inf)
+          return interval::pos_inf;
+        return p + q;
+      };
+      if (op == "+")
+        return abstract_value::integer({sat_add(x.lo, y.lo),
+                                        sat_add(x.hi, y.hi)});
+      if (op == "-")
+        return abstract_value::integer({sat_add(x.lo, -y.hi),
+                                        sat_add(x.hi, -y.lo)});
+      if (op == "*" && x.is_exact() && y.is_exact())
+        return abstract_value::integer(interval::exact(x.lo * y.lo));
+      if (op == "<") {
+        if (x.hi < y.lo) return abstract_value::boolean(true);
+        if (x.lo >= y.hi) return abstract_value::boolean(false);
+        return abstract_value::boolean(std::nullopt);
+      }
+      if (op == "<=") {
+        if (x.hi <= y.lo) return abstract_value::boolean(true);
+        if (x.lo > y.hi) return abstract_value::boolean(false);
+        return abstract_value::boolean(std::nullopt);
+      }
+      if (op == ">") {
+        if (x.lo > y.hi) return abstract_value::boolean(true);
+        if (x.hi <= y.lo) return abstract_value::boolean(false);
+        return abstract_value::boolean(std::nullopt);
+      }
+      if (op == ">=") {
+        if (x.lo >= y.hi) return abstract_value::boolean(true);
+        if (x.hi < y.lo) return abstract_value::boolean(false);
+        return abstract_value::boolean(std::nullopt);
+      }
+      if (op == "==") {
+        if (x.is_exact() && y.is_exact())
+          return abstract_value::boolean(x.lo == y.lo);
+        if (x.hi < y.lo || y.hi < x.lo) return abstract_value::boolean(false);
+        return abstract_value::boolean(std::nullopt);
+      }
+      if (op == "!=") {
+        if (x.is_exact() && y.is_exact())
+          return abstract_value::boolean(x.lo != y.lo);
+        if (x.hi < y.lo || y.hi < x.lo) return abstract_value::boolean(true);
+        return abstract_value::boolean(std::nullopt);
+      }
+      return abstract_value::integer(interval::unknown());
+    }
+
+    if (op == "&&" || op == "||") {
+      const auto ta = a.truth;
+      const auto tb = b.truth;
+      if (op == "&&") {
+        if (ta == std::optional<bool>(false) ||
+            tb == std::optional<bool>(false))
+          return abstract_value::boolean(false);
+        if (ta == std::optional<bool>(true) && tb == std::optional<bool>(true))
+          return abstract_value::boolean(true);
+      } else {
+        if (ta == std::optional<bool>(true) || tb == std::optional<bool>(true))
+          return abstract_value::boolean(true);
+        if (ta == std::optional<bool>(false) &&
+            tb == std::optional<bool>(false))
+          return abstract_value::boolean(false);
+      }
+      return abstract_value::boolean(std::nullopt);
+    }
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=")
+      return abstract_value::boolean(std::nullopt);
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_assign(const ast_expr& e, abstract_state& st) {
+    const ast_expr& target = *e.children[0];
+    abstract_value rhs = eval(*e.children[1], st);
+
+    if (target.k == ast_expr::kind::unary && target.text == "*") {
+      // *it = value: a dereference-write; run the read checks.
+      const abstract_value it = eval(*target.children[0], st);
+      if (it.k == abstract_value::kind::iterator)
+        check_deref(st, it.iter, var_name_of(*target.children[0]),
+                    target.line, target.column);
+      // Writing through an iterator can break sortedness.
+      if (it.k == abstract_value::kind::iterator &&
+          !it.iter.container.empty()) {
+        if (container_state* c = container_of(st, it.iter.container))
+          if (c->sorted == sorted3::yes) c->sorted = sorted3::unknown;
+      }
+      return rhs;
+    }
+
+    if (target.k != ast_expr::kind::var) {
+      report(severity::error, target.line, target.column,
+             "unsupported assignment target");
+      return rhs;
+    }
+    const std::string& name = target.text;
+    if (st.containers.contains(name)) {
+      if (rhs.k == abstract_value::kind::container_ref) {
+        if (container_state* src = container_of(st, rhs.container)) {
+          container_state copy = *src;
+          st.containers[name] = copy;
+          invalidate_all(st, name, "container assignment");
+        }
+      }
+      return rhs;
+    }
+    if (e.text == "+=" || e.text == "-=") {
+      auto it = st.values.find(name);
+      if (it != st.values.end() &&
+          it->second.k == abstract_value::kind::integer &&
+          rhs.k == abstract_value::kind::integer && rhs.num.is_exact()) {
+        const long d = e.text == "+=" ? rhs.num.lo : -rhs.num.lo;
+        it->second = abstract_value::integer(it->second.num.plus(d));
+        return it->second;
+      }
+      st.values[name] = abstract_value::unknown_value();
+      return st.values[name];
+    }
+    // Keep iterator-ness when assigning an unknown value to an iterator var.
+    if (auto it = st.values.find(name);
+        it != st.values.end() &&
+        it->second.k == abstract_value::kind::iterator &&
+        rhs.k == abstract_value::kind::unknown) {
+      st.values[name] =
+          abstract_value::iterator(iterator_state::somewhere_in(""));
+      return st.values[name];
+    }
+    st.values[name] = rhs;
+    return rhs;
+  }
+
+  abstract_value eval_member_call(const ast_expr& e, abstract_state& st) {
+    const ast_expr& object = *e.children[0];
+    const std::string method = e.text;
+    if (object.k != ast_expr::kind::var ||
+        !st.containers.contains(object.text)) {
+      // Unknown receiver: evaluate everything for its side diagnostics.
+      for (const auto& c : e.children) (void)eval(*c, st);
+      return abstract_value::unknown_value();
+    }
+    const std::string& name = object.text;
+    container_state& c = st.containers[name];
+    const container_spec& spec = spec_for(c.kind);
+
+    const auto eval_arg = [&](std::size_t i) {
+      return eval(*e.children[i], st);
+    };
+
+    if (method == "begin" || method == "end") {
+      if (spec.single_pass && method == "begin") {
+        if (c.consumed) {
+          report(severity::warning, e.line, e.column,
+                 "second traversal of single-pass sequence '" + name +
+                     "' (its iterators model only InputIterator; a second "
+                     "pass requires ForwardIterator)");
+        }
+        c.consumed = true;
+      }
+      return abstract_value::iterator(method == "begin"
+                                          ? iterator_state::at_begin(name)
+                                          : iterator_state::at_end(name));
+    }
+    if (method == "size")
+      return abstract_value::integer(c.size.clamp_lo(0));
+    if (method == "empty") {
+      if (c.size.hi == 0) return abstract_value::boolean(true);
+      if (c.size.lo >= 1) return abstract_value::boolean(false);
+      return abstract_value::boolean(std::nullopt);
+    }
+    if (method == "push_back") {
+      if (e.children.size() > 1) (void)eval_arg(1);
+      if (!spec.has_push_back)
+        report(severity::error, e.line, e.column,
+               "'" + c.kind + "' has no push_back");
+      const bool was_empty = c.size.hi == 0;
+      apply_invalidation(st, name, spec.on_push_back, {}, "",
+                         "invalidated by " + name + ".push_back()");
+      c.size = c.size.plus(1).clamp_lo(1);
+      if (!spec.keeps_sorted) c.sorted = was_empty ? sorted3::yes : sorted3::no;
+      return abstract_value::unknown_value();
+    }
+    if (method == "pop_back") {
+      if (c.size.hi == 0)
+        report(severity::warning, e.line, e.column,
+               "pop_back on an empty container '" + name + "'");
+      c.size = c.size.plus(-1).clamp_lo(0);
+      // Iterators at/near the end die; be precise only about the known ones.
+      for (auto& [vn, v] : st.values) {
+        if (v.k == abstract_value::kind::iterator &&
+            v.iter.container == name && v.iter.pos == position::from_end &&
+            v.iter.valid == validity::valid) {
+          v.iter.valid = validity::singular;
+          v.iter.pos = position::none;
+          v.iter.reason = "invalidated by " + name + ".pop_back()";
+        }
+      }
+      return abstract_value::unknown_value();
+    }
+    if (method == "clear") {
+      apply_invalidation(st, name, spec.on_clear, {}, "",
+                         "invalidated by " + name + ".clear()");
+      c.size = interval::exact(0);
+      c.sorted = sorted3::yes;
+      return abstract_value::unknown_value();
+    }
+    if (method == "insert") {
+      // set.insert(x) or sequence.insert(it, x).
+      if (e.children.size() >= 3) {
+        const abstract_value pos = eval_arg(1);
+        (void)eval_arg(2);
+        if (pos.k == abstract_value::kind::iterator) {
+          if (!pos.iter.container.empty() && pos.iter.container != name)
+            report(severity::warning, e.line, e.column,
+                   "iterator into '" + pos.iter.container +
+                       "' passed to '" + name + "'.insert");
+          if (pos.iter.valid != validity::valid) {
+            report(severity::warning, e.line, e.column,
+                   "insert position is a singular iterator" +
+                       (pos.iter.reason.empty() ? ""
+                                                : " (" + pos.iter.reason + ")"));
+            heal(st, var_name_of(*e.children[1]));
+          }
+        }
+        apply_invalidation(st, name, spec.on_insert, pos.iter,
+                           var_name_of(*e.children[1]),
+                           "invalidated by " + name + ".insert()");
+      } else if (e.children.size() == 2) {
+        (void)eval_arg(1);
+        apply_invalidation(st, name, spec.on_insert, {}, "",
+                           "invalidated by " + name + ".insert()");
+      }
+      const bool was_empty = c.size.hi == 0;
+      c.size = c.size.plus(1).clamp_lo(1);
+      if (!spec.keeps_sorted) c.sorted = was_empty ? sorted3::yes : sorted3::no;
+      return abstract_value::iterator(iterator_state::somewhere_in(name));
+    }
+    if (method == "erase") {
+      abstract_value pos;
+      std::string arg_var;
+      if (e.children.size() >= 2) {
+        pos = eval_arg(1);
+        arg_var = var_name_of(*e.children[1]);
+      }
+      if (pos.k == abstract_value::kind::iterator) {
+        if (!pos.iter.container.empty() && pos.iter.container != name)
+          report(severity::warning, e.line, e.column,
+                 "iterator into '" + pos.iter.container + "' passed to '" +
+                     name + "'.erase");
+        if (pos.iter.valid != validity::valid) {
+          report(severity::warning, e.line, e.column,
+                 "attempt to erase through a singular iterator" +
+                     (pos.iter.reason.empty() ? ""
+                                              : " (" + pos.iter.reason + ")"));
+          heal(st, arg_var);
+        } else if (pos.iter.pos == position::from_end &&
+                   pos.iter.offset == 0) {
+          report(severity::warning, e.line, e.column,
+                 "attempt to erase the past-the-end iterator");
+        }
+      }
+      if (c.size.hi == 0)
+        report(severity::warning, e.line, e.column,
+               "erase from an empty container '" + name + "'");
+      iterator_state result = pos.k == abstract_value::kind::iterator &&
+                                      pos.iter.valid == validity::valid
+                                  ? pos.iter
+                                  : iterator_state::somewhere_in(name);
+      result.container = name;
+      result.valid = validity::valid;
+      apply_invalidation(st, name, spec.on_erase, pos.iter, arg_var,
+                         "invalidated by " + name + ".erase()");
+      c.size = c.size.plus(-1).clamp_lo(0);
+      return abstract_value::iterator(result);
+    }
+    if (method == "front" || method == "back") {
+      if (c.size.hi == 0)
+        report(severity::warning, e.line, e.column,
+               method + "() on an empty container '" + name + "'");
+      return abstract_value::unknown_value();
+    }
+    if (method == "sort") {  // list::sort
+      c.sorted = sorted3::yes;
+      return abstract_value::unknown_value();
+    }
+    if (method == "reserve") {
+      // May reallocate: vector iterators die; size unchanged.
+      if (e.children.size() > 1) (void)eval_arg(1);
+      if (c.kind == "vector")
+        invalidate_all(st, name, "invalidated by " + name + ".reserve()");
+      return abstract_value::unknown_value();
+    }
+    if (method == "resize") {
+      abstract_value arg;
+      if (e.children.size() > 1) arg = eval_arg(1);
+      apply_invalidation(st, name, spec.on_push_back, {}, "",
+                         "invalidated by " + name + ".resize()");
+      c.size = arg.k == abstract_value::kind::integer
+                   ? arg.num.clamp_lo(0)
+                   : interval{0, interval::pos_inf};
+      if (!spec.keeps_sorted) c.sorted = sorted3::unknown;
+      return abstract_value::unknown_value();
+    }
+    if (method == "swap") {
+      // Swap container states; iterators keep following their elements
+      // (they now belong to the *other* variable), which our
+      // name-keyed tracking cannot represent — conservatively retarget
+      // nothing and invalidate nothing (swap preserves validity).
+      if (e.children.size() > 1 &&
+          e.children[1]->k == ast_expr::kind::var) {
+        const std::string other = e.children[1]->text;
+        if (container_state* oc = container_of(st, other)) {
+          std::swap(c, *oc);
+          // Retarget iterators: they stay valid but follow the data.
+          for (auto& [vn, v] : st.values) {
+            if (v.k != abstract_value::kind::iterator) continue;
+            if (v.iter.container == name)
+              v.iter.container = other;
+            else if (v.iter.container == other)
+              v.iter.container = name;
+          }
+        }
+      }
+      return abstract_value::unknown_value();
+    }
+    if (method == "find") {  // set::find
+      for (std::size_t i = 1; i < e.children.size(); ++i) (void)eval_arg(i);
+      return abstract_value::iterator(iterator_state::somewhere_in(name));
+    }
+    report(severity::note, e.line, e.column,
+           "unmodeled member function '" + method + "' on '" + name +
+               "'; assuming no effect");
+    for (std::size_t i = 1; i < e.children.size(); ++i) (void)eval_arg(i);
+    return abstract_value::unknown_value();
+  }
+
+  abstract_value eval_call(const ast_expr& e, abstract_state& st) {
+    const auto spec = algorithm_for(e.text);
+    if (!spec) {
+      // Opaque user function: assumed pure; arguments still checked.
+      for (const auto& c : e.children) (void)eval(*c, st);
+      return abstract_value::unknown_value();
+    }
+    std::vector<abstract_value> args;
+    args.reserve(e.children.size());
+    for (const auto& c : e.children) args.push_back(eval(*c, st));
+    if (args.size() < spec->range_args) {
+      report(severity::error, e.line, e.column,
+             "'" + spec->name + "' expects an iterator range");
+      return abstract_value::unknown_value();
+    }
+
+    std::string cont;
+    if (args[0].k == abstract_value::kind::iterator &&
+        args[1].k == abstract_value::kind::iterator) {
+      const iterator_state& first = args[0].iter;
+      const iterator_state& last = args[1].iter;
+      if (!first.container.empty() && !last.container.empty() &&
+          first.container != last.container) {
+        report(severity::warning, e.line, e.column,
+               "iterator range [first, last) spans different containers ('" +
+                   first.container + "' and '" + last.container + "')");
+      }
+      if (first.valid != validity::valid || last.valid != validity::valid) {
+        report(severity::warning, e.line, e.column,
+               "singular iterator used as a range boundary in '" +
+                   spec->name + "'");
+        heal(st, var_name_of(*e.children[0]));
+        heal(st, var_name_of(*e.children[1]));
+      }
+      cont = first.container.empty() ? last.container : first.container;
+    }
+
+    if (container_state* c = container_of(st, cont)) {
+      const container_spec& cspec = spec_for(c->kind);
+      // Iterator-concept requirement: checked against the concept
+      // registry's refinement lattice (the core library at work).
+      if (!spec->requires_iterator.empty() &&
+          !a_.registry_->refines(cspec.iterator_concept,
+                                 spec->requires_iterator)) {
+        std::string extra;
+        if (spec->requires_iterator == "ForwardIterator" &&
+            cspec.iterator_concept == "InputIterator")
+          extra = " — the algorithm needs the multipass guarantee";
+        report(severity::warning, e.line, e.column,
+               "'" + spec->name + "' requires a model of " +
+                   spec->requires_iterator + ", but " + c->kind +
+                   "::iterator models only " + cspec.iterator_concept +
+                   extra);
+      }
+      // Entry handler: sortedness precondition.
+      if (spec->requires_sorted && c->sorted == sorted3::no) {
+        report(severity::warning, e.line, e.column,
+               "'" + spec->name +
+                   "' requires the range [first, last) to be sorted, but it "
+                   "is not");
+      }
+      // The Section 3.2 advisory, verbatim.
+      if (a_.opt_.advisories && spec->linear_search &&
+          c->sorted == sorted3::yes) {
+        report(severity::advice, e.line, e.column,
+               "the incoming sequence [first, last) is sorted, but will be "
+               "searched linearly with this algorithm. Consider replacing "
+               "this algorithm with one specialized for sorted sequences "
+               "(e.g., lower_bound)");
+      }
+      // Exit handler: sortedness postcondition.
+      if (spec->establishes_sorted) c->sorted = sorted3::yes;
+    }
+
+    switch (spec->returns) {
+      case algorithm_spec::result::iterator_into_range: {
+        iterator_state result = cont.empty()
+                                    ? iterator_state::somewhere_in("")
+                                    : iterator_state::somewhere_in(cont);
+        // Search results may be the end() sentinel until compared.
+        if (spec->name == "find" || spec->name == "find_if" ||
+            spec->name == "lower_bound" || spec->name == "upper_bound" ||
+            spec->name == "adjacent_find" || spec->name == "max_element" ||
+            spec->name == "min_element")
+          result.unverified_from = spec->name;
+        return abstract_value::iterator(std::move(result));
+      }
+      case algorithm_spec::result::boolean:
+        return abstract_value::boolean(std::nullopt);
+      case algorithm_spec::result::value:
+        return abstract_value::integer(interval::unknown());
+      case algorithm_spec::result::none:
+        return abstract_value::unknown_value();
+    }
+    return abstract_value::unknown_value();
+  }
+
+  // --- branch refinement ----------------------------------------------------
+  void refine(abstract_state& st, const ast_expr& cond, bool branch) {
+    if (cond.k == ast_expr::kind::unary && cond.text == "!") {
+      refine(st, *cond.children[0], !branch);
+      return;
+    }
+    if (cond.k == ast_expr::kind::binary &&
+        (cond.text == "&&" || cond.text == "||")) {
+      if ((cond.text == "&&" && branch) || (cond.text == "||" && !branch)) {
+        refine(st, *cond.children[0], branch);
+        refine(st, *cond.children[1], branch);
+      }
+      return;
+    }
+    if (cond.k == ast_expr::kind::member_call && cond.text == "empty" &&
+        cond.children[0]->k == ast_expr::kind::var) {
+      if (container_state* c = container_of(st, cond.children[0]->text)) {
+        if (branch) {
+          c->size = interval::exact(0);
+          c->sorted = sorted3::yes;
+        } else {
+          c->size = interval{std::max(c->size.lo, 1L),
+                             std::max(c->size.hi, 1L)};
+        }
+      }
+      return;
+    }
+    if (cond.k != ast_expr::kind::binary) return;
+    const std::string& op = cond.text;
+    if (op != "==" && op != "!=" && op != "<" && op != "<=" && op != ">" &&
+        op != ">=")
+      return;
+
+    // Iterator vs c.end(): the loop idiom.
+    const auto end_call_container =
+        [&](const ast_expr& x) -> std::optional<std::string> {
+      if (x.k == ast_expr::kind::member_call && x.text == "end" &&
+          x.children[0]->k == ast_expr::kind::var &&
+          st.containers.contains(x.children[0]->text))
+        return x.children[0]->text;
+      return std::nullopt;
+    };
+    if (op == "==" || op == "!=") {
+      const ast_expr* var_side = nullptr;
+      std::optional<std::string> endc;
+      if ((endc = end_call_container(*cond.children[1])))
+        var_side = cond.children[0].get();
+      else if ((endc = end_call_container(*cond.children[0])))
+        var_side = cond.children[1].get();
+      if (var_side != nullptr && var_side->k == ast_expr::kind::var) {
+        auto it = st.values.find(var_side->text);
+        if (it != st.values.end() &&
+            it->second.k == abstract_value::kind::iterator &&
+            it->second.iter.valid == validity::valid &&
+            it->second.iter.container == *endc) {
+          const bool equals_end = (op == "==") == branch;
+          if (equals_end) {
+            it->second.iter.pos = position::from_end;
+            it->second.iter.offset = 0;
+          } else if (it->second.iter.pos == position::from_end &&
+                     it->second.iter.offset == 0) {
+            st.reachable = false;  // it != end contradicts it == end
+          }
+        }
+        return;
+      }
+    }
+
+    // Integer var vs literal refinement.
+    const auto as_lit = [](const ast_expr& x) -> std::optional<long> {
+      if (x.k != ast_expr::kind::int_lit) return std::nullopt;
+      long v = 0;
+      std::from_chars(x.text.data(), x.text.data() + x.text.size(), v);
+      return v;
+    };
+    const ast_expr* var_side = nullptr;
+    std::optional<long> lit;
+    bool var_on_left = true;
+    if (cond.children[0]->k == ast_expr::kind::var &&
+        (lit = as_lit(*cond.children[1]))) {
+      var_side = cond.children[0].get();
+    } else if (cond.children[1]->k == ast_expr::kind::var &&
+               (lit = as_lit(*cond.children[0]))) {
+      var_side = cond.children[1].get();
+      var_on_left = false;
+    }
+    if (var_side == nullptr) return;
+    auto it = st.values.find(var_side->text);
+    if (it == st.values.end() ||
+        it->second.k != abstract_value::kind::integer)
+      return;
+    interval& iv = it->second.num;
+    // Normalize to var OP lit.
+    std::string nop = op;
+    if (!var_on_left) {
+      if (op == "<") nop = ">";
+      else if (op == "<=") nop = ">=";
+      else if (op == ">") nop = "<";
+      else if (op == ">=") nop = "<=";
+    }
+    if (!branch) {
+      if (nop == "<") nop = ">=";
+      else if (nop == "<=") nop = ">";
+      else if (nop == ">") nop = "<=";
+      else if (nop == ">=") nop = "<";
+      else if (nop == "==") nop = "!=";
+      else if (nop == "!=") nop = "==";
+    }
+    const long v = *lit;
+    if (nop == "<") iv.hi = std::min(iv.hi, v - 1);
+    else if (nop == "<=") iv.hi = std::min(iv.hi, v);
+    else if (nop == ">") iv.lo = std::max(iv.lo, v + 1);
+    else if (nop == ">=") iv.lo = std::max(iv.lo, v);
+    else if (nop == "==") iv = interval::exact(v);
+    if (iv.lo > iv.hi) st.reachable = false;
+  }
+
+  // --- statements ------------------------------------------------------------
+  void exec(const ast_stmt& s, abstract_state& st) {
+    if (!st.reachable) return;
+    ++a_.stats_.statements;
+    switch (s.k) {
+      case ast_stmt::kind::block:
+        for (const auto& inner : s.body) exec(*inner, st);
+        return;
+      case ast_stmt::kind::decl:
+        exec_decl(s, st);
+        return;
+      case ast_stmt::kind::expr:
+        if (s.e1) (void)eval(*s.e1, st);
+        return;
+      case ast_stmt::kind::if_stmt: {
+        const abstract_value cond = eval(*s.e1, st);
+        abstract_state then_state = st;
+        refine(then_state, *s.e1, true);
+        if (cond.truth == std::optional<bool>(false))
+          then_state.reachable = false;
+        if (s.s1) exec(*s.s1, then_state);
+        abstract_state else_state = st;
+        refine(else_state, *s.e1, false);
+        if (cond.truth == std::optional<bool>(true))
+          else_state.reachable = false;
+        if (s.s2) exec(*s.s2, else_state);
+        st = join(then_state, else_state);
+        return;
+      }
+      case ast_stmt::kind::while_stmt:
+        exec_loop(s.e1.get(), s.s1.get(), nullptr, st);
+        return;
+      case ast_stmt::kind::for_stmt: {
+        abstract_state inner = st;
+        if (s.s1) exec(*s.s1, inner);
+        exec_loop(s.e1.get(), s.s2.get(), s.e2.get(), inner);
+        st = inner;
+        return;
+      }
+      case ast_stmt::kind::return_stmt:
+        if (s.e1) (void)eval(*s.e1, st);
+        st.reachable = false;
+        return;
+      case ast_stmt::kind::break_stmt:
+        if (loop_breaks_ != nullptr) loop_breaks_->push_back(st);
+        st.reachable = false;
+        return;
+      case ast_stmt::kind::continue_stmt:
+        st.reachable = false;  // sound for diagnostics; loop join is bounded
+        return;
+    }
+  }
+
+  void exec_decl(const ast_stmt& s, abstract_state& st) {
+    const mini_type& t = s.decl_type;
+    if (t.is_container()) {
+      const container_spec& spec = spec_for(t.container);
+      container_state c;
+      c.kind = t.container;
+      c.size = interval::exact(0);
+      c.sorted = sorted3::yes;
+      (void)spec;
+      if (s.e1) {
+        const abstract_value init = eval(*s.e1, st);
+        if (init.k == abstract_value::kind::container_ref) {
+          if (container_state* src = container_of(st, init.container))
+            c = *src;
+          c.kind = t.container;
+        }
+      }
+      st.containers[s.name] = c;
+      st.values.erase(s.name);
+      return;
+    }
+    abstract_value v;
+    if (s.e1) {
+      v = eval(*s.e1, st);
+      if (t.is_iterator() && v.k != abstract_value::kind::iterator)
+        v = abstract_value::iterator(iterator_state::somewhere_in(""));
+    } else if (t.is_iterator()) {
+      v = abstract_value::iterator(
+          iterator_state::singular_state("uninitialized"));
+    } else if (t.k == mini_type::kind::int_t) {
+      v = abstract_value::integer(interval::unknown());
+    } else if (t.k == mini_type::kind::bool_t) {
+      v = abstract_value::boolean(std::nullopt);
+    }
+    st.values[s.name] = v;
+    st.containers.erase(s.name);
+  }
+
+  void exec_loop(const ast_expr* cond, const ast_stmt* body,
+                 const ast_expr* step, abstract_state& st) {
+    abstract_state cur = st;
+    std::vector<abstract_state> breaks;
+    std::vector<abstract_state>* saved = loop_breaks_;
+    loop_breaks_ = &breaks;
+
+    abstract_state exit;
+    exit.reachable = false;
+    for (int pass = 0; pass < a_.opt_.max_loop_passes; ++pass) {
+      ++a_.stats_.loop_passes;
+      std::optional<bool> truth;
+      if (cond != nullptr) {
+        const abstract_value cv = eval(*cond, cur);
+        truth = cv.truth;
+      }
+      // Path that leaves the loop now.
+      abstract_state exiting = cur;
+      if (cond != nullptr) refine(exiting, *cond, false);
+      if (truth == std::optional<bool>(true)) exiting.reachable = false;
+      exit = join(exit, exiting);
+      // Path that runs the body.
+      abstract_state iter = cur;
+      if (cond != nullptr) refine(iter, *cond, true);
+      if (truth == std::optional<bool>(false)) iter.reachable = false;
+      if (!iter.reachable) break;
+      if (body != nullptr) exec(*body, iter);
+      if (step != nullptr && iter.reachable) (void)eval(*step, iter);
+      const abstract_state next = join(cur, iter);
+      if (next == cur) {
+        // Fixpoint: the exit state joined above covers all later behavior.
+        break;
+      }
+      cur = next;
+    }
+    loop_breaks_ = saved;
+    for (const abstract_state& b : breaks) exit = join(exit, b);
+    if (!exit.reachable) exit = cur;  // e.g. while(true) without breaks
+    st = exit;
+  }
+
+  analyzer& a_;
+  std::vector<abstract_state>* loop_breaks_ = nullptr;
+};
+
+void analyzer::run(const ast_program& program,
+                   const std::vector<std::string>& source) {
+  source_lines_ = source;
+  exec_impl impl(*this);
+  for (const ast_function& fn : program.functions) impl.run_function(fn);
+}
+
+}  // namespace cgp::stllint

@@ -1,0 +1,188 @@
+// The STLlint symbolic executor (Section 3.1).
+//
+// The analyzer abstractly interprets MiniCpp functions against the
+// concept-level container/iterator specifications in specs.hpp: containers
+// are symbolic (kind, size interval, sortedness), iterators are symbolic
+// positions with a validity lattice (valid < maybe-singular < singular),
+// and mutating operations apply the specs' invalidation rules to every
+// outstanding iterator.  Branches are joined; loops are analyzed to a
+// bounded fixpoint.  Diagnostics are concept-level: singular-iterator
+// dereference, range violations, multipass violations, unmet sortedness
+// preconditions, and the "consider lower_bound" optimization advisory.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/registry.hpp"
+#include "stllint/ast.hpp"
+#include "stllint/diagnostics.hpp"
+#include "stllint/specs.hpp"
+
+namespace cgp::stllint {
+
+/// Closed integer interval with +/- infinity sentinels.
+struct interval {
+  static constexpr long neg_inf = -(1L << 60);
+  static constexpr long pos_inf = (1L << 60);
+
+  long lo = neg_inf;
+  long hi = pos_inf;
+
+  [[nodiscard]] static interval exact(long v) { return {v, v}; }
+  [[nodiscard]] static interval at_least(long v) { return {v, pos_inf}; }
+  [[nodiscard]] static interval unknown() { return {}; }
+  [[nodiscard]] bool is_exact() const { return lo == hi; }
+
+  [[nodiscard]] interval join(const interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+  [[nodiscard]] interval plus(long v) const {
+    return {lo <= neg_inf ? neg_inf : lo + v, hi >= pos_inf ? pos_inf : hi + v};
+  }
+  [[nodiscard]] interval clamp_lo(long v) const {
+    return {std::max(lo, v), std::max(hi, v)};
+  }
+  friend bool operator==(const interval&, const interval&) = default;
+};
+
+/// Three-valued sortedness.
+enum class sorted3 { yes, no, unknown };
+[[nodiscard]] constexpr sorted3 join(sorted3 a, sorted3 b) {
+  return a == b ? a : sorted3::unknown;
+}
+
+/// Abstract container.
+struct container_state {
+  std::string kind;  ///< "vector", "list", ...
+  interval size = interval::exact(0);
+  sorted3 sorted = sorted3::yes;  ///< empty containers are sorted
+  bool consumed = false;          ///< input_stream: traversal already taken
+
+  friend bool operator==(const container_state&, const container_state&) =
+      default;
+};
+
+/// Abstract iterator.
+struct iterator_state {
+  enum class validity { valid, maybe_singular, singular };
+  enum class position { from_begin, from_end, somewhere, none };
+
+  validity valid = validity::singular;
+  position pos = position::none;
+  long offset = 0;          ///< begin+offset or end-offset when pos is known
+  std::string container;    ///< owning container variable; "" if unknown
+  std::string reason;       ///< why singular ("uninitialized", "erase", ...)
+  /// Result of a search algorithm (find/lower_bound/...) that has not yet
+  /// been compared against end(): dereferencing it may hit the not-found
+  /// sentinel.  Cleared by any iterator comparison.
+  std::string unverified_from;  ///< algorithm name, or "" when verified
+
+  [[nodiscard]] static iterator_state singular_state(std::string why) {
+    iterator_state s;
+    s.reason = std::move(why);
+    return s;
+  }
+  [[nodiscard]] static iterator_state at_begin(std::string cont, long off = 0) {
+    return {validity::valid, position::from_begin, off, std::move(cont), ""};
+  }
+  [[nodiscard]] static iterator_state at_end(std::string cont, long off = 0) {
+    return {validity::valid, position::from_end, off, std::move(cont), ""};
+  }
+  [[nodiscard]] static iterator_state somewhere_in(std::string cont) {
+    return {validity::valid, position::somewhere, 0, std::move(cont), ""};
+  }
+
+  friend bool operator==(const iterator_state&, const iterator_state&) =
+      default;
+};
+
+/// Abstract value of an expression / variable.
+struct abstract_value {
+  enum class kind { unknown, integer, boolean, iterator, container_ref };
+
+  kind k = kind::unknown;
+  interval num;                  ///< kind::integer
+  std::optional<bool> truth;     ///< kind::boolean; nullopt = unknown
+  iterator_state iter;           ///< kind::iterator
+  std::string container;         ///< kind::container_ref
+
+  [[nodiscard]] static abstract_value unknown_value() { return {}; }
+  [[nodiscard]] static abstract_value integer(interval i) {
+    abstract_value v;
+    v.k = kind::integer;
+    v.num = i;
+    return v;
+  }
+  [[nodiscard]] static abstract_value boolean(std::optional<bool> b) {
+    abstract_value v;
+    v.k = kind::boolean;
+    v.truth = b;
+    return v;
+  }
+  [[nodiscard]] static abstract_value iterator(iterator_state s) {
+    abstract_value v;
+    v.k = kind::iterator;
+    v.iter = std::move(s);
+    return v;
+  }
+
+  friend bool operator==(const abstract_value&, const abstract_value&) =
+      default;
+};
+
+/// Full abstract program state at a program point.
+struct abstract_state {
+  std::map<std::string, container_state> containers;
+  std::map<std::string, abstract_value> values;
+  bool reachable = true;
+
+  friend bool operator==(const abstract_state&, const abstract_state&) =
+      default;
+};
+
+/// Join (least upper bound) of two states at a control-flow merge.
+[[nodiscard]] abstract_state join(const abstract_state& a,
+                                  const abstract_state& b);
+
+/// Analyzer options.
+struct options {
+  int max_loop_passes = 3;   ///< bounded fixpoint iterations per loop
+  bool advisories = true;    ///< emit optimization advice (Section 3.2)
+};
+
+/// The analyzer itself.
+class analyzer {
+ public:
+  struct stats {
+    std::size_t functions = 0;
+    std::size_t statements = 0;
+    std::size_t expressions = 0;
+    std::size_t loop_passes = 0;
+  };
+
+  explicit analyzer(options opt = {},
+                    const core::concept_registry& reg =
+                        core::concept_registry::global())
+      : opt_(opt), registry_(&reg) {}
+
+  /// Analyzes every function in the program; diagnostics accumulate.
+  void run(const ast_program& program,
+           const std::vector<std::string>& source = {});
+
+  [[nodiscard]] const diagnostics& diags() const noexcept { return diags_; }
+  [[nodiscard]] const stats& statistics() const noexcept { return stats_; }
+
+ private:
+  friend class exec_impl;
+  options opt_;
+  const core::concept_registry* registry_;
+  diagnostics diags_;
+  stats stats_;
+  std::set<std::string> reported_;  ///< dedup key: "line:col:message"
+  std::vector<std::string> source_lines_;
+};
+
+}  // namespace cgp::stllint

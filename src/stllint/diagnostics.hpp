@@ -1,0 +1,52 @@
+// Diagnostics for STLlint (Section 3.1): high-level, concept-level messages
+// ("attempt to dereference a singular iterator"), not language-level ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgp::stllint {
+
+/// Severity ladder:
+///  * error    — the program's meaning is broken (parse/type errors);
+///  * warning  — concept-level misuse (invalidation, range violations,
+///               multipass violations, unmet preconditions);
+///  * advice   — "potential optimization" suggestions (Section 3.2);
+///  * note     — supplementary context.
+enum class severity { error, warning, advice, note };
+
+[[nodiscard]] constexpr const char* to_string(severity s) {
+  switch (s) {
+    case severity::error:
+      return "error";
+    case severity::warning:
+      return "Warning";
+    case severity::advice:
+      return "Warning: potential optimization";
+    case severity::note:
+      return "note";
+  }
+  return "?";
+}
+
+/// One diagnostic, anchored to a source position, with the offending source
+/// line echoed underneath (as in the paper's sample output).
+struct diagnostic {
+  severity sev = severity::warning;
+  int line = 0;
+  int column = 0;
+  std::string message;
+  std::string source_line;  ///< echo of the offending line, if available
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = std::string(stllint::to_string(sev)) + ": " + message;
+    if (!source_line.empty()) out += "\n  " + source_line;
+    return out;
+  }
+
+  friend bool operator==(const diagnostic&, const diagnostic&) = default;
+};
+
+using diagnostics = std::vector<diagnostic>;
+
+}  // namespace cgp::stllint

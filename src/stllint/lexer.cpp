@@ -1,0 +1,155 @@
+#include "stllint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace cgp::stllint {
+namespace {
+
+bool is_keyword(std::string_view s) {
+  static constexpr std::string_view kw[] = {
+      "int",   "bool",  "double", "string",   "void",     "vector",
+      "list",  "deque", "set",    "iterator", "if",       "else",
+      "while", "for",   "return", "true",     "false",    "const",
+      "break", "continue", "input_stream", "multiset"};
+  for (std::string_view k : kw)
+    if (k == s) return true;
+  return false;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> source_lines(std::string_view source) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::vector<token> tokenize(std::string_view src, diagnostics& diags) {
+  std::vector<token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto advance = [&](std::size_t k) {
+    for (std::size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      if (i + 1 >= n)
+        diags.push_back({severity::error, line, col,
+                         "unterminated block comment", ""});
+      advance(2);
+      continue;
+    }
+    const int tline = line, tcol = col;
+    // Identifiers and keywords.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string text(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back({is_keyword(text) ? token_kind::keyword
+                                      : token_kind::identifier,
+                     std::move(text), tline, tcol});
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.')) {
+        if (src[j] == '.') is_float = true;
+        ++j;
+      }
+      std::string text(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back({is_float ? token_kind::floating : token_kind::integer,
+                     std::move(text), tline, tcol});
+      continue;
+    }
+    // String literals.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j >= n) {
+        diags.push_back({severity::error, tline, tcol,
+                         "unterminated string literal", ""});
+        advance(n - i);
+        continue;
+      }
+      std::string text(src.substr(i, j - i + 1));
+      advance(j - i + 1);
+      out.push_back({token_kind::string_lit, std::move(text), tline, tcol});
+      continue;
+    }
+    // Multi-character punctuation, longest first.
+    static constexpr std::string_view two[] = {
+        "::", "++", "--", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+        "->"};
+    bool matched = false;
+    for (std::string_view t : two) {
+      if (src.substr(i, 2) == t) {
+        out.push_back({token_kind::punct, std::string(t), tline, tcol});
+        advance(2);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view one = "(){}[];,.<>=+-*/!&|:%";
+    if (one.find(c) != std::string_view::npos) {
+      out.push_back({token_kind::punct, std::string(1, c), tline, tcol});
+      advance(1);
+      continue;
+    }
+    diags.push_back({severity::error, tline, tcol,
+                     std::string("unexpected character '") + c + "'", ""});
+    advance(1);
+  }
+  out.push_back({token_kind::end_of_file, "<eof>", line, col});
+  return out;
+}
+
+}  // namespace cgp::stllint

@@ -1,0 +1,51 @@
+// Lexer for MiniCpp, the C++ subset STLlint analyzes.
+//
+// Substitution note (see DESIGN.md): the real STLlint consumed full C++
+// through a commercial front end; the analysis itself, however, operates on
+// concept-level semantics of containers/iterators/algorithms.  MiniCpp keeps
+// exactly the surface needed for the paper's programs (Fig. 4, the sort+find
+// advisory, multipass violations) so the interesting machinery — the
+// symbolic executor in analyzer.cpp — is fully exercised.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stllint/diagnostics.hpp"
+
+namespace cgp::stllint {
+
+enum class token_kind {
+  identifier,
+  keyword,      // int, bool, double, string, void, vector, list, deque, set,
+                // iterator, if, else, while, for, return, true, false,
+                // const, break, continue, input_stream
+  integer,
+  floating,
+  string_lit,
+  punct,        // ( ) { } [ ] ; , . :: & < > etc. and multi-char operators
+  end_of_file,
+};
+
+struct token {
+  token_kind kind = token_kind::end_of_file;
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool is(token_kind k) const { return kind == k; }
+  [[nodiscard]] bool is(token_kind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+};
+
+/// Tokenizes `source`.  Lexical problems are reported into `diags`; the
+/// returned stream always ends with an end_of_file token.
+[[nodiscard]] std::vector<token> tokenize(std::string_view source,
+                                          diagnostics& diags);
+
+/// Splits `source` into physical lines (for echoing in diagnostics).
+[[nodiscard]] std::vector<std::string> source_lines(std::string_view source);
+
+}  // namespace cgp::stllint

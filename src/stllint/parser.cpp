@@ -1,0 +1,499 @@
+#include "stllint/parser.hpp"
+
+#include <cassert>
+
+namespace cgp::stllint {
+
+std::string mini_type::to_string() const {
+  switch (k) {
+    case kind::void_t:
+      return "void";
+    case kind::int_t:
+      return "int";
+    case kind::bool_t:
+      return "bool";
+    case kind::double_t:
+      return "double";
+    case kind::string_t:
+      return "string";
+    case kind::user:
+      return user_name;
+    case kind::container:
+      return container + "<" + (element ? element->to_string() : "?") + ">";
+    case kind::iterator:
+      return container + "<" + (element ? element->to_string() : "?") +
+             ">::iterator";
+  }
+  return "?";
+}
+
+std::string mini_type_to_string(const mini_type& t) { return t.to_string(); }
+
+namespace {
+
+bool is_container_keyword(const token& t) {
+  return t.is(token_kind::keyword) &&
+         (t.text == "vector" || t.text == "list" || t.text == "deque" ||
+          t.text == "set" || t.text == "multiset" ||
+          t.text == "input_stream");
+}
+
+bool is_scalar_type_keyword(const token& t) {
+  return t.is(token_kind::keyword) &&
+         (t.text == "int" || t.text == "bool" || t.text == "double" ||
+          t.text == "string" || t.text == "void");
+}
+
+class parser {
+ public:
+  parser(const std::vector<token>& toks, diagnostics& diags)
+      : toks_(toks), diags_(diags) {}
+
+  ast_program parse_program() {
+    ast_program prog;
+    while (!peek().is(token_kind::end_of_file)) {
+      const std::size_t before = pos_;
+      if (auto fn = parse_function()) prog.functions.push_back(std::move(*fn));
+      if (pos_ == before) advance();  // ensure progress on malformed input
+    }
+    return prog;
+  }
+
+ private:
+  // --- token stream helpers -------------------------------------------------
+  const token& peek(std::size_t k = 0) const {
+    const std::size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const token& advance() {
+    const token& t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool accept(token_kind k, std::string_view text) {
+    if (peek().is(k, text)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool accept_punct(std::string_view text) {
+    return accept(token_kind::punct, text);
+  }
+  void expect_punct(std::string_view text) {
+    if (!accept_punct(text)) error("expected '" + std::string(text) + "'");
+  }
+  void error(const std::string& msg) {
+    diags_.push_back({severity::error, peek().line, peek().column,
+                      msg + " (got '" + peek().text + "')", ""});
+  }
+  void sync_to_statement_end() {
+    int depth = 0;
+    while (!peek().is(token_kind::end_of_file)) {
+      const token& t = peek();
+      if (t.is(token_kind::punct, "{")) ++depth;
+      if (t.is(token_kind::punct, "}")) {
+        if (depth == 0) return;
+        --depth;
+      }
+      if (t.is(token_kind::punct, ";") && depth == 0) {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  // --- types ------------------------------------------------------------------
+  /// Returns true iff a type starts at position `pos_ + k` (lookahead only).
+  bool looks_like_type(std::size_t k = 0) const {
+    const token& t = peek(k);
+    if (is_scalar_type_keyword(t) || is_container_keyword(t)) return true;
+    // user-type declaration heuristic: identifier identifier
+    return t.is(token_kind::identifier) &&
+           peek(k + 1).is(token_kind::identifier);
+  }
+
+  std::optional<mini_type> parse_type() {
+    const token& t = peek();
+    if (is_scalar_type_keyword(t)) {
+      advance();
+      if (t.text == "int") return mini_type::scalar(mini_type::kind::int_t);
+      if (t.text == "bool") return mini_type::scalar(mini_type::kind::bool_t);
+      if (t.text == "double")
+        return mini_type::scalar(mini_type::kind::double_t);
+      if (t.text == "string")
+        return mini_type::scalar(mini_type::kind::string_t);
+      return mini_type::void_type();
+    }
+    if (is_container_keyword(t)) {
+      const std::string cont = advance().text;
+      expect_punct("<");
+      auto elem = parse_type();
+      if (!elem) return std::nullopt;
+      // tolerate `>>` from nested templates by splitting: not needed in
+      // MiniCpp (single-level templates only).
+      expect_punct(">");
+      if (accept_punct("::")) {
+        if (!accept(token_kind::keyword, "iterator")) {
+          error("expected 'iterator' after '::'");
+          return std::nullopt;
+        }
+        return mini_type::make_iterator(cont, std::move(*elem));
+      }
+      return mini_type::make_container(cont, std::move(*elem));
+    }
+    if (t.is(token_kind::identifier)) {
+      return mini_type::user(advance().text);
+    }
+    error("expected a type");
+    return std::nullopt;
+  }
+
+  // --- expressions --------------------------------------------------------------
+  expr_ptr make_expr(ast_expr::kind k, std::string text, int line, int col) {
+    auto e = std::make_unique<ast_expr>();
+    e->k = k;
+    e->text = std::move(text);
+    e->line = line;
+    e->column = col;
+    return e;
+  }
+
+  expr_ptr parse_expression() { return parse_assignment(); }
+
+  expr_ptr parse_assignment() {
+    expr_ptr lhs = parse_logical_or();
+    if (lhs == nullptr) return nullptr;
+    for (const char* op : {"=", "+=", "-="}) {
+      if (peek().is(token_kind::punct, op)) {
+        const token& t = advance();
+        expr_ptr rhs = parse_assignment();
+        if (rhs == nullptr) return nullptr;
+        auto e = make_expr(ast_expr::kind::assign, op, t.line, t.column);
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(std::move(rhs));
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  expr_ptr parse_binary_level(int level) {
+    // levels: 0 ||, 1 &&, 2 ==/!=, 3 </<=/>/>=, 4 +/-, 5 */ /%.
+    static const std::vector<std::vector<std::string>> ops = {
+        {"||"}, {"&&"}, {"==", "!="}, {"<", "<=", ">", ">="},
+        {"+", "-"}, {"*", "/", "%"}};
+    if (level >= static_cast<int>(ops.size())) return parse_unary();
+    expr_ptr lhs = parse_binary_level(level + 1);
+    if (lhs == nullptr) return nullptr;
+    for (;;) {
+      bool matched = false;
+      for (const std::string& op : ops[level]) {
+        if (peek().is(token_kind::punct, op)) {
+          const token& t = advance();
+          expr_ptr rhs = parse_binary_level(level + 1);
+          if (rhs == nullptr) return nullptr;
+          auto e = make_expr(ast_expr::kind::binary, op, t.line, t.column);
+          e->children.push_back(std::move(lhs));
+          e->children.push_back(std::move(rhs));
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  expr_ptr parse_logical_or() { return parse_binary_level(0); }
+
+  expr_ptr parse_unary() {
+    const token& t = peek();
+    for (const char* op : {"++", "--", "!", "-", "*"}) {
+      if (t.is(token_kind::punct, op)) {
+        advance();
+        expr_ptr operand = parse_unary();
+        if (operand == nullptr) return nullptr;
+        auto e = make_expr(ast_expr::kind::unary, op, t.line, t.column);
+        e->children.push_back(std::move(operand));
+        return e;
+      }
+    }
+    return parse_postfix();
+  }
+
+  expr_ptr parse_postfix() {
+    expr_ptr e = parse_primary();
+    if (e == nullptr) return nullptr;
+    for (;;) {
+      const token& t = peek();
+      if (t.is(token_kind::punct, "++") || t.is(token_kind::punct, "--")) {
+        advance();
+        auto p = make_expr(ast_expr::kind::postfix, t.text, t.line, t.column);
+        p->children.push_back(std::move(e));
+        e = std::move(p);
+        continue;
+      }
+      if (t.is(token_kind::punct, ".")) {
+        advance();
+        const token& name = peek();
+        if (!name.is(token_kind::identifier) &&
+            !name.is(token_kind::keyword)) {
+          error("expected member name after '.'");
+          return nullptr;
+        }
+        advance();
+        auto call = make_expr(ast_expr::kind::member_call, name.text,
+                              name.line, name.column);
+        call->children.push_back(std::move(e));
+        expect_punct("(");
+        if (!peek().is(token_kind::punct, ")")) {
+          do {
+            expr_ptr arg = parse_expression();
+            if (arg == nullptr) return nullptr;
+            call->children.push_back(std::move(arg));
+          } while (accept_punct(","));
+        }
+        expect_punct(")");
+        e = std::move(call);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  expr_ptr parse_primary() {
+    const token& t = peek();
+    if (t.is(token_kind::integer)) {
+      advance();
+      return make_expr(ast_expr::kind::int_lit, t.text, t.line, t.column);
+    }
+    if (t.is(token_kind::floating)) {
+      advance();
+      return make_expr(ast_expr::kind::double_lit, t.text, t.line, t.column);
+    }
+    if (t.is(token_kind::string_lit)) {
+      advance();
+      return make_expr(ast_expr::kind::string_lit, t.text, t.line, t.column);
+    }
+    if (t.is(token_kind::keyword, "true") ||
+        t.is(token_kind::keyword, "false")) {
+      advance();
+      return make_expr(ast_expr::kind::bool_lit, t.text, t.line, t.column);
+    }
+    if (t.is(token_kind::punct, "(")) {
+      advance();
+      expr_ptr inner = parse_expression();
+      expect_punct(")");
+      return inner;
+    }
+    if (t.is(token_kind::identifier)) {
+      advance();
+      if (peek().is(token_kind::punct, "(")) {
+        // Free function call.
+        advance();
+        auto call =
+            make_expr(ast_expr::kind::call, t.text, t.line, t.column);
+        if (!peek().is(token_kind::punct, ")")) {
+          do {
+            expr_ptr arg = parse_expression();
+            if (arg == nullptr) return nullptr;
+            call->children.push_back(std::move(arg));
+          } while (accept_punct(","));
+        }
+        expect_punct(")");
+        return call;
+      }
+      return make_expr(ast_expr::kind::var, t.text, t.line, t.column);
+    }
+    error("expected an expression");
+    return nullptr;
+  }
+
+  // --- statements ------------------------------------------------------------
+  stmt_ptr make_stmt(ast_stmt::kind k, int line, int col) {
+    auto s = std::make_unique<ast_stmt>();
+    s->k = k;
+    s->line = line;
+    s->column = col;
+    return s;
+  }
+
+  stmt_ptr parse_statement() {
+    const token& t = peek();
+    if (t.is(token_kind::punct, "{")) return parse_block();
+    if (t.is(token_kind::keyword, "if")) return parse_if();
+    if (t.is(token_kind::keyword, "while")) return parse_while();
+    if (t.is(token_kind::keyword, "for")) return parse_for();
+    if (t.is(token_kind::keyword, "return")) {
+      advance();
+      auto s = make_stmt(ast_stmt::kind::return_stmt, t.line, t.column);
+      if (!peek().is(token_kind::punct, ";")) s->e1 = parse_expression();
+      expect_punct(";");
+      return s;
+    }
+    if (t.is(token_kind::keyword, "break")) {
+      advance();
+      expect_punct(";");
+      return make_stmt(ast_stmt::kind::break_stmt, t.line, t.column);
+    }
+    if (t.is(token_kind::keyword, "continue")) {
+      advance();
+      expect_punct(";");
+      return make_stmt(ast_stmt::kind::continue_stmt, t.line, t.column);
+    }
+    if (looks_like_type()) return parse_declaration();
+    // Expression statement.
+    auto s = make_stmt(ast_stmt::kind::expr, t.line, t.column);
+    s->e1 = parse_expression();
+    if (s->e1 == nullptr) {
+      sync_to_statement_end();
+      return nullptr;
+    }
+    expect_punct(";");
+    return s;
+  }
+
+  stmt_ptr parse_declaration() {
+    const token& t = peek();
+    auto type = parse_type();
+    if (!type) {
+      sync_to_statement_end();
+      return nullptr;
+    }
+    const token& name = peek();
+    if (!name.is(token_kind::identifier)) {
+      error("expected variable name in declaration");
+      sync_to_statement_end();
+      return nullptr;
+    }
+    advance();
+    auto s = make_stmt(ast_stmt::kind::decl, t.line, t.column);
+    s->decl_type = std::move(*type);
+    s->name = name.text;
+    if (accept_punct("=")) {
+      s->e1 = parse_expression();
+      if (s->e1 == nullptr) {
+        sync_to_statement_end();
+        return nullptr;
+      }
+    }
+    expect_punct(";");
+    return s;
+  }
+
+  stmt_ptr parse_block() {
+    const token& t = peek();
+    expect_punct("{");
+    auto s = make_stmt(ast_stmt::kind::block, t.line, t.column);
+    while (!peek().is(token_kind::punct, "}") &&
+           !peek().is(token_kind::end_of_file)) {
+      const std::size_t before = pos_;
+      if (stmt_ptr inner = parse_statement())
+        s->body.push_back(std::move(inner));
+      if (pos_ == before) advance();
+    }
+    expect_punct("}");
+    return s;
+  }
+
+  stmt_ptr parse_if() {
+    const token& t = advance();  // 'if'
+    auto s = make_stmt(ast_stmt::kind::if_stmt, t.line, t.column);
+    expect_punct("(");
+    s->e1 = parse_expression();
+    expect_punct(")");
+    s->s1 = parse_statement();
+    if (accept(token_kind::keyword, "else")) s->s2 = parse_statement();
+    return s;
+  }
+
+  stmt_ptr parse_while() {
+    const token& t = advance();  // 'while'
+    auto s = make_stmt(ast_stmt::kind::while_stmt, t.line, t.column);
+    expect_punct("(");
+    s->e1 = parse_expression();
+    expect_punct(")");
+    s->s1 = parse_statement();
+    return s;
+  }
+
+  stmt_ptr parse_for() {
+    const token& t = advance();  // 'for'
+    auto s = make_stmt(ast_stmt::kind::for_stmt, t.line, t.column);
+    expect_punct("(");
+    if (!accept_punct(";")) {
+      if (looks_like_type()) {
+        s->s1 = parse_declaration();  // consumes ';'
+      } else {
+        auto init = make_stmt(ast_stmt::kind::expr, peek().line,
+                              peek().column);
+        init->e1 = parse_expression();
+        expect_punct(";");
+        s->s1 = std::move(init);
+      }
+    }
+    if (!peek().is(token_kind::punct, ";")) s->e1 = parse_expression();
+    expect_punct(";");
+    if (!peek().is(token_kind::punct, ")")) s->e2 = parse_expression();
+    expect_punct(")");
+    s->s2 = parse_statement();
+    return s;
+  }
+
+  // --- functions ----------------------------------------------------------------
+  std::optional<ast_function> parse_function() {
+    auto ret = parse_type();
+    if (!ret) {
+      sync_to_statement_end();
+      return std::nullopt;
+    }
+    const token& name = peek();
+    if (!name.is(token_kind::identifier)) {
+      error("expected function name");
+      sync_to_statement_end();
+      return std::nullopt;
+    }
+    advance();
+    ast_function fn;
+    fn.return_type = std::move(*ret);
+    fn.name = name.text;
+    fn.line = name.line;
+    expect_punct("(");
+    if (!peek().is(token_kind::punct, ")")) {
+      do {
+        accept(token_kind::keyword, "const");
+        auto pt = parse_type();
+        if (!pt) return std::nullopt;
+        ast_param p;
+        p.type = std::move(*pt);
+        p.by_ref = accept_punct("&");
+        const token& pname = peek();
+        if (!pname.is(token_kind::identifier)) {
+          error("expected parameter name");
+          return std::nullopt;
+        }
+        advance();
+        p.name = pname.text;
+        fn.params.push_back(std::move(p));
+      } while (accept_punct(","));
+    }
+    expect_punct(")");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  const std::vector<token>& toks_;
+  diagnostics& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ast_program parse(const std::vector<token>& tokens, diagnostics& diags) {
+  parser p(tokens, diags);
+  return p.parse_program();
+}
+
+}  // namespace cgp::stllint

@@ -1,0 +1,19 @@
+// Recursive-descent parser for MiniCpp.
+#pragma once
+
+#include <optional>
+
+#include "stllint/ast.hpp"
+#include "stllint/lexer.hpp"
+
+namespace cgp::stllint {
+
+/// Parses a MiniCpp translation unit (a sequence of function definitions).
+/// Parse errors are appended to `diags`; the parser recovers at statement
+/// boundaries so one bad line does not hide later diagnostics.
+[[nodiscard]] ast_program parse(const std::vector<token>& tokens,
+                                diagnostics& diags);
+
+[[nodiscard]] std::string mini_type_to_string(const mini_type& t);
+
+}  // namespace cgp::stllint

@@ -1,0 +1,413 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cgp::taxonomy {
+
+void taxonomy::add_dimension(const std::string& dimension,
+                             const std::string& root) {
+  if (dimension_roots_.contains(dimension))
+    throw std::invalid_argument("dimension '" + dimension +
+                                "' already exists");
+  dimension_roots_[dimension] = root;
+  registry_.define({.name = qualified(dimension, root),
+                    .description = "root of dimension " + dimension});
+}
+
+void taxonomy::refine(const std::string& dimension,
+                      const std::string& concept_name,
+                      const std::string& parent) {
+  if (!dimension_roots_.contains(dimension))
+    throw std::invalid_argument("unknown dimension '" + dimension + "'");
+  registry_.define({.name = qualified(dimension, concept_name),
+                    .refines = {qualified(dimension, parent)}});
+}
+
+std::vector<std::string> taxonomy::dimensions() const {
+  std::vector<std::string> out;
+  out.reserve(dimension_roots_.size());
+  for (const auto& [d, r] : dimension_roots_) out.push_back(d);
+  return out;
+}
+
+std::vector<std::string> taxonomy::concepts_in(
+    const std::string& dimension) const {
+  std::vector<std::string> out;
+  const std::string prefix = dimension + "/";
+  for (const std::string& n : registry_.concept_names())
+    if (n.starts_with(prefix)) out.push_back(n.substr(prefix.size()));
+  return out;
+}
+
+void taxonomy::add_algorithm(algorithm_record rec) {
+  for (const auto& [dim, c] : rec.classification) {
+    if (!dimension_roots_.contains(dim))
+      throw std::invalid_argument("algorithm '" + rec.name +
+                                  "' classifies unknown dimension '" + dim +
+                                  "'");
+    if (!registry_.contains(qualified(dim, c)))
+      throw std::invalid_argument("algorithm '" + rec.name +
+                                  "' uses unknown concept '" + c +
+                                  "' in dimension '" + dim + "'");
+  }
+  records_.push_back(std::move(rec));
+}
+
+const algorithm_record* taxonomy::find(const std::string& name) const {
+  for (const algorithm_record& r : records_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+bool taxonomy::matches(const algorithm_record& rec,
+                       const requirements& req) const {
+  for (const auto& [dim, required] : req) {
+    const auto it = rec.classification.find(dim);
+    if (it == rec.classification.end()) return false;
+    if (!registry_.refines(qualified(dim, it->second),
+                           qualified(dim, required)))
+      return false;
+  }
+  return true;
+}
+
+std::vector<algorithm_record> taxonomy::query(const requirements& req) const {
+  std::vector<algorithm_record> out;
+  for (const algorithm_record& r : records_)
+    if (matches(r, req)) out.push_back(r);
+  return out;
+}
+
+std::optional<algorithm_record> taxonomy::select(
+    const requirements& req, const std::string& metric,
+    const std::map<std::string, double>& env) const {
+  std::optional<algorithm_record> best;
+  double best_cost = 0.0;
+  for (const algorithm_record& r : records_) {
+    if (!matches(r, req)) continue;
+    const auto it = r.costs.find(metric);
+    if (it == r.costs.end()) continue;
+    const double cost = it->second.eval(env);
+    if (!best || cost < best_cost) {
+      best = r;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+std::optional<double> taxonomy::crossover(
+    const std::string& name_a, const std::string& name_b,
+    const std::string& metric, const std::string& var, double lo, double hi,
+    std::map<std::string, double> env) const {
+  const algorithm_record* a = find(name_a);
+  const algorithm_record* b = find(name_b);
+  if (a == nullptr || b == nullptr) return std::nullopt;
+  const auto ca = a->costs.find(metric);
+  const auto cb = b->costs.find(metric);
+  if (ca == a->costs.end() || cb == b->costs.end()) return std::nullopt;
+  return ca->second.crossover_against(cb->second, var, lo, hi,
+                                      std::move(env));
+}
+
+std::string taxonomy::describe() const {
+  std::ostringstream out;
+  out << "taxonomy '" << name_ << "'\n";
+  for (const auto& [dim, root] : dimension_roots_) {
+    out << "  dimension " << dim << " (root: " << root << "): ";
+    bool first = true;
+    for (const std::string& c : concepts_in(dim)) {
+      if (!first) out << ", ";
+      out << c;
+      first = false;
+    }
+    out << "\n";
+  }
+  for (const algorithm_record& r : records_) {
+    out << "  algorithm " << r.name;
+    if (!r.implemented_by.empty()) out << " [" << r.implemented_by << "]";
+    out << "\n";
+    for (const auto& [dim, c] : r.classification)
+      out << "    " << dim << ": " << c << "\n";
+    for (const auto& [metric, bound] : r.costs)
+      out << "    " << metric << ": " << bound.to_string() << "\n";
+  }
+  return out.str();
+}
+
+// ===========================================================================
+// Built-in taxonomies
+// ===========================================================================
+
+taxonomy distributed_taxonomy() {
+  using core::big_o;
+  taxonomy t("distributed-algorithms");
+
+  // The seven orthogonal dimensions of Section 4.
+  t.add_dimension("problem", "any");
+  for (const char* p : {"leader-election", "broadcast", "spanning-tree",
+                        "failure-detection", "consensus", "mutual-exclusion"})
+    t.refine("problem", p, "any");
+
+  t.add_dimension("topology", "arbitrary");
+  for (const char* p : {"ring", "complete", "tree", "star", "grid"})
+    t.refine("topology", p, "arbitrary");
+
+  // Fault tolerance: tolerating more refines tolerating less.
+  t.add_dimension("fault-tolerance", "none");
+  t.refine("fault-tolerance", "crash", "none");
+  t.refine("fault-tolerance", "byzantine", "crash");
+
+  t.add_dimension("information-sharing", "any");
+  t.refine("information-sharing", "message-passing", "any");
+  t.refine("information-sharing", "shared-memory", "any");
+
+  t.add_dimension("strategy", "any");
+  for (const char* p : {"centralized-control", "distributed-control",
+                        "randomized", "compositional", "heart-beat",
+                        "probe-echo", "wave"})
+    t.refine("strategy", p, "any");
+
+  // Timing: an algorithm correct under weaker assumptions refines one that
+  // needs stronger ones: asynchronous -> partially-synchronous ->
+  // synchronous.
+  t.add_dimension("timing", "synchronous");
+  t.refine("timing", "partially-synchronous", "synchronous");
+  t.refine("timing", "asynchronous", "partially-synchronous");
+
+  t.add_dimension("process-management", "static");
+  t.refine("process-management", "dynamic-join", "static");
+
+  const big_o n = big_o::n("n");
+  const big_o logn = big_o::log_n("n");
+  const big_o E = big_o::n("E");
+  const big_o D = big_o::n("D");
+
+  t.add_algorithm(
+      {.name = "lcr-leader-election",
+       .classification = {{"problem", "leader-election"},
+                          {"topology", "ring"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "distributed-control"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", n * n},
+                 {"time", n},
+                 {"local_computation", n * n}},
+       .implemented_by = "distributed::lcr_leader_election",
+       .notes = "Theta(n^2) worst-case messages; O(n log n) expected"});
+  t.add_algorithm(
+      {.name = "hs-leader-election",
+       .classification = {{"problem", "leader-election"},
+                          {"topology", "ring"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "distributed-control"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(12.0) * n * logn},
+                 {"time", n},
+                 {"local_computation", big_o::constant(12.0) * n * logn}},
+       .implemented_by = "distributed::hs_leader_election",
+       .notes = "Theta(n log n) messages via doubling probes"});
+  t.add_algorithm(
+      {.name = "peterson-leader-election",
+       .classification = {{"problem", "leader-election"},
+                          {"topology", "ring"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "distributed-control"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(6.0) * n * logn},
+                 {"time", n},
+                 {"local_computation", big_o::constant(6.0) * n * logn}},
+       .implemented_by = "distributed::peterson_leader_election",
+       .notes = "unidirectional ring; needs FIFO links; <= 2n log n + O(n) "
+                "messages"});
+  t.add_algorithm(
+      {.name = "itai-rodeh-randomized-election",
+       .classification = {{"problem", "leader-election"},
+                          {"topology", "ring"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "randomized"},
+                          {"timing", "synchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", n * n}, {"time", n}},
+       .implemented_by = "distributed::randomized_anonymous_election",
+       .notes = "anonymous ring; terminates with probability 1"});
+  t.add_algorithm(
+      {.name = "flooding-broadcast",
+       .classification = {{"problem", "broadcast"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "crash"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "wave"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(2.0) * E}, {"time", D}},
+       .implemented_by = "distributed::flooding_broadcast",
+       .notes = "tolerates crashes outside the broadcast path"});
+  t.add_algorithm(
+      {.name = "echo-wave",
+       .classification = {{"problem", "spanning-tree"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "probe-echo"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(2.0) * E}, {"time", D}},
+       .implemented_by = "distributed::echo_wave",
+       .notes = "exactly 2|E| messages; root detects termination"});
+  t.add_algorithm(
+      {.name = "bfs-spanning-tree",
+       .classification = {{"problem", "spanning-tree"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "wave"},
+                          {"timing", "synchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(2.0) * E}, {"time", D}},
+       .implemented_by = "distributed::bfs_spanning_tree",
+       .notes = "synchronous flooding yields BFS layers"});
+  t.add_algorithm(
+      {.name = "heartbeat-failure-detector",
+       .classification = {{"problem", "failure-detection"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "crash"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "heart-beat"},
+                          {"timing", "synchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(2.0) * E * big_o::n("R")},
+                 {"time", big_o::n("R")}},
+       .implemented_by = "distributed::heartbeat_detector",
+       .notes = "2E messages per round for R rounds"});
+  return t;
+}
+
+taxonomy sequence_taxonomy() {
+  using core::big_o;
+  taxonomy t("sequence-algorithms");
+  t.add_dimension("problem", "any");
+  for (const char* p : {"searching", "sorting", "reduction", "extremum"})
+    t.refine("problem", p, "any");
+  // Iterator requirement: weaker requirements refine stronger availability:
+  // an algorithm usable with input iterators is usable everywhere.
+  t.add_dimension("iterator", "random-access");
+  t.refine("iterator", "bidirectional", "random-access");
+  t.refine("iterator", "forward", "bidirectional");
+  t.refine("iterator", "input", "forward");
+  // Preconditions: the caller names the strongest property they can
+  // guarantee; an algorithm demanding nothing ("none") is usable anywhere,
+  // so "none" refines "sorted".
+  t.add_dimension("precondition", "sorted");
+  t.refine("precondition", "none", "sorted");
+
+  const big_o n = big_o::n("n");
+  const big_o logn = big_o::log_n("n");
+
+  t.add_algorithm({.name = "find",
+                   .classification = {{"problem", "searching"},
+                                      {"iterator", "input"},
+                                      {"precondition", "none"}},
+                   .costs = {{"comparisons", n}},
+                   .implemented_by = "sequences::find"});
+  t.add_algorithm({.name = "lower_bound",
+                   .classification = {{"problem", "searching"},
+                                      {"iterator", "forward"},
+                                      {"precondition", "sorted"}},
+                   .costs = {{"comparisons", logn}},
+                   .implemented_by = "sequences::lower_bound",
+                   .notes = "O(n) iterator steps on non-random-access"});
+  t.add_algorithm({.name = "binary_search",
+                   .classification = {{"problem", "searching"},
+                                      {"iterator", "forward"},
+                                      {"precondition", "sorted"}},
+                   .costs = {{"comparisons", logn}},
+                   .implemented_by = "sequences::binary_search"});
+  t.add_algorithm({.name = "max_element",
+                   .classification = {{"problem", "extremum"},
+                                      {"iterator", "forward"},
+                                      {"precondition", "none"}},
+                   .costs = {{"comparisons", n}},
+                   .implemented_by = "sequences::max_element",
+                   .notes = "needs multipass (Forward), not Input"});
+  t.add_algorithm({.name = "introsort",
+                   .classification = {{"problem", "sorting"},
+                                      {"iterator", "random-access"},
+                                      {"precondition", "none"}},
+                   .costs = {{"comparisons", n * logn}},
+                   .implemented_by = "sequences::intro_sort"});
+  t.add_algorithm({.name = "forward_merge_sort",
+                   .classification = {{"problem", "sorting"},
+                                      {"iterator", "forward"},
+                                      {"precondition", "none"}},
+                   .costs = {{"comparisons", n * logn * logn}},
+                   .implemented_by = "sequences::forward_merge_sort"});
+  t.add_algorithm({.name = "reduce",
+                   .classification = {{"problem", "reduction"},
+                                      {"iterator", "input"},
+                                      {"precondition", "none"}},
+                   .costs = {{"comparisons", n}},
+                   .implemented_by = "sequences::reduce",
+                   .notes = "Monoid-constrained"});
+  return t;
+}
+
+taxonomy graph_taxonomy() {
+  using core::big_o;
+  taxonomy t("graph-algorithms");
+  t.add_dimension("problem", "any");
+  for (const char* p :
+       {"traversal", "shortest-paths", "ordering", "components",
+        "spanning-tree"})
+    t.refine("problem", p, "any");
+  t.add_dimension("graph-concept", "incidence");
+  t.refine("graph-concept", "vertex-list", "incidence");
+  t.refine("graph-concept", "edge-list", "incidence");
+
+  const big_o V = big_o::n("V");
+  const big_o E = big_o::n("E");
+  const big_o logV = big_o::log_n("V");
+
+  t.add_algorithm({.name = "breadth-first-search",
+                   .classification = {{"problem", "traversal"},
+                                      {"graph-concept", "vertex-list"}},
+                   .costs = {{"time", V + E}},
+                   .implemented_by = "graph::breadth_first_search"});
+  t.add_algorithm({.name = "depth-first-search",
+                   .classification = {{"problem", "traversal"},
+                                      {"graph-concept", "vertex-list"}},
+                   .costs = {{"time", V + E}},
+                   .implemented_by = "graph::dfs_finish_order"});
+  t.add_algorithm({.name = "topological-sort",
+                   .classification = {{"problem", "ordering"},
+                                      {"graph-concept", "vertex-list"}},
+                   .costs = {{"time", V + E}},
+                   .implemented_by = "graph::topological_sort"});
+  t.add_algorithm({.name = "dijkstra",
+                   .classification = {{"problem", "shortest-paths"},
+                                      {"graph-concept", "vertex-list"}},
+                   .costs = {{"time", (V + E) * logV}},
+                   .implemented_by = "graph::dijkstra_shortest_paths",
+                   .notes = "non-negative weights"});
+  t.add_algorithm({.name = "connected-components",
+                   .classification = {{"problem", "components"},
+                                      {"graph-concept", "edge-list"}},
+                   .costs = {{"time", V + E}},
+                   .implemented_by = "graph::connected_components"});
+  t.add_algorithm({.name = "kruskal-mst",
+                   .classification = {{"problem", "spanning-tree"},
+                                      {"graph-concept", "edge-list"}},
+                   .costs = {{"time", E * big_o::log_n("E")}},
+                   .implemented_by = "graph::kruskal_mst"});
+  return t;
+}
+
+}  // namespace cgp::taxonomy

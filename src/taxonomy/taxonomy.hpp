@@ -1,0 +1,132 @@
+// Algorithm concept taxonomies (Sections 1 and 4).
+//
+// A taxonomy organizes algorithm concepts along *orthogonal dimensions*,
+// each dimension being a refinement tree of concepts.  Algorithms are
+// classified by naming, for every dimension, the most refined concept they
+// model; queries ask for algorithms whose classification refines a set of
+// requirements; selection additionally minimizes a complexity guarantee
+// (messages, time, local computation) evaluated for the deployment's
+// parameters.  "A comprehensive ... concept taxonomy thus ... helps a
+// system designer to pick the correct algorithm for a particular
+// application."
+//
+// The refinement machinery is the concept registry from src/core — the same
+// lattice that drives the rewrite engine and STLlint.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/complexity.hpp"
+#include "core/registry.hpp"
+
+namespace cgp::taxonomy {
+
+/// One classified algorithm.
+struct algorithm_record {
+  std::string name;
+  /// dimension name -> concept (must exist in the taxonomy's registry).
+  std::map<std::string, std::string> classification;
+  /// metric name ("messages", "time", "local_computation", "comparisons")
+  /// -> asymptotic guarantee over variables like n (nodes), E (edges),
+  /// D (diameter).
+  std::map<std::string, core::big_o> costs;
+  /// Which of this repository's modules implements it.
+  std::string implemented_by;
+  std::string notes;
+};
+
+/// Requirements: per-dimension concept the algorithm's classification must
+/// refine.  Dimensions absent from the map are unconstrained.
+using requirements = std::map<std::string, std::string>;
+
+class taxonomy {
+ public:
+  explicit taxonomy(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Declares a dimension rooted at `root` (the root concept is defined
+  /// implicitly).
+  void add_dimension(const std::string& dimension, const std::string& root);
+
+  /// Adds `concept_name` under `parent` in `dimension`'s refinement tree.
+  void refine(const std::string& dimension, const std::string& concept_name,
+              const std::string& parent);
+
+  [[nodiscard]] std::vector<std::string> dimensions() const;
+  [[nodiscard]] std::vector<std::string> concepts_in(
+      const std::string& dimension) const;
+
+  /// Registers an algorithm; throws if a classification names an unknown
+  /// dimension or concept.
+  void add_algorithm(algorithm_record rec);
+
+  [[nodiscard]] const std::vector<algorithm_record>& algorithms() const {
+    return records_;
+  }
+  [[nodiscard]] const algorithm_record* find(const std::string& name) const;
+
+  /// True when `rec` satisfies `req`: for every required dimension, the
+  /// record's concept refines the required concept.  Records that do not
+  /// classify a required dimension do not match.
+  [[nodiscard]] bool matches(const algorithm_record& rec,
+                             const requirements& req) const;
+
+  /// All algorithms matching the requirements.
+  [[nodiscard]] std::vector<algorithm_record> query(
+      const requirements& req) const;
+
+  /// Picks the matching algorithm minimizing `metric` evaluated at `env`
+  /// (e.g. metric "messages", env {n: 1024}).  Algorithms without the
+  /// metric are skipped.  nullopt when nothing matches.
+  [[nodiscard]] std::optional<algorithm_record> select(
+      const requirements& req, const std::string& metric,
+      const std::map<std::string, double>& env) const;
+
+  /// Where, along `var` in [lo, hi], does `name_a`'s `metric` guarantee
+  /// first reach `name_b`'s — i.e. from where on should a designer switch
+  /// from a to b?  nullopt when a stays cheaper on the whole range or
+  /// either record/metric is missing.
+  [[nodiscard]] std::optional<double> crossover(
+      const std::string& name_a, const std::string& name_b,
+      const std::string& metric, const std::string& var, double lo,
+      double hi, std::map<std::string, double> env = {}) const;
+
+  /// Human-readable table of all records (one line per algorithm).
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] const core::concept_registry& registry() const {
+    return registry_;
+  }
+
+ private:
+  [[nodiscard]] std::string qualified(const std::string& dimension,
+                                      const std::string& concept_name) const {
+    return dimension + "/" + concept_name;
+  }
+
+  std::string name_;
+  core::concept_registry registry_;
+  std::map<std::string, std::string> dimension_roots_;
+  std::vector<algorithm_record> records_;
+};
+
+/// The distributed-algorithm taxonomy of Section 4, with its seven
+/// orthogonal dimensions (problem, topology, fault tolerance, information
+/// sharing, strategy, timing, process management) and this repository's
+/// implemented algorithms classified and annotated with their complexity
+/// guarantees.
+[[nodiscard]] taxonomy distributed_taxonomy();
+
+/// The sequential sequence-algorithm taxonomy (STL domain): searching and
+/// sorting algorithms with iterator-concept requirements and comparison
+/// bounds.
+[[nodiscard]] taxonomy sequence_taxonomy();
+
+/// The graph-algorithm taxonomy (BGL domain).
+[[nodiscard]] taxonomy graph_taxonomy();
+
+}  // namespace cgp::taxonomy

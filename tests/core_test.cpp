@@ -1,0 +1,411 @@
+// Unit and property tests for src/core: the term language, complexity
+// algebra, concept registry, algebraic concept declarations, and archetypes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/algebraic.hpp"
+#include "core/archetypes.hpp"
+#include "core/complexity.hpp"
+#include "core/graph_concepts.hpp"
+#include "core/registry.hpp"
+#include "core/term.hpp"
+
+namespace cgp::core {
+namespace {
+
+using T = term;
+
+// ---------------------------------------------------------------------------
+// term
+// ---------------------------------------------------------------------------
+
+TEST(Term, ToStringInfixAndPrefix) {
+  const term t = T::app("+", {T::var("x"), T::cst("0")});
+  EXPECT_EQ(t.to_string(), "(x + 0)");
+  const term c = T::app("concat", {T::var("s"), T::cst("\"\"")});
+  EXPECT_EQ(c.to_string(), "concat(s, \"\")");
+}
+
+TEST(Term, StructuralEquality) {
+  const term a = T::app("op", {T::var("x"), T::cst("e")});
+  const term b = T::app("op", {T::var("x"), T::cst("e")});
+  const term c = T::app("op", {T::cst("e"), T::var("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Term, SubstituteReplacesVariables) {
+  const term pat = T::app("op", {T::var("x"), T::var("x")});
+  const term arg = T::app("f", {T::cst("a")});
+  const term out = pat.substitute({{"x", arg}});
+  EXPECT_EQ(out, T::app("op", {arg, arg}));
+}
+
+TEST(Term, SubstituteLeavesConstants) {
+  const term t = T::app("op", {T::var("x"), T::cst("x")});
+  const term out = t.substitute({{"x", T::cst("1")}});
+  EXPECT_EQ(out, T::app("op", {T::cst("1"), T::cst("x")}));
+}
+
+TEST(Term, RenameSymbolsMapsFunctionsAndConstants) {
+  const term t = T::app("op", {T::var("x"), T::cst("e")});
+  const term out = t.rename_symbols({{"op", "+"}, {"e", "0"}});
+  EXPECT_EQ(out, T::app("+", {T::var("x"), T::cst("0")}));
+}
+
+TEST(Term, RenameDoesNotTouchVariables) {
+  const term t = T::app("f", {T::var("op")});
+  const term out = t.rename_symbols({{"op", "+"}});
+  EXPECT_EQ(out.args()[0], T::var("op"));
+}
+
+TEST(Term, MatchBindsConsistently) {
+  const term pat = T::app("+", {T::var("x"), T::var("x")});
+  const term good = T::app("+", {T::cst("a"), T::cst("a")});
+  const term bad = T::app("+", {T::cst("a"), T::cst("b")});
+  ASSERT_TRUE(good.match(pat).has_value());
+  EXPECT_EQ(good.match(pat)->at("x"), T::cst("a"));
+  EXPECT_FALSE(bad.match(pat).has_value());
+}
+
+TEST(Term, MatchRespectsArityAndSymbol) {
+  const term pat = T::app("f", {T::var("x")});
+  EXPECT_FALSE(T::app("g", {T::cst("a")}).match(pat).has_value());
+  EXPECT_FALSE(T::app("f", {T::cst("a"), T::cst("b")}).match(pat).has_value());
+}
+
+TEST(Term, VariablesInOrderOfFirstOccurrence) {
+  const term t = T::app("f", {T::var("y"), T::app("g", {T::var("x"),
+                                                        T::var("y")})});
+  EXPECT_EQ(t.variables(), (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(Term, SizeCountsNodes) {
+  EXPECT_EQ(T::var("x").size(), 1u);
+  EXPECT_EQ(T::app("op", {T::var("x"), T::cst("e")}).size(), 3u);
+}
+
+TEST(Axiom, ToStringShowsEquation) {
+  const axiom a{"right_identity",
+                {"x"},
+                T::app("+", {T::var("x"), T::cst("0")}),
+                T::var("x"),
+                ""};
+  EXPECT_EQ(a.to_string(), "(x + 0) = x");
+}
+
+// ---------------------------------------------------------------------------
+// complexity algebra
+// ---------------------------------------------------------------------------
+
+TEST(Complexity, ToString) {
+  EXPECT_EQ(big_o::one().to_string(), "O(1)");
+  EXPECT_EQ(big_o::n().to_string(), "O(n)");
+  EXPECT_EQ((big_o::n() * big_o::log_n()).to_string(), "O(n log(n))");
+  EXPECT_EQ(big_o::power("n", 2).to_string(), "O(n^2)");
+}
+
+TEST(Complexity, SumKeepsOnlyDominatingTerms) {
+  const big_o s = big_o::n() + big_o::one() + big_o::log_n();
+  EXPECT_EQ(s.to_string(), "O(n)");
+}
+
+TEST(Complexity, SumKeepsIncomparableVariables) {
+  const big_o s = big_o::n("n") + big_o::n("m");
+  EXPECT_TRUE(s.to_string() == "O(n + m)" || s.to_string() == "O(m + n)");
+}
+
+TEST(Complexity, ProductAddsExponents) {
+  const big_o p = big_o::n() * big_o::n();
+  EXPECT_EQ(p.to_string(), "O(n^2)");
+  EXPECT_TRUE(p.dominates(big_o::n() * big_o::log_n()));
+}
+
+TEST(Complexity, DominancePartialOrder) {
+  const big_o nlogn = big_o::n() * big_o::log_n();
+  const big_o n2 = big_o::power("n", 2);
+  EXPECT_TRUE(n2.dominates(nlogn));
+  EXPECT_FALSE(nlogn.dominates(n2));
+  EXPECT_TRUE(nlogn.strictly_below(n2));
+  EXPECT_TRUE(big_o::log_n().strictly_below(big_o::n()));
+  // Incomparable across variables.
+  EXPECT_FALSE(big_o::n("n").dominates(big_o::n("m")));
+  EXPECT_FALSE(big_o::n("m").dominates(big_o::n("n")));
+}
+
+TEST(Complexity, NLogNDominatesN) {
+  EXPECT_TRUE((big_o::n() * big_o::log_n()).dominates(big_o::n()));
+  EXPECT_FALSE(big_o::n().dominates(big_o::n() * big_o::log_n()));
+}
+
+TEST(Complexity, EvalMatchesClosedForm) {
+  const big_o c = big_o::constant(3.0) * big_o::n() * big_o::log_n();
+  const double v = c.eval({{"n", 1024.0}});
+  EXPECT_NEAR(v, 3.0 * 1024.0 * std::log(1024.0), 1e-9);
+}
+
+TEST(Complexity, ThetaEqualKeepsLargerConstant) {
+  const big_o a = big_o::constant(2.0) * big_o::n();
+  const big_o b = big_o::constant(5.0) * big_o::n();
+  const big_o s = a + b;
+  EXPECT_EQ(s.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.terms()[0].coefficient, 5.0);
+}
+
+// Property sweep: dominance is reflexive and transitive over a pool.
+class ComplexityLattice : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplexityLattice, DominanceIsPreorder) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> pd(0, 3), ld(0, 2);
+  std::vector<big_o> pool;
+  for (int i = 0; i < 12; ++i)
+    pool.push_back(big_o::power("n", pd(rng), ld(rng)) *
+                   big_o::power("m", pd(rng), 0));
+  for (const big_o& a : pool) {
+    EXPECT_TRUE(a.dominates(a));
+    for (const big_o& b : pool)
+      for (const big_o& c : pool)
+        if (a.dominates(b) && b.dominates(c)) EXPECT_TRUE(a.dominates(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplexityLattice,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, BuiltinHierarchy) {
+  const auto& r = concept_registry::global();
+  EXPECT_TRUE(r.contains("Monoid"));
+  EXPECT_TRUE(r.refines("Monoid", "Semigroup"));
+  EXPECT_TRUE(r.refines("AbelianGroup", "Semigroup"));
+  EXPECT_TRUE(r.refines("Field", "Ring"));
+  EXPECT_TRUE(r.refines("RandomAccessIterator", "InputIterator"));
+  EXPECT_FALSE(r.refines("Semigroup", "Monoid"));
+  EXPECT_FALSE(r.refines("Monoid", "StrictWeakOrder"));
+}
+
+TEST(Registry, RefinesIsReflexiveForKnownConcepts) {
+  const auto& r = concept_registry::global();
+  EXPECT_TRUE(r.refines("Monoid", "Monoid"));
+  EXPECT_FALSE(r.refines("NoSuchConcept", "NoSuchConcept"));
+}
+
+TEST(Registry, DefiningWithUnknownBaseThrows) {
+  concept_registry r;
+  EXPECT_THROW(r.define({.name = "X", .refines = {"Missing"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, AncestorsAndDescendants) {
+  const auto& r = concept_registry::global();
+  const auto anc = r.ancestors("AbelianGroup");
+  EXPECT_TRUE(std::count(anc.begin(), anc.end(), "Group") == 1);
+  EXPECT_TRUE(std::count(anc.begin(), anc.end(), "Monoid") == 1);
+  EXPECT_TRUE(std::count(anc.begin(), anc.end(), "Magma") == 1);
+  const auto desc = r.descendants("Monoid");
+  EXPECT_TRUE(std::count(desc.begin(), desc.end(), "Group") == 1);
+  EXPECT_TRUE(std::count(desc.begin(), desc.end(), "Field") == 1);
+}
+
+TEST(Registry, AxiomInheritance) {
+  const auto& r = concept_registry::global();
+  const auto axioms = r.all_axioms("Group");
+  const auto has = [&](const std::string& n) {
+    return std::any_of(axioms.begin(), axioms.end(),
+                       [&](const axiom& a) { return a.name == n; });
+  };
+  EXPECT_TRUE(has("right_inverse"));
+  EXPECT_TRUE(has("right_identity"));   // inherited from Monoid
+  EXPECT_TRUE(has("associativity"));    // inherited from Semigroup
+  EXPECT_FALSE(has("commutativity"));   // belongs to CommutativeMonoid
+}
+
+TEST(Registry, MeetOfSiblingConcepts) {
+  const auto& r = concept_registry::global();
+  // Group and CommutativeMonoid meet at Monoid.
+  const auto m = r.meet("Group", "CommutativeMonoid");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], "Monoid");
+}
+
+TEST(Registry, ModelsDirectAndViaRefinement) {
+  const auto& r = concept_registry::global();
+  EXPECT_TRUE(r.models("AbelianGroup", {"int", "+"}));
+  EXPECT_TRUE(r.models("Monoid", {"int", "+"}));      // via refinement
+  EXPECT_TRUE(r.models("Semigroup", {"int", "+"}));   // via refinement
+  EXPECT_FALSE(r.models("Group", {"int", "*"}));      // ints lack inverses
+  EXPECT_TRUE(r.models("Monoid", {"string", "concat"}));
+  EXPECT_FALSE(r.models("CommutativeMonoid", {"string", "concat"}));
+}
+
+TEST(Registry, FindModelReturnsSymbolBinding) {
+  const auto& r = concept_registry::global();
+  const auto m = r.find_model("Monoid", {"int", "+"});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->symbol_binding.at("e"), "0");
+  EXPECT_EQ(m->symbol_binding.at("op"), "+");
+}
+
+TEST(Registry, ConceptsOfType) {
+  const auto& r = concept_registry::global();
+  const auto cs = r.concepts_of({"unsigned", "^"});
+  EXPECT_TRUE(std::count(cs.begin(), cs.end(), "Group") == 1);
+  EXPECT_TRUE(std::count(cs.begin(), cs.end(), "Monoid") == 1);
+}
+
+TEST(Registry, DescribeRendersRequirementTable) {
+  const auto& r = concept_registry::global();
+  const std::string d = r.describe("IncidenceGraph");
+  EXPECT_NE(d.find("out_edges(v,g)"), std::string::npos);
+  EXPECT_NE(d.find("edge_type"), std::string::npos);
+  const std::string m = r.describe("Monoid");
+  EXPECT_NE(m.find("right_identity"), std::string::npos);
+  EXPECT_NE(m.find("op(x, e) = x"), std::string::npos);
+}
+
+TEST(Registry, DeclareModelUnknownConceptThrows) {
+  concept_registry r;
+  EXPECT_THROW(r.declare_model({"Nope", {"int"}, {}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// algebraic concept declarations (compile-time checks)
+// ---------------------------------------------------------------------------
+
+static_assert(Monoid<int, std::plus<>>);
+static_assert(AbelianGroup<int, std::plus<>>);
+static_assert(CommutativeMonoid<int, std::multiplies<>>);
+static_assert(!Group<int, std::multiplies<>>);
+static_assert(Field<double>);
+static_assert(Field<std::complex<float>>);
+static_assert(!Field<int>);
+static_assert(Monoid<std::string, std::plus<>>);
+static_assert(!CommutativeMonoid<std::string, std::plus<>>);
+static_assert(Monoid<bool, std::logical_and<>>);
+static_assert(AbelianGroup<unsigned, std::bit_xor<>>);
+static_assert(Monoid<unsigned, std::bit_and<>>);
+static_assert(!Monoid<int, std::minus<>>);  // subtraction not associative
+static_assert(StrictWeakOrder<std::less<>, int>);
+static_assert(!StrictWeakOrder<std::less_equal<>, int>);
+
+TEST(Algebraic, IdentityWitnesses) {
+  EXPECT_EQ((identity_element<int, std::plus<>>()), 0);
+  EXPECT_EQ((identity_element<int, std::multiplies<>>()), 1);
+  EXPECT_EQ((identity_element<bool, std::logical_and<>>()), true);
+  EXPECT_EQ((identity_element<unsigned, std::bit_and<>>()), ~0u);
+  EXPECT_EQ((identity_element<std::string, std::plus<>>()), "");
+}
+
+TEST(Algebraic, InverseWitnesses) {
+  EXPECT_EQ((inverse_element<int, std::plus<>>(5)), -5);
+  EXPECT_DOUBLE_EQ((inverse_element<double, std::multiplies<>>(4.0)), 0.25);
+  EXPECT_EQ((inverse_element<unsigned, std::bit_xor<>>(0xABu)), 0xABu);
+}
+
+TEST(Algebraic, EquivalentUnderStrictWeakOrder) {
+  EXPECT_TRUE(equivalent_under(3, 3));
+  EXPECT_FALSE(equivalent_under(3, 4));
+  // Case-insensitive comparator: distinct values can be equivalent.
+  struct ci_less {
+    bool operator()(char a, char b) const {
+      return std::tolower(a) < std::tolower(b);
+    }
+  };
+  EXPECT_TRUE(equivalent_under('a', 'A', ci_less{}));
+  EXPECT_FALSE(equivalent_under('a', 'b', ci_less{}));
+}
+
+// Property sweep: declared monoid models actually satisfy the axioms on
+// sampled values (semantic declarations are promises; we audit them).
+template <class T, class Op>
+void check_monoid_axioms(const std::vector<T>& samples) {
+  const Op op{};
+  const T e = monoid_traits<T, Op>::identity();
+  for (const T& a : samples) {
+    EXPECT_EQ(op(a, e), a);
+    EXPECT_EQ(op(e, a), a);
+    for (const T& b : samples)
+      for (const T& c : samples)
+        EXPECT_EQ(op(op(a, b), c), op(a, op(b, c)));
+  }
+}
+
+TEST(Algebraic, MonoidAxiomsHoldForDeclaredModels) {
+  check_monoid_axioms<int, std::plus<>>({-7, -1, 0, 1, 2, 3, 11});
+  check_monoid_axioms<int, std::multiplies<>>({-3, -1, 0, 1, 2, 5});
+  check_monoid_axioms<unsigned, std::bit_and<>>({0u, 1u, 0xFFu, 0xA5A5u});
+  check_monoid_axioms<unsigned, std::bit_xor<>>({0u, 1u, 0xFFu, 0xA5A5u});
+  check_monoid_axioms<bool, std::logical_and<>>({false, true});
+  check_monoid_axioms<std::string, std::plus<>>({"", "a", "bc"});
+}
+
+TEST(Algebraic, GroupInverseAxiomHolds) {
+  for (int a : {-9, -1, 0, 1, 5, 42}) {
+    EXPECT_EQ(a + (group_traits<int, std::plus<>>::inverse(a)), 0);
+  }
+  for (unsigned a : {0u, 1u, 0xDEADu}) {
+    EXPECT_EQ(a ^ (group_traits<unsigned, std::bit_xor<>>::inverse(a)), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// archetypes
+// ---------------------------------------------------------------------------
+
+static_assert(std::forward_iterator<forward_iterator_archetype<int>>);
+static_assert(std::input_iterator<single_pass_sequence<int>::iterator>);
+
+TEST(Archetypes, SinglePassSequenceAllowsOneTraversal) {
+  single_pass_sequence<int> seq({1, 2, 3});
+  int sum = 0;
+  for (auto it = seq.begin(); it != seq.end(); ++it) sum += *it;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Archetypes, SecondTraversalThrows) {
+  single_pass_sequence<int> seq({1, 2, 3});
+  for (auto it = seq.begin(); it != seq.end(); ++it) (void)*it;
+  EXPECT_THROW((void)seq.begin(), semantic_archetype_violation);
+}
+
+TEST(Archetypes, StaleIteratorDereferenceThrows) {
+  // max_element-style usage: remember an iterator, advance another copy,
+  // then dereference the remembered one.  Input iterators forbid this.
+  single_pass_sequence<int> seq({5, 1, 2});
+  auto best = seq.begin();
+  auto it = best;
+  ++it;  // the shared cursor moves past `best`
+  EXPECT_THROW((void)*best, semantic_archetype_violation);
+}
+
+TEST(Archetypes, PastTheEndDereferenceThrows) {
+  single_pass_sequence<int> seq({});
+  EXPECT_THROW((void)*seq.begin(), semantic_archetype_violation);
+}
+
+TEST(Archetypes, CheckedStrictWeakOrderCountsAndPasses) {
+  checked_strict_weak_order<int, std::less<>> cmp;
+  EXPECT_TRUE(cmp(1, 2));
+  EXPECT_FALSE(cmp(2, 1));
+  EXPECT_FALSE(cmp(2, 2));
+  EXPECT_EQ(cmp.calls(), 3u);
+}
+
+TEST(Archetypes, CheckedStrictWeakOrderRejectsAsymmetryViolation) {
+  // `!=` is not a strict weak order: a != b and b != a both hold.
+  struct bogus {
+    bool operator()(int a, int b) const { return a != b; }
+  };
+  checked_strict_weak_order<int, bogus> cmp;
+  EXPECT_THROW((void)cmp(1, 2), semantic_archetype_violation);
+}
+
+}  // namespace
+}  // namespace cgp::core

@@ -1,0 +1,351 @@
+// Tests for the message-passing simulator and the distributed algorithms
+// whose measured message counts back the Section 4 taxonomy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distributed/algorithms.hpp"
+
+namespace cgp::distributed {
+namespace {
+
+// ---------------------------------------------------------------------------
+// network plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Network, RingTopologyDegrees) {
+  network net(6, topology::ring);
+  for (int v = 0; v < 6; ++v)
+    EXPECT_EQ(net.neighbors_of(v).size(), 2u) << v;
+  EXPECT_EQ(net.edge_count(), 6u);
+}
+
+TEST(Network, CompleteTopology) {
+  network net(5, topology::complete);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(net.neighbors_of(v).size(), 4u);
+  EXPECT_EQ(net.edge_count(), 10u);
+}
+
+TEST(Network, StarTopology) {
+  network net(7, topology::star);
+  EXPECT_EQ(net.neighbors_of(0).size(), 6u);
+  for (int v = 1; v < 7; ++v) EXPECT_EQ(net.neighbors_of(v).size(), 1u);
+}
+
+TEST(Network, RandomConnectedIsConnected) {
+  network net(30, topology::random_connected, timing::synchronous, 7);
+  // Flooding must reach every node on a connected graph.
+  net.spawn(flooding_broadcast(0));
+  (void)net.run();
+  EXPECT_EQ(net.deciders("got").size(), 30u);
+}
+
+TEST(Network, UidsArePermutationOfOneToN) {
+  network net(10, topology::ring);
+  std::vector<bool> seen(11, false);
+  for (int v = 0; v < 10; ++v) {
+    const long u = net.uid_of(v);
+    ASSERT_GE(u, 1);
+    ASSERT_LE(u, 10);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(u)]);
+    seen[static_cast<std::size_t>(u)] = true;
+  }
+}
+
+TEST(Network, TopologyEnforcedOnSend) {
+  struct bad_sender final : process {
+    void start(context& ctx) override { ctx.send(3, "x"); }
+    void receive(context&, const message&) override {}
+  };
+  network net(6, topology::ring);  // 0 is not adjacent to 3
+  net.spawn([](int id) -> std::unique_ptr<process> {
+    if (id == 0) return std::make_unique<bad_sender>();
+    return std::make_unique<bad_sender>();
+  });
+  EXPECT_THROW((void)net.run(), std::invalid_argument);
+}
+
+TEST(Network, RunWithoutSpawnThrows) {
+  network net(3, topology::ring);
+  EXPECT_THROW((void)net.run(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// leader election
+// ---------------------------------------------------------------------------
+
+class ElectionSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ElectionSizes, LcrElectsUniqueMaximumSynchronous) {
+  const auto out = run_ring_election(lcr_leader_election(), GetParam(),
+                                     timing::synchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));  // max uid = n
+}
+
+TEST_P(ElectionSizes, LcrElectsUniqueMaximumAsynchronous) {
+  const auto out = run_ring_election(lcr_leader_election(), GetParam(),
+                                     timing::asynchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
+}
+
+TEST_P(ElectionSizes, PetersonElectsUniqueMaximumSync) {
+  const auto out = run_ring_election(peterson_leader_election(), GetParam(),
+                                     timing::synchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
+}
+
+TEST_P(ElectionSizes, PetersonElectsUniqueMaximumAsyncFifo) {
+  // Peterson needs FIFO links; the asynchronous network preserves per-link
+  // order by default.
+  const auto out = run_ring_election(peterson_leader_election(), GetParam(),
+                                     timing::asynchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
+}
+
+TEST_P(ElectionSizes, HsElectsUniqueMaximum) {
+  const auto out =
+      run_ring_election(hs_leader_election(), GetParam(), timing::synchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
+}
+
+TEST_P(ElectionSizes, HsWorksAsynchronouslyToo) {
+  const auto out = run_ring_election(hs_leader_election(), GetParam(),
+                                     timing::asynchronous);
+  EXPECT_EQ(out.leaders, 1u);
+  EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ElectionSizes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u, 33u,
+                                           64u));
+
+TEST(Election, EveryNonLeaderLearnsTheLeader) {
+  network net(16, topology::ring);
+  net.spawn(lcr_leader_election());
+  (void)net.run();
+  EXPECT_EQ(net.deciders("leader").size(), 1u);
+  EXPECT_EQ(net.deciders("leader_known").size(), 15u);
+}
+
+namespace {
+/// Runs an election on a ring with uids DESCENDING clockwise — the layout
+/// that realizes LCR's Theta(n^2) worst case (every uid travels as far as
+/// it can before a larger one swallows it).
+election_outcome run_worst_case_ring(const process_factory& algo,
+                                     std::size_t n) {
+  network net(n, topology::ring, timing::synchronous);
+  std::vector<long> uids(n);
+  for (std::size_t i = 0; i < n; ++i) uids[i] = static_cast<long>(n - i);
+  net.set_uids(std::move(uids));
+  net.spawn(algo);
+  election_outcome out;
+  out.stats = net.run();
+  for (int node : net.deciders("leader")) {
+    ++out.leaders;
+    out.leader_node = node;
+    out.leader_uid = *net.decision(node, "leader");
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Election, MessageComplexitySeparation) {
+  // The taxonomy's headline: LCR Theta(n^2) vs HS Theta(n log n) in the
+  // worst case.  Build the adversarial descending-uid ring and verify the
+  // separation and both claimed bounds.
+  const std::size_t n = 256;
+  const auto lcr = run_worst_case_ring(lcr_leader_election(), n);
+  const auto hs = run_worst_case_ring(hs_leader_election(), n);
+  EXPECT_EQ(lcr.leaders, 1u);
+  EXPECT_EQ(hs.leaders, 1u);
+  const double dn = static_cast<double>(n);
+  // LCR worst case: ~n(n+1)/2 uid messages + n announcements.
+  EXPECT_GE(static_cast<double>(lcr.stats.messages_total), dn * dn / 2.0);
+  EXPECT_LE(static_cast<double>(lcr.stats.messages_total), dn * dn + 3 * dn);
+  EXPECT_LE(static_cast<double>(hs.stats.messages_total),
+            8.0 * dn * std::log2(dn) + 4 * dn);
+  EXPECT_LT(hs.stats.messages_total, lcr.stats.messages_total);
+}
+
+TEST(Election, RandomLayoutMakesLcrExpectedNLogN) {
+  // With random uid placement LCR's expected message count is Theta(n ln n)
+  // — far below its worst case (the distinction the taxonomy's notes
+  // record).
+  const std::size_t n = 256;
+  const auto lcr =
+      run_ring_election(lcr_leader_election(), n, timing::synchronous);
+  const double dn = static_cast<double>(n);
+  EXPECT_LT(static_cast<double>(lcr.stats.messages_total),
+            4.0 * dn * std::log(dn) + 3 * dn);
+}
+
+TEST(Election, LcrWorstCaseLayoutIsQuadratic) {
+  // Build the worst case by hand: uids increasing along the ring means
+  // node i's uid travels i hops, totalling ~n^2/2 uid messages.
+  // The seeded-uid network cannot express this directly, so approximate by
+  // checking growth between sizes instead: messages(2n) ~ 4*messages(n)
+  // would only hold for adversarial layouts; with random layouts expected
+  // complexity is Theta(n log n) — verify it is super-linear but bounded.
+  const auto a =
+      run_ring_election(lcr_leader_election(), 64, timing::synchronous);
+  const auto b =
+      run_ring_election(lcr_leader_election(), 128, timing::synchronous);
+  EXPECT_GT(b.stats.messages_total, 2 * a.stats.messages_total * 95 / 100);
+}
+
+TEST(Election, PetersonStaysWithinItsClaimedBound) {
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    const auto out = run_worst_case_ring(peterson_leader_election(), n);
+    EXPECT_EQ(out.leaders, 1u);
+    const double dn = static_cast<double>(n);
+    // <= 2 n ceil(log2 n) phase messages + n election detection + n
+    // announcements, comfortably under the recorded 6 n ln n guarantee + n.
+    EXPECT_LE(static_cast<double>(out.stats.messages_total),
+              6.0 * dn * std::log(std::max(dn, 2.0)) + 2.0 * dn)
+        << n;
+  }
+}
+
+TEST(Election, FifoCanBeDisabled) {
+  // With reordering channels Peterson's assumptions do not hold; the
+  // simulator can model that too (we only check it still terminates and
+  // the FIFO flag is honored without crashing).
+  network net(8, topology::ring, timing::asynchronous, 42,
+              /*fifo_links=*/false);
+  net.spawn(lcr_leader_election());  // LCR tolerates reordering
+  (void)net.run();
+  EXPECT_EQ(net.deciders("leader").size(), 1u);
+}
+
+TEST(Election, RandomizedAnonymousElectsExactlyOneLeader) {
+  for (std::uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    network net(8, topology::ring, timing::synchronous, seed);
+    net.spawn(randomized_anonymous_election());
+    (void)net.run();
+    EXPECT_EQ(net.deciders("leader").size(), 1u) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// waves and trees
+// ---------------------------------------------------------------------------
+
+TEST(Echo, UsesExactlyTwoMessagesPerEdge) {
+  for (topology topo : {topology::ring, topology::complete, topology::star,
+                        topology::grid, topology::random_connected}) {
+    network net(16, topo, timing::synchronous, 11);
+    net.spawn(echo_wave(0));
+    const run_stats stats = net.run();
+    EXPECT_EQ(stats.messages_total, 2 * net.edge_count())
+        << to_string(topo);
+    EXPECT_EQ(net.deciders("done"), std::vector<int>{0}) << to_string(topo);
+  }
+}
+
+TEST(Echo, ParentPointersFormATreeReachingEveryone) {
+  network net(25, topology::grid);
+  net.spawn(echo_wave(0));
+  (void)net.run();
+  EXPECT_EQ(net.deciders("parent").size(), 24u);  // everyone but the root
+}
+
+TEST(BfsTree, SynchronousFloodingGivesBfsDistances) {
+  // 4x4 grid rooted at corner: distance = manhattan distance.
+  network net(16, topology::grid);
+  net.spawn(bfs_spanning_tree(0));
+  (void)net.run();
+  for (int v = 0; v < 16; ++v) {
+    const long expected = (v / 4) + (v % 4);
+    ASSERT_TRUE(net.decision(v, "dist").has_value()) << v;
+    EXPECT_EQ(*net.decision(v, "dist"), expected) << v;
+  }
+}
+
+TEST(Flooding, HopCountsAreAtLeastBfsDistanceAndReachAll) {
+  network net(12, topology::random_connected, timing::asynchronous, 3);
+  net.spawn(flooding_broadcast(0));
+  const run_stats stats = net.run();
+  EXPECT_EQ(net.deciders("got").size(), 12u);
+  EXPECT_LE(stats.messages_total, 2 * net.edge_count());
+}
+
+// ---------------------------------------------------------------------------
+// failure injection
+// ---------------------------------------------------------------------------
+
+TEST(Failures, CrashedNodeBlocksNothingElsewhere) {
+  // Crash a leaf of the star; broadcast still reaches the others.
+  network net(8, topology::star);
+  net.crash(5);
+  net.spawn(flooding_broadcast(0));
+  (void)net.run();
+  EXPECT_EQ(net.deciders("got").size(), 7u);
+  EXPECT_FALSE(net.decision(5, "got").has_value());
+}
+
+TEST(Failures, HeartbeatDetectsCrash) {
+  network net(6, topology::ring);
+  net.spawn(heartbeat_detector(3));
+  net.crash(2, /*at_round=*/5);
+  (void)net.run(/*max_rounds=*/30);
+  // Node 2's ring neighbors are 1 and 3; both must suspect it.
+  EXPECT_TRUE(net.decision(1, "suspects:2").has_value());
+  EXPECT_TRUE(net.decision(3, "suspects:2").has_value());
+  // Nobody suspects a live node.
+  EXPECT_FALSE(net.decision(1, "suspects:0").has_value());
+  EXPECT_FALSE(net.decision(4, "suspects:5").has_value());
+}
+
+TEST(Failures, ByzantineCorruptionChangesElectionOutcome) {
+  // A Byzantine node that inflates every uid it forwards can crown a bogus
+  // leader id — demonstrating why LCR is classified fault-tolerance:none.
+  network net(8, topology::ring, timing::synchronous, 42);
+  net.corrupt(3, [](message& m) {
+    if (m.tag == "uid") m.payload[0] = 999;
+  });
+  net.spawn(lcr_leader_election());
+  (void)net.run(2000);
+  // No node's real uid is 999, so no node can ever match it: either no
+  // leader emerges or the decided value is corrupt.  Both manifest as a
+  // violated uniqueness/validity property.
+  bool valid_unique_leader = net.deciders("leader").size() == 1;
+  if (valid_unique_leader) {
+    const int node = net.deciders("leader")[0];
+    valid_unique_leader = (*net.decision(node, "leader") ==
+                           static_cast<long>(8));
+  }
+  EXPECT_FALSE(valid_unique_leader);
+}
+
+// ---------------------------------------------------------------------------
+// accounting (Section 4: local computation matters)
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, LocalStepsTrackHandlersAndCharges) {
+  network net(8, topology::ring);
+  net.spawn(lcr_leader_election());
+  const run_stats stats = net.run();
+  EXPECT_GT(stats.local_steps, stats.messages_total);  // start + deliveries
+  EXPECT_EQ(stats.local_steps_per_node.size(), 8u);
+  std::size_t sum = 0;
+  for (std::size_t s : stats.local_steps_per_node) sum += s;
+  EXPECT_EQ(sum, stats.local_steps);
+}
+
+TEST(Accounting, MessagesByTagBreakdown) {
+  network net(8, topology::ring);
+  net.spawn(lcr_leader_election());
+  const run_stats stats = net.run();
+  EXPECT_GT(stats.messages_by_tag.at("uid"), 0u);
+  // Once around the ring: the leader's announcement plus one forward from
+  // each of the 7 non-leaders.
+  EXPECT_EQ(stats.messages_by_tag.at("leader"), 8u);
+}
+
+}  // namespace
+}  // namespace cgp::distributed

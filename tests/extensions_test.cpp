@@ -1,0 +1,484 @@
+// Tests for the extension features: extra group/ring theorems, the
+// registry-axiom -> proposition bridge, constant folding and
+// derived-theorem rewrite rules, new sequence algorithms, Bellman-Ford and
+// Prim, the distributed convergecast aggregation, and STLlint's
+// unchecked-search-result diagnosis.
+#include <gtest/gtest.h>
+
+#include <forward_list>
+#include <random>
+
+#include "distributed/algorithms.hpp"
+#include "graph/algorithms.hpp"
+#include "proof/theories.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/eval.hpp"
+#include "sequences/sort.hpp"
+#include "stllint/stllint.hpp"
+
+// ---------------------------------------------------------------------------
+// proof: extra theorems and the axiom bridge
+// ---------------------------------------------------------------------------
+
+namespace cgp::proof {
+namespace {
+
+TEST(GroupTheoryExt, InverseOfIdentity) {
+  const prop thm = theories::group_inverse_of_identity().check();
+  EXPECT_EQ(thm.to_string(), "inv(e) = e");
+}
+
+TEST(GroupTheoryExt, DoubleInverse) {
+  std::size_t steps = 0;
+  const prop thm = theories::group_double_inverse().check({}, &steps);
+  EXPECT_EQ(thm.to_string(), "forall a. inv(inv(a)) = a");
+  EXPECT_GT(steps, 15u);
+}
+
+TEST(GroupTheoryExt, DoubleInverseInstantiatesForIntegers) {
+  const prop thm = theories::group_double_inverse().check(
+      signature{{{"op", "+"}, {"e", "0"}, {"inv", "-"}}});
+  EXPECT_EQ(thm.to_string(), "forall a. -(-(a)) = a");
+}
+
+TEST(TotalOrder, EquivalenceCollapsesToEquality) {
+  std::size_t steps = 0;
+  const prop thm =
+      theories::total_order_equivalence_is_equality().check({}, &steps);
+  EXPECT_EQ(thm.to_string(),
+            "forall x. forall y. (E(x, y) ==> x = y)");
+  EXPECT_GT(steps, 10u);
+}
+
+TEST(TotalOrder, InstantiatesForIntLess) {
+  const prop thm = theories::total_order_equivalence_is_equality().check(
+      signature{{{"lt", "<"}, {"E", "equiv"}}});
+  EXPECT_EQ(thm.to_string(),
+            "forall x. forall y. (equiv(x, y) ==> x = y)");
+}
+
+TEST(TotalOrder, TamperedCaseAnalysisRejected) {
+  // Dropping trichotomy makes the case analysis improper.
+  theorem thm = theories::total_order_equivalence_is_equality();
+  thm.axioms = theories::strict_weak_order_axioms;  // no trichotomy
+  EXPECT_THROW((void)thm.check(), proof_error);
+}
+
+TEST(AxiomBridge, LiftsEquationalAxiomToProposition) {
+  const auto& reg = core::concept_registry::global();
+  const auto axioms = theories::axioms_of_concept(reg, "Monoid");
+  // Monoid: associativity + two identity axioms.
+  ASSERT_EQ(axioms.size(), 3u);
+  bool found_right_identity = false;
+  for (const prop& p : axioms)
+    if (p.to_string() == "forall x. op(x, e) = x") found_right_identity = true;
+  EXPECT_TRUE(found_right_identity);
+}
+
+TEST(AxiomBridge, BridgedAxiomsAreUsablePremises) {
+  // Use the registry's own Monoid axioms to derive op(op(a,e),e) = a —
+  // the same objects that drive the rewrite engine, now in a proof.
+  const auto& reg = core::concept_registry::global();
+  proof_context ctx;
+  prop right_identity = prop::falsum();
+  for (const prop& p : theories::axioms_of_concept(reg, "Monoid")) {
+    ctx.assert_axiom(p);
+    if (p.to_string() == "forall x. op(x, e) = x") right_identity = p;
+  }
+  const term a = term::cst("a");
+  const term e = term::cst("e");
+  const term ae = term::app("op", {a, e});
+  const prop step1 = ctx.uspec(right_identity, ae);  // op(op(a,e),e) = op(a,e)
+  const prop step2 = ctx.uspec(right_identity, a);   // op(a,e) = a
+  const prop out = ctx.eq_transitive(step1, step2);
+  EXPECT_EQ(out.to_string(), "op(op(a, e), e) = a");
+}
+
+TEST(AxiomBridge, SignatureRenamesBridgedAxioms) {
+  const auto& reg = core::concept_registry::global();
+  const auto axioms = theories::axioms_of_concept(
+      reg, "Monoid", signature{{{"op", "+"}, {"e", "0"}}});
+  bool found = false;
+  for (const prop& p : axioms)
+    if (p.to_string() == "forall x. (x + 0) = x") found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cgp::proof
+
+// ---------------------------------------------------------------------------
+// rewrite: constant folding and derived-theorem rules
+// ---------------------------------------------------------------------------
+
+namespace cgp::rewrite {
+namespace {
+
+using E = expr;
+
+TEST(ConstantFolding, FoldsLiteralSubtrees) {
+  simplifier s;
+  s.enable_constant_folding();
+  const expr e = E::binary_op(
+      "+", E::binary_op("*", E::int_lit(6), E::int_lit(7)), E::int_lit(0));
+  // 6*7 folds to 42; 42 + 0 folds to 42 (by evaluation, even with no
+  // Monoid rule installed).
+  EXPECT_EQ(s.simplify(e), E::int_lit(42));
+}
+
+TEST(ConstantFolding, LeavesDivisionByZeroAlone) {
+  simplifier s;
+  s.enable_constant_folding();
+  const expr e = E::binary_op("/", E::int_lit(1), E::int_lit(0));
+  EXPECT_EQ(s.simplify(e), e);  // folding must not change error behavior
+}
+
+TEST(ConstantFolding, ComposesWithConceptRules) {
+  simplifier s;
+  s.add_default_concept_rules();
+  s.enable_constant_folding();
+  const expr i = E::var("i", "int");
+  // (2 * 3) * 1 + (i + (-i))  ->  6
+  const expr e = E::binary_op(
+      "+",
+      E::binary_op("*", E::binary_op("*", E::int_lit(2), E::int_lit(3)),
+                   E::int_lit(1)),
+      E::binary_op("+", i, E::unary_op("-", i)));
+  EXPECT_EQ(s.simplify(e), E::int_lit(6));
+}
+
+TEST(DerivedTheoremRules, AnnihilationAndDoubleNegation) {
+  simplifier s;
+  for (auto& r : derived_theorem_rules()) s.add_expr_rule(r);
+  const expr i = E::var("i", "int");
+  EXPECT_EQ(s.simplify(E::binary_op("*", i, E::int_lit(0))), E::int_lit(0));
+  EXPECT_EQ(s.simplify(E::binary_op("*", E::int_lit(0), i)), E::int_lit(0));
+  EXPECT_EQ(s.simplify(E::unary_op("-", E::unary_op("-", i))), i);
+  const expr f = E::var("f", "double");
+  EXPECT_EQ(s.simplify(E::binary_op("*", f, E::double_lit(0.0))),
+            E::double_lit(0.0));
+}
+
+TEST(DerivedTheoremRules, EachRuleIsLicensedByACheckedTheorem) {
+  // The licences: annihilation and double inverse both certify.
+  EXPECT_NO_THROW((void)cgp::proof::theories::ring_annihilation().check());
+  EXPECT_NO_THROW((void)cgp::proof::theories::group_double_inverse().check());
+}
+
+TEST(InstantiationCache, RepeatedSimplifyIsConsistent) {
+  simplifier s;
+  s.add_default_concept_rules();
+  const expr e = E::binary_op("+", E::var("i", "int"), E::int_lit(0));
+  const expr once = s.simplify(e);
+  const expr twice = s.simplify(e);  // second run hits the cache
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(once, E::var("i", "int"));
+}
+
+class FoldingSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FoldingSoundness, FoldedExpressionsEvaluateIdentically) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> lit(-9, 9);
+  std::uniform_int_distribution<int> coin(0, 1);
+  simplifier s;
+  s.add_default_concept_rules();
+  s.enable_constant_folding();
+  std::function<expr(int)> gen = [&](int depth) -> expr {
+    if (depth == 0)
+      return coin(rng) ? E::int_lit(lit(rng)) : E::var("i", "int");
+    if (coin(rng) == 0) return E::unary_op("-", gen(depth - 1));
+    return E::binary_op(coin(rng) ? "+" : "*", gen(depth - 1), gen(depth - 1));
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    const expr e = gen(4);
+    const expr folded = s.simplify(e);
+    const environment env{{"i", lit(rng)}};
+    EXPECT_TRUE(value_equal(evaluate(e, env), evaluate(folded, env)))
+        << e.to_string() << " vs " << folded.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldingSoundness,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace cgp::rewrite
+
+// ---------------------------------------------------------------------------
+// sequences: partition / nth_element / unique / stable_sort
+// ---------------------------------------------------------------------------
+
+namespace cgp::sequences {
+namespace {
+
+TEST(Partition, PartitionsForwardRanges) {
+  std::forward_list<int> f{5, 2, 8, 1, 9, 4};
+  const auto is_even = [](int x) { return x % 2 == 0; };
+  const auto point = cgp::sequences::partition(f.begin(), f.end(), is_even);
+  EXPECT_TRUE(cgp::sequences::is_partitioned(f.begin(), f.end(), is_even));
+  EXPECT_EQ(cgp::sequences::distance(f.begin(), point), 3);  // 2, 8, 4
+}
+
+TEST(Partition, EdgeCases) {
+  std::vector<int> all_true{2, 4, 6};
+  const auto is_even = [](int x) { return x % 2 == 0; };
+  EXPECT_EQ(cgp::sequences::partition(all_true.begin(), all_true.end(),
+                                      is_even),
+            all_true.end());
+  std::vector<int> all_false{1, 3};
+  EXPECT_EQ(cgp::sequences::partition(all_false.begin(), all_false.end(),
+                                      is_even),
+            all_false.begin());
+  std::vector<int> empty;
+  EXPECT_EQ(cgp::sequences::partition(empty.begin(), empty.end(), is_even),
+            empty.end());
+}
+
+class NthElementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NthElementProperty, AgreesWithFullSort) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> d(-100, 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> v(200);
+    for (int& x : v) x = d(rng);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t k = static_cast<std::size_t>(trial * 9 % v.size());
+    cgp::sequences::nth_element(v.begin(), v.begin() + k, v.end());
+    EXPECT_EQ(v[k], sorted[k]);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_LE(v[i], v[k]);
+    for (std::size_t i = k; i < v.size(); ++i) EXPECT_GE(v[i], v[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NthElementProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Unique, RemovesConsecutiveDuplicates) {
+  std::vector<int> v{1, 1, 2, 3, 3, 3, 4, 1};
+  const auto end = cgp::sequences::unique(v.begin(), v.end());
+  v.erase(end, v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 1}));
+}
+
+TEST(Unique, GlobalDedupAfterSort) {
+  std::vector<int> v{4, 1, 4, 2, 1, 2, 2};
+  cgp::sequences::sort(v.begin(), v.end());
+  const auto end = cgp::sequences::unique(v.begin(), v.end());
+  v.erase(end, v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(AdjacentFind, FindsFirstPair) {
+  const std::vector<int> v{1, 2, 2, 3, 3};
+  EXPECT_EQ(cgp::sequences::adjacent_find(v.begin(), v.end()) - v.begin(), 1);
+  const std::vector<int> none{1, 2, 3};
+  EXPECT_EQ(cgp::sequences::adjacent_find(none.begin(), none.end()),
+            none.end());
+}
+
+TEST(StableSort, PreservesRelativeOrderOfTies) {
+  struct item {
+    int key;
+    int order;
+  };
+  std::vector<item> v;
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<int> d(0, 5);
+  for (int i = 0; i < 500; ++i) v.push_back({d(rng), i});
+  cgp::sequences::stable_sort(
+      v.begin(), v.end(),
+      [](const item& a, const item& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) EXPECT_LT(v[i - 1].order, v[i].order);
+  }
+}
+
+}  // namespace
+}  // namespace cgp::sequences
+
+// ---------------------------------------------------------------------------
+// graph: Bellman-Ford and Prim
+// ---------------------------------------------------------------------------
+
+namespace cgp::graph {
+namespace {
+
+TEST(BellmanFord, HandlesNegativeEdges) {
+  adjacency_list<double> g(4);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(2, 1, -3.0);  // negative but no negative cycle
+  const auto dist = bellman_ford_shortest_paths(
+      g, 0, [](const edge<double>& e) { return e.property; });
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_DOUBLE_EQ((*dist)[1], 2.0);  // 0-2-1
+  EXPECT_DOUBLE_EQ((*dist)[3], 5.0);  // 0-2-1-3
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  adjacency_list<double> g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, -2.0);
+  g.add_edge(2, 1, 1.0);  // cycle 1-2-1 has weight -1
+  EXPECT_FALSE(bellman_ford_shortest_paths(
+                   g, 0, [](const edge<double>& e) { return e.property; })
+                   .has_value());
+}
+
+TEST(BellmanFord, AgreesWithDijkstraOnNonNegativeWeights) {
+  std::mt19937 rng(12);
+  std::uniform_real_distribution<double> w(0.1, 10.0);
+  std::uniform_int_distribution<std::size_t> pick(0, 19);
+  adjacency_list<double> g(20);
+  for (int e = 0; e < 60; ++e) g.add_edge(pick(rng), pick(rng), w(rng));
+  const auto weight = [](const edge<double>& e) { return e.property; };
+  const auto bf = bellman_ford_shortest_paths(g, 0, weight);
+  const auto [dj, pred] = dijkstra_shortest_paths(g, 0, weight);
+  (void)pred;
+  ASSERT_TRUE(bf.has_value());
+  for (std::size_t v = 0; v < 20; ++v) EXPECT_DOUBLE_EQ((*bf)[v], dj[v]) << v;
+}
+
+TEST(Prim, AgreesWithKruskalOnTotalWeight) {
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> w(0.1, 10.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    adjacency_list<double> g(12, directedness::undirected);
+    // Connected: a random spanning path + extras.
+    for (std::size_t v = 1; v < 12; ++v) g.add_edge(v - 1, v, w(rng));
+    std::uniform_int_distribution<std::size_t> pick(0, 11);
+    for (int e = 0; e < 10; ++e) {
+      const auto a = pick(rng), b = pick(rng);
+      if (a != b) g.add_edge(a, b, w(rng));
+    }
+    const auto mst_p = prim_mst(g);
+    const auto mst_k = kruskal_mst(g);
+    double wp = 0, wk = 0;
+    for (const auto& e : mst_p) wp += e.property;
+    for (const auto& e : mst_k) wk += e.property;
+    EXPECT_EQ(mst_p.size(), 11u);
+    EXPECT_NEAR(wp, wk, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cgp::graph
+
+// ---------------------------------------------------------------------------
+// distributed: convergecast aggregation
+// ---------------------------------------------------------------------------
+
+namespace cgp::distributed {
+namespace {
+
+TEST(Aggregate, SumsAllUidsOnEveryTopology) {
+  for (topology topo : {topology::ring, topology::line, topology::star,
+                        topology::grid, topology::complete,
+                        topology::random_connected}) {
+    network net(20, topo, timing::synchronous, 5);
+    net.spawn(aggregate_sum(0));
+    const auto stats = net.run();
+    ASSERT_TRUE(net.decision(0, "aggregate").has_value()) << to_string(topo);
+    EXPECT_EQ(*net.decision(0, "aggregate"), 20 * 21 / 2) << to_string(topo);
+    EXPECT_EQ(stats.messages_total, 2 * net.edge_count()) << to_string(topo);
+  }
+}
+
+TEST(Aggregate, WorksAsynchronously) {
+  network net(15, topology::random_connected, timing::asynchronous, 8);
+  net.spawn(aggregate_sum(0));
+  (void)net.run();
+  ASSERT_TRUE(net.decision(0, "aggregate").has_value());
+  EXPECT_EQ(*net.decision(0, "aggregate"), 15 * 16 / 2);
+}
+
+TEST(Aggregate, SingleNode) {
+  network net(1, topology::ring);
+  net.spawn(aggregate_sum(0));
+  (void)net.run();
+  EXPECT_EQ(*net.decision(0, "aggregate"), 1);
+}
+
+}  // namespace
+}  // namespace cgp::distributed
+
+// ---------------------------------------------------------------------------
+// stllint: unchecked search results
+// ---------------------------------------------------------------------------
+
+namespace cgp::stllint {
+namespace {
+
+bool has_warning(const lint_result& r, std::string_view needle) {
+  for (const diagnostic& d : r.diags)
+    if (d.sev == severity::warning &&
+        d.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(UncheckedSearch, DerefWithoutEndCheckWarns) {
+  const auto r = lint_source(R"(
+void f(vector<int>& v) {
+  vector<int>::iterator it = find(v.begin(), v.end(), 42);
+  use(*it);
+}
+)");
+  EXPECT_TRUE(has_warning(r, "dereferencing the result of 'find'"))
+      << r.to_string();
+}
+
+TEST(UncheckedSearch, EndComparisonVerifiesTheResult) {
+  const auto r = lint_source(R"(
+void f(vector<int>& v) {
+  vector<int>::iterator it = find(v.begin(), v.end(), 42);
+  if (it != v.end()) {
+    use(*it);
+  }
+}
+)");
+  EXPECT_FALSE(has_warning(r, "dereferencing the result")) << r.to_string();
+}
+
+TEST(UncheckedSearch, DirectDerefOfCallResultWarns) {
+  const auto r = lint_source(R"(
+void f(vector<int>& v) {
+  sort(v.begin(), v.end());
+  use(*lower_bound(v.begin(), v.end(), 3));
+}
+)");
+  EXPECT_TRUE(has_warning(r, "dereferencing the result of 'lower_bound'"))
+      << r.to_string();
+}
+
+TEST(UncheckedSearch, ReportedOnceThanksToHealing) {
+  const auto r = lint_source(R"(
+void f(vector<int>& v) {
+  vector<int>::iterator it = find(v.begin(), v.end(), 42);
+  use(*it);
+  use(*it);
+}
+)");
+  int count = 0;
+  for (const auto& d : r.diags)
+    if (d.message.find("dereferencing the result") != std::string::npos)
+      ++count;
+  EXPECT_EQ(count, 1) << r.to_string();
+}
+
+TEST(UncheckedSearch, UnusedResultIsFine) {
+  const auto r = lint_source(R"(
+void f(vector<int>& v) {
+  vector<int>::iterator it = find(v.begin(), v.end(), 42);
+}
+)");
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+}  // namespace
+}  // namespace cgp::stllint

@@ -1,0 +1,255 @@
+// Tests for the graph module: concept conformance (Figs. 1-2), algorithms,
+// and the disjoint-sets substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace cgp::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Concept conformance: the Fig. 1 / Fig. 2 requirements, statically checked
+// ---------------------------------------------------------------------------
+
+static_assert(core::GraphEdge<edge<>>);
+static_assert(core::GraphEdge<edge<double>>);
+static_assert(core::IncidenceGraph<adjacency_list<>>);
+static_assert(core::IncidenceGraph<adjacency_list<double>>);
+static_assert(core::VertexListGraph<adjacency_list<double>>);
+static_assert(core::EdgeListGraph<adjacency_list<double>>);
+static_assert(!core::GraphEdge<int>);
+static_assert(!core::IncidenceGraph<std::vector<int>>);
+
+// Fig. 2's same-type constraint: out_edge_iterator::value_type == edge_type.
+static_assert(
+    std::same_as<std::iterator_traits<
+                     core::out_edge_iterator_t<adjacency_list<>>>::value_type,
+                 core::edge_t<adjacency_list<>>>);
+
+// ---------------------------------------------------------------------------
+// adjacency_list basics
+// ---------------------------------------------------------------------------
+
+TEST(AdjacencyList, AddAndQuery) {
+  adjacency_list<double> g(3);
+  const auto e = g.add_edge(0, 1, 2.5);
+  g.add_edge(0, 2, 1.0);
+  EXPECT_EQ(source(e), 0u);
+  EXPECT_EQ(target(e), 1u);
+  EXPECT_EQ(num_vertices(g), 3u);
+  EXPECT_EQ(num_edges(g), 2u);
+  EXPECT_EQ(out_degree(0, g), 2u);
+  EXPECT_EQ(out_degree(1, g), 0u);
+  auto [first, last] = out_edges(0, g);
+  EXPECT_EQ(static_cast<std::size_t>(std::distance(first, last)), 2u);
+}
+
+TEST(AdjacencyList, UndirectedAddsReverseOutEdge) {
+  adjacency_list<> g(2, directedness::undirected);
+  g.add_edge(0, 1);
+  EXPECT_EQ(out_degree(0, g), 1u);
+  EXPECT_EQ(out_degree(1, g), 1u);
+  EXPECT_EQ(num_edges(g), 1u);  // one logical edge
+}
+
+TEST(AdjacencyList, OutOfRangeVertexThrows) {
+  adjacency_list<> g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW((void)out_degree(9, g), std::out_of_range);
+}
+
+TEST(AdjacencyList, VerticesRange) {
+  adjacency_list<> g(4);
+  std::size_t count = 0;
+  for (auto v : vertices(g)) count += (v < 4) ? 1 : 100;
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(FirstNeighbor, Section23Example) {
+  adjacency_list<> g(3);
+  g.add_edge(0, 2);
+  const auto [found, v] = first_neighbor(g, vertex_descriptor{0});
+  EXPECT_TRUE(found);
+  EXPECT_EQ(v, 2u);
+  const auto [found1, v1] = first_neighbor(g, vertex_descriptor{1});
+  EXPECT_FALSE(found1);
+  (void)v1;
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+TEST(BFS, DistancesOnPathGraph) {
+  adjacency_list<> g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<long>{0, 1, 2, 3}));
+}
+
+TEST(BFS, UnreachableVerticesStayMinusOne) {
+  adjacency_list<> g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(BFS, VisitorEventOrdering) {
+  struct recorder {
+    std::vector<std::string> events;
+    void discover_vertex(vertex_descriptor v, const adjacency_list<>&) {
+      events.push_back("d" + std::to_string(v));
+    }
+    void examine_edge(const edge<>&, const adjacency_list<>&) {}
+    void tree_edge(const edge<>& e, const adjacency_list<>&) {
+      events.push_back("t" + std::to_string(e.src) + std::to_string(e.dst));
+    }
+    void finish_vertex(vertex_descriptor v, const adjacency_list<>&) {
+      events.push_back("f" + std::to_string(v));
+    }
+  };
+  adjacency_list<> g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  recorder rec;
+  (void)breadth_first_search(g, 0, rec);
+  EXPECT_EQ(rec.events,
+            (std::vector<std::string>{"d0", "t01", "d1", "t02", "d2", "f0",
+                                      "f1", "f2"}));
+}
+
+// ---------------------------------------------------------------------------
+// DFS / topological sort
+// ---------------------------------------------------------------------------
+
+TEST(Topo, SortsDag) {
+  adjacency_list<> g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto order = topological_sort(g);
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<std::size_t> position(5);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& e : edges(g))
+    EXPECT_LT(position[source(e)], position[target(e)]);
+}
+
+TEST(Topo, RejectsCycle) {
+  adjacency_list<> g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_THROW((void)topological_sort(g), not_a_dag);
+}
+
+// ---------------------------------------------------------------------------
+// Dijkstra
+// ---------------------------------------------------------------------------
+
+TEST(Dijkstra, ShortestPathsWithWeights) {
+  adjacency_list<double> g(5);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(2, 1, 4.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(2, 3, 8.0);
+  g.add_edge(3, 4, 7.0);
+  const auto [dist, pred] = dijkstra_shortest_paths(
+      g, 0, [](const edge<double>& e) { return e.property; });
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 7.0);   // via 2
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 9.0);   // 0-2-1-3
+  EXPECT_DOUBLE_EQ(dist[4], 16.0);
+  EXPECT_EQ(pred[1], 2u);
+  EXPECT_EQ(pred[3], 1u);
+}
+
+TEST(Dijkstra, NegativeWeightRejected) {
+  adjacency_list<double> g(2);
+  g.add_edge(0, 1, -1.0);
+  EXPECT_THROW((void)dijkstra_shortest_paths(
+                   g, 0, [](const edge<double>& e) { return e.property; }),
+               std::invalid_argument);
+}
+
+TEST(Dijkstra, AgreesWithBfsOnUnitWeights) {
+  adjacency_list<double> g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  const auto bfs = bfs_distances(g, 0);
+  const auto [dd, pred] = dijkstra_shortest_paths(
+      g, 0, [](const edge<double>&) { return 1.0; });
+  (void)pred;
+  for (std::size_t v = 0; v < 6; ++v) {
+    if (bfs[v] >= 0) {
+      EXPECT_DOUBLE_EQ(dd[v], static_cast<double>(bfs[v]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disjoint sets / components / MST
+// ---------------------------------------------------------------------------
+
+TEST(DisjointSets, UniteAndFind) {
+  disjoint_sets ds(5);
+  EXPECT_EQ(ds.count_sets(), 5u);
+  EXPECT_TRUE(ds.unite(0, 1));
+  EXPECT_TRUE(ds.unite(2, 3));
+  EXPECT_FALSE(ds.unite(1, 0));  // already united
+  EXPECT_EQ(ds.count_sets(), 3u);
+  EXPECT_TRUE(ds.same_set(0, 1));
+  EXPECT_FALSE(ds.same_set(1, 2));
+  EXPECT_TRUE(ds.unite(1, 3));
+  EXPECT_TRUE(ds.same_set(0, 2));
+}
+
+TEST(Components, LabelsByComponent) {
+  adjacency_list<> g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(Kruskal, MinimumSpanningTree) {
+  adjacency_list<double> g(4, directedness::undirected);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(0, 2, 2.5);
+  const auto mst = kruskal_mst(g);
+  ASSERT_EQ(mst.size(), 3u);
+  double total = 0.0;
+  for (const auto& e : mst) total += e.property;
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(Kruskal, ForestOnDisconnectedGraph) {
+  adjacency_list<double> g(4, directedness::undirected);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 2.0);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cgp::graph

@@ -1,0 +1,141 @@
+// Tests for linalg: the Fig. 3 Vector Space multi-type concept and the
+// CLACRM-style mixed-precision kernels.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace cgp::linalg {
+namespace {
+
+using cf = std::complex<float>;
+
+// ---------------------------------------------------------------------------
+// Fig. 3: Vector Space as a two-type concept
+// ---------------------------------------------------------------------------
+
+// vec<complex<float>> is a vector space over float AND over complex<float>:
+// the scalar is an independent constrained type.
+static_assert(core::VectorSpace<vec<cf>, float>);
+static_assert(core::VectorSpace<vec<cf>, cf>);
+static_assert(core::VectorSpace<vec<double>, double>);
+static_assert(core::AdditiveAbelianGroup<vec<cf>>);
+// int is not a Field, so vec<int> over int is NOT a vector space.
+static_assert(!core::VectorSpace<vec<int>, int>);
+
+TEST(Vec, AdditionAndIdentity) {
+  const vec<double> a{1.0, 2.0};
+  const vec<double> b{10.0, 20.0};
+  EXPECT_EQ((a + b), (vec<double>{11.0, 22.0}));
+  // The empty vector is the additive identity of every dimension.
+  const auto zero = core::identity_element<vec<double>, std::plus<>>();
+  EXPECT_EQ(a + zero, a);
+  EXPECT_EQ(zero + a, a);
+  // Group inverse.
+  const auto neg = core::inverse_element<vec<double>, std::plus<>>(a);
+  EXPECT_EQ(neg, (vec<double>{-1.0, -2.0}));
+}
+
+TEST(Vec, DimensionMismatchThrows) {
+  const vec<double> a{1.0, 2.0};
+  const vec<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)(a + b), std::invalid_argument);
+}
+
+TEST(Vec, MixedScalarMultiplication) {
+  const vec<cf> v{{1.0f, 2.0f}, {3.0f, -1.0f}};
+  const vec<cf> scaled = mult(v, 2.0f);  // Fig. 3: mult(v, s)
+  EXPECT_EQ(scaled[0], cf(2.0f, 4.0f));
+  EXPECT_EQ(scaled[1], cf(6.0f, -2.0f));
+  EXPECT_EQ(mult(2.0f, v), scaled);  // Fig. 3: mult(s, v)
+}
+
+TEST(Vec, MixedAndPromotedAgreeNumerically) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> d(-10.0f, 10.0f);
+  vec<cf> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = cf(d(rng), d(rng));
+  const float s = d(rng);
+  const vec<cf> mixed = mult(v, s);
+  const vec<cf> promoted = mult(v, cf(s, 0.0f));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(mixed[i].real(), promoted[i].real(), 1e-4f);
+    EXPECT_NEAR(mixed[i].imag(), promoted[i].imag(), 1e-4f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// matrices and CLACRM
+// ---------------------------------------------------------------------------
+
+TEST(Matrix, IdentityAndGemm) {
+  const auto I = matrix<double>::identity(3);
+  matrix<double> a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      a(i, j) = static_cast<double>(i * 3 + j);
+  EXPECT_EQ(gemm(a, I), a);
+  EXPECT_EQ(gemm(I, a), a);
+}
+
+TEST(Matrix, GemmKnownProduct) {
+  matrix<double> a(2, 3);
+  matrix<double> b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(av), std::end(av), a.data());
+  std::copy(std::begin(bv), std::end(bv), b.data());
+  const auto c = gemm(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, GemmDimensionMismatchThrows) {
+  matrix<double> a(2, 3);
+  matrix<double> b(2, 2);
+  EXPECT_THROW((void)gemm(a, b), std::invalid_argument);
+}
+
+class Clacrm : public ::testing::TestWithParam<int> {};
+
+TEST_P(Clacrm, MixedEqualsPromoted) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<float> d(-5.0f, 5.0f);
+  const std::size_t m = 7, k = 9, n = 5;
+  matrix<cf> a(m, k);
+  matrix<float> b(k, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) a(i, j) = cf(d(rng), d(rng));
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = d(rng);
+  const auto mixed = clacrm_mixed(a, b);
+  const auto promoted = clacrm_promoted(a, b);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(mixed(i, j).real(), promoted(i, j).real(), 1e-2f);
+      EXPECT_NEAR(mixed(i, j).imag(), promoted(i, j).imag(), 1e-2f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Clacrm, ::testing::Values(1, 2, 3, 4));
+
+TEST(Axpy, MixedScalar) {
+  std::vector<cf> x{cf(1, 1), cf(2, -1)};
+  std::vector<cf> y{cf(0, 0), cf(1, 1)};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], cf(2, 2));
+  EXPECT_EQ(y[1], cf(5, -1));
+}
+
+TEST(Axpy, MismatchThrows) {
+  std::vector<cf> x(2), y(3);
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgp::linalg

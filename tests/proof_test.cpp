@@ -1,0 +1,327 @@
+// Tests for the DPL-style proof checker (Section 3.3, Fig. 6).
+#include <gtest/gtest.h>
+
+#include "proof/deduction.hpp"
+#include "proof/theories.hpp"
+
+namespace cgp::proof {
+namespace {
+
+using T = term;
+
+prop p(const std::string& name) { return prop::atom(name, {}); }
+
+// ---------------------------------------------------------------------------
+// prop basics
+// ---------------------------------------------------------------------------
+
+TEST(Prop, ToString) {
+  const prop f = prop::forall(
+      "x", prop::negation(prop::atom("lt", {T::var("x"), T::var("x")})));
+  EXPECT_EQ(f.to_string(), "forall x. !lt(x, x)");
+  const prop e = prop::equal(T::app("op", {T::var("x"), T::cst("e")}),
+                             T::var("x"));
+  EXPECT_EQ(e.to_string(), "op(x, e) = x");
+}
+
+TEST(Prop, SubstituteVarStopsAtShadowingBinder) {
+  const prop q = prop::conjunction(
+      prop::atom("P", {T::var("x")}),
+      prop::forall("x", prop::atom("Q", {T::var("x")})));
+  const prop out = q.substitute_var("x", T::cst("c"));
+  EXPECT_EQ(out.to_string(), "(P(c) & forall x. Q(x))");
+}
+
+TEST(Prop, GeneralizeConstant) {
+  const prop q = prop::atom("P", {T::cst("$c0"), T::var("y")});
+  EXPECT_EQ(q.generalize_constant("$c0", "x").to_string(), "P(x, y)");
+}
+
+TEST(Prop, RenameSymbolsActsOnPredicatesAndFunctions) {
+  const prop q = prop::forall(
+      "x", prop::atom("lt", {T::app("inv", {T::var("x")}), T::cst("e")}));
+  const prop out = q.rename_symbols({{"lt", "<"}, {"inv", "-"}, {"e", "0"}});
+  EXPECT_EQ(out.to_string(), "forall x. <(-(x), 0)");
+}
+
+// ---------------------------------------------------------------------------
+// primitive methods: proper deductions
+// ---------------------------------------------------------------------------
+
+TEST(Methods, ModusPonens) {
+  proof_context ctx;
+  ctx.assert_axiom(prop::implication(p("a"), p("b")));
+  ctx.assert_axiom(p("a"));
+  const prop b = ctx.modus_ponens(prop::implication(p("a"), p("b")), p("a"));
+  EXPECT_EQ(b, p("b"));
+  EXPECT_TRUE(ctx.holds(p("b")));
+}
+
+TEST(Methods, AndIntroElim) {
+  proof_context ctx;
+  ctx.assert_axiom(p("a"));
+  ctx.assert_axiom(p("b"));
+  const prop conj = ctx.and_intro(p("a"), p("b"));
+  EXPECT_EQ(ctx.and_elim_left(conj), p("a"));
+  EXPECT_EQ(ctx.and_elim_right(conj), p("b"));
+}
+
+TEST(Methods, AssumeDischargesHypothesis) {
+  proof_context ctx;
+  ctx.assert_axiom(prop::implication(p("a"), p("b")));
+  const prop impl = ctx.assume(p("a"), [&](proof_context& h) {
+    return h.modus_ponens(prop::implication(p("a"), p("b")), p("a"));
+  });
+  EXPECT_EQ(impl, prop::implication(p("a"), p("b")));
+  // The hypothesis must not persist in the outer base.
+  EXPECT_FALSE(ctx.holds(p("a")));
+  EXPECT_FALSE(ctx.holds(p("b")));
+}
+
+TEST(Methods, ByContradiction) {
+  proof_context ctx;
+  ctx.assert_axiom(prop::implication(prop::negation(p("a")), p("b")));
+  ctx.assert_axiom(prop::negation(p("b")));
+  const prop a = ctx.by_contradiction(p("a"), [&](proof_context& h) {
+    const prop b = h.modus_ponens(
+        prop::implication(prop::negation(p("a")), p("b")),
+        prop::negation(p("a")));
+    return h.absurd(b, prop::negation(p("b")));
+  });
+  EXPECT_EQ(a, p("a"));
+}
+
+TEST(Methods, CasesBothBranches) {
+  proof_context ctx;
+  ctx.assert_axiom(prop::disjunction(p("a"), p("b")));
+  ctx.assert_axiom(prop::implication(p("a"), p("g")));
+  ctx.assert_axiom(prop::implication(p("b"), p("g")));
+  const prop g = ctx.cases(
+      prop::disjunction(p("a"), p("b")), p("g"),
+      [&](proof_context& h) {
+        return h.modus_ponens(prop::implication(p("a"), p("g")), p("a"));
+      },
+      [&](proof_context& h) {
+        return h.modus_ponens(prop::implication(p("b"), p("g")), p("b"));
+      });
+  EXPECT_EQ(g, p("g"));
+}
+
+TEST(Methods, UspecInstantiates) {
+  proof_context ctx;
+  const prop univ = prop::forall(
+      "x", prop::atom("P", {T::var("x"), T::var("y")}));
+  ctx.assert_axiom(univ);
+  const prop inst = ctx.uspec(univ, T::cst("c"));
+  EXPECT_EQ(inst.to_string(), "P(c, y)");
+}
+
+TEST(Methods, UgenProducesUniversal) {
+  proof_context ctx;
+  ctx.assert_axiom(prop::forall("x", prop::atom("P", {T::var("x")})));
+  const prop out = ctx.ugen("z", [&](proof_context& h, const term& c) {
+    return h.uspec(prop::forall("x", prop::atom("P", {T::var("x")})), c);
+  });
+  EXPECT_EQ(out.to_string(), "forall z. P(z)");
+}
+
+TEST(Methods, EqualityChain) {
+  proof_context ctx;
+  const prop ab = prop::equal(T::cst("a"), T::cst("b"));
+  const prop bc = prop::equal(T::cst("b"), T::cst("c"));
+  ctx.assert_axiom(ab);
+  ctx.assert_axiom(bc);
+  const prop ac = ctx.eq_transitive(ab, bc);
+  EXPECT_EQ(ac, prop::equal(T::cst("a"), T::cst("c")));
+  EXPECT_EQ(ctx.eq_symmetric(ac), prop::equal(T::cst("c"), T::cst("a")));
+  const prop cong = ctx.eq_congruence("f", {ac});
+  EXPECT_EQ(cong.to_string(), "f(a) = f(c)");
+}
+
+TEST(Methods, EqSubstitute) {
+  proof_context ctx;
+  const prop eq = prop::equal(T::cst("a"), T::cst("b"));
+  const prop pa = prop::atom("P", {T::cst("a"), T::cst("a")});
+  ctx.assert_axiom(eq);
+  ctx.assert_axiom(pa);
+  const prop pb = prop::atom("P", {T::cst("b"), T::cst("b")});
+  EXPECT_EQ(ctx.eq_substitute(eq, pa, pb), pb);
+}
+
+// ---------------------------------------------------------------------------
+// improper deductions must throw and add nothing
+// ---------------------------------------------------------------------------
+
+TEST(Improper, PremiseNotInBase) {
+  proof_context ctx;
+  EXPECT_THROW(ctx.claim(p("a")), proof_error);
+  EXPECT_THROW(ctx.modus_ponens(prop::implication(p("a"), p("b")), p("a")),
+               proof_error);
+  EXPECT_THROW(ctx.and_elim_left(prop::conjunction(p("a"), p("b"))),
+               proof_error);
+  EXPECT_FALSE(ctx.holds(p("b")));
+}
+
+TEST(Improper, ShapeMismatch) {
+  proof_context ctx;
+  ctx.assert_axiom(p("a"));
+  ctx.assert_axiom(p("b"));
+  EXPECT_THROW(ctx.modus_ponens(p("a"), p("b")), proof_error);
+  EXPECT_THROW(ctx.and_elim_left(p("a")), proof_error);
+  EXPECT_THROW(ctx.double_negation(p("a")), proof_error);
+  EXPECT_THROW(ctx.uspec(p("a"), T::cst("c")), proof_error);
+}
+
+TEST(Improper, AbsurdRequiresExactNegation) {
+  proof_context ctx;
+  ctx.assert_axiom(p("a"));
+  ctx.assert_axiom(prop::negation(p("b")));
+  EXPECT_THROW(ctx.absurd(p("a"), prop::negation(p("b"))), proof_error);
+}
+
+TEST(Improper, ByContradictionMustReachFalsum) {
+  proof_context ctx;
+  ctx.assert_axiom(p("b"));
+  EXPECT_THROW(ctx.by_contradiction(
+                   p("a"), [&](proof_context& h) { return h.claim(p("b")); }),
+               proof_error);
+}
+
+TEST(Improper, AssumeBodyMustProveItsResult) {
+  proof_context ctx;
+  EXPECT_THROW(
+      ctx.assume(p("a"), [&](proof_context&) { return p("unproved"); }),
+      proof_error);
+}
+
+TEST(Improper, EqTransitiveMiddleMismatch) {
+  proof_context ctx;
+  const prop ab = prop::equal(T::cst("a"), T::cst("b"));
+  const prop cd = prop::equal(T::cst("c"), T::cst("d"));
+  ctx.assert_axiom(ab);
+  ctx.assert_axiom(cd);
+  EXPECT_THROW(ctx.eq_transitive(ab, cd), proof_error);
+}
+
+TEST(Improper, EqSubstituteRejectsUnrelatedRewrite) {
+  proof_context ctx;
+  const prop eq = prop::equal(T::cst("a"), T::cst("b"));
+  const prop pa = prop::atom("P", {T::cst("a")});
+  ctx.assert_axiom(eq);
+  ctx.assert_axiom(pa);
+  EXPECT_THROW(
+      ctx.eq_substitute(eq, pa, prop::atom("P", {T::cst("z")})), proof_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6: the Strict Weak Order theory
+// ---------------------------------------------------------------------------
+
+TEST(StrictWeakOrder, ReflexivityDerived) {
+  std::size_t steps = 0;
+  const prop thm = theories::equivalence_reflexive().check({}, &steps);
+  EXPECT_EQ(thm.to_string(), "forall x. E(x, x)");
+  EXPECT_GT(steps, 0u);
+}
+
+TEST(StrictWeakOrder, SymmetryDerived) {
+  const prop thm = theories::equivalence_symmetric().check();
+  EXPECT_EQ(thm.to_string(), "forall x. forall y. (E(x, y) ==> E(y, x))");
+}
+
+TEST(StrictWeakOrder, EquivalenceRelationHeadline) {
+  std::size_t steps = 0;
+  const prop thm = theories::equivalence_relation().check({}, &steps);
+  // Fig. 6's claim: reflexivity and symmetry are derivable, so E is an
+  // equivalence relation.
+  EXPECT_NE(thm.to_string().find("forall x. E(x, x)"), std::string::npos);
+  EXPECT_GT(steps, 10u);
+}
+
+TEST(StrictWeakOrder, GenericProofInstantiatesLikeGenericAlgorithm) {
+  // One proof text, many models — "express a proof once and subsequently
+  // instantiate it many times" (Section 3.3).
+  const theorem thm = theories::equivalence_relation();
+  for (const auto& [lt, eq] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"less_int", "equiv_int"},
+           {"lex_string", "equiv_string"},
+           {"date_before", "same_day"}}) {
+    const prop inst = thm.check(signature{{{"lt", lt}, {"E", eq}}});
+    EXPECT_NE(inst.to_string().find(eq + "(x, x)"), std::string::npos);
+    EXPECT_EQ(inst.to_string().find("lt("), std::string::npos);
+  }
+}
+
+TEST(StrictWeakOrder, TamperedStatementRejected) {
+  theorem thm = theories::equivalence_reflexive();
+  thm.statement = [](const signature& s) {
+    // Claim something the proof does not establish.
+    return prop::forall(
+        "x", prop::atom(s("lt"), {T::var("x"), T::var("x")}));
+  };
+  EXPECT_THROW(thm.check(), proof_error);
+}
+
+TEST(StrictWeakOrder, ProofWithoutAxiomsRejected) {
+  theorem thm = theories::equivalence_reflexive();
+  thm.axioms = [](const signature&) { return std::vector<prop>{}; };
+  EXPECT_THROW(thm.check(), proof_error);
+}
+
+// ---------------------------------------------------------------------------
+// Group and Ring theories
+// ---------------------------------------------------------------------------
+
+TEST(GroupTheory, IdentityUnique) {
+  const prop thm = theories::group_identity_unique().check();
+  EXPECT_EQ(thm.to_string(),
+            "forall u. (forall x. op(x, u) = x ==> u = e)");
+}
+
+TEST(GroupTheory, LeftCancellation) {
+  std::size_t steps = 0;
+  const prop thm = theories::group_left_cancellation().check({}, &steps);
+  EXPECT_NE(thm.to_string().find("==> b = c"), std::string::npos);
+  EXPECT_GT(steps, 15u);
+}
+
+TEST(GroupTheory, InverseUnique) {
+  const prop thm = theories::group_inverse_unique().check();
+  EXPECT_NE(thm.to_string().find("==> b = inv(a)"), std::string::npos);
+}
+
+TEST(GroupTheory, InstantiatesForIntegerAddition) {
+  const prop thm = theories::group_left_cancellation().check(
+      signature{{{"op", "+"}, {"e", "0"}, {"inv", "-"}}});
+  EXPECT_NE(thm.to_string().find("(a + b) = (a + c)"), std::string::npos);
+}
+
+TEST(RingTheory, AnnihilationDerived) {
+  // x * 0 = 0 — the machine-checked licence for the rewrite engine's
+  // derived rule.
+  std::size_t steps = 0;
+  const prop thm = theories::ring_annihilation().check({}, &steps);
+  EXPECT_EQ(thm.to_string(), "forall x. mul(x, e) = e");
+  EXPECT_GT(steps, 20u);
+}
+
+TEST(RingTheory, AnnihilationInstantiatesForConcreteRing) {
+  const prop thm = theories::ring_annihilation().check(
+      signature{{{"op", "+"}, {"e", "0"}, {"inv", "-"}, {"mul", "*"},
+                 {"one", "1"}}});
+  EXPECT_EQ(thm.to_string(), "forall x. (x * 0) = 0");
+}
+
+// Proof *checking* is linear in proof size: steps do not explode when the
+// same theorem is instantiated repeatedly (the amortization argument).
+TEST(Checking, StepCountIsStableAcrossInstantiations) {
+  const theorem thm = theories::equivalence_relation();
+  std::size_t s1 = 0, s2 = 0;
+  (void)thm.check(signature{{{"lt", "a"}}}, &s1);
+  (void)thm.check(signature{{{"lt", "b"}}}, &s2);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cgp::proof

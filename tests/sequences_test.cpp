@@ -1,0 +1,313 @@
+// Tests for the concept-constrained sequence algorithms, the concept-based
+// overloading of sort, and the checked (entry/exit handler) layer.
+#include <gtest/gtest.h>
+
+#include <forward_list>
+#include <list>
+#include <random>
+#include <vector>
+
+#include "core/archetypes.hpp"
+#include "sequences/checked.hpp"
+#include "sequences/sort.hpp"
+
+namespace cgp::sequences {
+namespace {
+
+// ---------------------------------------------------------------------------
+// advance / distance dispatch
+// ---------------------------------------------------------------------------
+
+TEST(Advance, RandomAccessJumps) {
+  std::vector<int> v{0, 1, 2, 3, 4};
+  auto it = v.begin();
+  cgp::sequences::advance(it, 3);
+  EXPECT_EQ(*it, 3);
+  cgp::sequences::advance(it, -2);
+  EXPECT_EQ(*it, 1);
+}
+
+TEST(Advance, BidirectionalWalksBothWays) {
+  std::list<int> l{0, 1, 2, 3, 4};
+  auto it = l.begin();
+  cgp::sequences::advance(it, 4);
+  EXPECT_EQ(*it, 4);
+  cgp::sequences::advance(it, -3);
+  EXPECT_EQ(*it, 1);
+}
+
+TEST(Advance, TagDispatchAgreesWithConceptDispatch) {
+  std::vector<int> v{0, 1, 2, 3, 4};
+  auto a = v.begin();
+  auto b = v.begin();
+  cgp::sequences::advance(a, 4);
+  cgp::sequences::advance_tagged(b, 4);
+  EXPECT_EQ(a, b);
+  std::list<int> l{0, 1, 2};
+  auto c = l.begin();
+  cgp::sequences::advance_tagged(c, 2);
+  EXPECT_EQ(*c, 2);
+}
+
+TEST(Distance, WorksPerCategory) {
+  std::vector<int> v{1, 2, 3};
+  std::forward_list<int> f{1, 2, 3, 4};
+  EXPECT_EQ(cgp::sequences::distance(v.begin(), v.end()), 3);
+  EXPECT_EQ(cgp::sequences::distance(f.begin(), f.end()), 4);
+}
+
+// ---------------------------------------------------------------------------
+// searches and folds
+// ---------------------------------------------------------------------------
+
+TEST(Find, FindsFirstOccurrence) {
+  const std::vector<int> v{5, 3, 7, 3};
+  EXPECT_EQ(cgp::sequences::find(v.begin(), v.end(), 3) - v.begin(), 1);
+  EXPECT_EQ(cgp::sequences::find(v.begin(), v.end(), 9), v.end());
+}
+
+TEST(Reduce, MonoidConstrainedUsesDeclaredIdentity) {
+  const std::vector<int> v{1, 2, 3, 4};
+  EXPECT_EQ((reduce<std::plus<>>(v.begin(), v.end())), 10);
+  EXPECT_EQ((reduce<std::multiplies<>>(v.begin(), v.end())), 24);
+  const std::vector<unsigned> masks{0xF0u, 0xFFu, 0xF3u};
+  EXPECT_EQ((reduce<std::bit_and<>>(masks.begin(), masks.end())), 0xF0u);
+  const std::vector<std::string> words{"a", "b", "c"};
+  EXPECT_EQ((reduce<std::plus<>>(words.begin(), words.end())), "abc");
+}
+
+// Compile-time rejection of non-associative operations: (int, -) is not a
+// declared Monoid, so reduce must not be callable with std::minus.
+template <class Op, class I>
+concept reduce_callable = requires(I f, I l) { reduce<Op>(f, l); };
+static_assert(
+    reduce_callable<std::plus<>, std::vector<int>::const_iterator>);
+static_assert(
+    !reduce_callable<std::minus<>, std::vector<int>::const_iterator>);
+
+TEST(Accumulate, ExplicitInit) {
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(cgp::sequences::accumulate(v.begin(), v.end(), 100), 106);
+}
+
+TEST(MaxElement, FindsMaximum) {
+  const std::list<int> l{3, 9, 2, 9, 4};
+  auto it = cgp::sequences::max_element(l.begin(), l.end());
+  EXPECT_EQ(*it, 9);
+  EXPECT_EQ(cgp::sequences::distance(l.begin(), it), 1);  // first of ties
+  EXPECT_EQ(cgp::sequences::max_element(l.end(), l.end()), l.end());
+}
+
+TEST(MaxElement, MultipassViolationCaughtByArchetype) {
+  // Section 3.1: max_element depends on the Forward Iterator multipass
+  // property; the single-pass semantic archetype exposes this dynamically.
+  core::single_pass_sequence<int> stream({4, 7, 1});
+  EXPECT_THROW((void)cgp::sequences::max_element(stream.begin(), stream.end()),
+               core::semantic_archetype_violation);
+}
+
+TEST(Find, SinglePassIsEnoughForFind) {
+  core::single_pass_sequence<int> stream({4, 7, 1});
+  auto it = cgp::sequences::find(stream.begin(), stream.end(), 7);
+  EXPECT_EQ(*it, 7);
+}
+
+// ---------------------------------------------------------------------------
+// binary searches
+// ---------------------------------------------------------------------------
+
+TEST(LowerBound, AgreesWithLinearDefinitionOnVectors) {
+  const std::vector<int> v{1, 3, 3, 5, 8, 13};
+  for (int probe : {0, 1, 2, 3, 4, 5, 8, 13, 14}) {
+    const auto expected =
+        cgp::sequences::find_if(v.begin(), v.end(),
+                                [&](int x) { return !(x < probe); });
+    EXPECT_EQ(cgp::sequences::lower_bound(v.begin(), v.end(), probe),
+              expected)
+        << "probe " << probe;
+  }
+}
+
+TEST(LowerBound, WorksOnForwardIterators) {
+  const std::forward_list<int> f{1, 4, 4, 9};
+  auto it = cgp::sequences::lower_bound(f.begin(), f.end(), 4);
+  EXPECT_EQ(cgp::sequences::distance(f.begin(), it), 1);
+}
+
+TEST(BinarySearchAndEqualRange, Consistent) {
+  const std::vector<int> v{1, 3, 3, 5, 8};
+  EXPECT_TRUE(cgp::sequences::binary_search(v.begin(), v.end(), 3));
+  EXPECT_FALSE(cgp::sequences::binary_search(v.begin(), v.end(), 4));
+  const auto [lo, hi] = cgp::sequences::equal_range(v.begin(), v.end(), 3);
+  EXPECT_EQ(lo - v.begin(), 1);
+  EXPECT_EQ(hi - v.begin(), 3);
+}
+
+TEST(BinarySearch, LogarithmicComparisonCount) {
+  // The complexity guarantee is part of the concept: audit it with the
+  // counting strict-weak-order archetype.
+  std::vector<int> v(1 << 14);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(2 * i);
+  core::checked_strict_weak_order<int, std::less<>> cmp;
+  (void)cgp::sequences::binary_search(v.begin(), v.end(), 12345,
+                                      std::ref(cmp));
+  // ~log2(16384) = 14 probes; each checked comparison costs 2 raw calls.
+  EXPECT_LE(cmp.calls(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// rotate / reverse / merge
+// ---------------------------------------------------------------------------
+
+TEST(Rotate, RotatesAndReturnsNewMiddle) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  const auto nm = cgp::sequences::rotate(v.begin(), v.begin() + 2, v.end());
+  EXPECT_EQ(v, (std::vector<int>{3, 4, 5, 1, 2}));
+  EXPECT_EQ(nm - v.begin(), 3);
+}
+
+TEST(Rotate, ForwardIteratorsOnly) {
+  std::forward_list<int> f{1, 2, 3, 4};
+  auto mid = f.begin();
+  ++mid;
+  (void)cgp::sequences::rotate(f.begin(), mid, f.end());
+  EXPECT_EQ(f, (std::forward_list<int>{2, 3, 4, 1}));
+}
+
+TEST(Reverse, Works) {
+  std::list<int> l{1, 2, 3, 4};
+  cgp::sequences::reverse(l.begin(), l.end());
+  EXPECT_EQ(l, (std::list<int>{4, 3, 2, 1}));
+}
+
+TEST(Merge, MergesSortedRanges) {
+  const std::vector<int> a{1, 4, 6};
+  const std::vector<int> b{2, 3, 7};
+  std::vector<int> out(6);
+  cgp::sequences::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 6, 7}));
+}
+
+// ---------------------------------------------------------------------------
+// sort: concept-based overloading
+// ---------------------------------------------------------------------------
+
+TEST(Sort, SelectsAlgorithmByConcept) {
+  EXPECT_EQ(sort_algorithm_for<std::vector<int>::iterator>(), "introsort");
+  EXPECT_EQ(sort_algorithm_for<std::list<int>::iterator>(),
+            "forward_merge_sort");
+  EXPECT_EQ(sort_algorithm_for<std::forward_list<int>::iterator>(),
+            "forward_merge_sort");
+  EXPECT_EQ(sort_algorithm_for<int*>(), "introsort");
+}
+
+class SortProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortProperty, IntrosortSortsRandomInput) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> d(-1000, 1000);
+  std::uniform_int_distribution<int> len(0, 300);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> v(len(rng));
+    for (int& x : v) x = d(rng);
+    std::vector<int> expected = v;
+    std::sort(expected.begin(), expected.end());
+    cgp::sequences::sort(v.begin(), v.end());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST_P(SortProperty, ForwardMergeSortSortsListsAndForwardLists) {
+  std::mt19937 rng(GetParam() + 1000);
+  std::uniform_int_distribution<int> d(-50, 50);
+  std::uniform_int_distribution<int> len(0, 120);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = len(rng);
+    std::list<int> l;
+    for (int i = 0; i < n; ++i) l.push_back(d(rng));
+    std::vector<int> expected(l.begin(), l.end());
+    std::sort(expected.begin(), expected.end());
+    cgp::sequences::sort(l.begin(), l.end());
+    EXPECT_TRUE(std::equal(l.begin(), l.end(), expected.begin(),
+                           expected.end()));
+  }
+  std::forward_list<int> f{5, -2, 9, 0, 5, 1};
+  cgp::sequences::sort(f.begin(), f.end());
+  EXPECT_EQ(f, (std::forward_list<int>{-2, 0, 1, 5, 5, 9}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Sort, AdversarialPatternsStayNLogN) {
+  // Already-sorted, reverse-sorted, all-equal, organ pipe: introsort must
+  // handle the classic quicksort killers (via median-of-3 + heap fallback).
+  const int n = 20000;
+  std::vector<std::vector<int>> inputs;
+  std::vector<int> sorted(n), reversed(n), equal(n, 7), pipe(n);
+  for (int i = 0; i < n; ++i) {
+    sorted[i] = i;
+    reversed[i] = n - i;
+    pipe[i] = std::min(i, n - i);
+  }
+  inputs = {sorted, reversed, equal, pipe};
+  for (auto v : inputs) {
+    std::vector<int> expected = v;
+    std::sort(expected.begin(), expected.end());
+    cgp::sequences::sort(v.begin(), v.end());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(Sort, CustomStrictWeakOrder) {
+  std::vector<int> v{3, -1, -7, 2};
+  cgp::sequences::sort(v.begin(), v.end(), [](int a, int b) {
+    return std::abs(a) < std::abs(b);
+  });
+  EXPECT_EQ(v, (std::vector<int>{-1, 2, 3, -7}));
+}
+
+TEST(BufferedMergeSort, Baseline) {
+  std::vector<int> v{9, 1, 8, 2, 7, 3};
+  buffered_merge_sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 7, 8, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// checked layer: entry/exit handlers
+// ---------------------------------------------------------------------------
+
+TEST(Checked, BinarySearchRejectsUnsortedRange) {
+  std::vector<int> v{3, 1, 2};
+  EXPECT_THROW((void)checked::binary_search(v.begin(), v.end(), 2),
+               checked::precondition_violation);
+}
+
+TEST(Checked, BinarySearchAcceptsSortedRange) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_TRUE(checked::binary_search(v.begin(), v.end(), 2));
+}
+
+TEST(Checked, SortEstablishesPostconditionAndAuditsComparator) {
+  std::vector<int> v{5, 2, 9, 2};
+  checked::sort(v.begin(), v.end());
+  EXPECT_TRUE(cgp::sequences::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Checked, BrokenComparatorCaughtByArchetype) {
+  // `<=` is not a strict weak order (not asymmetric on equal elements);
+  // the checked layer's archetype flags it during the sort.
+  std::vector<int> v{1, 1, 2, 2, 3, 3};
+  EXPECT_THROW(checked::sort(v.begin(), v.end(),
+                             [](int a, int b) { return a <= b; }),
+               core::semantic_archetype_violation);
+}
+
+TEST(Checked, MaxElementRejectsEmptyRange) {
+  std::vector<int> v;
+  EXPECT_THROW((void)checked::max_element(v.begin(), v.end()),
+               checked::precondition_violation);
+}
+
+}  // namespace
+}  // namespace cgp::sequences

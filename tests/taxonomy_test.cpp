@@ -1,0 +1,229 @@
+// Tests for the algorithm concept taxonomies (Section 4) and their
+// integration with the simulator's measured statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distributed/algorithms.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace cgp::taxonomy {
+namespace {
+
+TEST(Taxonomy, DimensionsAndConcepts) {
+  const taxonomy t = distributed_taxonomy();
+  const auto dims = t.dimensions();
+  // The seven orthogonal dimensions of Section 4.
+  EXPECT_EQ(dims.size(), 7u);
+  for (const char* d : {"problem", "topology", "fault-tolerance",
+                        "information-sharing", "strategy", "timing",
+                        "process-management"}) {
+    EXPECT_TRUE(std::find(dims.begin(), dims.end(), d) != dims.end()) << d;
+  }
+  const auto topo = t.concepts_in("topology");
+  EXPECT_TRUE(std::find(topo.begin(), topo.end(), "ring") != topo.end());
+}
+
+TEST(Taxonomy, DuplicateDimensionRejected) {
+  taxonomy t("x");
+  t.add_dimension("problem", "any");
+  EXPECT_THROW(t.add_dimension("problem", "any"), std::invalid_argument);
+}
+
+TEST(Taxonomy, UnknownClassificationRejected) {
+  taxonomy t("x");
+  t.add_dimension("problem", "any");
+  EXPECT_THROW(t.add_algorithm({.name = "a",
+                                .classification = {{"nope", "any"}}}),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_algorithm({.name = "a",
+                                .classification = {{"problem", "nope"}}}),
+               std::invalid_argument);
+}
+
+TEST(Taxonomy, QueryByRefinement) {
+  const taxonomy t = distributed_taxonomy();
+  // Everything classified under a concrete topology matches 'arbitrary'...
+  const auto all = t.query({{"topology", "arbitrary"}});
+  EXPECT_GE(all.size(), 6u);
+  // ...but only ring algorithms match 'ring'.
+  const auto ring = t.query({{"topology", "ring"}});
+  for (const auto& r : ring) EXPECT_EQ(r.classification.at("topology"), "ring");
+  EXPECT_GE(ring.size(), 3u);
+}
+
+TEST(Taxonomy, FaultToleranceRefinesUpward) {
+  const taxonomy t = distributed_taxonomy();
+  // Requiring crash tolerance must exclude the fault-intolerant election
+  // algorithms but keep the heartbeat detector and flooding.
+  const auto tolerant = t.query({{"fault-tolerance", "crash"}});
+  for (const auto& r : tolerant)
+    EXPECT_NE(r.classification.at("fault-tolerance"), "none") << r.name;
+  EXPECT_TRUE(std::any_of(tolerant.begin(), tolerant.end(), [](const auto& r) {
+    return r.name == "heartbeat-failure-detector";
+  }));
+}
+
+TEST(Taxonomy, TimingRefinement) {
+  const taxonomy t = distributed_taxonomy();
+  // An asynchronous-capable algorithm also serves synchronous deployments;
+  // a synchronous-only one does not serve asynchronous deployments.
+  const auto async_ok = t.query(
+      {{"problem", "leader-election"}, {"timing", "asynchronous"}});
+  for (const auto& r : async_ok)
+    EXPECT_EQ(r.classification.at("timing"), "asynchronous") << r.name;
+  const auto sync_ok =
+      t.query({{"problem", "leader-election"}, {"timing", "synchronous"}});
+  EXPECT_GT(sync_ok.size(), async_ok.size());
+}
+
+TEST(Taxonomy, SelectionPicksAnNLogNAlgorithmOnLargeRings) {
+  // "helps a system designer to pick the correct algorithm": minimizing
+  // messages for a 1024-node ring must not choose quadratic LCR; among the
+  // Theta(n log n) contenders Peterson's smaller constant wins.
+  const taxonomy t = distributed_taxonomy();
+  const auto best = t.select(
+      {{"problem", "leader-election"}, {"topology", "ring"}}, "messages",
+      {{"n", 1024.0}});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->name, "peterson-leader-election");
+  // Restricting to bidirectional strategies (HS) still beats LCR.
+  const auto hs_cost =
+      t.find("hs-leader-election")->costs.at("messages").eval({{"n", 1024.0}});
+  const auto lcr_cost =
+      t.find("lcr-leader-election")->costs.at("messages").eval({{"n", 1024.0}});
+  EXPECT_LT(hs_cost, lcr_cost);
+}
+
+TEST(Taxonomy, SelectionPicksLcrOnTinyRings) {
+  // On very small rings the constant factors flip the choice.
+  const taxonomy t = distributed_taxonomy();
+  const auto best = t.select(
+      {{"problem", "leader-election"}, {"topology", "ring"}}, "messages",
+      {{"n", 4.0}});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->name, "lcr-leader-election");
+}
+
+TEST(Taxonomy, SelectEmptyWhenNothingMatches) {
+  const taxonomy t = distributed_taxonomy();
+  EXPECT_FALSE(t.select({{"problem", "mutual-exclusion"}}, "messages",
+                        {{"n", 8.0}})
+                   .has_value());
+}
+
+TEST(Taxonomy, ClaimedBoundsDominateMeasuredCounts) {
+  // The taxonomy's complexity guarantees are real promises: the simulator's
+  // measured message counts must stay below each claimed bound.
+  const taxonomy t = distributed_taxonomy();
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    const auto lcr = distributed::run_ring_election(
+        distributed::lcr_leader_election(), n, distributed::timing::synchronous);
+    const auto hs = distributed::run_ring_election(
+        distributed::hs_leader_election(), n, distributed::timing::synchronous);
+    const double claimed_lcr =
+        t.find("lcr-leader-election")->costs.at("messages").eval(
+            {{"n", static_cast<double>(n)}});
+    const double claimed_hs =
+        t.find("hs-leader-election")->costs.at("messages").eval(
+            {{"n", static_cast<double>(n)}});
+    // Allow the +Theta(n) announcement round on top of the asymptotic bound.
+    EXPECT_LE(static_cast<double>(lcr.stats.messages_total),
+              claimed_lcr + 3.0 * static_cast<double>(n))
+        << "LCR n=" << n;
+    EXPECT_LE(static_cast<double>(hs.stats.messages_total),
+              claimed_hs + 4.0 * static_cast<double>(n))
+        << "HS n=" << n;
+  }
+}
+
+TEST(SequenceTaxonomy, SortedPreconditionGating) {
+  const taxonomy t = sequence_taxonomy();
+  // A caller that cannot guarantee sortedness must not be offered
+  // lower_bound.
+  const auto unsorted =
+      t.query({{"problem", "searching"}, {"precondition", "none"}});
+  for (const auto& r : unsorted)
+    EXPECT_EQ(r.classification.at("precondition"), "none") << r.name;
+  EXPECT_TRUE(std::any_of(unsorted.begin(), unsorted.end(),
+                          [](const auto& r) { return r.name == "find"; }));
+}
+
+TEST(SequenceTaxonomy, IteratorAvailabilityGating) {
+  const taxonomy t = sequence_taxonomy();
+  // With only forward iterators available, introsort is out but
+  // forward_merge_sort matches.
+  const auto sorts = t.query({{"problem", "sorting"}, {"iterator", "forward"}});
+  ASSERT_EQ(sorts.size(), 1u);
+  EXPECT_EQ(sorts[0].name, "forward_merge_sort");
+  const auto fast = t.select({{"problem", "sorting"}}, "comparisons",
+                             {{"n", 1e6}});
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->name, "introsort");
+}
+
+TEST(SequenceTaxonomy, SearchSelectionPrefersBinaryOnSortedData) {
+  const taxonomy t = sequence_taxonomy();
+  const auto best = t.select({{"problem", "searching"}}, "comparisons",
+                             {{"n", 4096.0}});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->name, "lower_bound");  // or binary_search: both O(log n)
+}
+
+TEST(GraphTaxonomy, Lookups) {
+  const taxonomy t = graph_taxonomy();
+  EXPECT_NE(t.find("dijkstra"), nullptr);
+  const auto traversals = t.query({{"problem", "traversal"}});
+  EXPECT_EQ(traversals.size(), 2u);
+}
+
+TEST(Taxonomy, CrossoverReportsWhereSelectionFlips) {
+  const taxonomy t = distributed_taxonomy();
+  // LCR is cheaper on tiny rings; HS from some n on.  With the recorded
+  // guarantees (n^2 vs 12 n ln n) the flip happens for n around 40-60.
+  const auto flip = t.crossover("lcr-leader-election", "hs-leader-election",
+                                "messages", "n", 2.0, 100000.0);
+  ASSERT_TRUE(flip.has_value());
+  EXPECT_GT(*flip, 10.0);
+  EXPECT_LT(*flip, 100.0);
+  // The guarantees really do order that way on both sides of the point.
+  const auto cost = [&](const char* name, double n) {
+    return t.find(name)->costs.at("messages").eval({{"n", n}});
+  };
+  EXPECT_LT(cost("lcr-leader-election", *flip - 10.0),
+            cost("hs-leader-election", *flip - 10.0));
+  EXPECT_GT(cost("lcr-leader-election", *flip + 10.0),
+            cost("hs-leader-election", *flip + 10.0));
+}
+
+TEST(Taxonomy, CrossoverNulloptWhenNeverReached) {
+  const taxonomy t = sequence_taxonomy();
+  // lower_bound (log n) never reaches find's n cost on [4, 1e6].
+  EXPECT_FALSE(t.crossover("lower_bound", "find", "comparisons", "n", 4.0,
+                           1e6)
+                   .has_value());
+  // But find reaches lower_bound immediately.
+  const auto c =
+      t.crossover("find", "lower_bound", "comparisons", "n", 4.0, 1e6);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_LE(*c, 8.0);
+}
+
+TEST(Taxonomy, CrossoverMissingRecordIsNullopt) {
+  const taxonomy t = sequence_taxonomy();
+  EXPECT_FALSE(
+      t.crossover("nope", "find", "comparisons", "n", 1.0, 10.0).has_value());
+  EXPECT_FALSE(t.crossover("find", "introsort", "messages", "n", 1.0, 10.0)
+                   .has_value());
+}
+
+TEST(Taxonomy, DescribeRendersRecords) {
+  const taxonomy t = distributed_taxonomy();
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("hs-leader-election"), std::string::npos);
+  EXPECT_NE(d.find("messages"), std::string::npos);
+  EXPECT_NE(d.find("probe-echo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgp::taxonomy
