@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_2_graph_concepts.dir/fig1_2_graph_concepts.cpp.o"
+  "CMakeFiles/fig1_2_graph_concepts.dir/fig1_2_graph_concepts.cpp.o.d"
+  "fig1_2_graph_concepts"
+  "fig1_2_graph_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_2_graph_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

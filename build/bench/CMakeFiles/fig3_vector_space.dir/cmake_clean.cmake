@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vector_space.dir/fig3_vector_space.cpp.o"
+  "CMakeFiles/fig3_vector_space.dir/fig3_vector_space.cpp.o.d"
+  "fig3_vector_space"
+  "fig3_vector_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vector_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

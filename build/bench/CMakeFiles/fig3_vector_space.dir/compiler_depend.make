@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_vector_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_stllint.dir/fig4_stllint.cpp.o"
+  "CMakeFiles/fig4_stllint.dir/fig4_stllint.cpp.o.d"
+  "fig4_stllint"
+  "fig4_stllint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_stllint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rewrite.dir/fig5_rewrite.cpp.o"
+  "CMakeFiles/fig5_rewrite.dir/fig5_rewrite.cpp.o.d"
+  "fig5_rewrite"
+  "fig5_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

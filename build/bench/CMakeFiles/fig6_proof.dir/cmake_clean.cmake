@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_proof.dir/fig6_proof.cpp.o"
+  "CMakeFiles/fig6_proof.dir/fig6_proof.cpp.o.d"
+  "fig6_proof"
+  "fig6_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

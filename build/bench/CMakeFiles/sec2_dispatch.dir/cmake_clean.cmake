@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_dispatch.dir/sec2_dispatch.cpp.o"
+  "CMakeFiles/sec2_dispatch.dir/sec2_dispatch.cpp.o.d"
+  "sec2_dispatch"
+  "sec2_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

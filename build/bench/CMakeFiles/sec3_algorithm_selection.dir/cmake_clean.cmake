@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_algorithm_selection.dir/sec3_algorithm_selection.cpp.o"
+  "CMakeFiles/sec3_algorithm_selection.dir/sec3_algorithm_selection.cpp.o.d"
+  "sec3_algorithm_selection"
+  "sec3_algorithm_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_algorithm_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3_algorithm_selection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_archetypes.dir/sec3_archetypes.cpp.o"
+  "CMakeFiles/sec3_archetypes.dir/sec3_archetypes.cpp.o.d"
+  "sec3_archetypes"
+  "sec3_archetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3_archetypes.
+# This may be replaced when dependencies are built.

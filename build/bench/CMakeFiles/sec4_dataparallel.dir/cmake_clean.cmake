@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_dataparallel.dir/sec4_dataparallel.cpp.o"
+  "CMakeFiles/sec4_dataparallel.dir/sec4_dataparallel.cpp.o.d"
+  "sec4_dataparallel"
+  "sec4_dataparallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_dataparallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec4_dataparallel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_distributed.dir/sec4_distributed.cpp.o"
+  "CMakeFiles/sec4_distributed.dir/sec4_distributed.cpp.o.d"
+  "sec4_distributed"
+  "sec4_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

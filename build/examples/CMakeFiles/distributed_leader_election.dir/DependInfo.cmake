@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distributed_leader_election.cpp" "examples/CMakeFiles/distributed_leader_election.dir/distributed_leader_election.cpp.o" "gcc" "examples/CMakeFiles/distributed_leader_election.dir/distributed_leader_election.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distributed/CMakeFiles/cgp_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/cgp_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

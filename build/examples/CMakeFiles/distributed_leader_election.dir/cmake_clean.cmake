@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_leader_election.dir/distributed_leader_election.cpp.o"
+  "CMakeFiles/distributed_leader_election.dir/distributed_leader_election.cpp.o.d"
+  "distributed_leader_election"
+  "distributed_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_routing.dir/graph_routing.cpp.o"
+  "CMakeFiles/graph_routing.dir/graph_routing.cpp.o.d"
+  "graph_routing"
+  "graph_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

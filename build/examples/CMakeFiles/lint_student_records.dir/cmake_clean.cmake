@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_student_records.dir/lint_student_records.cpp.o"
+  "CMakeFiles/lint_student_records.dir/lint_student_records.cpp.o.d"
+  "lint_student_records"
+  "lint_student_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_student_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

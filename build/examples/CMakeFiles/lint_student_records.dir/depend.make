@@ -1,0 +1,2 @@
+# Empty dependencies file for lint_student_records.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_expressions.dir/optimize_expressions.cpp.o"
+  "CMakeFiles/optimize_expressions.dir/optimize_expressions.cpp.o.d"
+  "optimize_expressions"
+  "optimize_expressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

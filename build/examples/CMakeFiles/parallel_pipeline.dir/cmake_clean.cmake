@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_pipeline.dir/parallel_pipeline.cpp.o"
+  "CMakeFiles/parallel_pipeline.dir/parallel_pipeline.cpp.o.d"
+  "parallel_pipeline"
+  "parallel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

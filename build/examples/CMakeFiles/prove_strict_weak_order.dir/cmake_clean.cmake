@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prove_strict_weak_order.dir/prove_strict_weak_order.cpp.o"
+  "CMakeFiles/prove_strict_weak_order.dir/prove_strict_weak_order.cpp.o.d"
+  "prove_strict_weak_order"
+  "prove_strict_weak_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prove_strict_weak_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

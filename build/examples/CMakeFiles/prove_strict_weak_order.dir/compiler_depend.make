@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prove_strict_weak_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for prove_strict_weak_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_explorer.dir/taxonomy_explorer.cpp.o"
+  "CMakeFiles/taxonomy_explorer.dir/taxonomy_explorer.cpp.o.d"
+  "taxonomy_explorer"
+  "taxonomy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/complexity.cpp" "src/core/CMakeFiles/cgp_core.dir/complexity.cpp.o" "gcc" "src/core/CMakeFiles/cgp_core.dir/complexity.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/cgp_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/cgp_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/term.cpp" "src/core/CMakeFiles/cgp_core.dir/term.cpp.o" "gcc" "src/core/CMakeFiles/cgp_core.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

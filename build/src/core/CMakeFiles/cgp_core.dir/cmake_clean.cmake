@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_core.dir/complexity.cpp.o"
+  "CMakeFiles/cgp_core.dir/complexity.cpp.o.d"
+  "CMakeFiles/cgp_core.dir/registry.cpp.o"
+  "CMakeFiles/cgp_core.dir/registry.cpp.o.d"
+  "CMakeFiles/cgp_core.dir/term.cpp.o"
+  "CMakeFiles/cgp_core.dir/term.cpp.o.d"
+  "libcgp_core.a"
+  "libcgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_distributed.dir/algorithms.cpp.o"
+  "CMakeFiles/cgp_distributed.dir/algorithms.cpp.o.d"
+  "CMakeFiles/cgp_distributed.dir/network.cpp.o"
+  "CMakeFiles/cgp_distributed.dir/network.cpp.o.d"
+  "libcgp_distributed.a"
+  "libcgp_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/cgp_parallel.dir/thread_pool.cpp.o.d"
+  "libcgp_parallel.a"
+  "libcgp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

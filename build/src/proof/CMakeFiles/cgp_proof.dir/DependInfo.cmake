@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proof/deduction.cpp" "src/proof/CMakeFiles/cgp_proof.dir/deduction.cpp.o" "gcc" "src/proof/CMakeFiles/cgp_proof.dir/deduction.cpp.o.d"
+  "/root/repo/src/proof/prop.cpp" "src/proof/CMakeFiles/cgp_proof.dir/prop.cpp.o" "gcc" "src/proof/CMakeFiles/cgp_proof.dir/prop.cpp.o.d"
+  "/root/repo/src/proof/theories.cpp" "src/proof/CMakeFiles/cgp_proof.dir/theories.cpp.o" "gcc" "src/proof/CMakeFiles/cgp_proof.dir/theories.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_proof.dir/deduction.cpp.o"
+  "CMakeFiles/cgp_proof.dir/deduction.cpp.o.d"
+  "CMakeFiles/cgp_proof.dir/prop.cpp.o"
+  "CMakeFiles/cgp_proof.dir/prop.cpp.o.d"
+  "CMakeFiles/cgp_proof.dir/theories.cpp.o"
+  "CMakeFiles/cgp_proof.dir/theories.cpp.o.d"
+  "libcgp_proof.a"
+  "libcgp_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

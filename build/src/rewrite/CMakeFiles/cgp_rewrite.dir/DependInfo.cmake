@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/engine.cpp" "src/rewrite/CMakeFiles/cgp_rewrite.dir/engine.cpp.o" "gcc" "src/rewrite/CMakeFiles/cgp_rewrite.dir/engine.cpp.o.d"
+  "/root/repo/src/rewrite/eval.cpp" "src/rewrite/CMakeFiles/cgp_rewrite.dir/eval.cpp.o" "gcc" "src/rewrite/CMakeFiles/cgp_rewrite.dir/eval.cpp.o.d"
+  "/root/repo/src/rewrite/expr.cpp" "src/rewrite/CMakeFiles/cgp_rewrite.dir/expr.cpp.o" "gcc" "src/rewrite/CMakeFiles/cgp_rewrite.dir/expr.cpp.o.d"
+  "/root/repo/src/rewrite/parser.cpp" "src/rewrite/CMakeFiles/cgp_rewrite.dir/parser.cpp.o" "gcc" "src/rewrite/CMakeFiles/cgp_rewrite.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

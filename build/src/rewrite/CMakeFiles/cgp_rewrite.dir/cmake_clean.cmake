@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_rewrite.dir/engine.cpp.o"
+  "CMakeFiles/cgp_rewrite.dir/engine.cpp.o.d"
+  "CMakeFiles/cgp_rewrite.dir/eval.cpp.o"
+  "CMakeFiles/cgp_rewrite.dir/eval.cpp.o.d"
+  "CMakeFiles/cgp_rewrite.dir/expr.cpp.o"
+  "CMakeFiles/cgp_rewrite.dir/expr.cpp.o.d"
+  "CMakeFiles/cgp_rewrite.dir/parser.cpp.o"
+  "CMakeFiles/cgp_rewrite.dir/parser.cpp.o.d"
+  "libcgp_rewrite.a"
+  "libcgp_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cgp_rewrite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgp_rewrite.
+# This may be replaced when dependencies are built.

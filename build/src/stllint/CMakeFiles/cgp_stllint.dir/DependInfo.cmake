@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stllint/analyzer.cpp" "src/stllint/CMakeFiles/cgp_stllint.dir/analyzer.cpp.o" "gcc" "src/stllint/CMakeFiles/cgp_stllint.dir/analyzer.cpp.o.d"
+  "/root/repo/src/stllint/lexer.cpp" "src/stllint/CMakeFiles/cgp_stllint.dir/lexer.cpp.o" "gcc" "src/stllint/CMakeFiles/cgp_stllint.dir/lexer.cpp.o.d"
+  "/root/repo/src/stllint/parser.cpp" "src/stllint/CMakeFiles/cgp_stllint.dir/parser.cpp.o" "gcc" "src/stllint/CMakeFiles/cgp_stllint.dir/parser.cpp.o.d"
+  "/root/repo/src/stllint/specs.cpp" "src/stllint/CMakeFiles/cgp_stllint.dir/specs.cpp.o" "gcc" "src/stllint/CMakeFiles/cgp_stllint.dir/specs.cpp.o.d"
+  "/root/repo/src/stllint/stllint.cpp" "src/stllint/CMakeFiles/cgp_stllint.dir/stllint.cpp.o" "gcc" "src/stllint/CMakeFiles/cgp_stllint.dir/stllint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_stllint.dir/analyzer.cpp.o"
+  "CMakeFiles/cgp_stllint.dir/analyzer.cpp.o.d"
+  "CMakeFiles/cgp_stllint.dir/lexer.cpp.o"
+  "CMakeFiles/cgp_stllint.dir/lexer.cpp.o.d"
+  "CMakeFiles/cgp_stllint.dir/parser.cpp.o"
+  "CMakeFiles/cgp_stllint.dir/parser.cpp.o.d"
+  "CMakeFiles/cgp_stllint.dir/specs.cpp.o"
+  "CMakeFiles/cgp_stllint.dir/specs.cpp.o.d"
+  "CMakeFiles/cgp_stllint.dir/stllint.cpp.o"
+  "CMakeFiles/cgp_stllint.dir/stllint.cpp.o.d"
+  "libcgp_stllint.a"
+  "libcgp_stllint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_stllint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

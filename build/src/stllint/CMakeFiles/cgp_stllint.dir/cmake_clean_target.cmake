@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgp_stllint.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/cgp_taxonomy.dir/taxonomy.cpp.o.d"
+  "libcgp_taxonomy.a"
+  "libcgp_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgp_taxonomy.
+# This may be replaced when dependencies are built.

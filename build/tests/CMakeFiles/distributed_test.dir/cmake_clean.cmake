@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_test.dir/distributed_test.cpp.o"
+  "CMakeFiles/distributed_test.dir/distributed_test.cpp.o.d"
+  "distributed_test"
+  "distributed_test.pdb"
+  "distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

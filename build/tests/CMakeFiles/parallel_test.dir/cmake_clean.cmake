@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_test.dir/parallel_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel_test.cpp.o.d"
+  "parallel_test"
+  "parallel_test.pdb"
+  "parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_test.dir/proof_test.cpp.o"
+  "CMakeFiles/proof_test.dir/proof_test.cpp.o.d"
+  "proof_test"
+  "proof_test.pdb"
+  "proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_parser_test.dir/rewrite_parser_test.cpp.o"
+  "CMakeFiles/rewrite_parser_test.dir/rewrite_parser_test.cpp.o.d"
+  "rewrite_parser_test"
+  "rewrite_parser_test.pdb"
+  "rewrite_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_test.dir/rewrite_test.cpp.o"
+  "CMakeFiles/rewrite_test.dir/rewrite_test.cpp.o.d"
+  "rewrite_test"
+  "rewrite_test.pdb"
+  "rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

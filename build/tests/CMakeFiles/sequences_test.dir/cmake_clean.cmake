@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequences_test.dir/sequences_test.cpp.o"
+  "CMakeFiles/sequences_test.dir/sequences_test.cpp.o.d"
+  "sequences_test"
+  "sequences_test.pdb"
+  "sequences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

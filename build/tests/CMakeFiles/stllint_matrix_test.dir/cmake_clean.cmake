@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stllint_matrix_test.dir/stllint_matrix_test.cpp.o"
+  "CMakeFiles/stllint_matrix_test.dir/stllint_matrix_test.cpp.o.d"
+  "stllint_matrix_test"
+  "stllint_matrix_test.pdb"
+  "stllint_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stllint_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stllint_test.dir/stllint_test.cpp.o"
+  "CMakeFiles/stllint_test.dir/stllint_test.cpp.o.d"
+  "stllint_test"
+  "stllint_test.pdb"
+  "stllint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stllint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

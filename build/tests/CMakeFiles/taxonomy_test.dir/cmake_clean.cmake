@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_test.dir/taxonomy_test.cpp.o"
+  "CMakeFiles/taxonomy_test.dir/taxonomy_test.cpp.o.d"
+  "taxonomy_test"
+  "taxonomy_test.pdb"
+  "taxonomy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
