@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cgp::distributed {
 
 const char* to_string(topology t) {
@@ -242,6 +244,20 @@ run_stats network::run(std::size_t max_rounds) {
     }
     stats_.rounds = static_cast<std::size_t>(now_);
   }
+  // Fold this run into the process-wide telemetry registry so every
+  // simulation exports uniformly (the taxonomy's measured dimensions:
+  // messages per tag, rounds, local computation).
+  auto& reg = telemetry::registry::global();
+  reg.get_counter("distributed.network.runs").add();
+  reg.get_counter("distributed.network.messages_total")
+      .add(stats_.messages_total);
+  reg.get_counter("distributed.network.rounds").add(stats_.rounds);
+  reg.get_counter("distributed.network.local_steps").add(stats_.local_steps);
+  for (const auto& [tag, count] : stats_.messages_by_tag)
+    reg.get_counter("distributed.network.messages." + tag).add(count);
+  reg.get_histogram("distributed.network.run_rounds").record(stats_.rounds);
+  reg.get_histogram("distributed.network.run_messages")
+      .record(stats_.messages_total);
   return stats_;
 }
 

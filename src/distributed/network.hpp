@@ -98,6 +98,19 @@ struct run_stats {
   std::size_t rounds = 0;
   std::size_t local_steps = 0;
   std::vector<std::size_t> local_steps_per_node;
+
+  /// Messages sent with `tag` (0 when the tag never appeared).
+  [[nodiscard]] std::size_t messages_for(const std::string& tag) const {
+    const auto it = messages_by_tag.find(tag);
+    return it == messages_by_tag.end() ? 0 : it->second;
+  }
+  /// All tags observed in this run, sorted.
+  [[nodiscard]] std::vector<std::string> tags() const {
+    std::vector<std::string> out;
+    out.reserve(messages_by_tag.size());
+    for (const auto& [tag, count] : messages_by_tag) out.push_back(tag);
+    return out;
+  }
 };
 
 /// The simulated network.

@@ -1,0 +1,107 @@
+// Operation-counted entry points for the graph algorithms, mirroring
+// sequences/instrumented.hpp: the visitor/weight-function hooks the
+// concept-generic algorithms already expose are exactly the places where
+// Section 4's "measured" operation counts can be collected without
+// touching the algorithms themselves.  Metrics land under `graph.<algo>.*`
+// and each wrapper returns its operation count for complexity checking.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cgp::graph::instrumented {
+
+namespace detail {
+
+inline void report(const char* algorithm, std::uint64_t ops,
+                   std::uint64_t vertices, std::uint64_t edges) {
+  auto& reg = telemetry::registry::global();
+  const std::string base = std::string("graph.") + algorithm;
+  reg.get_counter(base + ".calls").add();
+  reg.get_counter(base + ".operations").add(ops);
+  reg.get_counter(base + ".vertices").add(vertices);
+  reg.get_counter(base + ".edges").add(edges);
+  reg.get_histogram(base + ".operations_per_call").record(ops);
+}
+
+/// Edge count when the graph type exposes one; 0 for graphs that don't.
+template <class G>
+std::uint64_t edge_count_of(const G& g) {
+  if constexpr (requires { num_edges(g); })
+    return static_cast<std::uint64_t>(num_edges(g));
+  else
+    return 0;
+}
+
+/// BFS visitor counting edge examinations (the O(V + E) currency).
+template <class G>
+struct counting_bfs_visitor {
+  std::uint64_t* ops;
+  void discover_vertex(core::vertex_t<G>, const G&) { ++*ops; }
+  void examine_edge(const core::edge_t<G>&, const G&) { ++*ops; }
+  void tree_edge(const core::edge_t<G>&, const G&) {}
+  void finish_vertex(core::vertex_t<G>, const G&) {}
+};
+
+}  // namespace detail
+
+/// BFS distances, counting vertex discoveries + edge examinations.
+/// Returns (distances, operation count).
+template <core::VertexListGraph G>
+std::pair<std::vector<long>, std::uint64_t> bfs_distances(
+    const G& g, core::vertex_t<G> start) {
+  std::uint64_t ops = 0;
+  auto dist =
+      breadth_first_search(g, start, detail::counting_bfs_visitor<G>{&ops});
+  detail::report("bfs", ops, num_vertices(g), detail::edge_count_of(g));
+  return {std::move(dist), ops};
+}
+
+/// Dijkstra, counting edge relaxation attempts (weight-function calls).
+/// Returns (distances, predecessors, operation count).
+template <core::VertexListGraph G, class WeightFn>
+  requires requires(WeightFn w, core::edge_t<G> e) {
+    { w(e) } -> std::convertible_to<double>;
+  }
+std::pair<std::pair<std::vector<double>, std::vector<core::vertex_t<G>>>,
+          std::uint64_t>
+dijkstra_shortest_paths(const G& g, core::vertex_t<G> start, WeightFn weight) {
+  std::uint64_t ops = 0;
+  auto counted = [&ops, &weight](const core::edge_t<G>& e) -> double {
+    ++ops;
+    return weight(e);
+  };
+  auto result = graph::dijkstra_shortest_paths(g, start, counted);
+  detail::report("dijkstra", ops, num_vertices(g), detail::edge_count_of(g));
+  return {std::move(result), ops};
+}
+
+/// Kruskal MST, counting comparator calls of the edge sort plus one union
+/// per edge (its O(E log E) cost is dominated by the sort — the library's
+/// own concept-dispatched cgp::sequences::sort).
+template <class P>
+std::pair<std::vector<edge<P>>, std::uint64_t> kruskal_mst(
+    const adjacency_list<P>& g) {
+  std::uint64_t ops = 0;
+  std::vector<edge<P>> sorted = g.all_edges();
+  const std::uint64_t edge_total = sorted.size();
+  cgp::sequences::sort(sorted.begin(), sorted.end(),
+                       [&ops](const edge<P>& a, const edge<P>& b) {
+                         ++ops;
+                         return a.property < b.property;
+                       });
+  disjoint_sets sets(g.vertex_count());
+  std::vector<edge<P>> mst;
+  for (const edge<P>& e : sorted) {
+    ++ops;
+    if (sets.unite(e.src, e.dst)) mst.push_back(e);
+  }
+  detail::report("kruskal", ops, g.vertex_count(), edge_total);
+  return {std::move(mst), ops};
+}
+
+}  // namespace cgp::graph::instrumented

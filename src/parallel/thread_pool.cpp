@@ -1,11 +1,35 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace cgp::parallel {
 
-thread_pool::thread_pool(unsigned n) {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(clock::time_point a, clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+thread_pool::thread_pool(unsigned n)
+    : tasks_submitted_(telemetry::registry::global().get_counter(
+          "parallel.thread_pool.tasks_submitted")),
+      tasks_completed_(telemetry::registry::global().get_counter(
+          "parallel.thread_pool.tasks_completed")),
+      busy_us_(telemetry::registry::global().get_counter(
+          "parallel.thread_pool.busy_us")),
+      idle_us_(telemetry::registry::global().get_counter(
+          "parallel.thread_pool.idle_us")),
+      queue_depth_(telemetry::registry::global().get_gauge(
+          "parallel.thread_pool.queue_depth")),
+      task_us_(telemetry::registry::global().get_histogram(
+          "parallel.thread_pool.task_us")) {
   workers_ = n != 0 ? n : std::max(1u, std::thread::hardware_concurrency());
   threads_.reserve(workers_);
   for (unsigned i = 0; i < workers_; ++i)
@@ -26,6 +50,8 @@ void thread_pool::submit(std::function<void()> task) {
     const std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  tasks_submitted_.add();
+  queue_depth_.add();
   cv_.notify_one();
 }
 
@@ -34,18 +60,42 @@ void thread_pool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if constexpr (telemetry::kEnabled) {
+        const auto wait_start = clock::now();
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        idle_us_.add(us_between(wait_start, clock::now()));
+      } else {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_.sub();
+    if constexpr (telemetry::kEnabled) {
+      const auto run_start = clock::now();
+      task();
+      const std::uint64_t us = us_between(run_start, clock::now());
+      busy_us_.add(us);
+      task_us_.record(us);
+    } else {
+      task();
+    }
+    tasks_completed_.add();
   }
+}
+
+double thread_pool::utilization() const noexcept {
+  const auto busy = static_cast<double>(busy_us_.value());
+  const auto idle = static_cast<double>(idle_us_.value());
+  return busy + idle == 0.0 ? 0.0 : busy / (busy + idle);
 }
 
 void thread_pool::run_chunks(std::size_t chunks,
                              const std::function<void(std::size_t)>& fn) {
   if (chunks == 0) return;
+  telemetry::span span("parallel.thread_pool.run_chunks");
+  span.charge(chunks);
   if (chunks == 1) {
     fn(0);
     return;

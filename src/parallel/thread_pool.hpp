@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cgp::parallel {
 
 class thread_pool {
@@ -41,6 +43,10 @@ class thread_pool {
   /// Process-wide default pool.
   [[nodiscard]] static thread_pool& default_pool();
 
+  /// Worker utilization in [0, 1]: busy time / (busy + idle) summed over
+  /// workers since construction.  0 when nothing has been measured yet.
+  [[nodiscard]] double utilization() const noexcept;
+
  private:
   void worker_loop();
 
@@ -50,6 +56,16 @@ class thread_pool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Telemetry handles resolved once (references are stable); increments on
+  // the hot path are lock-free sharded-atomic adds.  Metric names follow
+  // the `parallel.thread_pool.*` convention (see README.md).
+  telemetry::counter& tasks_submitted_;
+  telemetry::counter& tasks_completed_;
+  telemetry::counter& busy_us_;
+  telemetry::counter& idle_us_;
+  telemetry::gauge& queue_depth_;
+  telemetry::histogram& task_us_;
 };
 
 }  // namespace cgp::parallel

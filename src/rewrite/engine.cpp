@@ -5,9 +5,30 @@
 #include <string_view>
 
 #include "rewrite/eval.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgp::rewrite {
 namespace {
+
+// Resolved once; thereafter increments are lock-free (rule-hit counters are
+// looked up per fire, which is rare next to the expr rebuilding a fire does).
+telemetry::counter& cache_hit_counter() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "rewrite.simplifier.instantiation_cache_hits");
+  return c;
+}
+
+telemetry::counter& cache_miss_counter() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "rewrite.simplifier.instantiation_cache_misses");
+  return c;
+}
+
+void count_rule_hit(const std::string& rule_name) {
+  telemetry::registry::global()
+      .get_counter("rewrite.simplifier.rule." + rule_name)
+      .add();
+}
 
 bool is_binary_op_symbol(std::string_view s) {
   static constexpr std::string_view ops[] = {"+",  "-",  "*",  "/",  "%",
@@ -69,6 +90,7 @@ std::optional<expr> simplifier::rewrite_at_root(
     if (!binding) continue;
     if (r.guard && !r.guard(*binding)) continue;
     expr out = r.replacement.substitute(*binding);
+    count_rule_hit(r.name);
     if (trace)
       trace->push_back({r.name, r.provenance, e.to_string(), out.to_string()});
     return out;
@@ -85,6 +107,11 @@ std::optional<expr> simplifier::rewrite_at_root(
     const std::string key = std::to_string(ri) + "\x1f" + e.type() + "\x1f" +
                             e.symbol();
     auto cached = instantiation_cache_.find(key);
+    if (cached != instantiation_cache_.end()) {
+      cache_hit_counter().add();
+    } else {
+      cache_miss_counter().add();
+    }
     if (cached == instantiation_cache_.end()) {
       std::optional<std::pair<expr, expr>> inst;
       if (const auto model =
@@ -117,6 +144,7 @@ std::optional<expr> simplifier::rewrite_at_root(
     auto binding = e.match(pattern);
     if (!binding) continue;
     expr out = replacement.substitute(*binding);
+    count_rule_hit(r.concept_name + "::" + r.axiom_name);
     if (trace)
       trace->push_back({r.concept_name + "::" + r.axiom_name, r.concept_name,
                         e.to_string(), out.to_string()});
@@ -133,6 +161,7 @@ std::optional<expr> simplifier::rewrite_at_root(
         const value v = evaluate(e, {});
         expr out = expr::lit(v, e.type());
         if (!(out == e)) {
+          count_rule_hit("constant-fold");
           if (trace)
             trace->push_back(
                 {"constant-fold", "evaluator", e.to_string(),
@@ -184,14 +213,21 @@ expr simplifier::simplify_once(const expr& e, bool& changed,
 expr simplifier::simplify(const expr& e,
                           std::vector<rewrite_step>* trace) const {
   expr cur = e;
+  auto& reg = telemetry::registry::global();
+  reg.get_counter("rewrite.simplifier.simplify_calls").add();
   // Node count strictly decreases on every effective pass for the shipped
   // shrink-checked rules, but user rules may grow terms; cap passes.
   constexpr int kMaxPasses = 64;
+  int passes = 0;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
+    ++passes;
     bool changed = false;
     cur = simplify_once(cur, changed, trace);
     if (!changed) break;
   }
+  reg.get_counter("rewrite.simplifier.passes").add(static_cast<std::uint64_t>(passes));
+  reg.get_histogram("rewrite.simplifier.passes_per_call")
+      .record(static_cast<std::uint64_t>(passes));
   return cur;
 }
 

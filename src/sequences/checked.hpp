@@ -14,6 +14,7 @@
 
 #include "core/archetypes.hpp"
 #include "sequences/sort.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgp::sequences::checked {
 
@@ -41,11 +42,27 @@ struct handler_stats {
   return s;
 }
 
+namespace detail {
+/// Mirrors handler activity into the telemetry registry (resolved once).
+inline void count_entry_check() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "sequences.checked.entry_checks");
+  c.add();
+  ++stats().entry_checks;
+}
+inline void count_exit_check() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "sequences.checked.exit_checks");
+  c.add();
+  ++stats().exit_checks;
+}
+}  // namespace detail
+
 /// binary_search with its Sorted entry handler.
 template <std::forward_iterator I, class T, class Cmp = std::less<>>
 [[nodiscard]] bool binary_search(I first, I last, const T& value,
                                  Cmp cmp = {}) {
-  ++stats().entry_checks;
+  detail::count_entry_check();
   if (!cgp::sequences::is_sorted(first, last, cmp))
     throw precondition_violation(
         "binary_search: the range [first, last) is not sorted with respect "
@@ -56,7 +73,7 @@ template <std::forward_iterator I, class T, class Cmp = std::less<>>
 /// lower_bound with its Sorted entry handler.
 template <std::forward_iterator I, class T, class Cmp = std::less<>>
 [[nodiscard]] I lower_bound(I first, I last, const T& value, Cmp cmp = {}) {
-  ++stats().entry_checks;
+  detail::count_entry_check();
   if (!cgp::sequences::is_sorted(first, last, cmp))
     throw precondition_violation(
         "lower_bound: the range [first, last) is not sorted");
@@ -71,7 +88,7 @@ template <std::forward_iterator I, class Cmp = std::less<>>
 void sort(I first, I last, Cmp cmp = {}) {
   core::checked_strict_weak_order<std::iter_value_t<I>, Cmp> checked_cmp(cmp);
   cgp::sequences::sort(first, last, std::ref(checked_cmp));
-  ++stats().exit_checks;
+  detail::count_exit_check();
   if (!cgp::sequences::is_sorted(first, last, cmp))
     throw postcondition_violation(
         "sort: the range is not sorted on exit (broken comparator or "
@@ -81,7 +98,7 @@ void sort(I first, I last, Cmp cmp = {}) {
 /// max_element with its nonempty entry handler.
 template <std::forward_iterator I, class Cmp = std::less<>>
 [[nodiscard]] I max_element(I first, I last, Cmp cmp = {}) {
-  ++stats().entry_checks;
+  detail::count_entry_check();
   if (first == last)
     throw precondition_violation("max_element: empty range has no maximum");
   return cgp::sequences::max_element(first, last, cmp);

@@ -4,11 +4,27 @@
 #include <cassert>
 #include <charconv>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cgp::stllint {
 namespace {
 
 using validity = iterator_state::validity;
 using position = iterator_state::position;
+
+const char* severity_metric_key(severity s) {
+  switch (s) {
+    case severity::error:
+      return "error";
+    case severity::warning:
+      return "warning";
+    case severity::advice:
+      return "advice";
+    case severity::note:
+      return "note";
+  }
+  return "unknown";
+}
 
 validity join_validity(validity a, validity b) {
   if (a == b) return a;
@@ -116,6 +132,10 @@ class exec_impl {
       const std::size_t first = echo.find_first_not_of(" \t");
       if (first != std::string::npos) echo = echo.substr(first);
     }
+    telemetry::registry::global()
+        .get_counter(std::string("stllint.analyzer.diagnostics.") +
+                     severity_metric_key(sev))
+        .add();
     a_.diags_.push_back({sev, line, col, std::move(msg), std::move(echo)});
   }
 
@@ -1087,8 +1107,10 @@ class exec_impl {
 
     abstract_state exit;
     exit.reachable = false;
+    int passes_used = 0;
     for (int pass = 0; pass < a_.opt_.max_loop_passes; ++pass) {
       ++a_.stats_.loop_passes;
+      ++passes_used;
       std::optional<bool> truth;
       if (cond != nullptr) {
         const abstract_value cv = eval(*cond, cur);
@@ -1114,6 +1136,9 @@ class exec_impl {
       cur = next;
     }
     loop_breaks_ = saved;
+    telemetry::registry::global()
+        .get_histogram("stllint.analyzer.loop_fixpoint_passes")
+        .record(static_cast<std::uint64_t>(passes_used));
     for (const abstract_state& b : breaks) exit = join(exit, b);
     if (!exit.reachable) exit = cur;  // e.g. while(true) without breaks
     st = exit;
@@ -1126,8 +1151,19 @@ class exec_impl {
 void analyzer::run(const ast_program& program,
                    const std::vector<std::string>& source) {
   source_lines_ = source;
+  const stats before = stats_;
   exec_impl impl(*this);
   for (const ast_function& fn : program.functions) impl.run_function(fn);
+  auto& reg = telemetry::registry::global();
+  reg.get_counter("stllint.analyzer.runs").add();
+  reg.get_counter("stllint.analyzer.functions")
+      .add(stats_.functions - before.functions);
+  reg.get_counter("stllint.analyzer.statements")
+      .add(stats_.statements - before.statements);
+  reg.get_counter("stllint.analyzer.expressions")
+      .add(stats_.expressions - before.expressions);
+  reg.get_counter("stllint.analyzer.loop_passes")
+      .add(stats_.loop_passes - before.loop_passes);
 }
 
 }  // namespace cgp::stllint

@@ -1,0 +1,79 @@
+#include "telemetry/complexity_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cgp::telemetry {
+
+check_report complexity_check(std::string name,
+                              const std::vector<sample>& samples,
+                              const core::big_o& bound,
+                              double slope_tolerance, const std::string& var) {
+  check_report report;
+  report.name = std::move(name);
+  report.bound = bound.to_string();
+  report.tolerance = slope_tolerance;
+  report.samples = samples.size();
+
+  if (samples.size() < 3) {
+    report.ok = false;
+    report.detail = "need at least 3 samples to fit a growth exponent";
+    return report;
+  }
+  const auto [min_it, max_it] = std::minmax_element(
+      samples.begin(), samples.end(),
+      [](const sample& a, const sample& b) { return a.n < b.n; });
+  if (min_it->n <= 0.0 || max_it->n < 4.0 * min_it->n) {
+    report.ok = false;
+    report.detail = "samples must span at least a 4x range of positive n";
+    return report;
+  }
+
+  // Least-squares fit of log(ops / bound(n)) against log(n).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double max_ratio = 0.0;
+  for (const sample& s : samples) {
+    const double predicted = std::max(bound.eval({{var, s.n}}), 1e-12);
+    const double ratio = std::max(s.ops, 1e-12) / predicted;
+    max_ratio = std::max(max_ratio, ratio);
+    const double x = std::log(s.n);
+    const double y = std::log(ratio);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double m = static_cast<double>(samples.size());
+  const double denom = m * sxx - sx * sx;
+  const double slope = denom == 0.0 ? 0.0 : (m * sxy - sx * sy) / denom;
+
+  report.growth_slope = slope;
+  report.max_ratio = max_ratio;
+  report.ok = slope <= slope_tolerance;
+
+  std::ostringstream os;
+  if (report.ok) {
+    os << "observed ops grow no faster than " << report.bound
+       << " (excess exponent " << slope << " <= " << slope_tolerance << ")";
+  } else {
+    os << "observed ops outgrow " << report.bound << ": excess exponent "
+       << slope << " > " << slope_tolerance
+       << " — the performance concept is violated";
+  }
+  report.detail = os.str();
+  return report;
+}
+
+check_report complexity_check_and_record(std::string name,
+                                         const std::vector<sample>& samples,
+                                         const core::big_o& bound,
+                                         registry& reg, double slope_tolerance,
+                                         const std::string& var) {
+  check_report report =
+      complexity_check(std::move(name), samples, bound, slope_tolerance, var);
+  reg.record_check(report);
+  return report;
+}
+
+}  // namespace cgp::telemetry

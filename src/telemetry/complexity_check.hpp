@@ -1,0 +1,74 @@
+// Empirical performance-concept checking.
+//
+// Section 2's performance concepts attach complexity guarantees (e.g.
+// ComplexityO(n log n)) to concepts; core/complexity.hpp gives those
+// guarantees a symbolic algebra.  This module closes the loop at runtime:
+// given observed operation counts at a series of problem sizes (typically
+// doubling n), complexity_check() decides whether the observations are
+// consistent with the declared bound, turning the guarantee from
+// documentation into a checkable assertion.
+//
+// Method: for each sample compute the ratio r = ops / bound(n).  If the
+// bound holds, r stays bounded as n grows; if the true growth exceeds the
+// bound, r grows polynomially.  We fit a least-squares line to log(r)
+// against log(n): the slope is the *excess growth exponent* (observed
+// exponent minus the bound's).  A slope within `slope_tolerance` of zero
+// accepts; more rejects.  E.g. a quadratic sort checked against
+// O(n log n) shows slope ~= 1 - o(1) and is rejected decisively, while a
+// conforming introsort shows slope ~= 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/complexity.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cgp::telemetry {
+
+/// One observation: `ops` operations measured at problem size `n`.
+struct sample {
+  double n = 0.0;
+  double ops = 0.0;
+};
+
+/// Default acceptance threshold on the excess growth exponent.  0.35 is
+/// far above measurement noise for doubling-n sweeps (conforming
+/// algorithms fit within +-0.1) and far below the +1 excess of the
+/// classic O(n^2)-passed-off-as-O(n log n) failure.
+inline constexpr double kDefaultSlopeTolerance = 0.35;
+
+/// Checks `samples` against the declared bound.  Requires >= 3 samples
+/// spanning at least a factor of 4 in `n` (otherwise the fit is
+/// meaningless and the report says so with ok == false).  The bound is
+/// evaluated with `var` as its single free variable.
+[[nodiscard]] check_report complexity_check(
+    std::string name, const std::vector<sample>& samples,
+    const core::big_o& bound, double slope_tolerance = kDefaultSlopeTolerance,
+    const std::string& var = "n");
+
+/// As above, and records the report into `reg` so exporters and
+/// check_reports() see it.
+check_report complexity_check_and_record(
+    std::string name, const std::vector<sample>& samples,
+    const core::big_o& bound, registry& reg = registry::global(),
+    double slope_tolerance = kDefaultSlopeTolerance,
+    const std::string& var = "n");
+
+/// Convenience harness: runs `measure(n)` (returning an operation count)
+/// at each size in `sizes` and checks the collected samples.
+template <class MeasureFn>
+check_report check_scaling(std::string name, const std::vector<std::size_t>& sizes,
+                           const core::big_o& bound, MeasureFn&& measure,
+                           registry& reg = registry::global(),
+                           double slope_tolerance = kDefaultSlopeTolerance) {
+  std::vector<sample> samples;
+  samples.reserve(sizes.size());
+  for (const std::size_t n : sizes)
+    samples.push_back({static_cast<double>(n),
+                       static_cast<double>(measure(n))});
+  return complexity_check_and_record(std::move(name), samples, bound, reg,
+                                     slope_tolerance);
+}
+
+}  // namespace cgp::telemetry

@@ -1,0 +1,251 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace cgp::telemetry {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const json_value& json_value::at(const std::string& key) const {
+  if (k != kind::object) throw json_error("at(): not a JSON object");
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw json_error("at(): missing key '" + key + "'");
+  return it->second;
+}
+
+bool json_value::has(const std::string& key) const noexcept {
+  return k == kind::object && obj.contains(key);
+}
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  json_value parse_document() {
+    json_value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw json_error("trailing garbage at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw json_error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw json_error(std::string("expected '") + c + "' at offset " +
+                       std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  json_value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      json_value v;
+      v.k = json_value::kind::string;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      json_value v;
+      v.k = json_value::kind::boolean;
+      v.b = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      json_value v;
+      v.k = json_value::kind::boolean;
+      return v;
+    }
+    if (consume_literal("null")) return {};
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) throw json_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) throw json_error("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw json_error("bad \\u escape");
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4)
+            throw json_error("bad \\u escape");
+          pos_ += 4;
+          // Telemetry names are ASCII; decode BMP code points to UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          throw json_error(std::string("unknown escape \\") + esc);
+      }
+    }
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start)
+      throw json_error("expected a value at offset " + std::to_string(start));
+    json_value v;
+    v.k = json_value::kind::number;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.num);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_)
+      throw json_error("bad number at offset " + std::to_string(start));
+    return v;
+  }
+
+  json_value parse_array() {
+    expect('[');
+    json_value v;
+    v.k = json_value::kind::array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') throw json_error("expected ',' or ']' in array");
+    }
+  }
+
+  json_value parse_object() {
+    expect('{');
+    json_value v;
+    v.k = json_value::kind::object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') throw json_error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value parse_json(std::string_view text) {
+  return parser(text).parse_document();
+}
+
+}  // namespace cgp::telemetry

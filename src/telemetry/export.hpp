@@ -1,0 +1,49 @@
+// JSON helpers for the telemetry exporters: string escaping on the way
+// out and a minimal recursive-descent parser on the way in, so tests can
+// round-trip registry::export_json() and bench/ tools can consume it
+// without an external dependency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgp::telemetry {
+
+/// Escapes and double-quotes `s` for inclusion in a JSON document.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Thrown by parse_json on malformed input.
+class json_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON value (numbers are doubles; objects preserve key order
+/// not at all — std::map keeps them sorted, which is fine for lookups).
+struct json_value {
+  enum class kind { null, boolean, number, string, array, object };
+
+  kind k = kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<json_value> arr;
+  std::map<std::string, json_value> obj;
+
+  [[nodiscard]] bool is(kind want) const noexcept { return k == want; }
+
+  /// Object member access; throws json_error when absent or not an object.
+  [[nodiscard]] const json_value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+[[nodiscard]] json_value parse_json(std::string_view text);
+
+}  // namespace cgp::telemetry

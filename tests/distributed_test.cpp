@@ -347,5 +347,20 @@ TEST(Accounting, MessagesByTagBreakdown) {
   EXPECT_EQ(stats.messages_by_tag.at("leader"), 8u);
 }
 
+TEST(Accounting, PerTagAccessors) {
+  network net(8, topology::ring);
+  net.spawn(lcr_leader_election());
+  const run_stats stats = net.run();
+  EXPECT_EQ(stats.messages_for("leader"), 8u);
+  EXPECT_EQ(stats.messages_for("no-such-tag"), 0u);
+  const auto tags = stats.tags();
+  ASSERT_EQ(tags.size(), 2u);  // sorted: "leader", "uid"
+  EXPECT_EQ(tags[0], "leader");
+  EXPECT_EQ(tags[1], "uid");
+  std::size_t by_tag = 0;
+  for (const auto& tag : tags) by_tag += stats.messages_for(tag);
+  EXPECT_EQ(by_tag, stats.messages_total);
+}
+
 }  // namespace
 }  // namespace cgp::distributed

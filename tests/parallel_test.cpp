@@ -152,5 +152,46 @@ TEST(ParallelSort, CustomComparator) {
   for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i - 1], v[i]);
 }
 
+// ---------------------------------------------------------------------------
+// telemetry wiring
+// ---------------------------------------------------------------------------
+
+TEST(PoolTelemetry, SubmittedEqualsCompletedAndQueueDrains) {
+  auto& reg = cgp::telemetry::registry::global();
+  const auto submitted_before =
+      reg.get_counter("parallel.thread_pool.tasks_submitted").value();
+  const auto completed_before =
+      reg.get_counter("parallel.thread_pool.tasks_completed").value();
+  {
+    thread_pool pool(3);
+    std::atomic<int> hits{0};
+    pool.run_chunks(24, [&hits](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 24);
+  }  // pool destruction joins workers: every submitted task has completed
+  const auto submitted =
+      reg.get_counter("parallel.thread_pool.tasks_submitted").value() -
+      submitted_before;
+  const auto completed =
+      reg.get_counter("parallel.thread_pool.tasks_completed").value() -
+      completed_before;
+  EXPECT_EQ(submitted, 24u);
+  EXPECT_EQ(completed, submitted);
+  EXPECT_EQ(reg.get_gauge("parallel.thread_pool.queue_depth").value(), 0);
+  // Per-task latency histogram saw every task of this (and any earlier) run.
+  EXPECT_GE(reg.get_histogram("parallel.thread_pool.task_us").count(),
+            completed);
+}
+
+TEST(PoolTelemetry, UtilizationIsAFraction) {
+  thread_pool pool(2);
+  pool.run_chunks(8, [](std::size_t) {
+    volatile long x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + i;
+  });
+  const double u = pool.utilization();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
 }  // namespace
 }  // namespace cgp::parallel

@@ -1,0 +1,454 @@
+// Tests for the unified telemetry layer: counter exactness under
+// contention, histogram bucketing, span nesting, exporter round-trips,
+// empirical performance-concept checking, and the end-to-end guarantee
+// that all five instrumented subsystems report through one registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "distributed/algorithms.hpp"
+#include "distributed/network.hpp"
+#include "graph/instrumented.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/parser.hpp"
+#include "sequences/instrumented.hpp"
+#include "stllint/stllint.hpp"
+#include "telemetry/complexity_check.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// ---------------------------------------------------------------------------
+// counters / gauges
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryCounter, ConcurrentIncrementsSumExactly) {
+  telemetry::registry reg;
+  telemetry::counter& c = reg.get_counter("test.counter.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(TelemetryCounter, AddWithDeltaAndReset) {
+  telemetry::counter c;
+  c.add(41);
+  c.add();
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryCounter, RegistryReturnsStableReferences) {
+  telemetry::registry reg;
+  telemetry::counter& a = reg.get_counter("test.stable");
+  a.add(7);
+  // Force rebalancing-ish growth: many inserts after taking the reference.
+  for (int i = 0; i < 100; ++i)
+    (void)reg.get_counter("test.filler." + std::to_string(i));
+  telemetry::counter& b = reg.get_counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(TelemetryGauge, SetAddSub) {
+  telemetry::gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -8);  // gauges may go negative
+}
+
+TEST(TelemetryRegistry, CounterSumByPrefix) {
+  telemetry::registry reg;
+  reg.get_counter("alpha.x").add(1);
+  reg.get_counter("alpha.y").add(2);
+  reg.get_counter("alphabet.z").add(4);  // shares a string prefix, counted
+  reg.get_counter("beta.x").add(8);
+  EXPECT_EQ(reg.counter_sum("alpha."), 3u);
+  EXPECT_EQ(reg.counter_sum("alpha"), 7u);
+  EXPECT_EQ(reg.counter_sum("gamma"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// histograms
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  using H = telemetry::histogram;
+  // bucket 0 is exactly {0}; bucket i >= 1 is [2^(i-1), 2^i - 1].
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(1023), 10u);
+  EXPECT_EQ(H::bucket_of(1024), 11u);
+  EXPECT_EQ(H::bucket_bounds(0), (std::pair<std::uint64_t, std::uint64_t>{0, 0}));
+  EXPECT_EQ(H::bucket_bounds(1), (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(H::bucket_bounds(3), (std::pair<std::uint64_t, std::uint64_t>{4, 7}));
+  EXPECT_EQ(H::bucket_bounds(11),
+            (std::pair<std::uint64_t, std::uint64_t>{1024, 2047}));
+  // Every value lands inside its bucket's [lo, hi].
+  for (const std::uint64_t v : {0ull, 1ull, 2ull, 7ull, 8ull, 100ull, 4096ull,
+                                ~0ull}) {
+    const auto [lo, hi] = H::bucket_bounds(H::bucket_of(v));
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(TelemetryHistogram, RecordAggregates) {
+  telemetry::histogram h;
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 100ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket_count(7), 1u);  // [64, 127] holds 100
+}
+
+// ---------------------------------------------------------------------------
+// spans
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySpan, NestingDepthAndCharges) {
+  telemetry::registry reg;
+  EXPECT_EQ(telemetry::span::depth(), 0);
+  {
+    telemetry::span outer("test.outer", reg);
+    outer.charge(5);
+    EXPECT_EQ(telemetry::span::depth(), 1);
+    EXPECT_EQ(telemetry::span::current(), &outer);
+    {
+      telemetry::span inner("test.inner", reg);
+      inner.charge(2);
+      EXPECT_EQ(telemetry::span::depth(), 2);
+      EXPECT_EQ(telemetry::span::current(), &inner);
+      // Charges are per-span, not inherited.
+      EXPECT_EQ(inner.charged(), 2u);
+      EXPECT_EQ(outer.charged(), 5u);
+    }
+    EXPECT_EQ(telemetry::span::depth(), 1);
+    EXPECT_EQ(telemetry::span::current(), &outer);
+  }
+  EXPECT_EQ(telemetry::span::depth(), 0);
+  EXPECT_EQ(telemetry::span::current(), nullptr);
+  EXPECT_EQ(reg.get_counter("test.outer.calls").value(), 1u);
+  EXPECT_EQ(reg.get_counter("test.inner.calls").value(), 1u);
+  EXPECT_EQ(reg.get_counter("test.outer.ops").value(), 5u);
+  EXPECT_EQ(reg.get_counter("test.inner.ops").value(), 2u);
+  EXPECT_EQ(reg.get_histogram("test.outer.duration_us").count(), 1u);
+}
+
+TEST(TelemetrySpan, DepthIsPerThread) {
+  telemetry::registry reg;
+  telemetry::span outer("test.main_thread", reg);
+  int other_thread_depth = -1;
+  std::thread([&] { other_thread_depth = telemetry::span::depth(); }).join();
+  EXPECT_EQ(other_thread_depth, 0);
+  EXPECT_EQ(telemetry::span::depth(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// exporters
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryExport, JsonRoundTripsThroughParse) {
+  telemetry::registry reg;
+  reg.get_counter("round.trip.counter").add(123);
+  reg.get_gauge("round.trip.gauge").set(-7);
+  telemetry::histogram& h = reg.get_histogram("round.trip.hist");
+  h.record(3);
+  h.record(300);
+  reg.record_check({.name = "round.trip.check",
+                    .bound = "O(n log n)",
+                    .ok = true,
+                    .growth_slope = 0.01,
+                    .max_ratio = 2.5,
+                    .tolerance = 0.35,
+                    .samples = 6,
+                    .detail = "quoted \"detail\" with\nnewline"});
+
+  const std::string json = reg.export_json();
+  const telemetry::json_value doc = telemetry::parse_json(json);
+
+  EXPECT_EQ(doc.at("counters").at("round.trip.counter").num, 123.0);
+  EXPECT_EQ(doc.at("gauges").at("round.trip.gauge").num, -7.0);
+  const auto& hist = doc.at("histograms").at("round.trip.hist");
+  EXPECT_EQ(hist.at("count").num, 2.0);
+  EXPECT_EQ(hist.at("sum").num, 303.0);
+  EXPECT_EQ(hist.at("max").num, 300.0);
+  ASSERT_EQ(hist.at("buckets").arr.size(), 2u);  // sparse: only hit buckets
+  EXPECT_EQ(hist.at("buckets").arr[0].at("count").num, 1.0);
+  const auto& checks = doc.at("checks");
+  ASSERT_EQ(checks.arr.size(), 1u);
+  EXPECT_EQ(checks.arr[0].at("name").str, "round.trip.check");
+  EXPECT_EQ(checks.arr[0].at("bound").str, "O(n log n)");
+  EXPECT_TRUE(checks.arr[0].at("ok").b);
+  EXPECT_EQ(checks.arr[0].at("detail").str, "quoted \"detail\" with\nnewline");
+}
+
+TEST(TelemetryExport, TextIsOneLinePerMetric) {
+  telemetry::registry reg;
+  reg.get_counter("a.b.c").add(9);
+  reg.get_gauge("a.b.depth").set(4);
+  reg.get_histogram("a.b.lat").record(10);
+  const std::string text = reg.export_text();
+  EXPECT_NE(text.find("counter a.b.c 9\n"), std::string::npos);
+  EXPECT_NE(text.find("gauge a.b.depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("histogram a.b.lat count=1"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(TelemetryExport, ParserRejectsMalformedJson) {
+  EXPECT_THROW((void)telemetry::parse_json("{\"a\":}"), telemetry::json_error);
+  EXPECT_THROW((void)telemetry::parse_json("[1, 2"), telemetry::json_error);
+  EXPECT_THROW((void)telemetry::parse_json("{} trailing"),
+               telemetry::json_error);
+}
+
+// ---------------------------------------------------------------------------
+// complexity_check: empirical performance concepts
+// ---------------------------------------------------------------------------
+
+TEST(ComplexityCheck, AcceptsConformingAndRejectsQuadraticSynthetic) {
+  std::vector<telemetry::sample> nlogn, quadratic;
+  for (double n = 64; n <= 8192; n *= 2) {
+    nlogn.push_back({n, 2.2 * n * std::log2(n)});
+    quadratic.push_back({n, 0.25 * n * n});
+  }
+  const core::big_o bound = core::big_o::power("n", 1, 1);  // O(n log n)
+
+  const auto good = telemetry::complexity_check("synthetic.nlogn", nlogn, bound);
+  EXPECT_TRUE(good.ok) << good.detail;
+  EXPECT_LT(std::abs(good.growth_slope), 0.15);
+
+  const auto bad =
+      telemetry::complexity_check("synthetic.quadratic", quadratic, bound);
+  EXPECT_FALSE(bad.ok) << bad.detail;
+  EXPECT_GT(bad.growth_slope, 0.5);
+}
+
+TEST(ComplexityCheck, RefusesMeaninglessSampleSets) {
+  const core::big_o bound = core::big_o::n();
+  EXPECT_FALSE(telemetry::complexity_check("too.few", {{10, 10}, {20, 20}},
+                                           bound)
+                   .ok);
+  EXPECT_FALSE(telemetry::complexity_check(
+                   "too.narrow", {{10, 10}, {20, 20}, {30, 30}}, bound)
+                   .ok);
+}
+
+// A deliberately-quadratic "sort" (selection sort) whose comparisons are
+// counted — the classic violation of a ComplexityO(n log n) performance
+// concept.
+template <class I, class Cmp = std::less<>>
+std::uint64_t selection_sort_counting(I first, I last, Cmp cmp = {}) {
+  std::uint64_t comparisons = 0;
+  for (I i = first; i != last; ++i) {
+    I best = i;
+    for (I j = std::next(i); j != last; ++j) {
+      ++comparisons;
+      if (cmp(*j, *best)) best = j;
+    }
+    std::iter_swap(i, best);
+  }
+  return comparisons;
+}
+
+std::vector<int> random_ints(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 1 << 30);
+  std::vector<int> v(n);
+  for (int& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(ComplexityCheck, LibrarySortMeetsItsPerformanceConceptQuadraticDoesNot) {
+  const core::big_o nlogn = core::big_o::power("n", 1, 1);
+  const std::vector<std::size_t> sizes = {256, 512, 1024, 2048, 4096, 8192};
+  telemetry::registry reg;
+
+  // The library's concept-dispatched sort stays within c * n log n ...
+  const auto real = telemetry::check_scaling(
+      "sequences.sort.comparisons", sizes, nlogn,
+      [](std::size_t n) {
+        auto v = random_ints(n, static_cast<std::uint32_t>(n));
+        return sequences::instrumented::sort(v.begin(), v.end());
+      },
+      reg);
+  EXPECT_TRUE(real.ok) << real.detail;
+
+  // ... while the deliberately-quadratic sort is flagged as violating the
+  // same declared bound.
+  const auto quad = telemetry::check_scaling(
+      "test.selection_sort.comparisons", sizes, nlogn,
+      [](std::size_t n) {
+        auto v = random_ints(n, static_cast<std::uint32_t>(n) + 1);
+        return selection_sort_counting(v.begin(), v.end());
+      },
+      reg);
+  EXPECT_FALSE(quad.ok) << quad.detail;
+  EXPECT_GT(quad.growth_slope, 0.5);
+
+  // Both verdicts are recorded and exported for bench/ consumers.
+  const auto reports = reg.check_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_FALSE(reports[1].ok);
+  const auto doc = telemetry::parse_json(reg.export_json());
+  EXPECT_EQ(doc.at("checks").arr.size(), 2u);
+}
+
+TEST(ComplexityCheck, BinarySearchIsLogarithmic) {
+  const core::big_o logn = core::big_o::log_n();
+  const auto report = telemetry::check_scaling(
+      "sequences.lower_bound.comparisons",
+      {1024, 4096, 16384, 65536, 262144}, logn, [](std::size_t n) {
+        std::vector<int> v(n);
+        for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+        return sequences::instrumented::lower_bound_count(
+            v.begin(), v.end(), static_cast<int>(n / 3));
+      });
+  EXPECT_TRUE(report.ok) << report.detail;
+}
+
+TEST(ComplexityCheck, GraphBfsIsLinearInEdges) {
+  // Ring graphs: E = V, so BFS ops should scale linearly with V.
+  const auto report = telemetry::check_scaling(
+      "graph.bfs.operations", {128, 256, 512, 1024, 2048}, core::big_o::n(),
+      [](std::size_t n) {
+        graph::adjacency_list<double> g(n);
+        for (std::size_t i = 0; i < n; ++i)
+          g.add_edge(i, (i + 1) % n, 1.0);
+        return graph::instrumented::bfs_distances(g, 0).second;
+      });
+  EXPECT_TRUE(report.ok) << report.detail;
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: all five instrumented subsystems report into one registry
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryIntegration, AllFiveSubsystemsExportNonZeroMetrics) {
+  auto& reg = telemetry::registry::global();
+
+  // (1) parallel: run work through a fresh pool.
+  {
+    parallel::thread_pool pool(4);
+    std::atomic<int> hits{0};
+    pool.run_chunks(16, [&hits](std::size_t) { ++hits; });
+    ASSERT_EQ(hits.load(), 16);
+  }
+
+  // (2) distributed: a ring election.
+  {
+    distributed::network net(8, distributed::topology::ring);
+    net.spawn(distributed::lcr_leader_election());
+    const auto stats = net.run();
+    ASSERT_GT(stats.messages_total, 0u);
+    ASSERT_GT(stats.messages_for("uid"), 0u);
+    // Per-tag counts partition the total.
+    std::size_t by_tag = 0;
+    for (const std::string& tag : stats.tags())
+      by_tag += stats.messages_for(tag);
+    ASSERT_EQ(by_tag, stats.messages_total);
+  }
+
+  // (3) rewrite: simplify an expression that fires concept rules.
+  {
+    rewrite::simplifier simp;  // uses the pre-populated global registry
+    simp.add_default_concept_rules();
+    const rewrite::expr e =
+        rewrite::parse_expr("(x + 0) * 1", {{"x", "int"}});
+    (void)simp.simplify(e);
+  }
+
+  // (4) stllint: lint a snippet with a diagnostic.
+  {
+    const auto result = stllint::lint_source(R"(
+void f() {
+  vector<int>::iterator it;
+  use(*it);
+}
+)");
+    ASSERT_FALSE(result.diags.empty());
+  }
+
+  // (5) sequences + graph: instrumented algorithm runs.
+  {
+    auto v = random_ints(512, 7);
+    (void)sequences::instrumented::sort(v.begin(), v.end());
+    graph::adjacency_list<double> g(16);
+    for (std::size_t i = 0; i + 1 < 16; ++i) g.add_edge(i, i + 1, 1.0);
+    (void)graph::instrumented::bfs_distances(g, 0);
+  }
+
+  // Every subsystem must have non-zero counters under its prefix, and the
+  // JSON export must parse and contain them.
+  for (const char* prefix :
+       {"parallel.", "distributed.", "rewrite.", "stllint.", "sequences.",
+        "graph."}) {
+    EXPECT_GT(reg.counter_sum(prefix), 0u)
+        << "no metrics reported under prefix " << prefix;
+  }
+  const auto doc = telemetry::parse_json(reg.export_json());
+  EXPECT_GT(doc.at("counters")
+                .at("parallel.thread_pool.tasks_completed")
+                .num,
+            0.0);
+  EXPECT_GT(doc.at("counters").at("distributed.network.messages.uid").num,
+            0.0);
+  EXPECT_GT(doc.at("counters").at("stllint.analyzer.diagnostics.warning").num,
+            0.0);
+  EXPECT_GT(doc.at("counters").at("sequences.sort.comparisons").num, 0.0);
+  EXPECT_GT(doc.at("counters").at("graph.bfs.operations").num, 0.0);
+  // Queue depth returned to zero once the pool drained.
+  EXPECT_EQ(doc.at("gauges").at("parallel.thread_pool.queue_depth").num, 0.0);
+  // Per-task latency histogram saw every chunk.
+  EXPECT_GE(doc.at("histograms").at("parallel.thread_pool.task_us").at("count").num,
+            16.0);
+}
+
+TEST(TelemetryIntegration, PerTagMessageCountsMatchRegistry) {
+  auto& reg = telemetry::registry::global();
+  const std::uint64_t before =
+      reg.get_counter("distributed.network.messages.probe").value();
+  distributed::network net(4, distributed::topology::complete);
+  net.spawn([](int) {
+    struct probe final : distributed::process {
+      void start(distributed::context& ctx) override {
+        for (const int nb : ctx.neighbors()) ctx.send(nb, "probe", {1});
+      }
+      void receive(distributed::context&, const distributed::message&)
+          override {}
+    };
+    return std::make_unique<probe>();
+  });
+  const auto stats = net.run();
+  EXPECT_EQ(stats.messages_for("probe"), 12u);  // 4 nodes x 3 neighbors
+  EXPECT_EQ(stats.tags(), std::vector<std::string>{"probe"});
+  EXPECT_EQ(reg.get_counter("distributed.network.messages.probe").value(),
+            before + 12);
+}
+
+}  // namespace
