@@ -78,9 +78,10 @@ void report() {
   std::printf("input program:%s\n", kFig4);
   const auto result = cgp::stllint::lint_source(kFig4);
   std::printf("STLlint output (paper: \"Warning: attempt to dereference a "
-              "singular iterator\"):\n\n");
+              "singular iterator\"), caret-rendered with the symbolic-\n"
+              "execution provenance that led the analyzer there:\n\n");
   for (const auto& d : result.diags)
-    std::printf("%s\n", d.to_string().c_str());
+    std::printf("%s\n", cgp::stllint::render_caret(d).c_str());
   std::printf("\nfixed variant (iter = students.erase(iter)) is clean: %s\n",
               cgp::stllint::lint_source(
                   "vector<student_info> f(vector<student_info>& students) {\n"

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cgp::distributed {
 
@@ -168,6 +169,16 @@ void network::do_send(int from, int to, std::string tag,
   message m{from, to, std::move(tag), std::move(payload)};
   if (auto it = corruption_.find(from); it != corruption_.end())
     it->second(m);
+  if constexpr (telemetry::kEnabled) {
+    // Stamp the trace envelope: the sender's current span becomes the
+    // causal parent of the delivery, and a flow arrow links the two.
+    const auto ctx = telemetry::trace::current_context();
+    if (ctx.active()) {
+      m.trace_id = ctx.trace_id;
+      m.parent_span = ctx.span_id;
+      m.flow_id = telemetry::trace::flow_begin("msg." + m.tag, "distributed");
+    }
+  }
   ++stats_.messages_total;
   ++stats_.messages_by_tag[m.tag];
   if (mode_ == timing::synchronous) {
@@ -190,22 +201,45 @@ void network::deliver(const message& m) {
   ++stats_.local_steps;
   ++stats_.local_steps_per_node[dst];
   context ctx(*this, m.dst);
+  if constexpr (telemetry::kEnabled) {
+    if (m.trace_id != 0) {
+      // Restore the sender's context from the envelope: the receive span
+      // parents under the SEND site (link=async), not under whatever the
+      // driver thread happens to be doing, and lands on the receiving
+      // rank's pid lane.
+      telemetry::trace::context_scope adopt({m.trace_id, m.parent_span});
+      telemetry::trace::rank_scope rank(m.dst);
+      telemetry::trace::trace_span span("recv." + m.tag, "distributed");
+      telemetry::trace::flow_end(m.flow_id, "msg." + m.tag, "distributed");
+      procs_.at(dst)->receive(ctx, m);
+      return;
+    }
+  }
   procs_.at(dst)->receive(ctx, m);
 }
 
 run_stats network::run(std::size_t max_rounds) {
   if (procs_.size() != node_count())
     throw std::logic_error("network::run: spawn() a process per node first");
+  // When the caller is tracing, the whole run is one span; every handler
+  // invocation below nests (directly or via the message envelope) under
+  // it, forming a single causal tree across all simulated ranks.
+  telemetry::trace::child_span run_span("distributed.network.run",
+                                        "distributed");
   // start handlers.
   for (std::size_t i = 0; i < node_count(); ++i) {
     if (crashed_[i]) continue;
     ++stats_.local_steps;
     ++stats_.local_steps_per_node[i];
     context ctx(*this, static_cast<int>(i));
+    telemetry::trace::rank_scope rank(static_cast<int>(i));
+    telemetry::trace::child_span span("start", "distributed");
     procs_[i]->start(ctx);
   }
   if (mode_ == timing::synchronous) {
     for (round_ = 1; round_ <= max_rounds; ++round_) {
+      telemetry::trace::child_span round_span("round", "distributed");
+      round_span.arg("round", std::to_string(round_));
       // Crash-stop nodes whose time has come.
       for (std::size_t i = 0; i < node_count(); ++i)
         if (crash_round_[i] != 0 && round_ >= crash_round_[i])
@@ -219,6 +253,8 @@ run_stats network::run(std::size_t max_rounds) {
           if (crashed_[i]) continue;
           any_alive = true;
           context ctx(*this, static_cast<int>(i));
+          telemetry::trace::rank_scope rank(static_cast<int>(i));
+          telemetry::trace::child_span span("on_round", "distributed");
           procs_[i]->on_round(ctx);
         }
         if (outbox_.empty() || !any_alive) break;  // quiescent
@@ -228,6 +264,8 @@ run_stats network::run(std::size_t max_rounds) {
       for (std::size_t i = 0; i < node_count(); ++i) {
         if (crashed_[i]) continue;
         context ctx(*this, static_cast<int>(i));
+        telemetry::trace::rank_scope rank(static_cast<int>(i));
+        telemetry::trace::child_span span("on_round", "distributed");
         procs_[i]->on_round(ctx);
       }
     }

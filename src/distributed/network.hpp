@@ -29,11 +29,19 @@
 namespace cgp::distributed {
 
 /// A message: source/destination node ids, a tag, and an integer payload.
+/// The trailing trace envelope carries the sender's causal context across
+/// the delivery boundary (see telemetry/trace.hpp): the receiver's handler
+/// span parents under `parent_span`, so a whole superstep renders as one
+/// causally-linked tree across all simulated ranks.  All three fields are 0
+/// when the run is not being traced.
 struct message {
   int src = -1;
   int dst = -1;
   std::string tag;
   std::vector<long> payload;
+  std::uint64_t trace_id = 0;     ///< causal tree this send belongs to
+  std::uint64_t parent_span = 0;  ///< sender's span at the send site
+  std::uint64_t flow_id = 0;      ///< pairs the send arrow with delivery
 };
 
 /// Topologies for the taxonomy's Topology dimension.

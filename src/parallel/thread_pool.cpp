@@ -4,6 +4,8 @@
 #include <chrono>
 #include <exception>
 
+#include "telemetry/trace.hpp"
+
 namespace cgp::parallel {
 
 namespace {
@@ -46,6 +48,26 @@ thread_pool::~thread_pool() {
 }
 
 void thread_pool::submit(std::function<void()> task) {
+  if constexpr (telemetry::kEnabled) {
+    // Causal propagation: capture the submitter's trace context and restore
+    // it in the worker, so the task's span parents under the submitting
+    // span (link=async) and a flow arrow connects the two lanes.  Untraced
+    // submits (no active context) skip the wrapper entirely.
+    const auto ctx = telemetry::trace::current_context();
+    if (ctx.active()) {
+      const std::uint64_t flow =
+          telemetry::trace::flow_begin("parallel.thread_pool.task",
+                                       "parallel");
+      task = [ctx, flow, inner = std::move(task)] {
+        telemetry::trace::context_scope adopt(ctx);
+        telemetry::trace::trace_span span("parallel.thread_pool.task",
+                                          "parallel");
+        telemetry::trace::flow_end(flow, "parallel.thread_pool.task",
+                                   "parallel");
+        inner();
+      };
+    }
+  }
   {
     const std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
@@ -96,6 +118,10 @@ void thread_pool::run_chunks(std::size_t chunks,
   if (chunks == 0) return;
   telemetry::span span("parallel.thread_pool.run_chunks");
   span.charge(chunks);
+  // Traced runs get a scope span here; submitted chunk tasks capture its
+  // context, so every chunk parents under this call in the trace tree.
+  telemetry::trace::child_span tspan("parallel.thread_pool.run_chunks",
+                                     "parallel");
   if (chunks == 1) {
     fn(0);
     return;

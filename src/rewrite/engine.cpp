@@ -6,6 +6,7 @@
 
 #include "rewrite/eval.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cgp::rewrite {
 namespace {
@@ -212,6 +213,14 @@ expr simplifier::simplify_once(const expr& e, bool& changed,
 
 expr simplifier::simplify(const expr& e,
                           std::vector<rewrite_step>* trace) const {
+  telemetry::trace::child_span tspan("rewrite.simplifier.simplify", "rewrite");
+  // When the caller is tracing causally but did not ask for a step vector,
+  // record into a local one so the derivation chain still reaches the trace.
+  std::vector<rewrite_step> local_steps;
+  const bool traced = telemetry::trace::current_context().active();
+  std::vector<rewrite_step>* steps =
+      trace != nullptr ? trace : (traced ? &local_steps : nullptr);
+  const std::size_t first_step = steps != nullptr ? steps->size() : 0;
   expr cur = e;
   auto& reg = telemetry::registry::global();
   reg.get_counter("rewrite.simplifier.simplify_calls").add();
@@ -222,12 +231,26 @@ expr simplifier::simplify(const expr& e,
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     ++passes;
     bool changed = false;
-    cur = simplify_once(cur, changed, trace);
+    cur = simplify_once(cur, changed, steps);
     if (!changed) break;
   }
   reg.get_counter("rewrite.simplifier.passes").add(static_cast<std::uint64_t>(passes));
   reg.get_histogram("rewrite.simplifier.passes_per_call")
       .record(static_cast<std::uint64_t>(passes));
+  if (traced && steps != nullptr) {
+    // The full derivation chain, one instant per applied rule, in order.
+    for (std::size_t i = first_step; i < steps->size(); ++i) {
+      const rewrite_step& s = (*steps)[i];
+      telemetry::trace::instant("rewrite.step", "rewrite",
+                                {{"rule", s.rule},
+                                 {"guard", s.provenance},
+                                 {"before", s.before},
+                                 {"after", s.after}});
+    }
+    tspan.arg("input", e.to_string());
+    tspan.arg("output", cur.to_string());
+    tspan.arg("steps", std::to_string(steps->size() - first_step));
+  }
   return cur;
 }
 

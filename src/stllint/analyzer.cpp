@@ -5,6 +5,7 @@
 #include <charconv>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cgp::stllint {
 namespace {
@@ -24,6 +25,58 @@ const char* severity_metric_key(severity s) {
       return "note";
   }
   return "unknown";
+}
+
+/// Short human descriptions of abstract states for provenance trails.
+std::string describe(const interval& iv) {
+  if (iv.lo <= interval::neg_inf && iv.hi >= interval::pos_inf)
+    return "unknown";
+  if (iv.is_exact()) return std::to_string(iv.lo);
+  std::string lo = iv.lo <= interval::neg_inf ? "-inf" : std::to_string(iv.lo);
+  std::string hi = iv.hi >= interval::pos_inf ? "+inf" : std::to_string(iv.hi);
+  return "[" + lo + ", " + hi + "]";
+}
+
+std::string describe(const iterator_state& it) {
+  if (it.valid == iterator_state::validity::singular)
+    return "singular" + (it.reason.empty() ? "" : " (" + it.reason + ")");
+  if (it.valid == iterator_state::validity::maybe_singular)
+    return "maybe-singular" +
+           (it.reason.empty() ? "" : " (" + it.reason + ")");
+  std::string out = "valid";
+  switch (it.pos) {
+    case iterator_state::position::from_begin:
+      out += " at begin+" + std::to_string(it.offset);
+      break;
+    case iterator_state::position::from_end:
+      out += it.offset == 0 ? " at end" : " at end-" + std::to_string(it.offset);
+      break;
+    case iterator_state::position::somewhere:
+      out += " somewhere";
+      break;
+    case iterator_state::position::none:
+      break;
+  }
+  if (!it.container.empty()) out += " in '" + it.container + "'";
+  if (!it.unverified_from.empty())
+    out += ", unverified result of '" + it.unverified_from + "'";
+  return out;
+}
+
+std::string describe(const container_state& c) {
+  std::string out = c.kind + ", size " + describe(c.size);
+  switch (c.sorted) {
+    case sorted3::yes:
+      out += ", sorted";
+      break;
+    case sorted3::no:
+      out += ", unsorted";
+      break;
+    case sorted3::unknown:
+      break;
+  }
+  if (c.consumed) out += ", traversal consumed";
+  return out;
 }
 
 validity join_validity(validity a, validity b) {
@@ -114,29 +167,69 @@ class exec_impl {
 
   void run_function(const ast_function& fn) {
     ++a_.stats_.functions;
+    trail_.clear();
+    note(fn.line, "enter function '" + fn.name + "'", "");
     abstract_state st;
     for (const ast_param& p : fn.params) bind_param(p, st);
     if (fn.body) exec(*fn.body, st);
   }
 
  private:
+  // --- provenance trail -----------------------------------------------------
+  /// Appends a symbolic-execution step to the bounded trail.  The trail is
+  /// a linear log of the analyzer's most recent steps (branch copies of
+  /// the abstract state share it), so a diagnostic's provenance reads as
+  /// "the path the analyzer walked to get here".
+  void note(int line, std::string action, std::string transition) {
+    if (a_.opt_.max_provenance_steps <= 0) return;
+    if (trail_.size() >=
+        static_cast<std::size_t>(a_.opt_.max_provenance_steps))
+      trail_.erase(trail_.begin());
+    trail_.push_back({line, std::move(action), std::move(transition)});
+  }
+
   // --- reporting ------------------------------------------------------------
   void report(severity sev, int line, int col, std::string msg) {
     const std::string key =
         std::to_string(line) + ":" + std::to_string(col) + ":" + msg;
     if (!a_.reported_.insert(key).second) return;
     std::string echo;
+    int caret_col = 0;
     if (line >= 1 &&
         static_cast<std::size_t>(line) <= a_.source_lines_.size()) {
       echo = a_.source_lines_[static_cast<std::size_t>(line) - 1];
       const std::size_t first = echo.find_first_not_of(" \t");
-      if (first != std::string::npos) echo = echo.substr(first);
+      if (first != std::string::npos) {
+        echo = echo.substr(first);
+        caret_col = col - static_cast<int>(first);
+        if (caret_col < 1) caret_col = 0;
+      }
     }
     telemetry::registry::global()
         .get_counter(std::string("stllint.analyzer.diagnostics.") +
                      severity_metric_key(sev))
         .add();
-    a_.diags_.push_back({sev, line, col, std::move(msg), std::move(echo)});
+    diagnostic d{sev, line, col, std::move(msg), std::move(echo),
+                 caret_col, trail_};
+    // Traced sessions also see the verdict (with its provenance) as an
+    // instant event hanging off the analyzer's span.
+    if (telemetry::trace::current_context().active()) {
+      std::vector<std::pair<std::string, std::string>> args = {
+          {"severity", severity_metric_key(sev)},
+          {"line", std::to_string(line)},
+          {"column", std::to_string(col)},
+          {"message", d.message},
+      };
+      std::string path;
+      for (const provenance_step& step : d.provenance) {
+        if (!path.empty()) path += " ; ";
+        path += step.to_string();
+      }
+      args.emplace_back("provenance", std::move(path));
+      telemetry::trace::instant("stllint.diagnostic", "stllint",
+                                std::move(args));
+    }
+    a_.diags_.push_back(std::move(d));
   }
 
   // --- state helpers ----------------------------------------------------------
@@ -167,13 +260,14 @@ class exec_impl {
   }
 
   void invalidate_all(abstract_state& st, const std::string& cont,
-                      const std::string& why) {
+                      const std::string& why, int line = 0) {
     for (auto& [name, v] : st.values) {
       if (v.k == abstract_value::kind::iterator && v.iter.container == cont &&
           v.iter.valid != validity::singular) {
         v.iter.valid = validity::singular;
         v.iter.pos = position::none;
         v.iter.reason = why;
+        note(line, "iterator '" + name + "' becomes singular", why);
       }
     }
   }
@@ -181,7 +275,7 @@ class exec_impl {
   void invalidate_matching(abstract_state& st, const std::string& cont,
                            const iterator_state& target,
                            const std::string& arg_var,
-                           const std::string& why) {
+                           const std::string& why, int line = 0) {
     for (auto& [name, v] : st.values) {
       if (v.k != abstract_value::kind::iterator || v.iter.container != cont)
         continue;
@@ -194,21 +288,23 @@ class exec_impl {
         v.iter.valid = validity::singular;
         v.iter.pos = position::none;
         v.iter.reason = why;
+        note(line, "iterator '" + name + "' becomes singular", why);
       }
     }
   }
 
   void apply_invalidation(abstract_state& st, const std::string& cont,
                           invalidation rule, const iterator_state& arg,
-                          const std::string& arg_var, const std::string& why) {
+                          const std::string& arg_var, const std::string& why,
+                          int line = 0) {
     switch (rule) {
       case invalidation::none:
         break;
       case invalidation::argument:
-        invalidate_matching(st, cont, arg, arg_var, why);
+        invalidate_matching(st, cont, arg, arg_var, why, line);
         break;
       case invalidation::all:
-        invalidate_all(st, cont, why);
+        invalidate_all(st, cont, why, line);
         break;
     }
   }
@@ -559,7 +655,7 @@ class exec_impl {
         if (container_state* src = container_of(st, rhs.container)) {
           container_state copy = *src;
           st.containers[name] = copy;
-          invalidate_all(st, name, "container assignment");
+          invalidate_all(st, name, "container assignment", target.line);
         }
       }
       return rhs;
@@ -634,9 +730,10 @@ class exec_impl {
                "'" + c.kind + "' has no push_back");
       const bool was_empty = c.size.hi == 0;
       apply_invalidation(st, name, spec.on_push_back, {}, "",
-                         "invalidated by " + name + ".push_back()");
+                         "invalidated by " + name + ".push_back()", e.line);
       c.size = c.size.plus(1).clamp_lo(1);
       if (!spec.keeps_sorted) c.sorted = was_empty ? sorted3::yes : sorted3::no;
+      note(e.line, name + ".push_back(...)", "'" + name + "': " + describe(c));
       return abstract_value::unknown_value();
     }
     if (method == "pop_back") {
@@ -652,15 +749,19 @@ class exec_impl {
           v.iter.valid = validity::singular;
           v.iter.pos = position::none;
           v.iter.reason = "invalidated by " + name + ".pop_back()";
+          note(e.line, "iterator '" + vn + "' becomes singular",
+               v.iter.reason);
         }
       }
+      note(e.line, name + ".pop_back()", "'" + name + "': " + describe(c));
       return abstract_value::unknown_value();
     }
     if (method == "clear") {
       apply_invalidation(st, name, spec.on_clear, {}, "",
-                         "invalidated by " + name + ".clear()");
+                         "invalidated by " + name + ".clear()", e.line);
       c.size = interval::exact(0);
       c.sorted = sorted3::yes;
+      note(e.line, name + ".clear()", "'" + name + "': " + describe(c));
       return abstract_value::unknown_value();
     }
     if (method == "insert") {
@@ -683,15 +784,16 @@ class exec_impl {
         }
         apply_invalidation(st, name, spec.on_insert, pos.iter,
                            var_name_of(*e.children[1]),
-                           "invalidated by " + name + ".insert()");
+                           "invalidated by " + name + ".insert()", e.line);
       } else if (e.children.size() == 2) {
         (void)eval_arg(1);
         apply_invalidation(st, name, spec.on_insert, {}, "",
-                           "invalidated by " + name + ".insert()");
+                           "invalidated by " + name + ".insert()", e.line);
       }
       const bool was_empty = c.size.hi == 0;
       c.size = c.size.plus(1).clamp_lo(1);
       if (!spec.keeps_sorted) c.sorted = was_empty ? sorted3::yes : sorted3::no;
+      note(e.line, name + ".insert(...)", "'" + name + "': " + describe(c));
       return abstract_value::iterator(iterator_state::somewhere_in(name));
     }
     if (method == "erase") {
@@ -728,8 +830,9 @@ class exec_impl {
       result.container = name;
       result.valid = validity::valid;
       apply_invalidation(st, name, spec.on_erase, pos.iter, arg_var,
-                         "invalidated by " + name + ".erase()");
+                         "invalidated by " + name + ".erase()", e.line);
       c.size = c.size.plus(-1).clamp_lo(0);
+      note(e.line, name + ".erase(...)", "'" + name + "': " + describe(c));
       return abstract_value::iterator(result);
     }
     if (method == "front" || method == "back") {
@@ -746,14 +849,15 @@ class exec_impl {
       // May reallocate: vector iterators die; size unchanged.
       if (e.children.size() > 1) (void)eval_arg(1);
       if (c.kind == "vector")
-        invalidate_all(st, name, "invalidated by " + name + ".reserve()");
+        invalidate_all(st, name, "invalidated by " + name + ".reserve()",
+                       e.line);
       return abstract_value::unknown_value();
     }
     if (method == "resize") {
       abstract_value arg;
       if (e.children.size() > 1) arg = eval_arg(1);
       apply_invalidation(st, name, spec.on_push_back, {}, "",
-                         "invalidated by " + name + ".resize()");
+                         "invalidated by " + name + ".resize()", e.line);
       c.size = arg.k == abstract_value::kind::integer
                    ? arg.num.clamp_lo(0)
                    : interval{0, interval::pos_inf};
@@ -1079,6 +1183,8 @@ class exec_impl {
       }
       st.containers[s.name] = c;
       st.values.erase(s.name);
+      note(s.line, "declare container '" + s.name + "'",
+           "'" + s.name + "': " + describe(c));
       return;
     }
     abstract_value v;
@@ -1094,6 +1200,12 @@ class exec_impl {
     } else if (t.k == mini_type::kind::bool_t) {
       v = abstract_value::boolean(std::nullopt);
     }
+    if (v.k == abstract_value::kind::iterator)
+      note(s.line, "declare iterator '" + s.name + "'",
+           "'" + s.name + "': " + describe(v.iter));
+    else if (v.k == abstract_value::kind::integer)
+      note(s.line, "declare '" + s.name + "'",
+           "'" + s.name + "' = " + describe(v.num));
     st.values[s.name] = v;
     st.containers.erase(s.name);
   }
@@ -1108,9 +1220,11 @@ class exec_impl {
     abstract_state exit;
     exit.reachable = false;
     int passes_used = 0;
+    const int loop_line = cond != nullptr ? cond->line : 0;
     for (int pass = 0; pass < a_.opt_.max_loop_passes; ++pass) {
       ++a_.stats_.loop_passes;
       ++passes_used;
+      note(loop_line, "loop analysis pass " + std::to_string(pass + 1), "");
       std::optional<bool> truth;
       if (cond != nullptr) {
         const abstract_value cv = eval(*cond, cur);
@@ -1146,10 +1260,14 @@ class exec_impl {
 
   analyzer& a_;
   std::vector<abstract_state>* loop_breaks_ = nullptr;
+  /// Bounded log of recent symbolic-execution steps; copied into each
+  /// diagnostic as its provenance (see diagnostics.hpp).
+  std::vector<provenance_step> trail_;
 };
 
 void analyzer::run(const ast_program& program,
                    const std::vector<std::string>& source) {
+  telemetry::trace::child_span tspan("stllint.analyzer.run", "stllint");
   source_lines_ = source;
   const stats before = stats_;
   exec_impl impl(*this);

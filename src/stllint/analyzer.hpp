@@ -151,6 +151,9 @@ struct abstract_state {
 struct options {
   int max_loop_passes = 3;   ///< bounded fixpoint iterations per loop
   bool advisories = true;    ///< emit optimization advice (Section 3.2)
+  /// Most recent symbolic-execution steps attached to each diagnostic as
+  /// its provenance trail (0 disables provenance collection).
+  int max_provenance_steps = 24;
 };
 
 /// The analyzer itself.

@@ -1,5 +1,13 @@
 // Diagnostics for STLlint (Section 3.1): high-level, concept-level messages
 // ("attempt to dereference a singular iterator"), not language-level ones.
+//
+// Each diagnostic carries its PROVENANCE: the sequence of symbolic-
+// execution steps (statement executed, abstract-state transition) the
+// analyzer took on the path to the report.  The paper's pitch is that
+// misuse should be explained at the concept level; the provenance trail
+// extends that from "what went wrong" to "why the analyzer believes it" —
+// e.g. the erase() that made an iterator singular, two statements before
+// the dereference that trips the warning.
 #pragma once
 
 #include <string>
@@ -29,6 +37,23 @@ enum class severity { error, warning, advice, note };
   return "?";
 }
 
+/// One symbolic-execution step: what the analyzer did at `line` and how
+/// the abstract state changed (empty `transition` = no tracked change).
+struct provenance_step {
+  int line = 0;
+  std::string action;      ///< e.g. "declare 'iter' = students.begin()"
+  std::string transition;  ///< e.g. "iter: valid at begin+0 of 'students'"
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "line " + std::to_string(line) + ": " + action;
+    if (!transition.empty()) out += "  [" + transition + "]";
+    return out;
+  }
+
+  friend bool operator==(const provenance_step&, const provenance_step&) =
+      default;
+};
+
 /// One diagnostic, anchored to a source position, with the offending source
 /// line echoed underneath (as in the paper's sample output).
 struct diagnostic {
@@ -37,6 +62,12 @@ struct diagnostic {
   int column = 0;
   std::string message;
   std::string source_line;  ///< echo of the offending line, if available
+  /// Column within `source_line` (the echo is stripped of leading
+  /// whitespace, so this differs from `column`); 0 when unknown.
+  int caret_column = 0;
+  /// Symbolic-execution path that led here, oldest step first (bounded by
+  /// options::max_provenance_steps).
+  std::vector<provenance_step> provenance;
 
   [[nodiscard]] std::string to_string() const {
     std::string out = std::string(stllint::to_string(sev)) + ": " + message;
@@ -46,6 +77,37 @@ struct diagnostic {
 
   friend bool operator==(const diagnostic&, const diagnostic&) = default;
 };
+
+/// Caret-style rendering: severity + message, the offending source line
+/// with a `^` under the offending column, then the provenance trail.
+///
+///   Warning: attempt to dereference a singular iterator (...)
+///     --> line 8, column 12
+///      |  use(*iter);
+///      |      ^
+///     provenance:
+///      1. line 4: declare 'iter' = students.begin()  [...]
+///      ...
+[[nodiscard]] inline std::string render_caret(const diagnostic& d) {
+  std::string out = std::string(to_string(d.sev)) + ": " + d.message + "\n";
+  out += "  --> line " + std::to_string(d.line) + ", column " +
+         std::to_string(d.column) + "\n";
+  if (!d.source_line.empty()) {
+    out += "   |  " + d.source_line + "\n";
+    if (d.caret_column >= 1 &&
+        static_cast<std::size_t>(d.caret_column) <= d.source_line.size())
+      out += "   |  " +
+             std::string(static_cast<std::size_t>(d.caret_column - 1), ' ') +
+             "^\n";
+  }
+  if (!d.provenance.empty()) {
+    out += "  provenance:\n";
+    std::size_t n = 0;
+    for (const provenance_step& step : d.provenance)
+      out += "   " + std::to_string(++n) + ". " + step.to_string() + "\n";
+  }
+  return out;
+}
 
 using diagnostics = std::vector<diagnostic>;
 

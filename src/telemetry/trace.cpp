@@ -1,0 +1,532 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cgp::telemetry::trace {
+
+namespace {
+
+std::atomic<std::uint64_t> id_counter{1};
+
+/// Small sequential per-thread lane id (stable for the thread's lifetime;
+/// nicer Perfetto tracks than hashed std::thread::id values).
+std::uint32_t thread_lane() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  static thread_local const std::uint32_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+struct tls_context {
+  span_context ctx{};
+  bool adopted = false;  ///< ctx was installed by context_scope
+  int rank = 0;
+};
+thread_local tls_context tls;
+
+counter& events_counter() {
+  static counter& c =
+      registry::global().get_counter("telemetry.trace.events");
+  return c;
+}
+
+counter& dropped_counter() {
+  static counter& c =
+      registry::global().get_counter("telemetry.trace.dropped_events");
+  return c;
+}
+
+const char* link_name(event::link_kind k) {
+  switch (k) {
+    case event::link_kind::root:
+      return "root";
+    case event::link_kind::scope:
+      return "scope";
+    case event::link_kind::async:
+      return "async";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t next_id() noexcept {
+  return id_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+span_context current_context() noexcept {
+  if constexpr (!kEnabled) return {};
+  return tls.ctx;
+}
+
+int current_rank() noexcept {
+  if constexpr (!kEnabled) return 0;
+  return tls.rank;
+}
+
+// --- rank_scope -------------------------------------------------------------
+
+rank_scope::rank_scope(int rank) noexcept {
+  if constexpr (kEnabled) {
+    prev_ = tls.rank;
+    tls.rank = rank;
+  }
+}
+
+rank_scope::~rank_scope() {
+  if constexpr (kEnabled) tls.rank = prev_;
+}
+
+// --- context_scope ----------------------------------------------------------
+
+context_scope::context_scope(span_context ctx) noexcept {
+  if constexpr (kEnabled) {
+    prev_ = tls.ctx;
+    prev_adopted_ = tls.adopted;
+    tls.ctx = ctx;
+    tls.adopted = true;
+  }
+}
+
+context_scope::~context_scope() {
+  if constexpr (kEnabled) {
+    tls.ctx = prev_;
+    tls.adopted = prev_adopted_;
+  }
+}
+
+// --- sink -------------------------------------------------------------------
+
+sink::sink() : epoch_(std::chrono::steady_clock::now()) {}
+
+sink& sink::global() {
+  static sink s;
+  return s;
+}
+
+void sink::set_max_events(std::size_t max_events) noexcept {
+  max_events_.store(max_events, std::memory_order_relaxed);
+  registry::global()
+      .get_gauge("telemetry.trace.max_events")
+      .set(static_cast<std::int64_t>(max_events));
+}
+
+std::size_t sink::max_events() const noexcept {
+  return max_events_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t sink::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void sink::record(event e) {
+  if constexpr (!kEnabled) return;
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, max_events_.load(std::memory_order_relaxed) /
+                                   kShards);
+  shard& sh = shards_[thread_lane() % kShards];
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(sh.mu);
+    if (sh.events.size() >= per_shard) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_counter().add();
+      return;
+    }
+    sh.events.push_back(std::move(e));
+  }
+  events_counter().add();
+}
+
+std::uint64_t sink::dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t sink::size() const {
+  std::size_t total = 0;
+  for (const shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    total += sh.events.size();
+  }
+  return total;
+}
+
+std::vector<event> sink::snapshot() const {
+  std::vector<event> out;
+  for (const shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    out.insert(out.end(), sh.events.begin(), sh.events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const event& a, const event& b) {
+    return std::tie(a.ts_ns, a.seq) < std::tie(b.ts_ns, b.seq);
+  });
+  return out;
+}
+
+void sink::clear() {
+  for (shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    sh.events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string sink::export_chrome_trace() const {
+  const std::vector<event> events = snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char ts_buf[32];
+  for (const event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    // Chrome wants microseconds; keep ns resolution in the fraction.
+    std::snprintf(ts_buf, sizeof ts_buf, "%llu.%03u",
+                  static_cast<unsigned long long>(e.ts_ns / 1000),
+                  static_cast<unsigned>(e.ts_ns % 1000));
+    os << "{\"name\":" << json_quote(e.name) << ",\"cat\":"
+       << json_quote(e.cat) << ",\"ph\":\"" << static_cast<char>(e.ph)
+       << "\",\"ts\":" << ts_buf << ",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid;
+    if (e.ph == event::phase::instant) os << ",\"s\":\"t\"";
+    if (e.ph == event::phase::flow_start ||
+        e.ph == event::phase::flow_finish) {
+      os << ",\"id\":" << e.flow_id;
+      if (e.ph == event::phase::flow_finish) os << ",\"bt\":\"e\"";
+    }
+    os << ",\"args\":{\"trace_id\":" << e.trace_id
+       << ",\"span_id\":" << e.span_id << ",\"parent_span\":" << e.parent_span
+       << ",\"seq\":" << e.seq << ",\"link\":\"" << link_name(e.link) << "\"";
+    for (const auto& [k, v] : e.args)
+      os << "," << json_quote(k) << ":" << json_quote(v);
+    os << "}}";
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << dropped()
+     << ",\"max_events\":" << max_events() << "}}";
+  return os.str();
+}
+
+// --- trace_span -------------------------------------------------------------
+
+trace_span::trace_span(std::string name, std::string cat, sink& s)
+    : sink_(&s), name_(std::move(name)), cat_(std::move(cat)) {
+  if constexpr (!kEnabled) return;
+  prev_ = tls.ctx;
+  prev_adopted_ = tls.adopted;
+  ctx_.trace_id = prev_.active() ? prev_.trace_id : next_id();
+  ctx_.span_id = next_id();
+  event e;
+  e.ph = event::phase::begin;
+  e.link = !prev_.active()
+               ? event::link_kind::root
+               : (prev_adopted_ ? event::link_kind::async
+                                : event::link_kind::scope);
+  e.ts_ns = sink_->now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = ctx_.trace_id;
+  e.span_id = ctx_.span_id;
+  e.parent_span = prev_.active() ? prev_.span_id : 0;
+  e.name = name_;
+  e.cat = cat_;
+  sink_->record(std::move(e));
+  tls.ctx = ctx_;
+  tls.adopted = false;
+}
+
+trace_span::~trace_span() {
+  if constexpr (!kEnabled) return;
+  tls.ctx = prev_;
+  tls.adopted = prev_adopted_;
+  event e;
+  e.ph = event::phase::end;
+  e.ts_ns = sink_->now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = ctx_.trace_id;
+  e.span_id = ctx_.span_id;
+  e.name = name_;
+  e.cat = cat_;
+  e.args = std::move(args_);
+  sink_->record(std::move(e));
+}
+
+void trace_span::arg(std::string key, std::string value) {
+  if constexpr (kEnabled)
+    args_.emplace_back(std::move(key), std::move(value));
+}
+
+// --- child_span -------------------------------------------------------------
+
+child_span::child_span(const char* name, const char* cat) {
+  if constexpr (kEnabled)
+    if (tls.ctx.active()) inner_.emplace(name, cat);
+}
+
+span_context child_span::context() const noexcept {
+  return inner_ ? inner_->context() : current_context();
+}
+
+void child_span::arg(std::string key, std::string value) {
+  if (inner_) inner_->arg(std::move(key), std::move(value));
+}
+
+// --- instant / flow ---------------------------------------------------------
+
+void instant(std::string name, std::string cat,
+             std::vector<std::pair<std::string, std::string>> args) {
+  if constexpr (!kEnabled) return;
+  if (!tls.ctx.active()) return;
+  sink& s = sink::global();
+  event e;
+  e.ph = event::phase::instant;
+  e.link = event::link_kind::scope;
+  e.ts_ns = s.now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = tls.ctx.trace_id;
+  e.span_id = next_id();
+  e.parent_span = tls.ctx.span_id;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.args = std::move(args);
+  s.record(std::move(e));
+}
+
+std::uint64_t flow_begin(const std::string& name, const std::string& cat) {
+  if constexpr (!kEnabled) return 0;
+  if (!tls.ctx.active()) return 0;
+  sink& s = sink::global();
+  const std::uint64_t id = next_id();
+  event e;
+  e.ph = event::phase::flow_start;
+  e.link = event::link_kind::scope;
+  e.ts_ns = s.now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = tls.ctx.trace_id;
+  e.span_id = next_id();
+  e.parent_span = tls.ctx.span_id;
+  e.flow_id = id;
+  e.name = name;
+  e.cat = cat;
+  s.record(std::move(e));
+  return id;
+}
+
+void flow_end(std::uint64_t flow_id, const std::string& name,
+              const std::string& cat) {
+  if constexpr (!kEnabled) return;
+  if (flow_id == 0 || !tls.ctx.active()) return;
+  sink& s = sink::global();
+  event e;
+  e.ph = event::phase::flow_finish;
+  e.link = event::link_kind::scope;
+  e.ts_ns = s.now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = tls.ctx.trace_id;
+  e.span_id = next_id();
+  e.parent_span = tls.ctx.span_id;
+  e.flow_id = flow_id;
+  e.name = name;
+  e.cat = cat;
+  s.record(std::move(e));
+}
+
+// --- validation -------------------------------------------------------------
+
+std::string validation_result::error_text() const {
+  std::string out;
+  for (const std::string& e : errors) out += e + "\n";
+  return out;
+}
+
+namespace {
+
+struct parsed_event {
+  char ph = '?';
+  double ts = 0.0;
+  std::uint64_t seq = 0;
+  long pid = 0;
+  long tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t flow_id = 0;
+  std::string name;
+  std::string link;
+};
+
+struct parsed_span {
+  double begin_ts = 0.0;
+  double end_ts = 0.0;
+  bool closed = false;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent = 0;
+  std::string link;
+  std::string name;
+  long pid = 0;
+  long tid = 0;
+};
+
+std::uint64_t u64_of(const json_value& v) {
+  return static_cast<std::uint64_t>(v.num);
+}
+
+}  // namespace
+
+validation_result validate_chrome_trace(const json_value& doc) {
+  validation_result r;
+  const auto fail = [&r](std::string msg) {
+    r.ok = false;
+    r.errors.push_back(std::move(msg));
+  };
+
+  if (!doc.has("traceEvents") ||
+      !doc.at("traceEvents").is(json_value::kind::array)) {
+    fail("document has no traceEvents array");
+    return r;
+  }
+
+  std::vector<parsed_event> events;
+  for (const json_value& jv : doc.at("traceEvents").arr) {
+    parsed_event e;
+    e.ph = jv.at("ph").str.empty() ? '?' : jv.at("ph").str[0];
+    e.ts = jv.at("ts").num;
+    e.pid = static_cast<long>(jv.at("pid").num);
+    e.tid = static_cast<long>(jv.at("tid").num);
+    e.name = jv.at("name").str;
+    if (jv.has("id")) e.flow_id = u64_of(jv.at("id"));
+    const json_value& args = jv.at("args");
+    e.seq = u64_of(args.at("seq"));
+    e.trace_id = u64_of(args.at("trace_id"));
+    e.span_id = u64_of(args.at("span_id"));
+    e.parent_span = u64_of(args.at("parent_span"));
+    e.link = args.at("link").str;
+    events.push_back(std::move(e));
+  }
+
+  // Per-lane stack discipline for duration events.
+  std::map<std::pair<long, long>, std::vector<const parsed_event*>> lanes;
+  for (const parsed_event& e : events)
+    if (e.ph == 'B' || e.ph == 'E') lanes[{e.pid, e.tid}].push_back(&e);
+
+  std::map<std::uint64_t, parsed_span> spans;
+  for (auto& [lane, evs] : lanes) {
+    std::sort(evs.begin(), evs.end(),
+              [](const parsed_event* a, const parsed_event* b) {
+                return std::tie(a->ts, a->seq) < std::tie(b->ts, b->seq);
+              });
+    std::vector<const parsed_event*> stack;
+    for (const parsed_event* e : evs) {
+      if (e->ph == 'B') {
+        if (spans.contains(e->span_id)) {
+          fail("duplicate span id " + std::to_string(e->span_id));
+          continue;
+        }
+        parsed_span s;
+        s.begin_ts = e->ts;
+        s.trace_id = e->trace_id;
+        s.parent = e->parent_span;
+        s.link = e->link;
+        s.name = e->name;
+        s.pid = lane.first;
+        s.tid = lane.second;
+        spans[e->span_id] = s;
+        stack.push_back(e);
+      } else {
+        if (stack.empty()) {
+          fail("unbalanced: end event '" + e->name + "' on lane (pid=" +
+               std::to_string(lane.first) + ",tid=" +
+               std::to_string(lane.second) + ") with no open begin");
+          continue;
+        }
+        const parsed_event* open = stack.back();
+        stack.pop_back();
+        if (open->span_id != e->span_id)
+          fail("unbalanced: end of span " + std::to_string(e->span_id) +
+               " ('" + e->name + "') crosses open span " +
+               std::to_string(open->span_id) + " ('" + open->name + "')");
+        auto it = spans.find(e->span_id);
+        if (it != spans.end()) {
+          it->second.end_ts = e->ts;
+          it->second.closed = true;
+        }
+      }
+    }
+    for (const parsed_event* e : stack)
+      fail("unbalanced: span " + std::to_string(e->span_id) + " ('" +
+           e->name + "') never ended");
+  }
+
+  // Parenting: orphans, trace ids, and scope containment.
+  std::set<long> pids, tids;
+  std::set<std::uint64_t> traces;
+  for (const auto& [id, s] : spans) {
+    pids.insert(s.pid);
+    tids.insert(s.tid);
+    traces.insert(s.trace_id);
+    if (s.parent == 0) {
+      ++r.roots;
+      continue;
+    }
+    const auto pit = spans.find(s.parent);
+    if (pit == spans.end()) {
+      fail("orphaned: span " + std::to_string(id) + " ('" + s.name +
+           "') has unknown parent " + std::to_string(s.parent));
+      continue;
+    }
+    const parsed_span& p = pit->second;
+    if (p.trace_id != s.trace_id)
+      fail("span " + std::to_string(id) + " crosses traces (" +
+           std::to_string(s.trace_id) + " under " +
+           std::to_string(p.trace_id) + ")");
+    if (s.begin_ts < p.begin_ts)
+      fail("out of parent scope: span " + std::to_string(id) + " ('" +
+           s.name + "') begins before its parent '" + p.name + "'");
+    if (s.link == "scope" && p.closed && s.closed &&
+        s.end_ts > p.end_ts)
+      fail("out of parent scope: span " + std::to_string(id) + " ('" +
+           s.name + "') outlives its scope parent '" + p.name + "'");
+  }
+
+  // Instants must hang off known spans; flows must pair up in order.
+  std::map<std::uint64_t, double> flow_starts;
+  for (const parsed_event& e : events) {
+    if (e.ph == 'i') {
+      ++r.instants;
+      if (e.parent_span != 0 && !spans.contains(e.parent_span))
+        fail("orphaned: instant '" + e.name + "' references unknown span " +
+             std::to_string(e.parent_span));
+    } else if (e.ph == 's') {
+      flow_starts.emplace(e.flow_id, e.ts);
+    }
+  }
+  for (const parsed_event& e : events) {
+    if (e.ph != 'f') continue;
+    const auto it = flow_starts.find(e.flow_id);
+    if (it == flow_starts.end())
+      fail("orphaned: flow finish " + std::to_string(e.flow_id) + " ('" +
+           e.name + "') has no start");
+    else if (e.ts < it->second)
+      fail("flow " + std::to_string(e.flow_id) + " finishes before it starts");
+    else
+      ++r.flows;
+  }
+
+  r.spans = spans.size();
+  r.ranks = pids.size();
+  r.threads = tids.size();
+  r.traces = traces.size();
+  return r;
+}
+
+}  // namespace cgp::telemetry::trace
