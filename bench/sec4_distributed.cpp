@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "distributed/algorithms.hpp"
+#include "distributed/parallel_transport.hpp"
 #include "taxonomy/taxonomy.hpp"
 
 namespace {
@@ -19,7 +20,7 @@ namespace {
 using namespace cgp::distributed;
 
 election_outcome run_worst_case(const process_factory& algo, std::size_t n) {
-  network net(n, topology::ring, timing::synchronous);
+  sim_transport net({.nodes = n});
   std::vector<long> uids(n);
   for (std::size_t i = 0; i < n; ++i) uids[i] = static_cast<long>(n - i);
   net.set_uids(std::move(uids));
@@ -34,7 +35,7 @@ void bm_lcr_sync(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_ring_election(lcr_leader_election(), n, timing::synchronous));
+        run_ring_election(lcr_leader_election(), {.nodes = n}));
   }
 }
 BENCHMARK(bm_lcr_sync)->Arg(64)->Arg(256)->Arg(1024);
@@ -43,7 +44,7 @@ void bm_hs_sync(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_ring_election(hs_leader_election(), n, timing::synchronous));
+        run_ring_election(hs_leader_election(), {.nodes = n}));
   }
 }
 BENCHMARK(bm_hs_sync)->Arg(64)->Arg(256)->Arg(1024);
@@ -51,7 +52,7 @@ BENCHMARK(bm_hs_sync)->Arg(64)->Arg(256)->Arg(1024);
 void bm_echo_wave_grid(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    network net(n, topology::grid);
+    sim_transport net({.nodes = n, .topo = topology::grid});
     net.spawn(echo_wave(0));
     benchmark::DoNotOptimize(net.run());
   }
@@ -63,7 +64,8 @@ void bm_simulator_async_throughput(benchmark::State& state) {
   std::size_t messages = 0;
   for (auto _ : state) {
     const auto out =
-        run_ring_election(lcr_leader_election(), n, timing::asynchronous);
+        run_ring_election(lcr_leader_election(),
+                          {.nodes = n, .mode = timing::asynchronous});
     messages = out.stats.messages_total;
     benchmark::DoNotOptimize(out);
   }
@@ -71,6 +73,16 @@ void bm_simulator_async_throughput(benchmark::State& state) {
                           static_cast<std::int64_t>(messages));
 }
 BENCHMARK(bm_simulator_async_throughput)->Arg(256);
+
+void bm_echo_wave_parallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    parallel_transport net({.nodes = n, .topo = topology::grid});
+    net.spawn(echo_wave(0));
+    benchmark::DoNotOptimize(net.run());
+  }
+}
+BENCHMARK(bm_echo_wave_parallel)->Arg(256)->Arg(1024);
 
 void report() {
   std::printf("================================================================\n");
@@ -111,7 +123,7 @@ void report() {
   for (const topology topo : {topology::ring, topology::line, topology::star,
                               topology::grid, topology::complete,
                               topology::random_connected}) {
-    network net(64, topo, timing::synchronous, 21);
+    sim_transport net({.nodes = 64, .topo = topo, .seed = 21});
     net.spawn(echo_wave(0));
     const auto stats = net.run();
     std::printf("  %-18s |E| = %4zu   messages = %5zu   (2|E| = %zu)  %s\n",
@@ -119,6 +131,56 @@ void report() {
                 2 * net.edge_count(),
                 stats.messages_total == 2 * net.edge_count() ? "exact"
                                                              : "MISMATCH");
+  }
+
+  std::printf("\nbackend matrix: sim_transport vs parallel_transport "
+              "(echo wave, n = 64, complete, seed 21):\n");
+  {
+    const net_options opts{.nodes = 64, .topo = topology::complete,
+                           .seed = 21};
+    sim_transport sim(opts);
+    sim.spawn(echo_wave(0));
+    const auto ss = sim.run();
+    parallel_transport par(opts);
+    par.spawn(echo_wave(0));
+    const auto ps = par.run();
+    const bool same = sim.all_decisions() == par.all_decisions() &&
+                      ss.messages_total == ps.messages_total &&
+                      ss.rounds == ps.rounds;
+    std::printf("  sim:      %5zu messages, %3zu rounds, %5zu local steps\n",
+                ss.messages_total, ss.rounds, ss.local_steps);
+    std::printf("  parallel: %5zu messages, %3zu rounds, %5zu local steps "
+                "(%u workers)\n",
+                ps.messages_total, ps.rounds, ps.local_steps, par.workers());
+    std::printf("  decisions + stats identical: %s\n",
+                same ? "yes" : "MISMATCH");
+  }
+
+  std::printf("\nunified fault injection (flooding, n = 32, complete, both "
+              "backends, seed 7):\n");
+  {
+    const net_options opts{
+        .nodes = 32, .topo = topology::complete, .seed = 7,
+        .faults = {.drop = 0.10, .duplicate = 0.05, .max_delay = 2}};
+    sim_transport sim(opts);
+    sim.spawn(flooding_broadcast(0));
+    const auto ss = sim.run();
+    parallel_transport par(opts);
+    par.spawn(flooding_broadcast(0));
+    const auto ps = par.run();
+    std::printf("  sim:      %zu sent, %zu dropped, %zu duplicated, "
+                "%zu/32 reached\n",
+                ss.messages_total, ss.messages_dropped,
+                ss.messages_duplicated, sim.deciders("got").size());
+    std::printf("  parallel: %zu sent, %zu dropped, %zu duplicated, "
+                "%zu/32 reached\n",
+                ps.messages_total, ps.messages_dropped,
+                ps.messages_duplicated, par.deciders("got").size());
+    std::printf("  fault plan identical across backends: %s\n",
+                (ss.messages_dropped == ps.messages_dropped &&
+                 ss.messages_duplicated == ps.messages_duplicated)
+                    ? "yes"
+                    : "MISMATCH");
   }
 
   std::printf("\ntaxonomy-driven selection (problem=leader-election, "

@@ -50,7 +50,7 @@ void drive_parallel() {
 
 void drive_distributed() {
   for (const std::size_t n : {16, 32, 64}) {
-    distributed::network net(n, distributed::topology::ring);
+    distributed::sim_transport net({.nodes = n});
     net.spawn(distributed::lcr_leader_election());
     (void)net.run();
   }

@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rewrite/engine.hpp"
 #include "rewrite/parser.hpp"
@@ -77,13 +77,24 @@ class pagerank_process : public distributed::process {
   bool done_ = false;
 };
 
+// Drives the same PageRank run on both Transport backends under one
+// parent: the sim run and the parallel run must both join the causal
+// tree (the parallel backend's worker tasks adopt the phase context, so
+// its per-node spans hang off the same root).
 void drive_distributed() {
   telemetry::trace::child_span span("bench.pagerank", "bench");
-  distributed::network net(8, distributed::topology::ring);
-  net.spawn([](int) { return std::make_unique<pagerank_process>(); });
-  const auto stats = net.run(32);
-  span.arg("rounds", std::to_string(stats.rounds));
-  span.arg("messages", std::to_string(stats.messages_total));
+  {
+    distributed::sim_transport net({.nodes = 8});
+    net.spawn([](int) { return std::make_unique<pagerank_process>(); });
+    const auto stats = net.run(32);
+    span.arg("rounds", std::to_string(stats.rounds));
+    span.arg("messages", std::to_string(stats.messages_total));
+  }
+  {
+    distributed::parallel_transport net({.nodes = 8});
+    net.spawn([](int) { return std::make_unique<pagerank_process>(); });
+    (void)net.run(32);
+  }
 }
 
 void drive_thread_pool() {
@@ -186,6 +197,20 @@ int main(int argc, char** argv) {
     std::cerr << "trace_export: causal tree spans only " << v.ranks
               << " rank(s); need >= 2\n";
     return 6;
+  }
+  // Both Transport backends must have contributed a run span to the one
+  // causal tree (the traces==1 check above already proved nothing forked
+  // off into a separate trace).
+  std::size_t backend_runs = 0;
+  for (const auto& ev : doc.at("traceEvents").arr)
+    if (ev.at("ph").str == "B" &&
+        ev.at("name").str == "distributed.network.run")
+      ++backend_runs;
+  if (backend_runs != 2) {
+    std::cerr << "trace_export: expected 2 distributed.network.run spans "
+                 "(sim + parallel), got "
+              << backend_runs << "\n";
+    return 9;
   }
   // Worker coverage: the pool task spans specifically must land on at
   // least two distinct tids (the latch in drive_thread_pool forces this).

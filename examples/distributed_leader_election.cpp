@@ -19,7 +19,7 @@ int main() {
                                                   lcr_leader_election()},
           {"hs (async)", hs_leader_election()},
           {"peterson (async, fifo)", peterson_leader_election()}}) {
-      const auto out = run_ring_election(algo, n, timing::asynchronous);
+      const auto out = run_ring_election(algo, {.nodes = n, .mode = timing::asynchronous});
       std::printf("%-6zu %-28s %10zu %8zu %12zu   leader uid %ld%s\n", n,
                   name, out.stats.messages_total, out.stats.rounds,
                   out.stats.local_steps, out.leader_uid,
@@ -29,7 +29,7 @@ int main() {
 
   std::printf("\nanonymous ring (no uids): randomized election, 5 seeds\n");
   for (std::uint32_t seed = 1; seed <= 5; ++seed) {
-    network net(8, topology::ring, timing::synchronous, seed);
+    sim_transport net({.nodes = 8, .seed = seed});
     net.spawn(randomized_anonymous_election());
     const auto stats = net.run();
     std::printf("  seed %u: %zu leader(s), %zu messages, %zu rounds\n", seed,
@@ -40,7 +40,7 @@ int main() {
   std::printf("\nfault injection: heartbeat detector on a 6-ring, node 2 "
               "crashes at round 5\n");
   {
-    network net(6, topology::ring);
+    sim_transport net({.nodes = 6});
     net.spawn(heartbeat_detector(3));
     net.crash(2, 5);
     (void)net.run(25);

@@ -487,19 +487,4 @@ process_factory heartbeat_detector(std::size_t timeout_rounds) {
   };
 }
 
-election_outcome run_ring_election(const process_factory& algo,
-                                   std::size_t n, timing mode,
-                                   std::uint32_t seed) {
-  network net(n, topology::ring, mode, seed);
-  net.spawn(algo);
-  election_outcome out;
-  out.stats = net.run();
-  for (int node : net.deciders("leader")) {
-    ++out.leaders;
-    out.leader_node = node;
-    out.leader_uid = *net.decision(node, "leader");
-  }
-  return out;
-}
-
 }  // namespace cgp::distributed

@@ -1,14 +1,16 @@
 // Distributed algorithms for the Section 4 taxonomy, implemented against
-// the network simulator.  Each algorithm's taxonomy classification and
+// the runtime's process/context surface — transport-agnostic by
+// construction, so the same algorithm code runs on every backend modeling
+// the Transport concept.  Each algorithm's taxonomy classification and
 // claimed complexity live in src/taxonomy; the tests and
 // bench/sec4_distributed verify the claimed message bounds against the
-// simulator's measured counts.
+// runtime's measured counts.
 #pragma once
 
 #include <functional>
 #include <memory>
 
-#include "distributed/network.hpp"
+#include "distributed/transport.hpp"
 
 namespace cgp::distributed {
 
@@ -80,10 +82,24 @@ struct election_outcome {
   run_stats stats;
 };
 
-/// Runs a leader election algorithm on a fresh ring of size n.
+/// Runs a leader election algorithm on a fresh ring built from `opts`
+/// (the topology is forced to ring), on any Transport backend.  The
+/// driver is constrained on the concept only — instantiating it with
+/// `transport_archetype` is the proof it needs nothing more.
+template <Transport T = sim_transport>
 [[nodiscard]] election_outcome run_ring_election(const process_factory& algo,
-                                                 std::size_t n,
-                                                 timing mode,
-                                                 std::uint32_t seed = 42);
+                                                 net_options opts) {
+  opts.topo = topology::ring;
+  T net(opts);
+  net.spawn(algo);
+  election_outcome out;
+  out.stats = net.run();
+  for (int node : net.deciders("leader")) {
+    ++out.leaders;
+    out.leader_node = node;
+    out.leader_uid = *net.decision(node, "leader");
+  }
+  return out;
+}
 
 }  // namespace cgp::distributed

@@ -36,42 +36,42 @@ const std::vector<int>& context::neighbors() const {
 std::size_t context::round() const { return net_->round_; }
 std::size_t context::node_count() const { return net_->node_count(); }
 
-void context::send(int to, std::string tag, std::vector<long> payload) {
-  net_->do_send(id_, to, std::move(tag), std::move(payload));
+void context::send(int to, std::string_view tag, std::vector<long> payload) {
+  net_->do_send(id_, to, tag, std::move(payload));
 }
 
-void context::charge(std::size_t steps) {
-  net_->stats_.local_steps += steps;
-  net_->stats_.local_steps_per_node.at(static_cast<std::size_t>(id_)) +=
-      steps;
-}
+void context::charge(std::size_t steps) { net_->charge_node(id_, steps); }
 
 void context::decide(const std::string& key, long value) {
-  net_->decisions_[{id_, key}] = value;
+  net_->decide_node(id_, key, value);
 }
 
 std::mt19937& context::rng() {
-  return net_->node_rngs_.at(static_cast<std::size_t>(id_));
+  return net_->node_rngs_[static_cast<std::size_t>(id_)];
 }
 
-// --- network construction -----------------------------------------------------
+// --- construction -----------------------------------------------------------
 
-network::network(std::size_t n, topology topo, timing mode,
-                 std::uint32_t seed, bool fifo_links)
-    : adjacency_(n),
-      uids_(n),
-      crashed_(n, false),
-      crash_round_(n, 0),
-      mode_(mode),
-      rng_(seed),
-      fifo_links_(fifo_links) {
-  if (n == 0) throw std::invalid_argument("network: need at least one node");
+net_base::net_base(const net_options& opts)
+    : opts_(opts),
+      adjacency_(opts.nodes),
+      uids_(opts.nodes),
+      crashed_(opts.nodes, false),
+      crash_round_(opts.nodes, 0),
+      rng_(opts.seed),
+      fault_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull),
+      outboxes_(opts.nodes),
+      mailboxes_(opts.nodes),
+      inboxes_(opts.nodes),
+      decisions_(opts.nodes) {
+  const std::size_t n = opts.nodes;
+  if (n == 0) throw std::invalid_argument("net_options: need at least one node");
   const auto link = [&](std::size_t a, std::size_t b) {
     adjacency_[a].push_back(static_cast<int>(b));
     adjacency_[b].push_back(static_cast<int>(a));
     ++edges_;
   };
-  switch (topo) {
+  switch (opts.topo) {
     case topology::ring:
       for (std::size_t i = 0; i < n; ++i) link(i, (i + 1) % n);
       if (n == 1) adjacency_[0].clear(), edges_ = 0;
@@ -132,41 +132,49 @@ network::network(std::size_t n, topology topo, timing mode,
   std::shuffle(uids_.begin(), uids_.end(), rng_);
   node_rngs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    node_rngs_.emplace_back(seed + 1000003u * static_cast<std::uint32_t>(i));
+    node_rngs_.emplace_back(opts.seed +
+                            1000003u * static_cast<std::uint32_t>(i));
   stats_.local_steps_per_node.assign(n, 0);
+  stats_.messages_sent_per_node.assign(n, 0);
+  stats_.messages_received_per_node.assign(n, 0);
 }
 
-void network::spawn(const process_factory& factory) {
+void net_base::spawn(const process_factory& factory) {
   procs_.clear();
   procs_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i)
     procs_.push_back(factory(static_cast<int>(i)));
 }
 
-void network::set_uids(std::vector<long> uids) {
+void net_base::set_uids(std::vector<long> uids) {
   if (uids.size() != node_count())
     throw std::invalid_argument("set_uids: need one uid per node");
   uids_ = std::move(uids);
 }
 
-void network::crash(int node, std::size_t at_round) {
-  crash_round_.at(static_cast<std::size_t>(node)) = at_round;
-  if (at_round == 0) crashed_.at(static_cast<std::size_t>(node)) = true;
+void net_base::crash(int node, std::size_t at_round) {
+  const std::size_t i = check_node(node, "crash");
+  crash_round_[i] = at_round;
+  if (at_round == 0) crashed_[i] = true;
 }
 
-void network::corrupt(int node, std::function<void(message&)> hook) {
-  corruption_[node] = std::move(hook);
+void net_base::corrupt(int node, std::function<void(message&)> hook) {
+  corruption_[static_cast<int>(check_node(node, "corrupt"))] =
+      std::move(hook);
 }
 
-void network::do_send(int from, int to, std::string tag,
-                      std::vector<long> payload) {
-  if (crashed_.at(static_cast<std::size_t>(from))) return;
-  const auto& adj = adjacency_.at(static_cast<std::size_t>(from));
+// --- sending ----------------------------------------------------------------
+
+void net_base::do_send(int from, int to, std::string_view tag,
+                       std::vector<long>&& payload) {
+  const std::size_t src = check_node(from, "send");
+  if (crashed_[src]) return;
+  const auto& adj = adjacency_[src];
   if (std::find(adj.begin(), adj.end(), to) == adj.end())
     throw std::invalid_argument(
         "send: node " + std::to_string(from) + " is not adjacent to " +
         std::to_string(to) + " in this topology");
-  message m{from, to, std::move(tag), std::move(payload)};
+  message m{from, to, std::string(tag), std::move(payload)};
   if (auto it = corruption_.find(from); it != corruption_.end())
     it->second(m);
   if constexpr (telemetry::kEnabled) {
@@ -179,116 +187,280 @@ void network::do_send(int from, int to, std::string tag,
       m.flow_id = telemetry::trace::flow_begin("msg." + m.tag, "distributed");
     }
   }
+  if (opts_.mode == timing::synchronous) {
+    // Node-local buffering only: statistics and the fault plan are applied
+    // at the routing barrier, in canonical sender order, on one thread.
+    outboxes_[src].push_back(std::move(m));
+    return;
+  }
+  // Asynchronous engine (single-threaded): count and schedule immediately.
   ++stats_.messages_total;
   ++stats_.messages_by_tag[m.tag];
-  if (mode_ == timing::synchronous) {
-    outbox_.push_back(std::move(m));
-  } else {
-    std::uniform_int_distribution<std::uint64_t> delay(1, 8);
-    std::uint64_t t = now_ + delay(rng_);
-    if (fifo_links_) {
-      auto& last = link_last_delivery_[{m.src, m.dst}];
-      t = std::max(t, last + 1);
-      last = t;
-    }
-    events_.push(event{t, seq_++, std::move(m)});
+  ++stats_.messages_sent_per_node[src];
+  const fault_options& f = opts_.faults;
+  std::bernoulli_distribution dropped(f.drop);
+  if (f.drop > 0.0 && dropped(fault_rng_)) {
+    ++stats_.messages_dropped;
+    return;
   }
+  std::bernoulli_distribution duplicated(f.duplicate);
+  const bool dup = f.duplicate > 0.0 && duplicated(fault_rng_);
+  const auto extra = [&]() -> std::uint64_t {
+    if (f.max_delay == 0) return 0;
+    std::uniform_int_distribution<std::uint64_t> d(0, f.max_delay);
+    return d(fault_rng_);
+  };
+  if (dup) {
+    ++stats_.messages_duplicated;
+    schedule_async(message(m), extra());
+  }
+  schedule_async(std::move(m), extra());
 }
 
-void network::deliver(const message& m) {
+void net_base::schedule_async(message&& m, std::uint64_t extra_delay) {
+  std::uniform_int_distribution<std::uint64_t> delay(1, 8);
+  std::uint64_t t = now_ + delay(rng_) + extra_delay;
+  if (opts_.fifo_links) {
+    auto& last = link_last_delivery_[{m.src, m.dst}];
+    t = std::max(t, last + 1);
+    last = t;
+  }
+  events_.push(event{t, seq_++, std::move(m)});
+}
+
+void net_base::schedule_sync(message&& m, std::size_t extra_delay) {
+  std::size_t due = round_ + 1 + extra_delay;
+  if (opts_.fifo_links && opts_.faults.max_delay != 0) {
+    // Delays may reorder a link; FIFO channels clamp each delivery to be
+    // no earlier than the link's previous one.
+    auto& last = link_last_round_[{m.src, m.dst}];
+    due = std::max(due, last);
+    last = due;
+  }
   const auto dst = static_cast<std::size_t>(m.dst);
-  if (crashed_.at(dst)) return;
-  ++stats_.local_steps;
+  mailboxes_[dst].push_back(pending_msg{due, std::move(m)});
+  ++pending_count_;
+}
+
+std::size_t net_base::route_outboxes() {
+  std::size_t scheduled = 0;
+  const fault_options& f = opts_.faults;
+  for (std::size_t src = 0; src < outboxes_.size(); ++src) {
+    for (message& m : outboxes_[src]) {
+      ++stats_.messages_total;
+      ++stats_.messages_by_tag[m.tag];
+      ++stats_.messages_sent_per_node[src];
+      if (f.drop > 0.0) {
+        std::bernoulli_distribution dropped(f.drop);
+        if (dropped(fault_rng_)) {
+          ++stats_.messages_dropped;
+          continue;
+        }
+      }
+      bool dup = false;
+      if (f.duplicate > 0.0) {
+        std::bernoulli_distribution duplicated(f.duplicate);
+        dup = duplicated(fault_rng_);
+      }
+      const auto extra = [&]() -> std::size_t {
+        if (f.max_delay == 0) return 0;
+        std::uniform_int_distribution<std::size_t> d(0, f.max_delay);
+        return d(fault_rng_);
+      };
+      if (dup) {
+        ++stats_.messages_duplicated;
+        schedule_sync(message(m), extra());
+        ++scheduled;
+      }
+      schedule_sync(std::move(m), extra());
+      ++scheduled;
+    }
+    outboxes_[src].clear();
+  }
+  return scheduled;
+}
+
+// --- delivery ---------------------------------------------------------------
+
+void net_base::deliver_to(std::size_t dst, const message& m) {
+  if (crashed_[dst]) return;
   ++stats_.local_steps_per_node[dst];
-  context ctx(*this, m.dst);
+  ++stats_.messages_received_per_node[dst];
+  context ctx(*this, static_cast<int>(dst));
   if constexpr (telemetry::kEnabled) {
     if (m.trace_id != 0) {
       // Restore the sender's context from the envelope: the receive span
       // parents under the SEND site (link=async), not under whatever the
-      // driver thread happens to be doing, and lands on the receiving
+      // executing thread happens to be doing, and lands on the receiving
       // rank's pid lane.
       telemetry::trace::context_scope adopt({m.trace_id, m.parent_span});
-      telemetry::trace::rank_scope rank(m.dst);
+      telemetry::trace::rank_scope rank(static_cast<int>(dst));
       telemetry::trace::trace_span span("recv." + m.tag, "distributed");
       telemetry::trace::flow_end(m.flow_id, "msg." + m.tag, "distributed");
-      procs_.at(dst)->receive(ctx, m);
+      procs_[dst]->receive(ctx, m);
       return;
     }
   }
-  procs_.at(dst)->receive(ctx, m);
+  procs_[dst]->receive(ctx, m);
 }
 
-run_stats network::run(std::size_t max_rounds) {
-  if (procs_.size() != node_count())
-    throw std::logic_error("network::run: spawn() a process per node first");
-  // When the caller is tracing, the whole run is one span; every handler
-  // invocation below nests (directly or via the message envelope) under
-  // it, forming a single causal tree across all simulated ranks.
-  telemetry::trace::child_span run_span("distributed.network.run",
-                                        "distributed");
-  // start handlers.
-  for (std::size_t i = 0; i < node_count(); ++i) {
-    if (crashed_[i]) continue;
-    ++stats_.local_steps;
+void net_base::charge_node(int node, std::size_t steps) {
+  stats_.local_steps_per_node[static_cast<std::size_t>(node)] += steps;
+}
+
+void net_base::decide_node(int node, const std::string& key, long value) {
+  decisions_[static_cast<std::size_t>(node)][key] = value;
+}
+
+// --- the synchronous superstep ----------------------------------------------
+
+void net_base::node_superstep(std::size_t i) {
+  if (crashed_[i]) {
+    inboxes_[i].clear();  // messages to a crashed node rot undelivered
+    return;
+  }
+  // When this task runs on a worker thread it has no ambient trace
+  // context; adopt the enclosing round span's so the node's spans stay in
+  // the run's causal tree.  On the coordinator (sim backend) the context
+  // is already current and no adoption happens, preserving scope links.
+  std::optional<telemetry::trace::context_scope> adopt;
+  if constexpr (telemetry::kEnabled) {
+    const telemetry::trace::span_context phase{phase_trace_id_,
+                                               phase_parent_span_};
+    if (phase.active() && !(telemetry::trace::current_context() == phase))
+      adopt.emplace(phase);
+  }
+  telemetry::trace::rank_scope rank(static_cast<int>(i));
+  for (const message& m : inboxes_[i]) deliver_to(i, m);
+  inboxes_[i].clear();
+  context ctx(*this, static_cast<int>(i));
+  telemetry::trace::child_span span("on_round", "distributed");
+  procs_[i]->on_round(ctx);
+}
+
+run_stats net_base::run_synchronous(std::size_t max_rounds) {
+  for (round_ = 1; round_ <= max_rounds; ++round_) {
+    telemetry::trace::child_span round_span("round", "distributed");
+    round_span.arg("round", std::to_string(round_));
+    const auto round_ctx = round_span.context();
+    phase_trace_id_ = round_ctx.trace_id;
+    phase_parent_span_ = round_ctx.span_id;
+    // Crash-stop nodes whose time has come.
+    for (std::size_t i = 0; i < node_count(); ++i)
+      if (crash_round_[i] != 0 && round_ >= crash_round_[i])
+        crashed_[i] = true;
+    // Extract every node's due messages into its inbox, preserving the
+    // canonical (routing round, sender, send sequence) order.
+    bool any_due = false;
+    for (std::size_t i = 0; i < node_count(); ++i) {
+      auto& box = mailboxes_[i];
+      auto& in = inboxes_[i];
+      in.clear();
+      auto keep = box.begin();
+      for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->due_round <= round_) {
+          in.push_back(std::move(it->msg));
+        } else {
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
+        }
+      }
+      pending_count_ -= static_cast<std::size_t>(in.size());
+      box.erase(keep, box.end());
+      any_due |= !in.empty();
+    }
+    // Deliveries then on_round, node by node; each node touches only its
+    // own state, so backends may run the supersteps concurrently.
+    for_each_node([this](std::size_t i) { node_superstep(i); });
+    const std::size_t sent = route_outboxes();
+    (void)sent;
+    bool any_alive = false;
+    for (std::size_t i = 0; i < node_count(); ++i) any_alive |= !crashed_[i];
+    if (!any_alive) break;
+    if (!any_due && pending_count_ == 0) break;  // quiescent
+  }
+  stats_.rounds = round_;
+  return stats_;
+}
+
+run_stats net_base::run_asynchronous(std::size_t max_rounds) {
+  std::size_t delivered = 0;
+  const std::size_t max_events = max_rounds * node_count();
+  while (!events_.empty() && delivered < max_events) {
+    const event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    // Deferred crashes: at_round counts scheduler ticks here.
+    for (std::size_t i = 0; i < node_count(); ++i)
+      if (crash_round_[i] != 0 && now_ >= crash_round_[i]) crashed_[i] = true;
+    deliver_to(static_cast<std::size_t>(ev.msg.dst), ev.msg);
+    ++delivered;
+  }
+  stats_.rounds = static_cast<std::size_t>(now_);
+  return stats_;
+}
+
+void net_base::run_start_phase() {
+  for_each_node([this](std::size_t i) {
+    if (crashed_[i]) return;
+    std::optional<telemetry::trace::context_scope> adopt;
+    if constexpr (telemetry::kEnabled) {
+      const telemetry::trace::span_context phase{phase_trace_id_,
+                                                 phase_parent_span_};
+      if (phase.active() && !(telemetry::trace::current_context() == phase))
+        adopt.emplace(phase);
+    }
     ++stats_.local_steps_per_node[i];
     context ctx(*this, static_cast<int>(i));
     telemetry::trace::rank_scope rank(static_cast<int>(i));
     telemetry::trace::child_span span("start", "distributed");
     procs_[i]->start(ctx);
-  }
-  if (mode_ == timing::synchronous) {
-    for (round_ = 1; round_ <= max_rounds; ++round_) {
-      telemetry::trace::child_span round_span("round", "distributed");
-      round_span.arg("round", std::to_string(round_));
-      // Crash-stop nodes whose time has come.
-      for (std::size_t i = 0; i < node_count(); ++i)
-        if (crash_round_[i] != 0 && round_ >= crash_round_[i])
-          crashed_[i] = true;
-      std::vector<message> inflight;
-      inflight.swap(outbox_);
-      if (inflight.empty()) {
-        // Give on_round a chance to make progress (timeout-driven logic).
-        bool any_alive = false;
-        for (std::size_t i = 0; i < node_count(); ++i) {
-          if (crashed_[i]) continue;
-          any_alive = true;
-          context ctx(*this, static_cast<int>(i));
-          telemetry::trace::rank_scope rank(static_cast<int>(i));
-          telemetry::trace::child_span span("on_round", "distributed");
-          procs_[i]->on_round(ctx);
-        }
-        if (outbox_.empty() || !any_alive) break;  // quiescent
-        continue;
-      }
-      for (const message& m : inflight) deliver(m);
-      for (std::size_t i = 0; i < node_count(); ++i) {
-        if (crashed_[i]) continue;
-        context ctx(*this, static_cast<int>(i));
-        telemetry::trace::rank_scope rank(static_cast<int>(i));
-        telemetry::trace::child_span span("on_round", "distributed");
-        procs_[i]->on_round(ctx);
-      }
-    }
-    stats_.rounds = round_;
-  } else {
-    std::size_t delivered = 0;
-    const std::size_t max_events = max_rounds * node_count();
-    while (!events_.empty() && delivered < max_events) {
-      const event ev = events_.top();
-      events_.pop();
-      now_ = ev.time;
-      deliver(ev.msg);
-      ++delivered;
-    }
-    stats_.rounds = static_cast<std::size_t>(now_);
-  }
+  });
+  if (opts_.mode == timing::synchronous) (void)route_outboxes();
+}
+
+void net_base::finalize_stats() {
+  stats_.local_steps = 0;
+  for (const std::size_t s : stats_.local_steps_per_node)
+    stats_.local_steps += s;
+}
+
+run_stats net_base::run(std::size_t max_rounds) {
+  if (procs_.size() != node_count())
+    throw std::logic_error("net_base::run: spawn() a process per node first");
+  if (opts_.mode == timing::asynchronous && !supports_asynchronous())
+    throw std::invalid_argument(
+        std::string("transport backend '") + backend_name() +
+        "' implements only timing::synchronous supersteps; use "
+        "sim_transport for timing::asynchronous runs");
+  // When the caller is tracing, the whole run is one span; every handler
+  // invocation below nests (directly or via the message envelope) under
+  // it, forming a single causal tree across all ranks — on every backend.
+  telemetry::trace::child_span run_span("distributed.network.run",
+                                        "distributed");
+  run_span.arg("backend", backend_name());
+  const auto run_ctx = run_span.context();
+  phase_trace_id_ = run_ctx.trace_id;
+  phase_parent_span_ = run_ctx.span_id;
+  run_start_phase();
+  if (opts_.mode == timing::synchronous)
+    (void)run_synchronous(max_rounds);
+  else
+    (void)run_asynchronous(max_rounds);
+  finalize_stats();
   // Fold this run into the process-wide telemetry registry so every
-  // simulation exports uniformly (the taxonomy's measured dimensions:
-  // messages per tag, rounds, local computation).
+  // backend exports uniformly (the taxonomy's measured dimensions:
+  // messages per tag, rounds, local computation, injected faults).
   auto& reg = telemetry::registry::global();
   reg.get_counter("distributed.network.runs").add();
+  reg.get_counter(std::string("distributed.network.runs.") + backend_name())
+      .add();
   reg.get_counter("distributed.network.messages_total")
       .add(stats_.messages_total);
+  reg.get_counter("distributed.network.messages_dropped")
+      .add(stats_.messages_dropped);
+  reg.get_counter("distributed.network.messages_duplicated")
+      .add(stats_.messages_duplicated);
   reg.get_counter("distributed.network.rounds").add(stats_.rounds);
   reg.get_counter("distributed.network.local_steps").add(stats_.local_steps);
   for (const auto& [tag, count] : stats_.messages_by_tag)
@@ -299,16 +471,27 @@ run_stats network::run(std::size_t max_rounds) {
   return stats_;
 }
 
-std::optional<long> network::decision(int node, const std::string& key) const {
-  auto it = decisions_.find({node, key});
-  if (it == decisions_.end()) return std::nullopt;
+// --- decisions --------------------------------------------------------------
+
+std::optional<long> net_base::decision(int node, const std::string& key) const {
+  const auto& m = decisions_[check_node(node, "decision")];
+  const auto it = m.find(key);
+  if (it == m.end()) return std::nullopt;
   return it->second;
 }
 
-std::vector<int> network::deciders(const std::string& key) const {
+std::vector<int> net_base::deciders(const std::string& key) const {
   std::vector<int> out;
-  for (const auto& [k, v] : decisions_)
-    if (k.second == key) out.push_back(k.first);
+  for (std::size_t i = 0; i < decisions_.size(); ++i)
+    if (decisions_[i].contains(key)) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::map<std::pair<int, std::string>, long> net_base::all_decisions() const {
+  std::map<std::pair<int, std::string>, long> out;
+  for (std::size_t i = 0; i < decisions_.size(); ++i)
+    for (const auto& [key, value] : decisions_[i])
+      out[{static_cast<int>(i), key}] = value;
   return out;
 }
 

@@ -1,18 +1,40 @@
-// An in-process message-passing network simulator — the experimental
-// substrate for Section 4's distributed algorithm concept taxonomy.
+// An in-process message-passing runtime — the experimental substrate for
+// Section 4's distributed algorithm concept taxonomy.
 //
-// Substitution note (see DESIGN.md): the paper's Section 4 argues that a
-// taxonomy should organize algorithms by *measured* message counts, time
-// (rounds), and — often neglected — LOCAL COMPUTATION per node.  This
-// simulator counts exactly those three quantities for every run:
-//   * messages_sent, total and per tag;
-//   * rounds executed (synchronous) / virtual time (asynchronous);
-//   * local computation steps (one per handler invocation plus whatever the
-//     handler explicitly charges).
-// Topologies (ring, complete, star, grid, random) are the taxonomy's
-// Topology dimension; crash and Byzantine corruption hooks exercise its
-// Fault-Tolerance dimension; synchronous vs asynchronous delivery its
-// Timing dimension.
+// Substitution note (see DESIGN.md §7): the paper's Section 4 classifies
+// distributed algorithms along orthogonal dimensions (topology, timing,
+// fault tolerance, communication).  This runtime mirrors that structure in
+// its API instead of hard-wiring one simulator class:
+//
+//   * `net_options` is the aggregate of all orthogonal construction
+//     dimensions (size, topology, timing, seed, channel order, fault
+//     plan, worker count) — new dimensions extend the aggregate instead
+//     of forcing positional-constructor churn;
+//   * `net_base` is the shared engine: topology wiring, uids, canonical
+//     message routing, fault injection, and measured statistics
+//     (messages, rounds, LOCAL COMPUTATION per node — the quantity the
+//     paper says is "rarely accounted for");
+//   * backends plug in an execution strategy: `sim_transport` runs
+//     handlers sequentially and deterministically (and is the only
+//     backend implementing `timing::asynchronous` via an event queue),
+//     `parallel_transport` (parallel_transport.hpp) runs each node's
+//     synchronous superstep concurrently on a thread pool;
+//   * the driver-facing boundary is the `Transport` concept
+//     (transport.hpp), checked with an archetype in the spirit of
+//     core/archetypes.hpp, so algorithm drivers provably need nothing
+//     beyond the concept and run unchanged on interchangeable backends.
+//
+// Fault injection is unified behind one surface on every backend: crash
+// stops (`crash`), Byzantine corruption hooks (`corrupt`), and the
+// message-level drop / duplicate / delay knobs of `fault_options`.
+//
+// Determinism contract: for `timing::synchronous`, every backend delivers
+// each node's round-r mailbox in CANONICAL ORDER — sorted by (sending
+// round, sender index, per-sender send sequence) — and draws fault
+// decisions in that same order from a dedicated engine at the (single
+// threaded) routing barrier.  Handler invocations only touch node-local
+// state, so a run's decisions and statistics are identical across
+// backends for a fixed seed.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +46,7 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cgp::distributed {
@@ -32,8 +55,8 @@ namespace cgp::distributed {
 /// The trailing trace envelope carries the sender's causal context across
 /// the delivery boundary (see telemetry/trace.hpp): the receiver's handler
 /// span parents under `parent_span`, so a whole superstep renders as one
-/// causally-linked tree across all simulated ranks.  All three fields are 0
-/// when the run is not being traced.
+/// causally-linked tree across all ranks, on every backend.  All three
+/// fields are 0 when the run is not being traced.
 struct message {
   int src = -1;
   int dst = -1;
@@ -52,12 +75,50 @@ enum class topology { ring, complete, star, grid, random_connected, line };
 /// Delivery timing for the taxonomy's Timing dimension.
 enum class timing { synchronous, asynchronous };
 
-class network;
+/// Message-level fault injection (the taxonomy's Fault-Tolerance
+/// dimension, message axis).  Applied identically on every backend, to
+/// every send, from a dedicated deterministic engine.
+struct fault_options {
+  /// Probability a message is silently lost in transit.
+  double drop = 0.0;
+  /// Probability a message is delivered twice (the copy draws its own
+  /// delay).
+  double duplicate = 0.0;
+  /// Extra delivery delay, uniform in [0, max_delay]: rounds when
+  /// synchronous, virtual-time ticks when asynchronous.
+  std::uint32_t max_delay = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || max_delay != 0;
+  }
+};
+
+/// Aggregate of every orthogonal construction dimension; replaces the old
+/// positional `network(n, topo, mode, seed, fifo)` constructor (see the
+/// README migration table).  Designated initializers name each dimension
+/// at the call site: `sim_transport net({.nodes = 8, .topo =
+/// topology::ring});`.
+struct net_options {
+  std::size_t nodes = 1;
+  topology topo = topology::ring;
+  timing mode = timing::synchronous;
+  std::uint32_t seed = 42;
+  /// Asynchronous delivery is per-link FIFO (the channel assumption
+  /// algorithms like Peterson's election rely on); false models fully
+  /// reordering channels.  Synchronously, FIFO constrains only delayed
+  /// messages (fault_options::max_delay).
+  bool fifo_links = true;
+  /// parallel_transport only: worker thread count (0 = auto, at least 2).
+  unsigned workers = 0;
+  fault_options faults{};
+};
+
+class net_base;
 
 /// Per-node view of the network handed to process handlers.
 class context {
  public:
-  context(network& net, int id) : net_(&net), id_(id) {}
+  context(net_base& net, int id) : net_(&net), id_(id) {}
 
   [[nodiscard]] int id() const noexcept { return id_; }
   /// The node's unique identifier (a pseudonymized uid, not its index).
@@ -66,9 +127,10 @@ class context {
   [[nodiscard]] std::size_t round() const;
   [[nodiscard]] std::size_t node_count() const;
 
-  /// Sends to a neighbor; throws if `to` is not adjacent (the simulator
-  /// enforces the topology).
-  void send(int to, std::string tag, std::vector<long> payload = {});
+  /// Sends to a neighbor; throws if `to` is not adjacent (the runtime
+  /// enforces the topology).  The tag is viewed, not copied, until the
+  /// message is materialized; the payload is moved through to the outbox.
+  void send(int to, std::string_view tag, std::vector<long> payload = {});
 
   /// Charges extra local computation steps to this node (Section 4: "local
   /// computation at a node is rarely accounted for").
@@ -81,11 +143,11 @@ class context {
   [[nodiscard]] std::mt19937& rng();
 
  private:
-  network* net_;
+  net_base* net_;
   int id_;
 };
 
-/// A distributed process: implement the handlers, register with a network.
+/// A distributed process: implement the handlers, register with a backend.
 class process {
  public:
   virtual ~process() = default;
@@ -100,17 +162,35 @@ class process {
 using process_factory = std::function<std::unique_ptr<process>(int id)>;
 
 /// Run statistics — the taxonomy's measured performance data.
+/// `messages_total` counts send attempts (the algorithm's message
+/// complexity); injected faults are broken out separately: dropped sends
+/// are counted in the total but never delivered, duplicated deliveries are
+/// NOT in the total (the extra copy shows up in `messages_duplicated` and
+/// in the receiver's per-node count).
 struct run_stats {
   std::size_t messages_total = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t messages_duplicated = 0;
   std::map<std::string, std::size_t> messages_by_tag;
   std::size_t rounds = 0;
   std::size_t local_steps = 0;
   std::vector<std::size_t> local_steps_per_node;
+  std::vector<std::size_t> messages_sent_per_node;
+  std::vector<std::size_t> messages_received_per_node;
 
   /// Messages sent with `tag` (0 when the tag never appeared).
   [[nodiscard]] std::size_t messages_for(const std::string& tag) const {
     const auto it = messages_by_tag.find(tag);
     return it == messages_by_tag.end() ? 0 : it->second;
+  }
+  /// Send attempts originating at `node` (mirrors messages_for; throws a
+  /// descriptive std::out_of_range for an unknown node).
+  [[nodiscard]] std::size_t messages_sent_by(int node) const {
+    return per_node(messages_sent_per_node, node, "messages_sent_by");
+  }
+  /// Deliveries (including duplicated copies) at `node`.
+  [[nodiscard]] std::size_t messages_received_by(int node) const {
+    return per_node(messages_received_per_node, node, "messages_received_by");
   }
   /// All tags observed in this run, sorted.
   [[nodiscard]] std::vector<std::string> tags() const {
@@ -119,18 +199,30 @@ struct run_stats {
     for (const auto& [tag, count] : messages_by_tag) out.push_back(tag);
     return out;
   }
+
+ private:
+  [[nodiscard]] static std::size_t per_node(
+      const std::vector<std::size_t>& v, int node, const char* what) {
+    if (node < 0 || static_cast<std::size_t>(node) >= v.size())
+      throw std::out_of_range(std::string(what) + ": node " +
+                              std::to_string(node) +
+                              " out of range for a network of " +
+                              std::to_string(v.size()) + " nodes");
+    return v[static_cast<std::size_t>(node)];
+  }
 };
 
-/// The simulated network.
-class network {
+/// The shared engine behind every transport backend: topology wiring,
+/// uids, the canonical synchronous superstep loop, the asynchronous event
+/// queue, the unified fault surface, decisions, and statistics.  Backends
+/// override `for_each_node` with their execution strategy; everything a
+/// per-node task touches is node-local (its own mailbox, outbox, rng,
+/// stats slots and decision map), so the strategy may be concurrent.
+class net_base {
  public:
-  /// Builds `n` nodes wired by `topo`; uids are a seeded permutation of
-  /// 1..n so identifier order is independent of ring order.
-  /// `fifo_links` makes asynchronous delivery per-link FIFO (the channel
-  /// assumption algorithms like Peterson's election rely on); set false to
-  /// model fully reordering channels.
-  network(std::size_t n, topology topo, timing mode = timing::synchronous,
-          std::uint32_t seed = 42, bool fifo_links = true);
+  virtual ~net_base() = default;
+  net_base(const net_base&) = delete;
+  net_base& operator=(const net_base&) = delete;
 
   /// Installs the algorithm (one process per node).
   void spawn(const process_factory& factory);
@@ -140,7 +232,9 @@ class network {
   /// Must be a permutation-like assignment of distinct values.
   void set_uids(std::vector<long> uids);
 
-  /// Crash-stops a node before the given round (fault injection).
+  /// Crash-stops a node before the given round (fault injection).  Under
+  /// timing::asynchronous `at_round` is measured in scheduler ticks; 0
+  /// crashes the node before the run starts in either mode.
   void crash(int node, std::size_t at_round = 0);
 
   /// Installs a Byzantine corruption hook: called for every message sent by
@@ -155,24 +249,80 @@ class network {
     return adjacency_.size();
   }
   [[nodiscard]] const std::vector<int>& neighbors_of(int id) const {
-    return adjacency_.at(static_cast<std::size_t>(id));
+    return adjacency_[check_node(id, "neighbors_of")];
   }
   [[nodiscard]] long uid_of(int id) const {
-    return uids_.at(static_cast<std::size_t>(id));
+    return uids_[check_node(id, "uid_of")];
   }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] const net_options& options() const noexcept { return opts_; }
 
-  /// Decisions recorded via context::decide, keyed by (node, key).
+  /// Decisions recorded via context::decide.
   [[nodiscard]] std::optional<long> decision(int node,
                                              const std::string& key) const;
   /// All nodes that decided `key` to some value.
   [[nodiscard]] std::vector<int> deciders(const std::string& key) const;
+  /// Every decision of the run, keyed by (node, key) — the backend-parity
+  /// tests compare these wholesale.
+  [[nodiscard]] std::map<std::pair<int, std::string>, long> all_decisions()
+      const;
+
+ protected:
+  explicit net_base(const net_options& opts);
+
+  /// Execution strategy: invoke `fn(i)` once for every node index.  All
+  /// invocations of one barrier phase may run concurrently; `fn` only
+  /// touches node-local state.  The engine calls this once for the start
+  /// phase and once per synchronous round.
+  virtual void for_each_node(const std::function<void(std::size_t)>& fn) = 0;
+
+  /// Short backend label ("sim", "parallel") for traces and metrics.
+  [[nodiscard]] virtual const char* backend_name() const noexcept = 0;
+
+  /// Whether this backend implements timing::asynchronous (only the
+  /// deterministic event-queue simulator does).
+  [[nodiscard]] virtual bool supports_asynchronous() const noexcept {
+    return false;
+  }
 
  private:
   friend class context;
-  void do_send(int from, int to, std::string tag, std::vector<long> payload);
-  void deliver(const message& m);
 
+  [[nodiscard]] std::size_t check_node(int id, const char* what) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= adjacency_.size())
+      throw std::out_of_range(std::string(what) + ": node " +
+                              std::to_string(id) +
+                              " out of range for a network of " +
+                              std::to_string(adjacency_.size()) + " nodes");
+    return static_cast<std::size_t>(id);
+  }
+
+  // Handler-side entry points (called from per-node tasks; thread-safe by
+  // node-locality, see for_each_node).
+  void do_send(int from, int to, std::string_view tag,
+               std::vector<long>&& payload);
+  void charge_node(int node, std::size_t steps);
+  void decide_node(int node, const std::string& key, long value);
+
+  // One node's synchronous superstep: deliver its due mailbox in canonical
+  // order, then on_round.  Adopts the enclosing phase span's trace context
+  // (phase_trace_*) when executing on a worker thread.
+  void node_superstep(std::size_t i);
+  void deliver_to(std::size_t dst, const message& m);
+
+  // Coordinator-side routing barrier: drains every per-sender outbox in
+  // sender order, counts statistics, applies the fault plan, and schedules
+  // deliveries.  Returns the number of newly scheduled messages.
+  std::size_t route_outboxes();
+  void schedule_sync(message&& m, std::size_t extra_delay);
+  void schedule_async(message&& m, std::uint64_t extra_delay);
+
+  run_stats run_synchronous(std::size_t max_rounds);
+  run_stats run_asynchronous(std::size_t max_rounds);
+  void run_start_phase();
+  void finalize_stats();
+
+  net_options opts_;
   std::vector<std::vector<int>> adjacency_;
   std::size_t edges_ = 0;
   std::vector<long> uids_;
@@ -180,13 +330,25 @@ class network {
   std::vector<bool> crashed_;
   std::vector<std::size_t> crash_round_;
   std::map<int, std::function<void(message&)>> corruption_;
-  timing mode_;
-  std::mt19937 rng_;
+  std::mt19937 rng_;        ///< topology/uid/latency randomness
+  std::mt19937 fault_rng_;  ///< fault plan draws (canonical routing order)
   std::vector<std::mt19937> node_rngs_;
 
-  // synchronous: messages sent in round r are delivered in round r+1.
-  std::vector<message> outbox_;
-  // asynchronous: (delivery_time, sequence, message) min-heap.
+  // Synchronous engine: per-sender outboxes filled by the node tasks, then
+  // routed at the barrier into per-destination mailboxes tagged with a due
+  // round (> current round; faults may push it further out).
+  struct pending_msg {
+    std::size_t due_round;
+    message msg;
+  };
+  std::vector<std::vector<message>> outboxes_;      ///< indexed by sender
+  std::vector<std::vector<pending_msg>> mailboxes_; ///< indexed by dest
+  std::vector<std::vector<message>> inboxes_;       ///< this round's input
+  std::size_t pending_count_ = 0;
+  std::map<std::pair<int, int>, std::size_t> link_last_round_;
+
+  // Asynchronous engine (sim backend only): (delivery_time, sequence,
+  // message) min-heap.
   struct event {
     std::uint64_t time;
     std::uint64_t seq;
@@ -198,12 +360,40 @@ class network {
   std::priority_queue<event, std::vector<event>, std::greater<>> events_;
   std::uint64_t now_ = 0;
   std::uint64_t seq_ = 0;
-  bool fifo_links_ = true;
   std::map<std::pair<int, int>, std::uint64_t> link_last_delivery_;
 
   std::size_t round_ = 0;
   run_stats stats_;
-  std::map<std::pair<int, std::string>, long> decisions_;
+  std::vector<std::map<std::string, long>> decisions_;  ///< per node
+
+  // Trace context of the current phase span (start phase / round span),
+  // captured on the coordinator so worker-thread tasks can adopt it and
+  // keep the whole superstep in one causal tree.  Raw ids so this header
+  // stays independent of telemetry/trace.hpp.
+  std::uint64_t phase_trace_id_ = 0;
+  std::uint64_t phase_parent_span_ = 0;
 };
+
+/// The deterministic sequential simulator (the seed's `network`, recast as
+/// one backend of the Transport concept).  Implements both timing modes.
+class sim_transport final : public net_base {
+ public:
+  explicit sim_transport(const net_options& opts) : net_base(opts) {}
+
+ protected:
+  void for_each_node(const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t i = 0; i < node_count(); ++i) fn(i);
+  }
+  [[nodiscard]] const char* backend_name() const noexcept override {
+    return "sim";
+  }
+  [[nodiscard]] bool supports_asynchronous() const noexcept override {
+    return true;
+  }
+};
+
+/// Transitional alias for the pre-redesign class name; new code should
+/// name the backend it wants (sim_transport / parallel_transport).
+using network = sim_transport;
 
 }  // namespace cgp::distributed

@@ -1,0 +1,43 @@
+// The parallel backend of the Transport concept: each synchronous
+// superstep fans the per-node handlers (mailbox deliveries + on_round)
+// out across a parallel::thread_pool and joins them at the round barrier,
+// so a 64-node wave actually uses the machine's cores.
+//
+// Determinism: identical to sim_transport by construction.  Worker tasks
+// touch only node-local state (the node's inbox, outbox, rng, stats slots
+// and decision map); message routing, statistics, and the fault plan run
+// single-threaded at the barrier in canonical sender order (see
+// network.hpp).  For a fixed seed, decisions and run_stats match the
+// sequential simulator bit for bit.
+//
+// Timing: implements `timing::synchronous` only — asynchronous event
+// interleaving is the deterministic simulator's job (see the backend
+// matrix in DESIGN.md §7); constructing this backend with
+// timing::asynchronous throws.
+#pragma once
+
+#include "distributed/network.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cgp::distributed {
+
+class parallel_transport final : public net_base {
+ public:
+  /// Workers: net_options::workers threads (0 = auto: hardware
+  /// concurrency, at least 2 so concurrency is always exercised).
+  explicit parallel_transport(const net_options& opts);
+
+  /// Worker threads executing supersteps.
+  [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
+
+ protected:
+  void for_each_node(const std::function<void(std::size_t)>& fn) override;
+  [[nodiscard]] const char* backend_name() const noexcept override {
+    return "parallel";
+  }
+
+ private:
+  parallel::thread_pool pool_;
+};
+
+}  // namespace cgp::distributed

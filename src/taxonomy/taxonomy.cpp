@@ -149,15 +149,21 @@ taxonomy distributed_taxonomy() {
   for (const char* p : {"leader-election", "broadcast", "spanning-tree",
                         "failure-detection", "consensus", "mutual-exclusion"})
     t.refine("problem", p, "any");
+  // Convergecast aggregation builds on a spanning structure.
+  t.refine("problem", "aggregation", "any");
 
   t.add_dimension("topology", "arbitrary");
   for (const char* p : {"ring", "complete", "tree", "star", "grid"})
     t.refine("topology", p, "arbitrary");
 
-  // Fault tolerance: tolerating more refines tolerating less.
+  // Fault tolerance: tolerating more refines tolerating less.  Omission
+  // (the runtime's drop/duplicate/delay knobs in net_options::faults) sits
+  // between crash-stop and Byzantine: a crashed node is one that omits
+  // everything, and a Byzantine node may omit arbitrarily.
   t.add_dimension("fault-tolerance", "none");
   t.refine("fault-tolerance", "crash", "none");
-  t.refine("fault-tolerance", "byzantine", "crash");
+  t.refine("fault-tolerance", "omission", "crash");
+  t.refine("fault-tolerance", "byzantine", "omission");
 
   t.add_dimension("information-sharing", "any");
   t.refine("information-sharing", "message-passing", "any");
@@ -275,6 +281,19 @@ taxonomy distributed_taxonomy() {
        .costs = {{"messages", big_o::constant(2.0) * E}, {"time", D}},
        .implemented_by = "distributed::bfs_spanning_tree",
        .notes = "synchronous flooding yields BFS layers"});
+  t.add_algorithm(
+      {.name = "convergecast-aggregate-sum",
+       .classification = {{"problem", "aggregation"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "none"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "probe-echo"},
+                          {"timing", "asynchronous"},
+                          {"process-management", "static"}},
+       .costs = {{"messages", big_o::constant(2.0) * E}, {"time", D}},
+       .implemented_by = "distributed::aggregate_sum",
+       .notes = "echo wave carrying a commutative-monoid combine; root "
+                "decides the aggregate in exactly 2|E| messages"});
   t.add_algorithm(
       {.name = "heartbeat-failure-detector",
        .classification = {{"problem", "failure-detection"},

@@ -14,26 +14,26 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(Network, RingTopologyDegrees) {
-  network net(6, topology::ring);
+  sim_transport net({.nodes = 6, .topo = topology::ring});
   for (int v = 0; v < 6; ++v)
     EXPECT_EQ(net.neighbors_of(v).size(), 2u) << v;
   EXPECT_EQ(net.edge_count(), 6u);
 }
 
 TEST(Network, CompleteTopology) {
-  network net(5, topology::complete);
+  sim_transport net({.nodes = 5, .topo = topology::complete});
   for (int v = 0; v < 5; ++v) EXPECT_EQ(net.neighbors_of(v).size(), 4u);
   EXPECT_EQ(net.edge_count(), 10u);
 }
 
 TEST(Network, StarTopology) {
-  network net(7, topology::star);
+  sim_transport net({.nodes = 7, .topo = topology::star});
   EXPECT_EQ(net.neighbors_of(0).size(), 6u);
   for (int v = 1; v < 7; ++v) EXPECT_EQ(net.neighbors_of(v).size(), 1u);
 }
 
 TEST(Network, RandomConnectedIsConnected) {
-  network net(30, topology::random_connected, timing::synchronous, 7);
+  sim_transport net({.nodes = 30, .topo = topology::random_connected, .seed = 7});
   // Flooding must reach every node on a connected graph.
   net.spawn(flooding_broadcast(0));
   (void)net.run();
@@ -41,7 +41,7 @@ TEST(Network, RandomConnectedIsConnected) {
 }
 
 TEST(Network, UidsArePermutationOfOneToN) {
-  network net(10, topology::ring);
+  sim_transport net({.nodes = 10});
   std::vector<bool> seen(11, false);
   for (int v = 0; v < 10; ++v) {
     const long u = net.uid_of(v);
@@ -57,7 +57,7 @@ TEST(Network, TopologyEnforcedOnSend) {
     void start(context& ctx) override { ctx.send(3, "x"); }
     void receive(context&, const message&) override {}
   };
-  network net(6, topology::ring);  // 0 is not adjacent to 3
+  sim_transport net({.nodes = 6});  // 0 is not adjacent to 3
   net.spawn([](int id) -> std::unique_ptr<process> {
     if (id == 0) return std::make_unique<bad_sender>();
     return std::make_unique<bad_sender>();
@@ -66,7 +66,7 @@ TEST(Network, TopologyEnforcedOnSend) {
 }
 
 TEST(Network, RunWithoutSpawnThrows) {
-  network net(3, topology::ring);
+  sim_transport net({.nodes = 3});
   EXPECT_THROW((void)net.run(), std::logic_error);
 }
 
@@ -77,22 +77,23 @@ TEST(Network, RunWithoutSpawnThrows) {
 class ElectionSizes : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(ElectionSizes, LcrElectsUniqueMaximumSynchronous) {
-  const auto out = run_ring_election(lcr_leader_election(), GetParam(),
-                                     timing::synchronous);
+  const auto out = run_ring_election(lcr_leader_election(),
+                                     {.nodes = GetParam()});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));  // max uid = n
 }
 
 TEST_P(ElectionSizes, LcrElectsUniqueMaximumAsynchronous) {
-  const auto out = run_ring_election(lcr_leader_election(), GetParam(),
-                                     timing::asynchronous);
+  const auto out = run_ring_election(
+      lcr_leader_election(),
+      {.nodes = GetParam(), .mode = timing::asynchronous});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
 }
 
 TEST_P(ElectionSizes, PetersonElectsUniqueMaximumSync) {
-  const auto out = run_ring_election(peterson_leader_election(), GetParam(),
-                                     timing::synchronous);
+  const auto out = run_ring_election(peterson_leader_election(),
+                                     {.nodes = GetParam()});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
 }
@@ -100,22 +101,24 @@ TEST_P(ElectionSizes, PetersonElectsUniqueMaximumSync) {
 TEST_P(ElectionSizes, PetersonElectsUniqueMaximumAsyncFifo) {
   // Peterson needs FIFO links; the asynchronous network preserves per-link
   // order by default.
-  const auto out = run_ring_election(peterson_leader_election(), GetParam(),
-                                     timing::asynchronous);
+  const auto out = run_ring_election(
+      peterson_leader_election(),
+      {.nodes = GetParam(), .mode = timing::asynchronous});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
 }
 
 TEST_P(ElectionSizes, HsElectsUniqueMaximum) {
   const auto out =
-      run_ring_election(hs_leader_election(), GetParam(), timing::synchronous);
+      run_ring_election(hs_leader_election(), {.nodes = GetParam()});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
 }
 
 TEST_P(ElectionSizes, HsWorksAsynchronouslyToo) {
-  const auto out = run_ring_election(hs_leader_election(), GetParam(),
-                                     timing::asynchronous);
+  const auto out = run_ring_election(
+      hs_leader_election(),
+      {.nodes = GetParam(), .mode = timing::asynchronous});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, static_cast<long>(GetParam()));
 }
@@ -125,7 +128,7 @@ INSTANTIATE_TEST_SUITE_P(RingSizes, ElectionSizes,
                                            64u));
 
 TEST(Election, EveryNonLeaderLearnsTheLeader) {
-  network net(16, topology::ring);
+  sim_transport net({.nodes = 16});
   net.spawn(lcr_leader_election());
   (void)net.run();
   EXPECT_EQ(net.deciders("leader").size(), 1u);
@@ -138,7 +141,7 @@ namespace {
 /// it can before a larger one swallows it).
 election_outcome run_worst_case_ring(const process_factory& algo,
                                      std::size_t n) {
-  network net(n, topology::ring, timing::synchronous);
+  sim_transport net({.nodes = n});
   std::vector<long> uids(n);
   for (std::size_t i = 0; i < n; ++i) uids[i] = static_cast<long>(n - i);
   net.set_uids(std::move(uids));
@@ -178,7 +181,7 @@ TEST(Election, RandomLayoutMakesLcrExpectedNLogN) {
   // record).
   const std::size_t n = 256;
   const auto lcr =
-      run_ring_election(lcr_leader_election(), n, timing::synchronous);
+      run_ring_election(lcr_leader_election(), {.nodes = n});
   const double dn = static_cast<double>(n);
   EXPECT_LT(static_cast<double>(lcr.stats.messages_total),
             4.0 * dn * std::log(dn) + 3 * dn);
@@ -192,9 +195,9 @@ TEST(Election, LcrWorstCaseLayoutIsQuadratic) {
   // would only hold for adversarial layouts; with random layouts expected
   // complexity is Theta(n log n) — verify it is super-linear but bounded.
   const auto a =
-      run_ring_election(lcr_leader_election(), 64, timing::synchronous);
+      run_ring_election(lcr_leader_election(), {.nodes = 64});
   const auto b =
-      run_ring_election(lcr_leader_election(), 128, timing::synchronous);
+      run_ring_election(lcr_leader_election(), {.nodes = 128});
   EXPECT_GT(b.stats.messages_total, 2 * a.stats.messages_total * 95 / 100);
 }
 
@@ -215,8 +218,9 @@ TEST(Election, FifoCanBeDisabled) {
   // With reordering channels Peterson's assumptions do not hold; the
   // simulator can model that too (we only check it still terminates and
   // the FIFO flag is honored without crashing).
-  network net(8, topology::ring, timing::asynchronous, 42,
-              /*fifo_links=*/false);
+  sim_transport net({.nodes = 8,
+                      .mode = timing::asynchronous,
+                      .fifo_links = false});
   net.spawn(lcr_leader_election());  // LCR tolerates reordering
   (void)net.run();
   EXPECT_EQ(net.deciders("leader").size(), 1u);
@@ -224,7 +228,7 @@ TEST(Election, FifoCanBeDisabled) {
 
 TEST(Election, RandomizedAnonymousElectsExactlyOneLeader) {
   for (std::uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
-    network net(8, topology::ring, timing::synchronous, seed);
+    sim_transport net({.nodes = 8, .seed = seed});
     net.spawn(randomized_anonymous_election());
     (void)net.run();
     EXPECT_EQ(net.deciders("leader").size(), 1u) << "seed " << seed;
@@ -238,7 +242,7 @@ TEST(Election, RandomizedAnonymousElectsExactlyOneLeader) {
 TEST(Echo, UsesExactlyTwoMessagesPerEdge) {
   for (topology topo : {topology::ring, topology::complete, topology::star,
                         topology::grid, topology::random_connected}) {
-    network net(16, topo, timing::synchronous, 11);
+    sim_transport net({.nodes = 16, .topo = topo, .seed = 11});
     net.spawn(echo_wave(0));
     const run_stats stats = net.run();
     EXPECT_EQ(stats.messages_total, 2 * net.edge_count())
@@ -248,7 +252,7 @@ TEST(Echo, UsesExactlyTwoMessagesPerEdge) {
 }
 
 TEST(Echo, ParentPointersFormATreeReachingEveryone) {
-  network net(25, topology::grid);
+  sim_transport net({.nodes = 25, .topo = topology::grid});
   net.spawn(echo_wave(0));
   (void)net.run();
   EXPECT_EQ(net.deciders("parent").size(), 24u);  // everyone but the root
@@ -256,7 +260,7 @@ TEST(Echo, ParentPointersFormATreeReachingEveryone) {
 
 TEST(BfsTree, SynchronousFloodingGivesBfsDistances) {
   // 4x4 grid rooted at corner: distance = manhattan distance.
-  network net(16, topology::grid);
+  sim_transport net({.nodes = 16, .topo = topology::grid});
   net.spawn(bfs_spanning_tree(0));
   (void)net.run();
   for (int v = 0; v < 16; ++v) {
@@ -267,7 +271,10 @@ TEST(BfsTree, SynchronousFloodingGivesBfsDistances) {
 }
 
 TEST(Flooding, HopCountsAreAtLeastBfsDistanceAndReachAll) {
-  network net(12, topology::random_connected, timing::asynchronous, 3);
+  sim_transport net({.nodes = 12,
+                     .topo = topology::random_connected,
+                     .mode = timing::asynchronous,
+                     .seed = 3});
   net.spawn(flooding_broadcast(0));
   const run_stats stats = net.run();
   EXPECT_EQ(net.deciders("got").size(), 12u);
@@ -280,7 +287,7 @@ TEST(Flooding, HopCountsAreAtLeastBfsDistanceAndReachAll) {
 
 TEST(Failures, CrashedNodeBlocksNothingElsewhere) {
   // Crash a leaf of the star; broadcast still reaches the others.
-  network net(8, topology::star);
+  sim_transport net({.nodes = 8, .topo = topology::star});
   net.crash(5);
   net.spawn(flooding_broadcast(0));
   (void)net.run();
@@ -289,7 +296,7 @@ TEST(Failures, CrashedNodeBlocksNothingElsewhere) {
 }
 
 TEST(Failures, HeartbeatDetectsCrash) {
-  network net(6, topology::ring);
+  sim_transport net({.nodes = 6});
   net.spawn(heartbeat_detector(3));
   net.crash(2, /*at_round=*/5);
   (void)net.run(/*max_rounds=*/30);
@@ -304,7 +311,7 @@ TEST(Failures, HeartbeatDetectsCrash) {
 TEST(Failures, ByzantineCorruptionChangesElectionOutcome) {
   // A Byzantine node that inflates every uid it forwards can crown a bogus
   // leader id — demonstrating why LCR is classified fault-tolerance:none.
-  network net(8, topology::ring, timing::synchronous, 42);
+  sim_transport net({.nodes = 8, .seed = 42});
   net.corrupt(3, [](message& m) {
     if (m.tag == "uid") m.payload[0] = 999;
   });
@@ -322,12 +329,93 @@ TEST(Failures, ByzantineCorruptionChangesElectionOutcome) {
   EXPECT_FALSE(valid_unique_leader);
 }
 
+TEST(Failures, CrashUnderAsynchronousTiming) {
+  // Crash hooks behave identically under the asynchronous scheduler: a
+  // star leaf crashed before the run never receives and never decides,
+  // while the wave still covers the live nodes.
+  sim_transport net({.nodes = 8,
+                     .topo = topology::star,
+                     .mode = timing::asynchronous,
+                     .seed = 9});
+  net.crash(5);
+  net.spawn(flooding_broadcast(0));
+  (void)net.run();
+  EXPECT_EQ(net.deciders("got").size(), 7u);
+  EXPECT_FALSE(net.decision(5, "got").has_value());
+}
+
+TEST(Failures, CorruptionHookRunsUnderAsynchronousTiming) {
+  // A Byzantine forwarder corrupts uids under asynchronous delivery too —
+  // the unified fault surface is timing-independent.
+  sim_transport net(
+      {.nodes = 8, .mode = timing::asynchronous, .seed = 42});
+  net.corrupt(3, [](message& m) {
+    if (m.tag == "uid") m.payload[0] = 999;
+  });
+  net.spawn(lcr_leader_election());
+  (void)net.run(2000);
+  bool valid_unique_leader = net.deciders("leader").size() == 1;
+  if (valid_unique_leader) {
+    const int node = net.deciders("leader")[0];
+    valid_unique_leader =
+        (*net.decision(node, "leader") == static_cast<long>(8));
+  }
+  EXPECT_FALSE(valid_unique_leader);
+}
+
+TEST(Failures, DeferredCrashCutsAsynchronousCirculation) {
+  // Descending-uid ring: the maximum uid (at node 0) must traverse every
+  // node to come home.  Node 4 crashes at the first scheduler tick — hops
+  // take >= 1 tick each, so the uid is cut mid-circulation and nobody can
+  // ever elect.
+  sim_transport net({.nodes = 8, .mode = timing::asynchronous, .seed = 2});
+  std::vector<long> uids(8);
+  for (std::size_t i = 0; i < 8; ++i) uids[i] = static_cast<long>(8 - i);
+  net.set_uids(std::move(uids));
+  net.spawn(lcr_leader_election());
+  net.crash(4, /*at_round=*/1);
+  (void)net.run(500);
+  EXPECT_TRUE(net.deciders("leader").empty());
+  EXPECT_FALSE(net.decision(4, "leader_known").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// API-boundary validation
+// ---------------------------------------------------------------------------
+
+TEST(Validation, NeighborsOfRejectsBadNodeWithDescriptiveError) {
+  sim_transport net({.nodes = 6});
+  try {
+    (void)net.neighbors_of(6);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("6"), std::string::npos) << what;
+    EXPECT_NE(what.find("node"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)net.neighbors_of(-1), std::out_of_range);
+}
+
+TEST(Validation, UidOfRejectsBadNode) {
+  sim_transport net({.nodes = 4});
+  EXPECT_THROW((void)net.uid_of(4), std::out_of_range);
+  EXPECT_THROW((void)net.uid_of(-2), std::out_of_range);
+  EXPECT_NO_THROW((void)net.uid_of(3));
+}
+
+TEST(Validation, CrashAndCorruptAndDecisionValidateNodes) {
+  sim_transport net({.nodes = 4});
+  EXPECT_THROW(net.crash(4), std::out_of_range);
+  EXPECT_THROW(net.corrupt(-1, [](message&) {}), std::out_of_range);
+  EXPECT_THROW((void)net.decision(7, "leader"), std::out_of_range);
+}
+
 // ---------------------------------------------------------------------------
 // accounting (Section 4: local computation matters)
 // ---------------------------------------------------------------------------
 
 TEST(Accounting, LocalStepsTrackHandlersAndCharges) {
-  network net(8, topology::ring);
+  sim_transport net({.nodes = 8});
   net.spawn(lcr_leader_election());
   const run_stats stats = net.run();
   EXPECT_GT(stats.local_steps, stats.messages_total);  // start + deliveries
@@ -338,7 +426,7 @@ TEST(Accounting, LocalStepsTrackHandlersAndCharges) {
 }
 
 TEST(Accounting, MessagesByTagBreakdown) {
-  network net(8, topology::ring);
+  sim_transport net({.nodes = 8});
   net.spawn(lcr_leader_election());
   const run_stats stats = net.run();
   EXPECT_GT(stats.messages_by_tag.at("uid"), 0u);
@@ -348,7 +436,7 @@ TEST(Accounting, MessagesByTagBreakdown) {
 }
 
 TEST(Accounting, PerTagAccessors) {
-  network net(8, topology::ring);
+  sim_transport net({.nodes = 8});
   net.spawn(lcr_leader_election());
   const run_stats stats = net.run();
   EXPECT_EQ(stats.messages_for("leader"), 8u);
@@ -360,6 +448,24 @@ TEST(Accounting, PerTagAccessors) {
   std::size_t by_tag = 0;
   for (const auto& tag : tags) by_tag += stats.messages_for(tag);
   EXPECT_EQ(by_tag, stats.messages_total);
+}
+
+TEST(Accounting, PerNodeMessageCounts) {
+  sim_transport net({.nodes = 8});
+  net.spawn(lcr_leader_election());
+  const run_stats stats = net.run();
+  ASSERT_EQ(stats.messages_sent_per_node.size(), 8u);
+  ASSERT_EQ(stats.messages_received_per_node.size(), 8u);
+  std::size_t sent = 0, received = 0;
+  for (int v = 0; v < 8; ++v) {
+    sent += stats.messages_sent_by(v);
+    received += stats.messages_received_by(v);
+  }
+  // Nothing dropped on a fault-free run: every send is a receive.
+  EXPECT_EQ(sent, stats.messages_total);
+  EXPECT_EQ(received, stats.messages_total);
+  EXPECT_THROW((void)stats.messages_sent_by(8), std::out_of_range);
+  EXPECT_THROW((void)stats.messages_received_by(-1), std::out_of_range);
 }
 
 }  // namespace

@@ -380,7 +380,7 @@ TEST(Aggregate, SumsAllUidsOnEveryTopology) {
   for (topology topo : {topology::ring, topology::line, topology::star,
                         topology::grid, topology::complete,
                         topology::random_connected}) {
-    network net(20, topo, timing::synchronous, 5);
+    sim_transport net({.nodes = 20, .topo = topo, .seed = 5});
     net.spawn(aggregate_sum(0));
     const auto stats = net.run();
     ASSERT_TRUE(net.decision(0, "aggregate").has_value()) << to_string(topo);
@@ -390,7 +390,10 @@ TEST(Aggregate, SumsAllUidsOnEveryTopology) {
 }
 
 TEST(Aggregate, WorksAsynchronously) {
-  network net(15, topology::random_connected, timing::asynchronous, 8);
+  sim_transport net({.nodes = 15,
+                     .topo = topology::random_connected,
+                     .mode = timing::asynchronous,
+                     .seed = 8});
   net.spawn(aggregate_sum(0));
   (void)net.run();
   ASSERT_TRUE(net.decision(0, "aggregate").has_value());
@@ -398,7 +401,7 @@ TEST(Aggregate, WorksAsynchronously) {
 }
 
 TEST(Aggregate, SingleNode) {
-  network net(1, topology::ring);
+  sim_transport net({.nodes = 1});
   net.spawn(aggregate_sum(0));
   (void)net.run();
   EXPECT_EQ(*net.decision(0, "aggregate"), 1);

@@ -118,9 +118,9 @@ TEST(Taxonomy, ClaimedBoundsDominateMeasuredCounts) {
   const taxonomy t = distributed_taxonomy();
   for (const std::size_t n : {16u, 64u, 256u}) {
     const auto lcr = distributed::run_ring_election(
-        distributed::lcr_leader_election(), n, distributed::timing::synchronous);
+        distributed::lcr_leader_election(), {.nodes = n});
     const auto hs = distributed::run_ring_election(
-        distributed::hs_leader_election(), n, distributed::timing::synchronous);
+        distributed::hs_leader_election(), {.nodes = n});
     const double claimed_lcr =
         t.find("lcr-leader-election")->costs.at("messages").eval(
             {{"n", static_cast<double>(n)}});

@@ -362,7 +362,7 @@ TEST(TelemetryIntegration, AllFiveSubsystemsExportNonZeroMetrics) {
 
   // (2) distributed: a ring election.
   {
-    distributed::network net(8, distributed::topology::ring);
+    distributed::sim_transport net({.nodes = 8});
     net.spawn(distributed::lcr_leader_election());
     const auto stats = net.run();
     ASSERT_GT(stats.messages_total, 0u);
@@ -433,7 +433,8 @@ TEST(TelemetryIntegration, PerTagMessageCountsMatchRegistry) {
   auto& reg = telemetry::registry::global();
   const std::uint64_t before =
       reg.get_counter("distributed.network.messages.probe").value();
-  distributed::network net(4, distributed::topology::complete);
+  distributed::sim_transport net(
+      {.nodes = 4, .topo = distributed::topology::complete});
   net.spawn([](int) {
     struct probe final : distributed::process {
       void start(distributed::context& ctx) override {

@@ -239,7 +239,7 @@ TEST_F(TraceTest, MessageEnvelopeCarriesContextAcrossRanks) {
   {
     trace::trace_span root("root", "test");
     root_ctx = root.context();
-    distributed::network net(2, distributed::topology::ring);
+    distributed::sim_transport net({.nodes = 2});
     net.spawn([](int id) { return std::make_unique<pingpong>(id); });
     (void)net.run(8);
     EXPECT_EQ(net.decision(0, "done"), 1);
@@ -265,7 +265,7 @@ TEST_F(TraceTest, MessageEnvelopeCarriesContextAcrossRanks) {
 }
 
 TEST_F(TraceTest, UntracedNetworkRunRecordsNothing) {
-  distributed::network net(2, distributed::topology::ring);
+  distributed::sim_transport net({.nodes = 2});
   net.spawn([](int id) { return std::make_unique<pingpong>(id); });
   (void)net.run(8);
   EXPECT_EQ(trace::sink::global().size(), 0u);
