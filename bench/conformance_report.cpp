@@ -1,0 +1,195 @@
+// Conformance report emitter: runs the property-based conformance suites
+// (DESIGN.md §8) outside googletest and prints one line per suite, so CI
+// can gate on the aggregate without parsing test output.
+//
+// Exit status:
+//   0  every property held and every suite executed at least one case;
+//   1  a property was falsified (the CGP_CHECK_SEED reproduction line is
+//      printed) or a suite was vacuous (0 executed cases — a checker that
+//      silently checks nothing is itself a conformance failure).
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "check/axiom_bridge.hpp"
+#include "check/expr_gen.hpp"
+#include "check/laws.hpp"
+#include "check/property.hpp"
+#include "core/algebraic.hpp"
+#include "core/registry.hpp"
+#include "distributed/algorithms.hpp"
+#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/eval.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace check = cgp::check;
+namespace core = cgp::core;
+namespace dist = cgp::distributed;
+namespace rewrite = cgp::rewrite;
+
+namespace {
+
+struct tally {
+  std::size_t suites = 0;
+  std::size_t cases = 0;
+  std::size_t failed = 0;
+  std::size_t vacuous = 0;
+};
+
+void report(const std::string& group, const std::vector<check::result>& rs,
+            tally* t) {
+  for (const auto& r : rs) {
+    ++t->suites;
+    t->cases += r.cases_run;
+    const char* verdict = "ok";
+    if (r.cases_run == 0) {
+      ++t->vacuous;
+      verdict = "VACUOUS";
+    } else if (!r.ok) {
+      ++t->failed;
+      verdict = "FAILED";
+    }
+    std::printf("  [%-7s] %-58s %4zu cases, %2zu discarded\n", verdict,
+                (group + "/" + r.name).c_str(), r.cases_run, r.discarded);
+    if (!r.ok && !r.message.empty()) std::printf("%s\n", r.message.c_str());
+  }
+}
+
+std::vector<check::result> law_bundles() {
+  std::vector<check::result> rs;
+  const auto add = [&rs](std::vector<check::result> more) {
+    for (auto& r : more) rs.push_back(std::move(r));
+  };
+  add(check::abelian_group_properties<std::int64_t, std::plus<>>("int64,+"));
+  add(check::commutative_monoid_properties<std::uint64_t, std::multiplies<>>(
+      "uint64,*"));
+  add(check::monoid_properties<std::string, std::plus<>>("string,+"));
+  add(check::abelian_group_properties<double, std::plus<>>("double,+"));
+  add(check::group_properties<double, std::multiplies<>>("double,*", {},
+                                                         check::approx_eq()));
+  add(check::abelian_group_properties<std::complex<double>, std::plus<>>(
+      "complex<double>,+"));
+  add(check::ring_distributivity_properties<std::int64_t>("int64"));
+  add(check::strict_weak_order_properties<std::int64_t, std::less<>>(
+      "int64,<"));
+  add(check::strict_weak_order_properties<std::string, std::less<>>(
+      "string,<"));
+  return rs;
+}
+
+bool values_agree(const rewrite::value& a, const rewrite::value& b) {
+  if (const auto* x = std::get_if<double>(&a)) {
+    const auto* y = std::get_if<double>(&b);
+    if (!y) return false;
+    if (*x == *y) return true;
+    if (!std::isfinite(*x) || !std::isfinite(*y)) return false;
+    return std::fabs(*x - *y) <=
+           1e-9 * std::max({std::fabs(*x), std::fabs(*y), 1.0});
+  }
+  return rewrite::value_equal(a, b);
+}
+
+std::vector<check::result> rewrite_differential() {
+  rewrite::simplifier simp;
+  simp.add_default_concept_rules();
+  simp.enable_constant_folding();
+  std::vector<check::result> rs;
+  for (const char* type : {"int", "unsigned", "double"}) {
+    rs.push_back(check::for_all<std::uint64_t>(
+        std::string("simplify.differential[") + type + "]",
+        [&simp, type](std::uint64_t raw) {
+          check::random_source rs2(raw);
+          const auto g = check::generate_expr(rs2, type);
+          rewrite::value before;
+          try {
+            before = rewrite::evaluate(g.e, g.env);
+          } catch (const rewrite::eval_error&) {
+            throw check::discard_case{};
+          }
+          return values_agree(before,
+                              rewrite::evaluate(simp.simplify(g.e), g.env));
+        }));
+  }
+  return rs;
+}
+
+std::vector<check::result> transport_parity() {
+  static constexpr dist::topology topos[] = {
+      dist::topology::ring, dist::topology::line, dist::topology::complete,
+      dist::topology::star, dist::topology::grid,
+      dist::topology::random_connected};
+  check::config cfg;
+  cfg.cases = 15;  // each case runs two full networks
+  std::vector<check::result> rs;
+  rs.push_back(check::for_all<std::uint64_t>(
+      "transport.parity.flooding",
+      [](std::uint64_t raw) {
+        check::random_source rs2(raw);
+        dist::net_options opts;
+        opts.nodes = 2 + rs2.below(7);
+        opts.topo = topos[rs2.below(6)];
+        opts.seed = static_cast<std::uint32_t>(rs2.bits());
+        opts.fifo_links = rs2.chance(50);
+        opts.faults.drop = 0.1 * static_cast<double>(rs2.below(4));
+        opts.faults.duplicate = 0.1 * static_cast<double>(rs2.below(4));
+        dist::sim_transport sim(opts);
+        sim.spawn(dist::flooding_broadcast(0));
+        const auto ss = sim.run(500);
+        dist::parallel_transport par(opts);
+        par.spawn(dist::flooding_broadcast(0));
+        const auto ps = par.run(500);
+        return sim.all_decisions() == par.all_decisions() &&
+               ss.messages_total == ps.messages_total &&
+               ss.messages_dropped == ps.messages_dropped &&
+               ss.messages_duplicated == ps.messages_duplicated &&
+               ss.rounds == ps.rounds;
+      },
+      cfg));
+  return rs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("conformance report  (%s)\n", check::seed_banner().c_str());
+  tally t;
+
+  std::printf("\nalgebraic law bundles (compile-time models):\n");
+  report("laws", law_bundles(), &t);
+
+  std::printf("\nregistry axiom bridge (runtime models):\n");
+  report("bridge",
+         check::registry_axiom_properties(core::concept_registry::global()),
+         &t);
+
+  std::printf("\nrewrite differential oracle:\n");
+  report("rewrite", rewrite_differential(), &t);
+
+  std::printf("\ntransport backend parity:\n");
+  report("transport", transport_parity(), &t);
+
+  auto& reg = cgp::telemetry::registry::global();
+  std::printf("\n%zu suites, %zu cases, %zu failed, %zu vacuous "
+              "(telemetry: %lld properties, %lld cases, %lld falsified)\n",
+              t.suites, t.cases, t.failed, t.vacuous,
+              static_cast<long long>(
+                  reg.get_counter("check.properties.executed").value()),
+              static_cast<long long>(
+                  reg.get_counter("check.properties.cases_executed").value()),
+              static_cast<long long>(
+                  reg.get_counter("check.properties.falsified").value()));
+  if (t.failed > 0 || t.vacuous > 0 || t.suites == 0) {
+    std::printf("conformance: FAILED\n");
+    return 1;
+  }
+  std::printf("conformance: ok\n");
+  return 0;
+}

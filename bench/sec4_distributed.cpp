@@ -161,7 +161,7 @@ void report() {
   {
     const net_options opts{
         .nodes = 32, .topo = topology::complete, .seed = 7,
-        .faults = {.drop = 0.10, .duplicate = 0.05, .max_delay = 2}};
+        .faults = {.drop = 0.10, .duplicate = 0.05}};
     sim_transport sim(opts);
     sim.spawn(flooding_broadcast(0));
     const auto ss = sim.run();

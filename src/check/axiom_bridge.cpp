@@ -1,0 +1,149 @@
+#include "check/axiom_bridge.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "rewrite/eval.hpp"
+#include "rewrite/expr.hpp"
+#include "rewrite/rules.hpp"
+
+namespace cgp::check {
+
+namespace {
+
+/// Value comparison for axiom sides.  Doubles get a relative tolerance:
+/// reciprocal-based inverse witnesses are correct models of the real-number
+/// axioms while being one ulp off in IEEE arithmetic, and a genuinely wrong
+/// model misses by far more than 1e-9.
+bool values_agree(const rewrite::value& a, const rewrite::value& b) {
+  if (std::holds_alternative<double>(a) && std::holds_alternative<double>(b)) {
+    const double x = std::get<double>(a);
+    const double y = std::get<double>(b);
+    if (x == y) return true;
+    if (!std::isfinite(x) || !std::isfinite(y)) return false;
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+    return std::fabs(x - y) <= 1e-9 * scale;
+  }
+  return rewrite::value_equal(a, b);
+}
+
+/// A renamed axiom side is executable only if every constant was resolved
+/// to a literal by parse_literal; a surviving named_const means the model's
+/// symbol binding does not cover the axiom's signature (e.g. a Field model
+/// declared without an "e" binding), so the axiom must be skipped rather
+/// than failed.
+bool has_unbound_constant(const rewrite::expr& e) {
+  if (e.is(rewrite::expr::kind::named_const)) return true;
+  for (const rewrite::expr& c : e.children())
+    if (has_unbound_constant(c)) return true;
+  return false;
+}
+
+template <class T>
+rewrite::expr literal_of(const T& v, const std::string& type) {
+  return rewrite::expr::lit(rewrite::value(v), type);
+}
+
+/// Checks one renamed axiom over generated values of carrier type T.
+/// Samples on which evaluation is undefined (division by zero, reciprocal
+/// of zero) are discarded — axioms only constrain the operation's domain.
+template <class T>
+result check_axiom_as(const std::string& name, const rewrite::expr& lhs,
+                      const rewrite::expr& rhs,
+                      const std::vector<std::string>& vars,
+                      const std::string& type, const config& cfg) {
+  const auto pred = [&lhs, &rhs, &vars, &type](const auto&... xs) -> bool {
+    std::map<std::string, rewrite::expr> binding;
+    std::size_t i = 0;
+    (binding.emplace(vars[i++], literal_of(xs, type)), ...);
+    try {
+      return values_agree(rewrite::evaluate(lhs.substitute(binding), {}),
+                          rewrite::evaluate(rhs.substitute(binding), {}));
+    } catch (const rewrite::eval_error&) {
+      throw discard_case{};
+    }
+  };
+  switch (vars.size()) {
+    case 1:
+      return for_all<T>(name, pred, cfg);
+    case 2:
+      return for_all<T, T>(name, pred, cfg);
+    default:
+      return for_all<T, T, T>(name, pred, cfg);
+  }
+}
+
+std::string model_label(const core::model_declaration& m) {
+  std::string label = m.concept_name + "{";
+  for (std::size_t i = 0; i < m.arguments.size(); ++i) {
+    if (i != 0) label += ",";
+    label += m.arguments[i];
+  }
+  return label + "}";
+}
+
+}  // namespace
+
+bool bridge_supports_type(const std::string& type) {
+  return type == "int" || type == "unsigned" || type == "double" ||
+         type == "bool" || type == "string";
+}
+
+std::vector<result> model_axiom_properties(const core::concept_registry& reg,
+                                           const core::model_declaration& m,
+                                           const config& cfg) {
+  std::vector<result> out;
+  if (m.arguments.empty()) return out;
+  const std::string& type = m.arguments.front();
+  if (!bridge_supports_type(type)) return out;
+
+  const std::string label = model_label(m);
+  for (const core::axiom& ax : reg.all_axioms(m.concept_name)) {
+    if (ax.vars.empty() || ax.vars.size() > 3) continue;
+    const rewrite::expr lhs =
+        rewrite::pattern_from_term(ax.lhs.rename_symbols(m.symbol_binding),
+                                   type);
+    const rewrite::expr rhs =
+        rewrite::pattern_from_term(ax.rhs.rename_symbols(m.symbol_binding),
+                                   type);
+    if (has_unbound_constant(lhs) || has_unbound_constant(rhs)) continue;
+
+    const std::string name = label + "." + ax.name;
+    if (type == "int") {
+      out.push_back(
+          check_axiom_as<std::int64_t>(name, lhs, rhs, ax.vars, type, cfg));
+    } else if (type == "unsigned") {
+      out.push_back(
+          check_axiom_as<std::uint64_t>(name, lhs, rhs, ax.vars, type, cfg));
+    } else if (type == "double") {
+      out.push_back(check_axiom_as<double>(name, lhs, rhs, ax.vars, type, cfg));
+    } else if (type == "bool") {
+      out.push_back(check_axiom_as<bool>(name, lhs, rhs, ax.vars, type, cfg));
+    } else {
+      out.push_back(
+          check_axiom_as<std::string>(name, lhs, rhs, ax.vars, type, cfg));
+    }
+  }
+  return out;
+}
+
+std::vector<result> registry_axiom_properties(const core::concept_registry& reg,
+                                              const config& cfg) {
+  std::vector<result> out;
+  for (const std::string& name : reg.concept_names()) {
+    for (const core::model_declaration& m : reg.models_of(name)) {
+      // models_of surfaces declarations of refinements too; visit each
+      // declaration only under its own concept so no model is checked twice.
+      if (m.concept_name != name) continue;
+      auto props = model_axiom_properties(reg, m, cfg);
+      out.insert(out.end(), std::make_move_iterator(props.begin()),
+                 std::make_move_iterator(props.end()));
+    }
+  }
+  return out;
+}
+
+}  // namespace cgp::check

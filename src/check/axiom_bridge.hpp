@@ -1,0 +1,44 @@
+// Axiom-to-property bridge, registry side: instantiates checkable
+// properties directly from the `core::concept_registry`'s equational axioms
+// and model declarations.
+//
+// Where laws.hpp checks the COMPILE-TIME modeling relation (trait
+// specializations), this bridge checks the RUNTIME one: for every declared
+// model, each axiom of its concept (inherited axioms included) is renamed
+// through the model's symbol binding, lowered to the rewrite IR with
+// `rewrite::pattern_from_term`, instantiated with generated literals, and
+// evaluated on both sides.  This is the same pipeline the Simplicissimus
+// simplifier uses to turn axioms into rewrite rules — so a model that
+// survives this bridge is exactly a model the optimizer may trust.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+#include "core/registry.hpp"
+
+namespace cgp::check {
+
+/// True when the bridge can generate and evaluate values of the named
+/// registry type ("int", "unsigned", "double", "bool", "string").  Models
+/// over other carriers (matrix, complex, containers) are exercised by the
+/// typed bundles in laws.hpp instead.
+[[nodiscard]] bool bridge_supports_type(const std::string& type);
+
+/// Properties for one declared model: one property per axiom of its concept
+/// (including axioms inherited through refinement) that is executable —
+/// i.e. the carrier type is bridge-supported, every constant in the renamed
+/// axiom parses as a literal of that type, and the axiom quantifies over
+/// one to three variables.  Non-executable axioms are skipped silently;
+/// an unsupported carrier yields an empty vector.
+[[nodiscard]] std::vector<result> model_axiom_properties(
+    const core::concept_registry& reg, const core::model_declaration& m,
+    const config& cfg = {});
+
+/// The full conformance sweep: properties for every model declared in the
+/// registry (each declaration visited once, under the concept it names).
+[[nodiscard]] std::vector<result> registry_axiom_properties(
+    const core::concept_registry& reg, const config& cfg = {});
+
+}  // namespace cgp::check

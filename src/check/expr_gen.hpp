@@ -1,0 +1,126 @@
+// Random typed expression generation for the rewrite differential oracle:
+// `eval(e) == eval(simplify(e))` must hold for every generated `e`.
+//
+// Plain uniform trees almost never contain a redex, so the generator is
+// biased toward the shapes the Fig. 5 rules fire on — identity operands
+// (`x + 0`, `1 * x`), inverse pairs (`x + (-x)`, `x * reciprocal(x)`,
+// `x ^ x`) — while still mixing in arbitrary operator applications so the
+// oracle also witnesses that the simplifier leaves non-redexes alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "rewrite/eval.hpp"
+#include "rewrite/expr.hpp"
+
+namespace cgp::check {
+
+/// A generated expression together with the environment binding its free
+/// variables (drawn from {x, y, z}) to concrete values.
+struct generated_expr {
+  rewrite::expr e = rewrite::expr::int_lit(0);
+  rewrite::environment env;
+};
+
+namespace detail {
+
+inline rewrite::value random_value_of(random_source& rs,
+                                      const std::string& type) {
+  if (type == "unsigned") {
+    return rewrite::value(
+        static_cast<std::uint64_t>(arbitrary<std::uint64_t>::generate(rs)));
+  }
+  if (type == "double") return rewrite::value(arbitrary<double>::generate(rs));
+  return rewrite::value(small_biased_int(rs));
+}
+
+inline const std::vector<std::string>& ops_for(const std::string& type) {
+  static const std::vector<std::string> int_ops = {"+", "-", "*"};
+  // No `&`: the registry's Monoid{unsigned,&} identity is the 32-bit mask
+  // 0xFFFFFFFF, but `evaluate` computes unsigned arithmetic in uint64, so
+  // erasing the mask changes the value once a `+`/`*` intermediate exceeds
+  // 2^32.  The rule is sound on its declared 32-bit carrier (the axiom
+  // bridge checks that); the differential oracle must not feed it a wider
+  // domain.
+  static const std::vector<std::string> unsigned_ops = {"+", "*", "|", "^"};
+  static const std::vector<std::string> double_ops = {"+", "-", "*"};
+  if (type == "unsigned") return unsigned_ops;
+  if (type == "double") return double_ops;
+  return int_ops;
+}
+
+/// Identity element literal for `op` over `type`, when the builtin models
+/// declare one.
+inline std::optional<rewrite::expr> identity_for(const std::string& op,
+                                                 const std::string& type) {
+  using rewrite::expr;
+  if (type == "double") {
+    if (op == "+") return expr::double_lit(0.0);
+    if (op == "*") return expr::double_lit(1.0);
+    return std::nullopt;
+  }
+  if (type == "unsigned") {
+    if (op == "+" || op == "|" || op == "^") return expr::uint_lit(0);
+    if (op == "*") return expr::uint_lit(1);
+    return std::nullopt;
+  }
+  if (op == "+") return expr::int_lit(0);
+  if (op == "*") return expr::int_lit(1);
+  return std::nullopt;
+}
+
+inline rewrite::expr gen_expr_rec(random_source& rs, const std::string& type,
+                                  int depth) {
+  using rewrite::expr;
+  const auto leaf = [&]() -> expr {
+    if (rs.chance(50)) return expr::lit(random_value_of(rs, type), type);
+    static const char* const names[] = {"x", "y", "z"};
+    return expr::var(names[rs.below(3)], type);
+  };
+  if (depth <= 0 || rs.chance(30)) return leaf();
+
+  const auto& ops = ops_for(type);
+  const std::string op = ops[rs.below(ops.size())];
+  expr sub = gen_expr_rec(rs, type, depth - 1);
+
+  const std::uint64_t shape = rs.below(100);
+  // Identity redex: op(sub, e) or op(e, sub).
+  if (shape < 30) {
+    if (auto e = identity_for(op, type)) {
+      return rs.chance(50) ? expr::binary_op(op, sub, *e, type)
+                           : expr::binary_op(op, *e, sub, type);
+    }
+  }
+  // Inverse redex: x + (-x), x * reciprocal(x), x ^ x.
+  if (shape < 50) {
+    if (op == "+" && type != "unsigned")
+      return expr::binary_op("+", sub, expr::unary_op("-", sub, type), type);
+    if (op == "*" && type == "double")
+      return expr::binary_op("*", sub,
+                             expr::call_fn("reciprocal", {sub}, type), type);
+    if (op == "^" && type == "unsigned")
+      return expr::binary_op("^", sub, sub, type);
+  }
+  // Plain application.
+  return expr::binary_op(op, sub, gen_expr_rec(rs, type, depth - 1), type);
+}
+
+}  // namespace detail
+
+/// Generates a random expression of `type` ("int", "unsigned" or "double")
+/// plus an environment for its free variables, all drawn from `rs`.
+[[nodiscard]] inline generated_expr generate_expr(random_source& rs,
+                                                  const std::string& type,
+                                                  int max_depth = 4) {
+  generated_expr g;
+  for (const char* name : {"x", "y", "z"})
+    g.env.emplace(name, detail::random_value_of(rs, type));
+  g.e = detail::gen_expr_rec(rs, type, max_depth);
+  return g;
+}
+
+}  // namespace cgp::check

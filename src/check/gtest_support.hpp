@@ -1,0 +1,37 @@
+// GoogleTest glue for the conformance suites: registers a global test
+// environment that prints the run's `CGP_CHECK_SEED` into the ctest log, so
+// every randomized failure in CI carries its own reproduction recipe.
+#pragma once
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace cgp::check {
+
+class seed_banner_environment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    std::printf("[check] %s  (export this variable to reproduce the run)\n",
+                seed_banner().c_str());
+    std::fflush(stdout);
+  }
+};
+
+/// Idempotent: the environment is registered once per process no matter how
+/// many translation units invoke this.
+inline ::testing::Environment* register_seed_banner() {
+  static ::testing::Environment* const env =
+      ::testing::AddGlobalTestEnvironment(new seed_banner_environment);
+  return env;
+}
+
+}  // namespace cgp::check
+
+/// Put one of these at namespace scope in every test file that consumes
+/// check::default_seed(), directly or via for_all.
+#define CGP_REGISTER_SEED_BANNER()                            \
+  static ::testing::Environment* const cgp_check_seed_env_ =  \
+      ::cgp::check::register_seed_banner()

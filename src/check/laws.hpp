@@ -1,0 +1,266 @@
+// Axiom-to-property bridge, compile-time side: turns the semantic contract
+// a `core::algebraic` model declaration signs (associativity, identities,
+// inverses, commutativity, distributivity, the StrictWeakOrder laws of
+// Fig. 6) into executable randomized properties.
+//
+// Each bundle is constrained on the corresponding concept, so asking for
+// `monoid_properties<T, Op>` of a pair that never declared Monoid is a
+// compile error — and a pair that declared it WRONGLY (the paper's central
+// worry: "the modeling relation ... is by nominal conformance") is caught
+// at test time with a shrunk counterexample and a CGP_CHECK_SEED repro
+// line.  The runtime-registry twin of this header is axiom_bridge.hpp.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+#include "core/algebraic.hpp"
+
+namespace cgp::check {
+
+/// Equality used by the law predicates.  Defaults to ==; models whose
+/// witnesses are inexact (floating-point reciprocals) pass approx_eq.
+template <class T>
+using eq_fn = std::function<bool(const T&, const T&)>;
+
+template <class T>
+[[nodiscard]] eq_fn<T> exact_eq() {
+  return [](const T& a, const T& b) { return a == b; };
+}
+
+/// Relative-tolerance comparison for floating-point law checks.
+[[nodiscard]] inline eq_fn<double> approx_eq(double rel = 1e-9) {
+  return [rel](const double& a, const double& b) {
+    if (a == b) return true;
+    if (!std::isfinite(a) || !std::isfinite(b)) return false;
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return std::fabs(a - b) <= rel * scale;
+  };
+}
+
+namespace detail {
+
+/// Discards samples whose intermediate results leave the value domain
+/// (overflowed-to-inf doubles); integral wraparound is well-defined and
+/// deliberately NOT discarded — the declared models promise modular laws.
+template <class T>
+[[nodiscard]] bool in_domain(const T& v) {
+  if constexpr (std::is_floating_point_v<T>) return std::isfinite(v);
+  (void)v;
+  return true;
+}
+
+template <class T>
+void require_domain(const T& v) {
+  if (!in_domain(v)) throw discard_case{};
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Algebraic bundles (core::algebraic declarations -> properties)
+// ---------------------------------------------------------------------------
+
+/// Semigroup: associativity.
+template <class T, class Op>
+  requires core::Semigroup<T, Op>
+[[nodiscard]] std::vector<result> semigroup_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  const Op op{};
+  std::vector<result> out;
+  out.push_back(for_all<T, T, T>(
+      "Semigroup[" + model + "].associativity",
+      [op, eq](const T& x, const T& y, const T& z) {
+        const T ab = op(x, y), bc = op(y, z);
+        detail::require_domain(ab);
+        detail::require_domain(bc);
+        const T l = op(ab, z), r = op(x, bc);
+        detail::require_domain(l);
+        detail::require_domain(r);
+        return eq(l, r);
+      },
+      cfg));
+  return out;
+}
+
+/// Monoid: associativity + two-sided identity (the axioms behind Fig. 5's
+/// `x + 0 -> x` rewrite rule).
+template <class T, class Op>
+  requires core::Monoid<T, Op>
+[[nodiscard]] std::vector<result> monoid_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  auto out = semigroup_properties<T, Op>(model, cfg, eq);
+  const Op op{};
+  const T e = core::monoid_traits<T, Op>::identity();
+  out.push_back(for_all<T>(
+      "Monoid[" + model + "].right_identity",
+      [op, eq, e](const T& x) { return eq(op(x, e), x); }, cfg));
+  out.push_back(for_all<T>(
+      "Monoid[" + model + "].left_identity",
+      [op, eq, e](const T& x) { return eq(op(e, x), x); }, cfg));
+  return out;
+}
+
+/// Group: monoid + two-sided inverse (Fig. 5's `x + (-x) -> 0`).  Samples
+/// whose inverse leaves the domain (e.g. reciprocal of 0 under the
+/// multiplicative-group-of-nonzero-reals model) are discarded.
+template <class T, class Op>
+  requires core::Group<T, Op>
+[[nodiscard]] std::vector<result> group_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  auto out = monoid_properties<T, Op>(model, cfg, eq);
+  const Op op{};
+  const T e = core::monoid_traits<T, Op>::identity();
+  const auto inv = [](const T& x) {
+    return core::group_traits<T, Op>::inverse(x);
+  };
+  out.push_back(for_all<T>(
+      "Group[" + model + "].right_inverse",
+      [op, eq, e, inv](const T& x) {
+        const T ix = inv(x);
+        detail::require_domain(ix);
+        return eq(op(x, ix), e);
+      },
+      cfg));
+  out.push_back(for_all<T>(
+      "Group[" + model + "].left_inverse",
+      [op, eq, e, inv](const T& x) {
+        const T ix = inv(x);
+        detail::require_domain(ix);
+        return eq(op(ix, x), e);
+      },
+      cfg));
+  return out;
+}
+
+/// Commutativity, as declared by `declares_commutative`.
+template <class T, class Op>
+  requires(core::BinaryOperation<T, Op> &&
+           core::declares_commutative<T, Op>::value)
+[[nodiscard]] std::vector<result> commutativity_property(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  const Op op{};
+  std::vector<result> out;
+  out.push_back(for_all<T, T>(
+      "Commutative[" + model + "].commutativity",
+      [op, eq](const T& x, const T& y) { return eq(op(x, y), op(y, x)); },
+      cfg));
+  return out;
+}
+
+template <class T, class Op>
+  requires core::CommutativeMonoid<T, Op>
+[[nodiscard]] std::vector<result> commutative_monoid_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  auto out = monoid_properties<T, Op>(model, cfg, eq);
+  auto comm = commutativity_property<T, Op>(model, cfg, eq);
+  out.insert(out.end(), comm.begin(), comm.end());
+  return out;
+}
+
+template <class T, class Op>
+  requires core::AbelianGroup<T, Op>
+[[nodiscard]] std::vector<result> abelian_group_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  auto out = group_properties<T, Op>(model, cfg, eq);
+  auto comm = commutativity_property<T, Op>(model, cfg, eq);
+  out.insert(out.end(), comm.begin(), comm.end());
+  return out;
+}
+
+/// Ring: both distributivity axioms over the declared (Add, Mul) pair.
+template <class T, class Add = std::plus<>, class Mul = std::multiplies<>>
+  requires core::Ring<T, Add, Mul>
+[[nodiscard]] std::vector<result> ring_distributivity_properties(
+    const std::string& model, const config& cfg = {},
+    eq_fn<T> eq = exact_eq<T>()) {
+  const Add add{};
+  const Mul mul{};
+  std::vector<result> out;
+  out.push_back(for_all<T, T, T>(
+      "Ring[" + model + "].left_distributivity",
+      [add, mul, eq](const T& x, const T& y, const T& z) {
+        const T s = add(y, z);
+        detail::require_domain(s);
+        const T l = mul(x, s);
+        const T r = add(mul(x, y), mul(x, z));
+        detail::require_domain(l);
+        detail::require_domain(r);
+        return eq(l, r);
+      },
+      cfg));
+  out.push_back(for_all<T, T, T>(
+      "Ring[" + model + "].right_distributivity",
+      [add, mul, eq](const T& x, const T& y, const T& z) {
+        const T s = add(x, y);
+        detail::require_domain(s);
+        const T l = mul(s, z);
+        const T r = add(mul(x, z), mul(y, z));
+        detail::require_domain(l);
+        detail::require_domain(r);
+        return eq(l, r);
+      },
+      cfg));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict Weak Order (Fig. 6) + the derived equivalence theorems
+// ---------------------------------------------------------------------------
+
+/// The four SWO axioms as stated by the registry's StrictWeakOrder concept,
+/// plus the two derived theorems (reflexivity and symmetry of the induced
+/// equivalence E) that proof::theories machine-checks symbolically —
+/// checked here empirically against the same concrete model, closing the
+/// paper's §3.3 loop: one law, one proof, one property.
+template <class T, class Cmp>
+  requires core::StrictWeakOrder<Cmp, T>
+[[nodiscard]] std::vector<result> strict_weak_order_properties(
+    const std::string& model, const config& cfg = {}) {
+  const Cmp lt{};
+  const auto equiv = [lt](const T& a, const T& b) {
+    return !lt(a, b) && !lt(b, a);
+  };
+  std::vector<result> out;
+  out.push_back(for_all<T>(
+      "StrictWeakOrder[" + model + "].irreflexivity",
+      [lt](const T& x) { return !lt(x, x); }, cfg));
+  out.push_back(for_all<T, T>(
+      "StrictWeakOrder[" + model + "].asymmetry",
+      [lt](const T& x, const T& y) { return !(lt(x, y) && lt(y, x)); }, cfg));
+  out.push_back(for_all<T, T, T>(
+      "StrictWeakOrder[" + model + "].transitivity",
+      [lt](const T& x, const T& y, const T& z) {
+        return !(lt(x, y) && lt(y, z)) || lt(x, z);
+      },
+      cfg));
+  out.push_back(for_all<T, T, T>(
+      "StrictWeakOrder[" + model + "].incomparability_transitivity",
+      [equiv](const T& x, const T& y, const T& z) {
+        return !(equiv(x, y) && equiv(y, z)) || equiv(x, z);
+      },
+      cfg));
+  // Derived theorems (Fig. 6: "symmetry and reflexivity ... can be derived
+  // as theorems"); proved in proof::theories, sampled here.
+  out.push_back(for_all<T>(
+      "StrictWeakOrder[" + model + "].equivalence_reflexive[derived]",
+      [equiv](const T& x) { return equiv(x, x); }, cfg));
+  out.push_back(for_all<T, T>(
+      "StrictWeakOrder[" + model + "].equivalence_symmetric[derived]",
+      [equiv](const T& x, const T& y) {
+        return equiv(x, y) == equiv(y, x);
+      },
+      cfg));
+  return out;
+}
+
+}  // namespace cgp::check

@@ -1,0 +1,75 @@
+#include "check/property.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "telemetry/telemetry.hpp"
+
+namespace cgp::check {
+
+std::uint64_t default_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("CGP_CHECK_SEED")) {
+      std::uint64_t v = 0;
+      const char* end = env;
+      while (*end != '\0') ++end;
+      auto [p, ec] = std::from_chars(env, end, v);
+      if (ec == std::errc{} && p == end) return v;
+    }
+    return std::uint64_t{42};
+  }();
+  return seed;
+}
+
+std::string seed_banner() {
+  return "CGP_CHECK_SEED=" + std::to_string(default_seed());
+}
+
+namespace detail {
+
+std::string display_value(std::int64_t v) { return std::to_string(v); }
+std::string display_value(std::uint64_t v) { return std::to_string(v); }
+std::string display_value(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+std::string display_value(bool v) { return v ? "true" : "false"; }
+std::string display_value(const std::string& v) { return "\"" + v + "\""; }
+
+}  // namespace detail
+
+namespace detail {
+
+void record_result_telemetry(const result& r) {
+  auto& reg = telemetry::registry::global();
+  reg.get_counter("check.properties.executed").add();
+  reg.get_counter("check.properties.cases_executed").add(r.cases_run);
+  if (r.falsified) reg.get_counter("check.properties.falsified").add();
+}
+
+}  // namespace detail
+
+std::size_t total_cases(const std::vector<result>& rs) {
+  std::size_t n = 0;
+  for (const result& r : rs) n += r.cases_run;
+  return n;
+}
+
+bool all_ok(const std::vector<result>& rs) {
+  for (const result& r : rs)
+    if (!r.ok) return false;
+  return true;
+}
+
+std::string failure_messages(const std::vector<result>& rs) {
+  std::string out;
+  for (const result& r : rs) {
+    if (r.ok) continue;
+    if (!out.empty()) out += "\n";
+    out += r.message;
+  }
+  return out;
+}
+
+}  // namespace cgp::check

@@ -1,0 +1,227 @@
+// The property runner: `for_all<Args...>(name, predicate)` samples the
+// predicate over seeded deterministic inputs, shrinks any counterexample to
+// a minimal one, and reports a single reproduction line
+// (`CGP_CHECK_SEED=<n>`) that replays the failure exactly.
+//
+// This is the execution engine behind DESIGN.md §8's "executable semantic
+// concepts": the axiom bundles in laws.hpp and the registry bridge in
+// axiom_bridge.hpp all reduce to for_all calls, and the conformance test
+// suites (`ctest -L conformance`) assert on the returned results.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/shrink.hpp"
+
+namespace cgp::check {
+
+/// The run-wide seed: the value of the CGP_CHECK_SEED environment variable
+/// when set (decimal), otherwise 42.  Every property and every reseeded
+/// randomized test derives from this one documented source, so any failure
+/// in a ctest log is reproduced by exporting the printed seed.
+[[nodiscard]] std::uint64_t default_seed();
+
+/// One line suitable for test logs: "CGP_CHECK_SEED=<n>".
+[[nodiscard]] std::string seed_banner();
+
+/// Throw inside a property to discard the current sample (unmet
+/// precondition, e.g. a non-invertible element for an inverse law).
+/// Discarded samples do not count toward `cases_run`.
+struct discard_case {};
+
+struct config {
+  std::size_t cases = 200;       ///< target number of non-discarded samples
+  std::uint64_t seed = default_seed();
+  std::size_t max_shrinks = 500; ///< cap on accepted shrink steps
+};
+
+/// Outcome of one property.  `ok` is false when a counterexample was found
+/// OR when every sample was discarded (a silently-skipped property is a
+/// failure: the CI conformance gate requires every suite to execute cases).
+struct result {
+  std::string name;
+  bool ok = true;
+  bool falsified = false;
+  std::size_t cases_run = 0;
+  std::size_t discarded = 0;
+  std::uint64_t seed = 0;
+  std::size_t failing_case = 0;   ///< index of the first failing sample
+  std::size_t shrink_steps = 0;
+  std::vector<std::string> counterexample;  ///< one rendered value per arg
+  std::string message;  ///< full failure report incl. the CGP_CHECK_SEED line
+
+  [[nodiscard]] std::string repro() const {
+    return "CGP_CHECK_SEED=" + std::to_string(seed);
+  }
+};
+
+namespace detail {
+
+/// Counts the property into the telemetry registry
+/// (check.properties.{executed,cases_executed,falsified}).
+void record_result_telemetry(const result& r);
+
+[[nodiscard]] std::string display_value(std::int64_t v);
+[[nodiscard]] std::string display_value(std::uint64_t v);
+[[nodiscard]] std::string display_value(double v);
+[[nodiscard]] std::string display_value(bool v);
+[[nodiscard]] std::string display_value(const std::string& v);
+
+template <class F>
+[[nodiscard]] std::string display_value(const std::complex<F>& v) {
+  return "(" + display_value(static_cast<double>(v.real())) + " + " +
+         display_value(static_cast<double>(v.imag())) + "i)";
+}
+template <class T>
+[[nodiscard]] std::string display_value(const std::vector<T>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += display_value(v[i]);
+  }
+  return out + "]";
+}
+// Integral types narrower than 64 bits route through the wide overloads.
+template <class T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+           !std::is_same_v<T, std::int64_t> &&
+           !std::is_same_v<T, std::uint64_t>)
+[[nodiscard]] std::string display_value(T v) {
+  if constexpr (std::is_signed_v<T>)
+    return display_value(static_cast<std::int64_t>(v));
+  else
+    return display_value(static_cast<std::uint64_t>(v));
+}
+
+/// Runs the predicate, mapping `discard_case` to "discard" and any other
+/// exception to "failed" (an axiom check that throws is a counterexample).
+enum class verdict { passed, failed, discarded };
+
+template <class Pred, class Tuple>
+[[nodiscard]] verdict run_predicate(const Pred& pred, const Tuple& args,
+                                    std::string* error) {
+  try {
+    return std::apply(pred, args) ? verdict::passed : verdict::failed;
+  } catch (const discard_case&) {
+    return verdict::discarded;
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return verdict::failed;
+  }
+}
+
+template <class Tuple, std::size_t... Is>
+[[nodiscard]] std::vector<std::string> render_tuple(
+    const Tuple& t, std::index_sequence<Is...>) {
+  return {display_value(std::get<Is>(t))...};
+}
+
+}  // namespace detail
+
+/// Checks `pred(Args...)` over `cfg.cases` generated samples.  On failure,
+/// greedily shrinks the counterexample componentwise and fills in
+/// `result::message` with the reproduction line and the minimal tuple.
+template <class... Args, class Pred>
+[[nodiscard]] result for_all(std::string name, const Pred& pred,
+                             const config& cfg = {}) {
+  result res;
+  res.name = std::move(name);
+  res.seed = cfg.seed;
+
+  using tuple_t = std::tuple<Args...>;
+  std::string error;
+  for (std::size_t i = 0; res.cases_run < cfg.cases; ++i) {
+    // Give up when preconditions reject almost everything: the property is
+    // then vacuous and must be flagged, not silently skipped.
+    if (res.discarded > 10 * cfg.cases + 100) break;
+    random_source rs(case_seed(cfg.seed, i));
+    tuple_t args{arbitrary<Args>::generate(rs)...};
+    error.clear();
+    const auto v = detail::run_predicate(pred, args, &error);
+    if (v == detail::verdict::discarded) {
+      ++res.discarded;
+      continue;
+    }
+    ++res.cases_run;
+    if (v == detail::verdict::passed) continue;
+
+    // --- counterexample found: shrink it ------------------------------------
+    res.ok = false;
+    res.falsified = true;
+    res.failing_case = i;
+    bool shrunk = true;
+    while (shrunk && res.shrink_steps < cfg.max_shrinks) {
+      shrunk = false;
+      // Try to simplify each component in turn; accept the first candidate
+      // that still fails and restart the sweep.
+      const auto try_component = [&](auto index_constant) {
+        constexpr std::size_t I = index_constant.value;
+        using elem_t = std::tuple_element_t<I, tuple_t>;
+        auto& slot = std::get<I>(args);
+        // Indexed loop: vector<bool> candidate lists yield proxy references.
+        const std::vector<elem_t> cands = shrinker<elem_t>::candidates(slot);
+        for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+          tuple_t trial = args;
+          std::get<I>(trial) = cands[ci];
+          std::string trial_error;
+          if (detail::run_predicate(pred, trial, &trial_error) ==
+              detail::verdict::failed) {
+            slot = cands[ci];
+            error = trial_error;
+            ++res.shrink_steps;
+            return true;
+          }
+        }
+        return false;
+      };
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        shrunk = (try_component(std::integral_constant<std::size_t, Is>{}) ||
+                  ...);
+      }(std::index_sequence_for<Args...>{});
+    }
+    res.counterexample =
+        detail::render_tuple(args, std::index_sequence_for<Args...>{});
+
+    std::ostringstream msg;
+    msg << "property '" << res.name << "' FALSIFIED\n  reproduce with: "
+        << res.repro() << "  (case " << res.failing_case << ", "
+        << res.shrink_steps << " shrink steps)\n  counterexample: (";
+    for (std::size_t k = 0; k < res.counterexample.size(); ++k) {
+      if (k != 0) msg << ", ";
+      msg << res.counterexample[k];
+    }
+    msg << ")";
+    if (!error.empty()) msg << "\n  raised: " << error;
+    res.message = msg.str();
+    detail::record_result_telemetry(res);
+    return res;
+  }
+
+  if (res.cases_run == 0) {
+    // The silent-skip guard: a property whose generator/preconditions
+    // discarded everything proves nothing and must fail loudly.
+    res.ok = false;
+    res.message = "property '" + res.name +
+                  "' executed 0 cases (all " +
+                  std::to_string(res.discarded) +
+                  " samples discarded) — vacuous suite; " + res.repro();
+  }
+  detail::record_result_telemetry(res);
+  return res;
+}
+
+/// Sum of executed cases across results (for report gating).
+[[nodiscard]] std::size_t total_cases(const std::vector<result>& rs);
+/// True when every result is ok.
+[[nodiscard]] bool all_ok(const std::vector<result>& rs);
+/// Concatenated failure messages (empty when all ok).
+[[nodiscard]] std::string failure_messages(const std::vector<result>& rs);
+
+}  // namespace cgp::check

@@ -1,0 +1,132 @@
+// Shrinking for the property-based conformance checker: once a property is
+// falsified, the runner greedily replaces each component of the failing
+// tuple by simpler candidates (toward 0 / empty) while the failure
+// persists, so the reported counterexample is minimal — a wrong Monoid
+// declaration surfaces as `(0, 0, 1)`, not as three random 31-bit values.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace cgp::check {
+
+/// Specialize `shrinker<T>` with a static
+/// `std::vector<T> candidates(const T&)` returning strictly-simpler values
+/// to try, best first.  An empty vector means fully shrunk.
+template <class T, class = void>
+struct shrinker {
+  static std::vector<T> candidates(const T&) { return {}; }
+};
+
+template <class T>
+struct shrinker<T, std::enable_if_t<std::is_integral_v<T> &&
+                                    std::is_signed_v<T>>> {
+  static std::vector<T> candidates(const T& v) {
+    std::vector<T> out;
+    if (v == T{0}) return out;
+    out.push_back(T{0});
+    if (v < T{0}) out.push_back(static_cast<T>(-v));  // prefer positive
+    const T half = static_cast<T>(v / 2);
+    if (half != v) out.push_back(half);
+    const T step = static_cast<T>(v > T{0} ? v - 1 : v + 1);
+    if (step != half) out.push_back(step);
+    return out;
+  }
+};
+
+template <class T>
+struct shrinker<T, std::enable_if_t<std::is_integral_v<T> &&
+                                    std::is_unsigned_v<T> &&
+                                    !std::is_same_v<T, bool>>> {
+  static std::vector<T> candidates(const T& v) {
+    std::vector<T> out;
+    if (v == T{0}) return out;
+    out.push_back(T{0});
+    const T half = static_cast<T>(v / 2);
+    if (half != v) out.push_back(half);
+    if (v - 1 != half) out.push_back(static_cast<T>(v - 1));
+    return out;
+  }
+};
+
+template <>
+struct shrinker<bool> {
+  static std::vector<bool> candidates(const bool& v) {
+    return v ? std::vector<bool>{false} : std::vector<bool>{};
+  }
+};
+
+template <>
+struct shrinker<double> {
+  static std::vector<double> candidates(const double& v) {
+    std::vector<double> out;
+    if (v == 0.0) return out;
+    out.push_back(0.0);
+    if (v < 0.0) out.push_back(-v);
+    const double t = std::trunc(v);
+    if (t != v && t != 0.0) out.push_back(t);
+    if (v / 2.0 != v) out.push_back(v / 2.0);
+    return out;
+  }
+};
+
+template <class F>
+struct shrinker<std::complex<F>> {
+  static std::vector<std::complex<F>> candidates(const std::complex<F>& v) {
+    std::vector<std::complex<F>> out;
+    if (v == std::complex<F>{}) return out;
+    out.push_back({});
+    if (v.imag() != F{0}) out.push_back({v.real(), F{0}});
+    if (v.real() != F{0}) out.push_back({F{0}, v.imag()});
+    for (F r : shrinker<F>::candidates(v.real()))
+      out.push_back({r, v.imag()});
+    return out;
+  }
+};
+
+template <>
+struct shrinker<std::string> {
+  static std::vector<std::string> candidates(const std::string& v) {
+    std::vector<std::string> out;
+    if (v.empty()) return out;
+    out.emplace_back();
+    if (v.size() > 1) {
+      out.push_back(v.substr(0, v.size() / 2));
+      out.push_back(v.substr(v.size() / 2));
+      out.push_back(v.substr(0, v.size() - 1));
+    }
+    // Simplify the alphabet: all-'a' of the same length.
+    const std::string flat(v.size(), 'a');
+    if (flat != v) out.push_back(flat);
+    return out;
+  }
+};
+
+template <class T>
+struct shrinker<std::vector<T>> {
+  static std::vector<std::vector<T>> candidates(const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.empty()) return out;
+    out.emplace_back();
+    if (v.size() > 1) {
+      out.emplace_back(v.begin(), v.begin() + v.size() / 2);
+      out.emplace_back(v.begin() + v.size() / 2, v.end());
+      out.emplace_back(v.begin(), v.end() - 1);
+    }
+    // Shrink one element in place (first candidate only, per position).
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const auto cs = shrinker<T>::candidates(v[i]);
+      if (cs.empty()) continue;
+      std::vector<T> copy = v;
+      copy[i] = cs.front();
+      out.push_back(std::move(copy));
+    }
+    return out;
+  }
+};
+
+}  // namespace cgp::check

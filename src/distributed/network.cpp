@@ -66,6 +66,26 @@ net_base::net_base(const net_options& opts)
       decisions_(opts.nodes) {
   const std::size_t n = opts.nodes;
   if (n == 0) throw std::invalid_argument("net_options: need at least one node");
+  // Fault knobs are validated here, once, so every backend shares the same
+  // contract and a bad configuration fails at construction instead of
+  // silently skewing a run.  (NaN fails both comparisons.)
+  const fault_options& f = opts.faults;
+  if (!(f.drop >= 0.0 && f.drop <= 1.0)) {
+    throw std::invalid_argument(
+        "net_options: faults.drop must be a probability in [0, 1], got " +
+        std::to_string(f.drop));
+  }
+  if (!(f.duplicate >= 0.0 && f.duplicate <= 1.0)) {
+    throw std::invalid_argument(
+        "net_options: faults.duplicate must be a probability in [0, 1], got " +
+        std::to_string(f.duplicate));
+  }
+  if (opts.mode == timing::synchronous && f.max_delay != 0) {
+    throw std::invalid_argument(
+        "net_options: faults.max_delay requires timing::asynchronous — a "
+        "synchronous round delivers every message at the next round "
+        "boundary, so per-message delay has no defined meaning there");
+  }
   const auto link = [&](std::size_t a, std::size_t b) {
     adjacency_[a].push_back(static_cast<int>(b));
     adjacency_[b].push_back(static_cast<int>(a));
@@ -228,15 +248,11 @@ void net_base::schedule_async(message&& m, std::uint64_t extra_delay) {
   events_.push(event{t, seq_++, std::move(m)});
 }
 
-void net_base::schedule_sync(message&& m, std::size_t extra_delay) {
-  std::size_t due = round_ + 1 + extra_delay;
-  if (opts_.fifo_links && opts_.faults.max_delay != 0) {
-    // Delays may reorder a link; FIFO channels clamp each delivery to be
-    // no earlier than the link's previous one.
-    auto& last = link_last_round_[{m.src, m.dst}];
-    due = std::max(due, last);
-    last = due;
-  }
+void net_base::schedule_sync(message&& m) {
+  // Construction rejects max_delay in synchronous mode, so every message
+  // is due exactly one round after it was sent — no per-link reordering to
+  // compensate for.
+  const std::size_t due = round_ + 1;
   const auto dst = static_cast<std::size_t>(m.dst);
   mailboxes_[dst].push_back(pending_msg{due, std::move(m)});
   ++pending_count_;
@@ -262,17 +278,12 @@ std::size_t net_base::route_outboxes() {
         std::bernoulli_distribution duplicated(f.duplicate);
         dup = duplicated(fault_rng_);
       }
-      const auto extra = [&]() -> std::size_t {
-        if (f.max_delay == 0) return 0;
-        std::uniform_int_distribution<std::size_t> d(0, f.max_delay);
-        return d(fault_rng_);
-      };
       if (dup) {
         ++stats_.messages_duplicated;
-        schedule_sync(message(m), extra());
+        schedule_sync(message(m));
         ++scheduled;
       }
-      schedule_sync(std::move(m), extra());
+      schedule_sync(std::move(m));
       ++scheduled;
     }
     outboxes_[src].clear();

@@ -84,8 +84,10 @@ struct fault_options {
   /// Probability a message is delivered twice (the copy draws its own
   /// delay).
   double duplicate = 0.0;
-  /// Extra delivery delay, uniform in [0, max_delay]: rounds when
-  /// synchronous, virtual-time ticks when asynchronous.
+  /// Extra delivery delay in virtual-time ticks, uniform in [0, max_delay].
+  /// Asynchronous mode only: a synchronous round delivers every message at
+  /// the next round boundary, so construction rejects a nonzero max_delay
+  /// under timing::synchronous.
   std::uint32_t max_delay = 0;
 
   [[nodiscard]] bool any() const noexcept {
@@ -105,8 +107,8 @@ struct net_options {
   std::uint32_t seed = 42;
   /// Asynchronous delivery is per-link FIFO (the channel assumption
   /// algorithms like Peterson's election rely on); false models fully
-  /// reordering channels.  Synchronously, FIFO constrains only delayed
-  /// messages (fault_options::max_delay).
+  /// reordering channels.  Synchronous delivery is inherently ordered by
+  /// the round barrier, so the flag only affects asynchronous runs.
   bool fifo_links = true;
   /// parallel_transport only: worker thread count (0 = auto, at least 2).
   unsigned workers = 0;
@@ -314,7 +316,7 @@ class net_base {
   // sender order, counts statistics, applies the fault plan, and schedules
   // deliveries.  Returns the number of newly scheduled messages.
   std::size_t route_outboxes();
-  void schedule_sync(message&& m, std::size_t extra_delay);
+  void schedule_sync(message&& m);
   void schedule_async(message&& m, std::uint64_t extra_delay);
 
   run_stats run_synchronous(std::size_t max_rounds);
@@ -336,7 +338,8 @@ class net_base {
 
   // Synchronous engine: per-sender outboxes filled by the node tasks, then
   // routed at the barrier into per-destination mailboxes tagged with a due
-  // round (> current round; faults may push it further out).
+  // round (always the next round — construction rejects delay faults in
+  // synchronous mode).
   struct pending_msg {
     std::size_t due_round;
     message msg;
@@ -345,7 +348,6 @@ class net_base {
   std::vector<std::vector<pending_msg>> mailboxes_; ///< indexed by dest
   std::vector<std::vector<message>> inboxes_;       ///< this round's input
   std::size_t pending_count_ = 0;
-  std::map<std::pair<int, int>, std::size_t> link_last_round_;
 
   // Asynchronous engine (sim backend only): (delivery_time, sequence,
   // message) min-heap.

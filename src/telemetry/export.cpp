@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace cgp::telemetry {
@@ -246,6 +247,64 @@ class parser {
 
 json_value parse_json(std::string_view text) {
   return parser(text).parse_document();
+}
+
+namespace {
+
+void dump_to(const json_value& v, std::string* out) {
+  switch (v.k) {
+    case json_value::kind::null:
+      *out += "null";
+      break;
+    case json_value::kind::boolean:
+      *out += v.b ? "true" : "false";
+      break;
+    case json_value::kind::number: {
+      if (!std::isfinite(v.num)) {
+        *out += "null";  // JSON has no NaN/inf
+        break;
+      }
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof buf, v.num);
+      out->append(buf, res.ptr);
+      break;
+    }
+    case json_value::kind::string:
+      *out += json_quote(v.str);
+      break;
+    case json_value::kind::array: {
+      *out += '[';
+      bool first = true;
+      for (const json_value& e : v.arr) {
+        if (!first) *out += ',';
+        first = false;
+        dump_to(e, out);
+      }
+      *out += ']';
+      break;
+    }
+    case json_value::kind::object: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, val] : v.obj) {
+        if (!first) *out += ',';
+        first = false;
+        *out += json_quote(key);
+        *out += ':';
+        dump_to(val, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump_json(const json_value& v) {
+  std::string out;
+  dump_to(v, &out);
+  return out;
 }
 
 }  // namespace cgp::telemetry

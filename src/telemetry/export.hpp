@@ -46,4 +46,11 @@ struct json_value {
 /// garbage is an error).
 [[nodiscard]] json_value parse_json(std::string_view text);
 
+/// Serializes a parsed value back to a compact JSON document.  Numbers use
+/// the shortest round-tripping representation (std::to_chars), objects
+/// serialize in key order, so dump∘parse is a fixed point:
+/// `dump_json(parse_json(dump_json(v))) == dump_json(v)` for any `v`
+/// (non-finite numbers, which valid JSON cannot carry, serialize as null).
+[[nodiscard]] std::string dump_json(const json_value& v);
+
 }  // namespace cgp::telemetry

@@ -1,0 +1,271 @@
+// Conformance suite: differential testing of the Simplicissimus rewrite
+// pipeline.  Soundness here means `eval(e) == eval(simplify(e))` — the
+// simplifier may only fire rules whose axioms the operand types actually
+// model.  Three oracles:
+//  1. whole-pipeline differential over randomized typed expressions;
+//  2. per-rule `eval(lhs) == eval(rhs)` over generated metavariable
+//     bindings, for every shipped expr_rule (Fig. 5 instances, derived
+//     theorems, LiDIA user rule, reciprocal normalization);
+//  3. the planted unsound model: a simplifier armed with a wrong
+//     Monoid{int,-} declaration must be caught by oracle 1.
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/expr_gen.hpp"
+#include "check/gtest_support.hpp"
+#include "check/property.hpp"
+#include "core/registry.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/eval.hpp"
+#include "rewrite/expr.hpp"
+#include "rewrite/rules.hpp"
+
+namespace check = cgp::check;
+namespace core = cgp::core;
+namespace rewrite = cgp::rewrite;
+
+CGP_REGISTER_SEED_BANNER();
+
+namespace {
+
+/// Tolerant value comparison: rewrites that reassociate reciprocals or
+/// matrix inverses are sound over the reals but land within a few ulps in
+/// floating point; everything else must agree exactly.
+bool values_agree(const rewrite::value& a, const rewrite::value& b) {
+  if (std::holds_alternative<double>(a) && std::holds_alternative<double>(b)) {
+    const double x = std::get<double>(a), y = std::get<double>(b);
+    if (x == y) return true;
+    if (!std::isfinite(x) || !std::isfinite(y)) return false;
+    return std::fabs(x - y) <=
+           1e-9 * std::max({std::fabs(x), std::fabs(y), 1.0});
+  }
+  using mat = std::shared_ptr<const rewrite::matrix_value>;
+  if (std::holds_alternative<mat>(a) && std::holds_alternative<mat>(b)) {
+    const auto& ma = *std::get<mat>(a);
+    const auto& mb = *std::get<mat>(b);
+    if (ma.rows != mb.rows || ma.cols != mb.cols) return false;
+    for (std::size_t i = 0; i < ma.data.size(); ++i)
+      if (std::fabs(ma.data[i] - mb.data[i]) > 1e-6) return false;
+    return true;
+  }
+  return rewrite::value_equal(a, b);
+}
+
+/// Differential oracle over randomized expressions of one type.
+check::result differential(const rewrite::simplifier& simp,
+                           const std::string& type, std::size_t* fired,
+                           const check::config& cfg = {}) {
+  return check::for_all<std::uint64_t>(
+      "simplify.differential[" + type + "]",
+      [&simp, &type, fired](std::uint64_t raw) {
+        check::random_source rs(raw);
+        const auto g = check::generate_expr(rs, type);
+        rewrite::value before;
+        try {
+          before = rewrite::evaluate(g.e, g.env);
+        } catch (const rewrite::eval_error&) {
+          throw check::discard_case{};  // e.g. reciprocal of zero
+        }
+        const rewrite::expr after = simp.simplify(g.e);
+        if (fired && after != g.e) ++*fired;
+        // The original evaluated, so the simplified form must too: a rewrite
+        // that introduces an evaluation error is itself unsound.
+        return values_agree(before, rewrite::evaluate(after, g.env));
+      },
+      cfg);
+}
+
+void collect_metavariables(const rewrite::expr& e,
+                           std::map<std::string, std::string>* out) {
+  if (e.is(rewrite::expr::kind::metavariable)) (*out)[e.symbol()] = e.type();
+  for (const rewrite::expr& c : e.children()) collect_metavariables(c, out);
+}
+
+bool mentions_constant(const rewrite::expr& e, const std::string& name) {
+  if (e.is(rewrite::expr::kind::named_const) && e.symbol() == name)
+    return true;
+  for (const rewrite::expr& c : e.children())
+    if (mentions_constant(c, name)) return true;
+  return false;
+}
+
+rewrite::expr random_literal(check::random_source& rs,
+                             const std::string& type) {
+  using rewrite::expr;
+  if (type == "int")
+    return expr::int_lit(check::detail::small_biased_int(rs));
+  if (type == "unsigned")
+    return expr::uint_lit(check::arbitrary<std::uint64_t>::generate(rs));
+  if (type == "bool") return expr::bool_lit(rs.chance(50));
+  if (type == "string")
+    return expr::string_lit(check::arbitrary<std::string>::generate(rs));
+  if (type == "matrix") {
+    auto m = std::make_shared<rewrite::matrix_value>();
+    m->rows = m->cols = 2;
+    m->data.resize(4);
+    for (double& d : m->data)
+      d = static_cast<double>(rs.int_in(-4, 4));
+    return expr::lit(rewrite::value(std::move(m)), "matrix");
+  }
+  // double, rational, bigfloat: dyadic double carriers.
+  return expr::lit(rewrite::value(check::arbitrary<double>::generate(rs)),
+                   type);
+}
+
+/// Per-rule oracle: lhs and rhs of the rule must evaluate equal under every
+/// generated binding of the pattern's metavariables.
+check::result rule_soundness(const rewrite::expr_rule& rule) {
+  std::map<std::string, std::string> metas;
+  collect_metavariables(rule.pattern, &metas);
+  // The symbolic identity matrix has no intrinsic size: bind it to I_2 to
+  // match the generated 2x2 matrix literals.
+  rewrite::environment env;
+  if (mentions_constant(rule.pattern, "I") ||
+      mentions_constant(rule.replacement, "I")) {
+    env.emplace("I", rewrite::value(std::make_shared<rewrite::matrix_value>(
+                         rewrite::matrix_value::identity(2))));
+  }
+  return check::for_all<std::uint64_t>(
+      "rule[" + rule.name + "]",
+      [&rule, metas, env](std::uint64_t raw) {
+        check::random_source rs(raw);
+        std::map<std::string, rewrite::expr> binding;
+        for (const auto& [name, type] : metas)
+          binding.emplace(name, random_literal(rs, type));
+        if (rule.guard && !rule.guard(binding)) throw check::discard_case{};
+        try {
+          const rewrite::value l =
+              rewrite::evaluate(rule.pattern.substitute(binding), env);
+          const rewrite::value r =
+              rewrite::evaluate(rule.replacement.substitute(binding), env);
+          // Double division by zero evaluates to inf rather than throwing;
+          // such samples are outside the rule's domain (f != 0 in Fig. 5's
+          // `f * (1.0/f) -> 1.0`), like the throwing cases below.
+          for (const rewrite::value* v : {&l, &r})
+            if (const auto* d = std::get_if<double>(v); d && !std::isfinite(*d))
+              throw check::discard_case{};
+          return values_agree(l, r);
+        } catch (const rewrite::eval_error&) {
+          // Integer division by zero, singular matrix: outside the domain.
+          throw check::discard_case{};
+        }
+      },
+      {});
+}
+
+}  // namespace
+
+TEST(RewriteConformance, DefaultSimplifierIsSoundOnRandomizedExpressions) {
+  rewrite::simplifier simp;
+  simp.add_default_concept_rules();
+  simp.enable_constant_folding();
+
+  std::size_t fired = 0;
+  for (const char* type : {"int", "unsigned", "double"}) {
+    const auto res = differential(simp, type, &fired);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_EQ(res.cases_run, check::config{}.cases);
+  }
+  // The oracle must have exercised actual rewrites, not only fixpoints —
+  // a differential test that never sees a rule fire proves nothing.
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(RewriteConformance, InstanceRulesWithUserExtensionsStaySound) {
+  rewrite::simplifier simp;
+  simp.add_default_concept_rules();
+  for (auto& r : rewrite::fig5_instance_rules()) simp.add_expr_rule(r);
+  for (auto& r : rewrite::derived_theorem_rules()) simp.add_expr_rule(r);
+  simp.add_expr_rule(rewrite::reciprocal_normalization_rule("double"));
+
+  std::size_t fired = 0;
+  for (const char* type : {"int", "unsigned", "double"}) {
+    const auto res = differential(simp, type, &fired);
+    EXPECT_TRUE(res.ok) << res.message;
+  }
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(RewriteConformance, EveryShippedExprRuleIsSound) {
+  std::vector<rewrite::expr_rule> rules = rewrite::fig5_instance_rules();
+  for (auto& r : rewrite::derived_theorem_rules())
+    rules.push_back(std::move(r));
+  rules.push_back(rewrite::lidia_inverse_rule());
+  rules.push_back(rewrite::reciprocal_normalization_rule("double"));
+  rules.push_back(rewrite::reciprocal_normalization_rule("rational"));
+
+  std::size_t checked = 0;
+  for (const auto& rule : rules) {
+    const auto res = rule_soundness(rule);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.cases_run, 0u) << rule.name;
+    ++checked;
+  }
+  // Fig. 5 alone contributes ten instances; the full shipped set is larger.
+  EXPECT_GE(checked, 15u);
+}
+
+TEST(RewriteConformance, SimplifierArmedWithWrongModelIsCaught) {
+  // A registry that (wrongly) declares Monoid{int, -} with identity 0:
+  // the generic left-identity rule instantiates to the unsound 0 - x -> x.
+  core::concept_registry bad_reg;
+  core::register_builtin_concepts(bad_reg);
+  core::model_declaration bad;
+  bad.concept_name = "Monoid";
+  bad.arguments = {"int", "-"};
+  bad.symbol_binding = {{"op", "-"}, {"e", "0"}};
+  bad_reg.declare_model(bad);
+
+  rewrite::simplifier simp(bad_reg);
+  simp.add_default_concept_rules();
+
+  const auto res = check::for_all<std::int64_t>(
+      "simplify.differential.catches_bad_model",
+      [&simp](std::int64_t x) {
+        const rewrite::expr e = rewrite::expr::binary_op(
+            "-", rewrite::expr::int_lit(0), rewrite::expr::int_lit(x), "int");
+        return values_agree(rewrite::evaluate(e, {}),
+                            rewrite::evaluate(simp.simplify(e), {}));
+      });
+  ASSERT_TRUE(res.falsified)
+      << "the unsound rule 0 - x -> x was never caught";
+  // Minimal witness: any nonzero x; shrinking lands on |x| == 1.
+  ASSERT_EQ(res.counterexample.size(), 1u);
+  EXPECT_TRUE(res.counterexample[0] == "1" || res.counterexample[0] == "-1")
+      << res.message;
+  EXPECT_NE(res.message.find("CGP_CHECK_SEED="), std::string::npos);
+
+  // The same expressions under the sound global registry are left alone.
+  rewrite::simplifier good;
+  good.add_default_concept_rules();
+  const auto sound = check::for_all<std::int64_t>(
+      "simplify.differential.sound_model",
+      [&good](std::int64_t x) {
+        const rewrite::expr e = rewrite::expr::binary_op(
+            "-", rewrite::expr::int_lit(0), rewrite::expr::int_lit(x), "int");
+        return values_agree(rewrite::evaluate(e, {}),
+                            rewrite::evaluate(good.simplify(e), {}));
+      });
+  EXPECT_TRUE(sound.ok) << sound.message;
+}
+
+TEST(RewriteConformance, ConceptRuleInstancesMatchAxiomSemantics) {
+  // The generic Monoid/Group rules on the GLOBAL registry, differentially
+  // checked on expressions biased toward their redexes, with the bridge's
+  // own typed generator rather than handwritten cases.
+  rewrite::simplifier simp;
+  simp.add_default_concept_rules();
+  std::size_t fired = 0;
+  check::config cfg;
+  cfg.cases = 400;  // denser sampling for the headline soundness claim
+  const auto res = differential(simp, "double", &fired, cfg);
+  EXPECT_TRUE(res.ok) << res.message;
+  EXPECT_GT(fired, 0u);
+}

@@ -1,0 +1,155 @@
+// Conformance suite: randomized differential testing of the Transport
+// backends.  The determinism contract (network.hpp) says a synchronous
+// run's decisions and statistics are identical on every backend for a
+// fixed seed; here that parity is re-verified under RANDOMIZED topologies,
+// node counts, seeds, channel orders, and fault knobs, rather than the
+// hand-picked configurations of transport_test.cpp.  Any mismatch prints a
+// CGP_CHECK_SEED line that replays the exact configuration.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "check/gtest_support.hpp"
+#include "check/property.hpp"
+#include "distributed/algorithms.hpp"
+#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
+
+namespace check = cgp::check;
+namespace dist = cgp::distributed;
+
+CGP_REGISTER_SEED_BANNER();
+
+namespace {
+
+struct outcome {
+  dist::run_stats stats;
+  std::map<std::pair<int, std::string>, long> decisions;
+};
+
+struct plan {
+  dist::net_options opts;
+  int crash_node = -1;  ///< < 0: no crash
+  std::size_t crash_round = 0;
+};
+
+/// Derives a full run configuration from one generated 64-bit value, so a
+/// parity failure shrinks/replays through the ordinary seed machinery.
+plan random_plan(check::random_source& rs, bool with_faults) {
+  static constexpr dist::topology topos[] = {
+      dist::topology::ring,     dist::topology::line,
+      dist::topology::complete, dist::topology::star,
+      dist::topology::grid,     dist::topology::random_connected};
+  plan p;
+  p.opts.nodes = 2 + rs.below(7);  // 2..8
+  p.opts.topo = topos[rs.below(6)];
+  p.opts.mode = dist::timing::synchronous;  // parallel backend is sync-only
+  p.opts.seed = static_cast<std::uint32_t>(rs.bits());
+  p.opts.fifo_links = rs.chance(50);
+  p.opts.workers = static_cast<unsigned>(2 + rs.below(3));
+  if (with_faults) {
+    p.opts.faults.drop = 0.1 * static_cast<double>(rs.below(4));       // 0..0.3
+    p.opts.faults.duplicate = 0.1 * static_cast<double>(rs.below(4));  // 0..0.3
+    if (rs.chance(30)) {
+      p.crash_node = static_cast<int>(rs.below(p.opts.nodes));
+      p.crash_round = rs.below(4);
+    }
+  }
+  return p;
+}
+
+template <class Transport>
+outcome run_on(const plan& p, const dist::process_factory& factory) {
+  Transport net(p.opts);
+  net.spawn(factory);
+  if (p.crash_node >= 0) net.crash(p.crash_node, p.crash_round);
+  outcome out;
+  out.stats = net.run(500);
+  out.decisions = net.all_decisions();
+  return out;
+}
+
+bool stats_equal(const dist::run_stats& a, const dist::run_stats& b) {
+  return a.messages_total == b.messages_total &&
+         a.messages_dropped == b.messages_dropped &&
+         a.messages_duplicated == b.messages_duplicated &&
+         a.messages_by_tag == b.messages_by_tag && a.rounds == b.rounds &&
+         a.local_steps == b.local_steps &&
+         a.local_steps_per_node == b.local_steps_per_node &&
+         a.messages_sent_per_node == b.messages_sent_per_node &&
+         a.messages_received_per_node == b.messages_received_per_node;
+}
+
+bool backends_agree(const plan& p, const dist::process_factory& factory) {
+  const outcome sim = run_on<dist::sim_transport>(p, factory);
+  const outcome par = run_on<dist::parallel_transport>(p, factory);
+  return sim.decisions == par.decisions && stats_equal(sim.stats, par.stats);
+}
+
+check::config parity_config() {
+  check::config cfg;
+  cfg.cases = 25;  // each case runs two full networks
+  return cfg;
+}
+
+}  // namespace
+
+TEST(TransportConformance, FloodingParityUnderRandomizedTopologiesAndFaults) {
+  const auto res = check::for_all<std::uint64_t>(
+      "transport.parity.flooding",
+      [](std::uint64_t raw) {
+        check::random_source rs(raw);
+        const plan p = random_plan(rs, /*with_faults=*/true);
+        return backends_agree(p, dist::flooding_broadcast(0));
+      },
+      parity_config());
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(TransportConformance, EchoWaveParityUnderRandomizedFaults) {
+  const auto res = check::for_all<std::uint64_t>(
+      "transport.parity.echo_wave",
+      [](std::uint64_t raw) {
+        check::random_source rs(raw);
+        const plan p = random_plan(rs, /*with_faults=*/true);
+        return backends_agree(p, dist::echo_wave(0));
+      },
+      parity_config());
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(TransportConformance, LeaderElectionParityOnRandomizedRings) {
+  const auto res = check::for_all<std::uint64_t>(
+      "transport.parity.lcr",
+      [](std::uint64_t raw) {
+        check::random_source rs(raw);
+        plan p = random_plan(rs, /*with_faults=*/true);
+        p.opts.topo = dist::topology::ring;  // LCR is a ring algorithm
+        p.crash_node = -1;  // LCR's termination assumes live nodes
+        return backends_agree(p, dist::lcr_leader_election());
+      },
+      parity_config());
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(TransportConformance, ParallelBackendIsSelfDeterministic) {
+  // Two runs of the SAME randomized configuration on the parallel backend
+  // must agree with each other — scheduling nondeterminism must never leak
+  // into decisions or statistics.
+  const auto res = check::for_all<std::uint64_t>(
+      "transport.parallel.self_determinism",
+      [](std::uint64_t raw) {
+        check::random_source rs(raw);
+        const plan p = random_plan(rs, /*with_faults=*/true);
+        const auto a = run_on<dist::parallel_transport>(
+            p, dist::bfs_spanning_tree(0));
+        const auto b = run_on<dist::parallel_transport>(
+            p, dist::bfs_spanning_tree(0));
+        return a.decisions == b.decisions && stats_equal(a.stats, b.stats);
+      },
+      parity_config());
+  EXPECT_TRUE(res.ok) << res.message;
+}

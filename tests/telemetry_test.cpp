@@ -226,6 +226,65 @@ TEST(TelemetryExport, ParserRejectsMalformedJson) {
                telemetry::json_error);
 }
 
+TEST(TelemetryExport, DumpJsonSerializesEveryKind) {
+  const auto doc = telemetry::parse_json(
+      "{\"s\":\"a\\\"b\\nc\",\"n\":-2.5,\"t\":true,\"f\":false,"
+      "\"z\":null,\"a\":[1,[],{}]}");
+  EXPECT_EQ(telemetry::dump_json(doc),
+            "{\"a\":[1,[],{}],\"f\":false,\"n\":-2.5,\"s\":\"a\\\"b\\nc\","
+            "\"t\":true,\"z\":null}");
+  // Shortest round-tripping numbers: integral doubles stay integral.
+  EXPECT_EQ(telemetry::dump_json(telemetry::parse_json("42")), "42");
+  EXPECT_EQ(telemetry::dump_json(telemetry::parse_json("0.1")), "0.1");
+}
+
+TEST(TelemetryExport, JsonRoundTripIsAFixedPoint) {
+  // export → bundled parser → re-export must converge: after one
+  // parse∘dump pass the document is a fixed point of further passes.
+  telemetry::registry reg;
+  reg.get_counter("rt.counter").add(1234567);
+  (void)reg.get_counter("rt.zero");  // untouched counter still exports
+  reg.get_gauge("rt.gauge").set(-42);
+  auto& h = reg.get_histogram("rt.hist");
+  h.record(0);    // bucket 0 (the [0,0] bucket)
+  h.record(1);
+  h.record(300);
+  h.record(~std::uint64_t{0});  // saturates bucket 64: hi = 2^64 - 1
+  (void)reg.get_histogram("rt.empty");  // no samples: empty bucket array
+
+  const std::string s1 = reg.export_json();
+  const std::string s2 = telemetry::dump_json(telemetry::parse_json(s1));
+  const std::string s3 = telemetry::dump_json(telemetry::parse_json(s2));
+  // s1 and s2 may differ lexically — json_value stores numbers as doubles,
+  // so the saturated bucket's hi = 2^64 - 1 is rounded — but the pass is
+  // idempotent from then on.
+  EXPECT_EQ(s2, s3);
+
+  // The re-parsed document still carries the metric semantics.
+  const auto doc = telemetry::parse_json(s2);
+  EXPECT_EQ(doc.at("counters").at("rt.counter").num, 1234567.0);
+  EXPECT_EQ(doc.at("counters").at("rt.zero").num, 0.0);
+  EXPECT_EQ(doc.at("gauges").at("rt.gauge").num, -42.0);
+  const auto& hist = doc.at("histograms").at("rt.hist");
+  EXPECT_EQ(hist.at("count").num, 4.0);
+  ASSERT_EQ(hist.at("buckets").arr.size(), 4u);  // 0, 1, 300, 2^64-1
+  EXPECT_EQ(hist.at("buckets").arr[0].at("lo").num, 0.0);
+  EXPECT_EQ(hist.at("buckets").arr[0].at("hi").num, 0.0);
+  // The saturated bucket's bounds survive as the nearest double.
+  EXPECT_EQ(hist.at("buckets").arr[3].at("hi").num,
+            static_cast<double>(~std::uint64_t{0}));
+  EXPECT_TRUE(doc.at("histograms").at("rt.empty").at("buckets").arr.empty());
+  EXPECT_EQ(doc.at("histograms").at("rt.empty").at("mean").num, 0.0);
+}
+
+TEST(TelemetryExport, GlobalRegistryExportRoundTripsThroughDump) {
+  // The live global registry (whatever this test binary accumulated so
+  // far) must round-trip too — not just hand-built registries.
+  const std::string s1 = telemetry::registry::global().export_json();
+  const std::string s2 = telemetry::dump_json(telemetry::parse_json(s1));
+  EXPECT_EQ(s2, telemetry::dump_json(telemetry::parse_json(s2)));
+}
+
 // ---------------------------------------------------------------------------
 // complexity_check: empirical performance concepts
 // ---------------------------------------------------------------------------

@@ -4,16 +4,31 @@
 // (drop / duplicate / delay) behaving identically on both.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "check/gtest_support.hpp"
+#include "check/property.hpp"
 #include "distributed/algorithms.hpp"
 #include "distributed/parallel_transport.hpp"
 #include "telemetry/trace.hpp"
 
+CGP_REGISTER_SEED_BANNER();
+
 namespace cgp::distributed {
 namespace {
+
+/// Every network seed in this file derives from the one documented seed
+/// source (CGP_CHECK_SEED, default 42): the banner in the ctest log is
+/// enough to reproduce any failure, instead of hunting ad-hoc constants.
+/// Distinct call sites use distinct indices so their streams stay
+/// independent.
+std::uint32_t net_seed(std::uint64_t site) {
+  return static_cast<std::uint32_t>(
+      check::case_seed(check::default_seed(), site));
+}
 
 // ---------------------------------------------------------------------------
 // concept + archetype
@@ -120,7 +135,7 @@ TEST(BackendParity, EchoWaveAcrossTopologies) {
        {topology::ring, topology::complete, topology::grid}) {
     SCOPED_TRACE(to_string(topo));
     expect_backends_agree(echo_wave(0),
-                          {.nodes = 16, .topo = topo, .seed = 5});
+                          {.nodes = 16, .topo = topo, .seed = net_seed(0)});
   }
 }
 
@@ -129,7 +144,7 @@ TEST(BackendParity, BfsSpanningTreeAcrossTopologies) {
        {topology::ring, topology::complete, topology::grid}) {
     SCOPED_TRACE(to_string(topo));
     expect_backends_agree(bfs_spanning_tree(0),
-                          {.nodes = 16, .topo = topo, .seed = 23});
+                          {.nodes = 16, .topo = topo, .seed = net_seed(1)});
   }
 }
 
@@ -138,13 +153,13 @@ TEST(BackendParity, AggregateSumAcrossTopologies) {
        {topology::ring, topology::complete, topology::grid}) {
     SCOPED_TRACE(to_string(topo));
     expect_backends_agree(aggregate_sum(0),
-                          {.nodes = 9, .topo = topo, .seed = 77});
+                          {.nodes = 9, .topo = topo, .seed = net_seed(2)});
   }
 }
 
 TEST(BackendParity, LeaderElectionOnParallelBackend) {
   const auto out = run_ring_election<parallel_transport>(
-      lcr_leader_election(), {.nodes = 32, .seed = 13});
+      lcr_leader_election(), {.nodes = 32, .seed = net_seed(3)});
   EXPECT_EQ(out.leaders, 1u);
   EXPECT_EQ(out.leader_uid, 32);
 }
@@ -153,7 +168,7 @@ TEST(BackendParity, SixtyFourNodeEchoWaveOnCompleteTopology) {
   // The acceptance bar: 64 nodes, complete topology, >= 2 workers, and
   // the parallel run's decisions are byte-for-byte the simulator's.
   const net_options opts{.nodes = 64, .topo = topology::complete,
-                         .seed = 42};
+                         .seed = net_seed(4)};
   parallel_transport par(opts);
   ASSERT_GE(par.workers(), 2u);
   par.spawn(echo_wave(0));
@@ -173,7 +188,7 @@ TEST(BackendParity, SixtyFourNodeEchoWaveOnCompleteTopology) {
 TEST(BackendParity, CrashAndCorruptFaultsAgree) {
   // The node-level fault surface composes identically on both backends:
   // crash a star leaf, corrupt another, and compare everything.
-  const net_options opts{.nodes = 12, .topo = topology::star, .seed = 3};
+  const net_options opts{.nodes = 12, .topo = topology::star, .seed = net_seed(5)};
   const auto corrupting = [](message& m) {
     if (!m.payload.empty()) m.payload[0] += 1000;
   };
@@ -198,7 +213,7 @@ TEST(BackendParity, CrashAndCorruptFaultsAgree) {
 // ---------------------------------------------------------------------------
 
 TEST(MessageFaults, DropLossesAreCountedAndBounded) {
-  sim_transport net({.nodes = 16, .topo = topology::complete, .seed = 11,
+  sim_transport net({.nodes = 16, .topo = topology::complete, .seed = net_seed(6),
                      .faults = {.drop = 0.25}});
   net.spawn(flooding_broadcast(0));
   const auto stats = net.run();
@@ -211,7 +226,7 @@ TEST(MessageFaults, DropLossesAreCountedAndBounded) {
 }
 
 TEST(MessageFaults, DuplicatesAreCountedAndDeliveredTwice) {
-  sim_transport net({.nodes = 8, .seed = 17,
+  sim_transport net({.nodes = 8, .seed = net_seed(7),
                      .faults = {.duplicate = 0.5}});
   net.spawn(echo_wave(0));
   const auto stats = net.run();
@@ -225,34 +240,34 @@ TEST(MessageFaults, DuplicatesAreCountedAndDeliveredTwice) {
 }
 
 TEST(MessageFaults, DelayPreservesCorrectnessOfIdempotentWaves) {
-  sim_transport net({.nodes = 16, .topo = topology::grid, .seed = 29,
+  // Delay injection is an asynchronous-mode fault (synchronous
+  // construction rejects it — see FaultKnobValidation below).
+  sim_transport net({.nodes = 16, .topo = topology::grid,
+                     .mode = timing::asynchronous, .seed = net_seed(8),
                      .faults = {.max_delay = 3}});
   net.spawn(echo_wave(0));
   const auto stats = net.run();
   EXPECT_EQ(net.deciders("done"), std::vector<int>{0});
   EXPECT_EQ(net.deciders("parent").size(), 15u);
   EXPECT_EQ(stats.messages_dropped, 0u);
-  // Delays stretch the run beyond the fault-free diameter-bound rounds.
-  sim_transport clean({.nodes = 16, .topo = topology::grid, .seed = 29});
-  clean.spawn(echo_wave(0));
-  EXPECT_GE(stats.rounds, clean.run().rounds);
 }
 
 TEST(MessageFaults, FaultPlanIsIdenticalAcrossBackends) {
   // The fault decisions are drawn from a dedicated rng stream in canonical
-  // routing order, so drop/duplicate/delay runs agree across backends too.
-  for (const std::uint32_t seed : {1u, 2u, 3u}) {
+  // routing order, so drop/duplicate runs agree across backends too.
+  for (const std::uint64_t site : {9u, 10u, 11u}) {
+    const std::uint32_t seed = net_seed(site);
     SCOPED_TRACE(seed);
     expect_backends_agree(
         flooding_broadcast(0),
         {.nodes = 16, .topo = topology::complete, .seed = seed,
-         .faults = {.drop = 0.15, .duplicate = 0.10, .max_delay = 2}});
+         .faults = {.drop = 0.15, .duplicate = 0.10}});
   }
 }
 
 TEST(MessageFaults, AsynchronousRunsSupportMessageFaults) {
   sim_transport net({.nodes = 16, .topo = topology::complete,
-                     .mode = timing::asynchronous, .seed = 19,
+                     .mode = timing::asynchronous, .seed = net_seed(12),
                      .faults = {.drop = 0.2, .duplicate = 0.1}});
   net.spawn(flooding_broadcast(0));
   const auto stats = net.run();
@@ -262,6 +277,128 @@ TEST(MessageFaults, AsynchronousRunsSupportMessageFaults) {
   for (int v = 0; v < 16; ++v) received += stats.messages_received_by(v);
   EXPECT_EQ(received + stats.messages_dropped,
             stats.messages_total + stats.messages_duplicated);
+}
+
+// ---------------------------------------------------------------------------
+// fault-knob validation: bad configurations fail at construction
+// ---------------------------------------------------------------------------
+
+TEST(FaultKnobValidation, RejectsMaxDelayInSynchronousMode) {
+  try {
+    sim_transport net({.nodes = 4, .faults = {.max_delay = 2}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_delay"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("asynchronous"), std::string::npos);
+  }
+}
+
+TEST(FaultKnobValidation, AcceptsMaxDelayInAsynchronousMode) {
+  EXPECT_NO_THROW(sim_transport({.nodes = 4,
+                                 .mode = timing::asynchronous,
+                                 .faults = {.max_delay = 2}}));
+}
+
+TEST(FaultKnobValidation, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(sim_transport({.nodes = 4, .faults = {.drop = -0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(sim_transport({.nodes = 4, .faults = {.drop = 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(sim_transport({.nodes = 4, .faults = {.duplicate = -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(sim_transport({.nodes = 4, .faults = {.duplicate = 2.0}}),
+               std::invalid_argument);
+  // NaN is not a probability either.
+  EXPECT_THROW(
+      sim_transport({.nodes = 4, .faults = {.drop = std::nan("")}}),
+      std::invalid_argument);
+  // The error names the offending knob.
+  try {
+    sim_transport net({.nodes = 4, .faults = {.duplicate = 2.0}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(FaultKnobValidation, BoundaryProbabilitiesAreAccepted) {
+  EXPECT_NO_THROW(
+      sim_transport({.nodes = 4, .faults = {.drop = 0.0, .duplicate = 0.0}}));
+  EXPECT_NO_THROW(
+      sim_transport({.nodes = 4, .faults = {.drop = 1.0, .duplicate = 1.0}}));
+}
+
+TEST(FaultKnobValidation, ParallelBackendSharesTheContract) {
+  EXPECT_THROW(parallel_transport({.nodes = 4, .faults = {.drop = 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(parallel_transport({.nodes = 4, .faults = {.max_delay = 1}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// fault-ledger edge cases
+// ---------------------------------------------------------------------------
+
+TEST(FaultLedger, TotalLossKeepsCountersConsistent) {
+  // drop = 1.0: every message is lost, yet the ledger must still balance
+  // and the run must terminate rather than wait for deliveries.
+  sim_transport net({.nodes = 16, .topo = topology::complete,
+                     .seed = net_seed(13), .faults = {.drop = 1.0}});
+  net.spawn(flooding_broadcast(0));
+  const auto stats = net.run();
+  EXPECT_GT(stats.messages_total, 0u);
+  EXPECT_EQ(stats.messages_dropped, stats.messages_total);
+  EXPECT_EQ(stats.messages_duplicated, 0u);
+  std::size_t received = 0;
+  for (int v = 0; v < 16; ++v) received += stats.messages_received_by(v);
+  EXPECT_EQ(received, 0u);
+  // Only the root ever learns the broadcast value.
+  EXPECT_EQ(net.deciders("got"), std::vector<int>{0});
+}
+
+TEST(FaultLedger, DuplicatesUnderFifoChannelsStayConsistent) {
+  // FIFO links constrain asynchronous delivery order; a duplicated copy
+  // draws its own delay, so the clamp must keep the ledger identity
+  // received + dropped == total + duplicated intact.
+  sim_transport net({.nodes = 12, .topo = topology::complete,
+                     .mode = timing::asynchronous, .seed = net_seed(14),
+                     .fifo_links = true,
+                     .faults = {.duplicate = 0.5, .max_delay = 4}});
+  net.spawn(flooding_broadcast(0));
+  const auto stats = net.run();
+  EXPECT_GT(stats.messages_duplicated, 0u);
+  EXPECT_EQ(stats.messages_dropped, 0u);
+  std::size_t received = 0;
+  for (int v = 0; v < 12; ++v) received += stats.messages_received_by(v);
+  EXPECT_EQ(received, stats.messages_total + stats.messages_duplicated);
+  // Flooding is idempotent: duplicates never change the outcome.
+  EXPECT_EQ(net.deciders("got").size(), 12u);
+}
+
+TEST(FaultLedger, CrashDuringSuperstepAgreesAcrossBackends) {
+  // A node crashing at a mid-run round kills it between supersteps; the
+  // parallel backend must observe the crash at exactly the same boundary
+  // as the simulator.
+  const net_options opts{.nodes = 16, .topo = topology::grid,
+                         .seed = net_seed(15)};
+  auto drive = [&](auto& net) {
+    net.spawn(bfs_spanning_tree(0));
+    net.crash(5, /*at_round=*/2);
+    return net.run();
+  };
+  sim_transport sim(opts);
+  const auto ss = drive(sim);
+  parallel_transport par(opts);
+  const auto ps = drive(par);
+  EXPECT_EQ(sim.all_decisions(), par.all_decisions());
+  EXPECT_EQ(ss.messages_total, ps.messages_total);
+  EXPECT_EQ(ss.local_steps_per_node, ps.local_steps_per_node);
+  EXPECT_EQ(ss.messages_received_per_node, ps.messages_received_per_node);
+  // The crashed node stops taking local steps once the crash round hits.
+  sim_transport healthy(opts);
+  healthy.spawn(bfs_spanning_tree(0));
+  const auto hs = healthy.run();
+  EXPECT_LT(ss.local_steps_per_node.at(5), hs.local_steps_per_node.at(5));
 }
 
 TEST(MessageFaults, FaultFreeRunsMatchTheLegacySeedStreams) {
