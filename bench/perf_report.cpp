@@ -1,0 +1,374 @@
+// Performance observatory driver: runs the statistical benchmark registry
+// across the instrumented subsystems, emits a machine-readable
+// BENCH_perf.json trajectory point, and gates against a checked-in
+// baseline.
+//
+//   perf_report [--out FILE]              write report (default BENCH_perf.json)
+//               [--baseline FILE]         compare against a baseline report
+//               [--write-baseline FILE]   also write the report here
+//               [--quick]                 shorter batches, same n-sweeps
+//               [--time-tolerance X]      baseline time-gate ratio (default 4)
+//               [--no-gate-time]          counters-only gate (deterministic)
+//               [--plant-regression NAME] artificially slow one benchmark 6x
+//                                         (self-test: the gate must trip)
+//               [--list]                  print benchmark names and exit
+//
+// Exit codes: 0 ok; 1 regression vs baseline; 2 a fitted-vs-declared
+// complexity verdict came back violated (or inconclusive, which for these
+// curated sweeps means the harness itself broke); 3 usage/IO error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+#include "distributed/algorithms.hpp"
+#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
+#include "graph/instrumented.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/benchmark.hpp"
+#include "perf/env_info.hpp"
+#include "perf/report.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/parser.hpp"
+#include "sequences/instrumented.hpp"
+#include "stllint/stllint.hpp"
+
+namespace {
+
+using namespace cgp;
+
+std::vector<int> random_ints(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 1 << 30);
+  std::vector<int> v(n);
+  for (int& x : v) x = dist(rng);
+  return v;
+}
+
+// --- benchmark registry -----------------------------------------------------
+
+perf::bench_registry build_registry() {
+  perf::bench_registry reg;
+
+  // Concept-dispatched introsort: ComplexityO(n log n) comparisons.
+  reg.add({.name = "sequences.sort",
+           .subsystem = "sequences",
+           .declared = core::big_o::power("n", 1, 1),
+           .sizes = {512, 1024, 2048, 4096, 8192},
+           .counter_prefix = "sequences.sort.comparisons",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto input = random_ints(n, static_cast<std::uint32_t>(n));
+             return [input] {
+               auto v = input;
+               (void)sequences::instrumented::sort(v.begin(), v.end());
+             };
+           }});
+
+  // Buffered mergesort: also O(n log n), strictly stable.
+  reg.add({.name = "sequences.stable_sort",
+           .subsystem = "sequences",
+           .declared = core::big_o::power("n", 1, 1),
+           .sizes = {512, 1024, 2048, 4096, 8192},
+           .counter_prefix = "sequences.stable_sort.comparisons",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto input = random_ints(n, static_cast<std::uint32_t>(n) + 7);
+             return [input] {
+               auto v = input;
+               (void)sequences::instrumented::stable_sort(v.begin(), v.end());
+             };
+           }});
+
+  // Binary search on a random-access range: O(log n) comparisons.
+  reg.add({.name = "sequences.lower_bound",
+           .subsystem = "sequences",
+           .declared = core::big_o::log_n(),
+           .sizes = {1024, 4096, 16384, 65536, 262144},
+           .counter_prefix = "sequences.lower_bound.comparisons",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             std::vector<int> sorted(n);
+             std::iota(sorted.begin(), sorted.end(), 0);
+             auto key = std::make_shared<std::size_t>(0);
+             return [sorted, key, n] {
+               *key = (*key * 2654435761u + 1) % n;
+               (void)sequences::instrumented::lower_bound_count(
+                   sorted.begin(), sorted.end(), static_cast<int>(*key));
+             };
+           }});
+
+  // Fixpoint simplification of an n-term identity chain.  The bottom-up
+  // pass collapses every `+ 0` in one sweep, so the measured cost is
+  // linear in the chain length — declared O(n), which the fit enforces
+  // (a rule change that reintroduces per-pass rescans would show up as a
+  // violated verdict here).
+  reg.add({.name = "rewrite.simplifier",
+           .subsystem = "rewrite",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "rewrite.simplifier.",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             std::string src = "x";
+             for (std::size_t i = 0; i < n; ++i) src = "(" + src + " + 0)";
+             auto e = std::make_shared<rewrite::expr>(
+                 rewrite::parse_expr(src, {{"x", "int"}}));
+             auto simp = std::make_shared<rewrite::simplifier>();
+             simp->add_default_concept_rules();
+             simp->enable_constant_folding();
+             return [e, simp] { (void)simp->simplify(*e); };
+           }});
+
+  // STLlint fixpoint analysis over n generated functions: linear in the
+  // amount of code.
+  reg.add({.name = "stllint.analyzer",
+           .subsystem = "stllint",
+           .declared = core::big_o::n(),
+           .sizes = {4, 8, 16, 32, 64},
+           .counter_prefix = "stllint.analyzer.",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             std::ostringstream src;
+             for (std::size_t i = 0; i < n; ++i)
+               src << "void f" << i << "(vector<int>& v) {\n"
+                   << "  int i = 0;\n"
+                   << "  while (i < 10) {\n"
+                   << "    v.push_back(i);\n"
+                   << "    i = i + 1;\n"
+                   << "  }\n"
+                   << "}\n";
+             auto source = std::make_shared<std::string>(src.str());
+             return [source] { (void)stllint::lint_source(*source); };
+           }});
+
+  // Thread pool fan-out: n chunks cost n submitted + n completed tasks.
+  // The pool itself is constructed in setup, outside the timed region.
+  reg.add({.name = "parallel.thread_pool",
+           .subsystem = "parallel",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "parallel.thread_pool.tasks",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto pool = std::make_shared<parallel::thread_pool>(2);
+             return [pool, n] {
+               pool->run_chunks(n, [](std::size_t c) {
+                 volatile std::size_t sink = 0;
+                 for (std::size_t i = 0; i < 64; ++i) sink = sink + c;
+               });
+             };
+           }});
+
+  // Echo wave (PIF) on a ring under the deterministic simulator: two
+  // messages per edge, and a ring has n edges.
+  reg.add({.name = "distributed.sim_transport",
+           .subsystem = "distributed",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "distributed.network.messages",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             return [n] {
+               distributed::sim_transport net(
+                   {.nodes = n, .topo = distributed::topology::ring});
+               net.spawn(distributed::echo_wave(0));
+               (void)net.run();
+             };
+           }});
+
+  // The same wave on a complete topology via the thread-pool backend:
+  // message count is edge count, i.e. quadratic in nodes.
+  reg.add({.name = "distributed.parallel_transport",
+           .subsystem = "distributed",
+           .declared = core::big_o::power("n", 2, 0),
+           .sizes = {4, 8, 16, 32},
+           .counter_prefix = "distributed.network.messages",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             return [n] {
+               distributed::parallel_transport net(
+                   {.nodes = n,
+                    .topo = distributed::topology::complete,
+                    .workers = 2});
+               net.spawn(distributed::echo_wave(0));
+               (void)net.run();
+             };
+           }});
+
+  // BFS over a ring: O(V + E) = O(n) relaxations.
+  reg.add({.name = "graph.bfs",
+           .subsystem = "graph",
+           .declared = core::big_o::n(),
+           .sizes = {256, 512, 1024, 2048, 4096},
+           .counter_prefix = "graph.bfs.operations",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto g = std::make_shared<graph::adjacency_list<double>>(n);
+             for (std::size_t i = 0; i < n; ++i)
+               g->add_edge(i, (i + 1) % n, 1.0);
+             return [g] { (void)graph::instrumented::bfs_distances(*g, 0); };
+           }});
+
+  return reg;
+}
+
+// --- CLI --------------------------------------------------------------------
+
+struct options {
+  std::string out = "BENCH_perf.json";
+  std::string baseline;
+  std::string write_baseline;
+  std::string plant;
+  double time_tolerance = 4.0;
+  bool gate_time = true;
+  bool quick = false;
+  bool list = false;
+};
+
+bool parse_args(int argc, char** argv, options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      o.out = v;
+    } else if (a == "--baseline") {
+      const char* v = next();
+      if (!v) return false;
+      o.baseline = v;
+    } else if (a == "--write-baseline") {
+      const char* v = next();
+      if (!v) return false;
+      o.write_baseline = v;
+    } else if (a == "--plant-regression") {
+      const char* v = next();
+      if (!v) return false;
+      o.plant = v;
+    } else if (a == "--time-tolerance") {
+      const char* v = next();
+      if (!v) return false;
+      o.time_tolerance = std::stod(v);
+    } else if (a == "--no-gate-time") {
+      o.gate_time = false;
+    } else if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--list") {
+      o.list = true;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opt;
+  if (!parse_args(argc, argv, opt)) return 3;
+
+  perf::bench_registry registry = build_registry();
+  if (opt.list) {
+    for (const auto& def : registry.all())
+      std::cout << def.name << " (" << def.declared.to_string() << ")\n";
+    return 0;
+  }
+
+  // Self-test hook: make one benchmark genuinely more expensive — the
+  // workload runs 6x per invocation, so its deterministic per-iteration
+  // counters (and its time) inflate 6x and the baseline gate must trip.
+  if (!opt.plant.empty()) {
+    perf::bench_registry planted;
+    bool found = false;
+    for (auto def : registry.all()) {
+      if (def.name == opt.plant) {
+        found = true;
+        auto inner = def.setup;
+        def.setup = [inner](std::size_t n) -> std::function<void()> {
+          auto workload = inner(n);
+          return [workload] {
+            for (int i = 0; i < 6; ++i) workload();
+          };
+        };
+      }
+      planted.add(std::move(def));
+    }
+    if (!found) {
+      std::cerr << "--plant-regression: no benchmark named " << opt.plant
+                << "\n";
+      return 3;
+    }
+    registry = std::move(planted);
+  }
+
+  // Quick mode keeps the n-sweeps identical (counters must match the
+  // baseline exactly) and only shrinks the timing batches.
+  perf::timing_options topts;
+  if (opt.quick) {
+    topts.min_sample_ns = 200'000;
+    topts.repeats = 5;
+  }
+
+  const std::uint64_t seed = check::default_seed();
+  std::cout << check::seed_banner() << "\n";
+
+  const auto results = perf::run_all(registry, topts, seed);
+  const auto env = perf::env_info(perf::utc_timestamp());
+  const auto doc = perf::report_json(results, env);
+  const std::string rendered = telemetry::dump_json(doc);
+
+  for (const std::string& path : {opt.out, opt.write_baseline}) {
+    if (path.empty()) continue;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 3;
+    }
+    out << rendered << "\n";
+  }
+
+  bool fit_failed = false;
+  for (const auto& r : results) {
+    std::cout << r.name << ": declared " << r.declared << ", fitted n^"
+              << r.fit.exponent << " on " << r.fitted_on << " -> "
+              << perf::to_string(r.fit.v) << "\n";
+    if (r.fit.v != perf::verdict::consistent) fit_failed = true;
+  }
+  std::cout << results.size() << " benchmarks -> " << opt.out << " ("
+            << env.to_string() << ")\n";
+
+  int rc = 0;
+  if (!opt.baseline.empty()) {
+    std::ifstream in(opt.baseline);
+    if (!in) {
+      std::cerr << "cannot read baseline " << opt.baseline << "\n";
+      return 3;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    telemetry::json_value base;
+    try {
+      base = telemetry::parse_json(buf.str());
+    } catch (const telemetry::json_error& e) {
+      std::cerr << "baseline is not valid JSON: " << e.what() << "\n";
+      return 3;
+    }
+    const perf::gate_options gate{.counter_ratio = 1.30,
+                                  .time_ratio = opt.time_tolerance,
+                                  .gate_time = opt.gate_time};
+    const auto regressions = perf::compare_reports(doc, base, gate);
+    for (const auto& r : regressions)
+      std::cerr << "REGRESSION [" << r.what << "] " << r.benchmark << ": "
+                << r.detail << "\n";
+    if (!regressions.empty()) rc = 1;
+    else std::cout << "baseline gate: ok (" << opt.baseline << ")\n";
+  }
+
+  if (fit_failed) {
+    std::cerr << "a complexity fit is not consistent with its declared "
+                 "bound\n";
+    rc = rc == 0 ? 2 : rc;
+  }
+  return rc;
+}

@@ -18,6 +18,7 @@
 #include "distributed/network.hpp"
 #include "graph/instrumented.hpp"
 #include "parallel/thread_pool.hpp"
+#include "perf/env_info.hpp"
 #include "rewrite/engine.hpp"
 #include "rewrite/parser.hpp"
 #include "sequences/instrumented.hpp"
@@ -129,7 +130,16 @@ int main(int argc, char** argv) {
   drive_sequences_and_graph();
 
   auto& reg = telemetry::registry::global();
-  std::cout << (text ? reg.export_text() : reg.export_json()) << "\n";
+  const auto env = perf::env_info(perf::utc_timestamp());
+  if (text) {
+    // One header line, then the familiar line-per-metric form.
+    std::cout << "# " << env.to_string() << "\n" << reg.export_text() << "\n";
+  } else {
+    // Wrap the registry with the shared environment block so the emitted
+    // document records what produced it (same shape as BENCH_perf.json).
+    std::cout << "{\"environment\":" << telemetry::dump_json(env.to_json())
+              << ",\"telemetry\":" << reg.export_json() << "}\n";
+  }
 
   // Exit non-zero when any recorded performance-concept check failed, so
   // CI can gate on "the measured complexity still matches the declared

@@ -23,6 +23,7 @@
 
 #include "distributed/parallel_transport.hpp"
 #include "parallel/thread_pool.hpp"
+#include "perf/env_info.hpp"
 #include "rewrite/engine.hpp"
 #include "rewrite/parser.hpp"
 #include "stllint/stllint.hpp"
@@ -146,12 +147,19 @@ int main(int argc, char** argv) {
   sink.clear();
 
   {
-    // One root: everything below joins this causal tree.
+    // One root: everything below joins this causal tree.  After each
+    // phase, the registry counters that phase moved are sampled as
+    // Perfetto counter tracks, so the metric trajectory and the span tree
+    // share one timeline.
     telemetry::trace::trace_span root("bench.trace_export", "bench");
     drive_distributed();
+    telemetry::trace::sample_registry_counters("distributed.network.");
     drive_thread_pool();
+    telemetry::trace::sample_registry_counters("parallel.thread_pool.tasks");
     drive_stllint();
+    telemetry::trace::sample_registry_counters("stllint.analyzer.");
     drive_rewrite();
+    telemetry::trace::sample_registry_counters("rewrite.simplifier.");
   }
 
   const std::string json = sink.export_chrome_trace();
@@ -177,13 +185,22 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  // Stamp the shared environment block into otherData and rewrite the
+  // file, so the uploaded trace records what produced it.
+  doc.obj["otherData"].obj["environment"] =
+      cgp::perf::env_info(cgp::perf::utc_timestamp()).to_json();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << telemetry::dump_json(doc) << "\n";
+  }
+
   const auto v = telemetry::trace::validate_chrome_trace(doc);
   std::cout << "trace_export: wrote " << path << "\n"
             << "  spans=" << v.spans << " instants=" << v.instants
-            << " flows=" << v.flows << " ranks=" << v.ranks
-            << " threads=" << v.threads << " roots=" << v.roots
-            << " traces=" << v.traces << " dropped=" << sink.dropped()
-            << "\n";
+            << " counters=" << v.counters << " flows=" << v.flows
+            << " ranks=" << v.ranks << " threads=" << v.threads
+            << " roots=" << v.roots << " traces=" << v.traces
+            << " dropped=" << sink.dropped() << "\n";
   if (!v.ok) {
     std::cerr << "trace_export: INVALID trace:\n" << v.error_text();
     return 4;
@@ -228,6 +245,13 @@ int main(int argc, char** argv) {
       doc.at("otherData").at("dropped_events").num != 0.0) {
     std::cerr << "trace_export: " << sink.dropped() << " events dropped\n";
     return 8;
+  }
+  // Every drive phase sampled its registry counters as counter tracks;
+  // at least the distributed message counters must have shown up.
+  if (v.counters < 4) {
+    std::cerr << "trace_export: only " << v.counters
+              << " counter-track sample(s); need >= 4\n";
+    return 10;
   }
   std::cout << "trace_export: OK (open " << path << " in ui.perfetto.dev)\n";
   return 0;

@@ -1,0 +1,59 @@
+// Empirical complexity fitting: does a measured n-sweep grow like the
+// algorithm's declared core::big_o bound?
+//
+// Same statistical machinery as telemetry::complexity_check — a
+// least-squares fit of log(y / bound(n)) against log(n), whose slope is
+// the growth the bound failed to explain — but packaged for the
+// observatory: a three-way verdict (consistent / violated /
+// inconclusive) instead of a boolean, the raw fitted log-log slope of y
+// itself alongside the excess, and an R² so a report reader can tell a
+// clean fit from a shrug.  Wall-clock sweeps are noisier than op counts,
+// so the default excess tolerance is looser than complexity_check's.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/complexity.hpp"
+
+namespace cgp::perf {
+
+enum class verdict {
+  consistent,    ///< observed growth within tolerance of the bound
+  violated,      ///< observed growth exceeds the bound beyond tolerance
+  inconclusive,  ///< too few points or too narrow an n-span to fit
+};
+
+[[nodiscard]] std::string to_string(verdict v);
+
+struct fit_result {
+  verdict v = verdict::inconclusive;
+  /// Raw log-log slope of y against n — "the data grows like n^exponent".
+  double exponent = 0.0;
+  /// Slope of log(y / bound(n)) vs log(n): growth the bound missed.
+  double excess = 0.0;
+  /// Coefficient of determination of the raw log-log fit.
+  double r2 = 0.0;
+  std::string declared;  ///< bound.to_string()
+  std::string detail;    ///< human-readable one-liner
+};
+
+/// Default excess-exponent tolerance for wall-time fits.  complexity_check
+/// uses 0.35 for deterministic op counts; timing data earns extra slack.
+inline constexpr double kDefaultExcessTolerance = 0.5;
+
+/// Least-squares slope of log(y) vs log(n) over `points` (n, y) pairs.
+/// Non-positive coordinates are clamped to a tiny epsilon.
+[[nodiscard]] double loglog_slope(
+    const std::vector<std::pair<double, double>>& points);
+
+/// Fits `points` (n, y) against `bound` and renders the verdict.
+/// Inconclusive when fewer than 3 points or max(n) < 4·min(n) — the same
+/// refusal thresholds as telemetry::complexity_check.
+[[nodiscard]] fit_result fit_against(
+    const std::vector<std::pair<double, double>>& points,
+    const core::big_o& bound, double tolerance = kDefaultExcessTolerance,
+    const std::string& var = "n");
+
+}  // namespace cgp::perf

@@ -1,0 +1,195 @@
+#include "perf/report.hpp"
+
+#include <sstream>
+
+namespace cgp::perf {
+
+namespace {
+
+using telemetry::json_value;
+
+json_value jstr(std::string s) {
+  json_value v;
+  v.k = json_value::kind::string;
+  v.str = std::move(s);
+  return v;
+}
+
+json_value jnum(double n) {
+  json_value v;
+  v.k = json_value::kind::number;
+  v.num = n;
+  return v;
+}
+
+json_value jobj() {
+  json_value v;
+  v.k = json_value::kind::object;
+  return v;
+}
+
+json_value jarr() {
+  json_value v;
+  v.k = json_value::kind::array;
+  return v;
+}
+
+json_value summary_json(const summary& s) {
+  json_value v = jobj();
+  v.obj["count"] = jnum(static_cast<double>(s.count));
+  v.obj["min"] = jnum(s.min);
+  v.obj["max"] = jnum(s.max);
+  v.obj["mean"] = jnum(s.mean);
+  v.obj["median"] = jnum(s.median);
+  v.obj["mad"] = jnum(s.mad);
+  v.obj["ci_lo"] = jnum(s.ci.lo);
+  v.obj["ci_hi"] = jnum(s.ci.hi);
+  return v;
+}
+
+/// Looks up a benchmark object by name in a report document; nullptr when
+/// absent or the document is not shaped like a report.
+const json_value* find_benchmark(const json_value& report,
+                                 const std::string& name) {
+  if (!report.has("benchmarks")) return nullptr;
+  const json_value& arr = report.at("benchmarks");
+  if (!arr.is(json_value::kind::array)) return nullptr;
+  for (const json_value& b : arr.arr)
+    if (b.has("name") && b.at("name").str == name) return &b;
+  return nullptr;
+}
+
+const json_value* find_sweep_point(const json_value& bench, double n) {
+  if (!bench.has("sweep")) return nullptr;
+  for (const json_value& pt : bench.at("sweep").arr)
+    if (pt.has("n") && pt.at("n").num == n) return &pt;
+  return nullptr;
+}
+
+/// Duration-unit counters (…_us, …_ns) accumulate wall time, not
+/// operations — they are as noisy as the clock and are covered by the
+/// time gate, so the deterministic counter gate skips them.
+bool is_duration_counter(const std::string& name) {
+  return name.size() >= 3 && (name.ends_with("_us") || name.ends_with("_ns"));
+}
+
+}  // namespace
+
+json_value report_json(const std::vector<benchmark_result>& results,
+                       const environment& env) {
+  json_value doc = jobj();
+  doc.obj["schema"] = jstr(kSchema);
+  doc.obj["environment"] = env.to_json();
+
+  json_value benches = jarr();
+  for (const benchmark_result& r : results) {
+    json_value b = jobj();
+    b.obj["name"] = jstr(r.name);
+    b.obj["subsystem"] = jstr(r.subsystem);
+    b.obj["declared"] = jstr(r.declared);
+    b.obj["counter_prefix"] = jstr(r.counter_prefix);
+    b.obj["fitted_on"] = jstr(r.fitted_on);
+
+    json_value fit = jobj();
+    fit.obj["verdict"] = jstr(to_string(r.fit.v));
+    fit.obj["exponent"] = jnum(r.fit.exponent);
+    fit.obj["excess"] = jnum(r.fit.excess);
+    fit.obj["r2"] = jnum(r.fit.r2);
+    fit.obj["detail"] = jstr(r.fit.detail);
+    b.obj["fit"] = std::move(fit);
+
+    json_value sweep = jarr();
+    for (const sweep_point& pt : r.sweep) {
+      json_value p = jobj();
+      p.obj["n"] = jnum(static_cast<double>(pt.n));
+      p.obj["iterations"] = jnum(static_cast<double>(pt.iterations));
+      p.obj["time_ns"] = summary_json(pt.time_ns);
+      json_value counters = jobj();
+      for (const auto& [name, per_iter] : pt.counters)
+        counters.obj[name] = jnum(per_iter);
+      p.obj["counters"] = std::move(counters);
+      sweep.arr.push_back(std::move(p));
+    }
+    b.obj["sweep"] = std::move(sweep);
+    benches.arr.push_back(std::move(b));
+  }
+  doc.obj["benchmarks"] = std::move(benches);
+  return doc;
+}
+
+std::vector<regression> compare_reports(const json_value& current,
+                                        const json_value& baseline,
+                                        const gate_options& opts) {
+  std::vector<regression> out;
+  if (!baseline.has("benchmarks") ||
+      !baseline.at("benchmarks").is(json_value::kind::array))
+    return out;
+
+  for (const json_value& base : baseline.at("benchmarks").arr) {
+    if (!base.has("name")) continue;
+    const std::string& name = base.at("name").str;
+    const json_value* cur = find_benchmark(current, name);
+    if (cur == nullptr) {
+      out.push_back({name, "coverage",
+                     "benchmark present in baseline but missing from the "
+                     "current report"});
+      continue;
+    }
+
+    if (cur->has("fit") && cur->at("fit").has("verdict") &&
+        cur->at("fit").at("verdict").str == "violated") {
+      out.push_back({name, "fit", cur->at("fit").at("detail").str});
+    }
+
+    if (!base.has("sweep")) continue;
+    for (const json_value& bpt : base.at("sweep").arr) {
+      if (!bpt.has("n")) continue;
+      const double n = bpt.at("n").num;
+      const json_value* cpt = find_sweep_point(*cur, n);
+      if (cpt == nullptr) {
+        std::ostringstream os;
+        os << "sweep point n=" << n << " missing from the current report";
+        out.push_back({name, "coverage", os.str()});
+        continue;
+      }
+
+      // Deterministic gate: per-iteration counter growth.
+      if (bpt.has("counters") && cpt->has("counters")) {
+        for (const auto& [cname, bval] : bpt.at("counters").obj) {
+          // Sub-unit baselines are once-per-process amortization artifacts
+          // (cache warm-up, lazy registration) spread over however many
+          // invocations calibration happened to run — not a per-iteration
+          // cost.  Real op counters are >= 1 per iteration by construction.
+          if (bval.num < 1.0 || is_duration_counter(cname)) continue;
+          const json_value& ccounters = cpt->at("counters");
+          const double cval =
+              ccounters.has(cname) ? ccounters.at(cname).num : 0.0;
+          if (cval > bval.num * opts.counter_ratio + 1e-9) {
+            std::ostringstream os;
+            os << cname << " at n=" << n << ": " << cval
+               << " ops/iter vs baseline " << bval.num << " (ratio "
+               << cval / bval.num << " > " << opts.counter_ratio << ")";
+            out.push_back({name, "counter", os.str()});
+          }
+        }
+      }
+
+      // Noisy gate: whole CI must clear a generous multiple of baseline.
+      if (opts.gate_time && bpt.has("time_ns") && cpt->has("time_ns")) {
+        const double base_median = bpt.at("time_ns").at("median").num;
+        const json_value& ct = cpt->at("time_ns");
+        const double cur_ci_lo = ct.has("ci_lo") ? ct.at("ci_lo").num : 0.0;
+        if (base_median > 0.0 && cur_ci_lo > base_median * opts.time_ratio) {
+          std::ostringstream os;
+          os << "time at n=" << n << ": ci_lo " << cur_ci_lo
+             << " ns/iter vs baseline median " << base_median << " (ratio "
+             << cur_ci_lo / base_median << " > " << opts.time_ratio << ")";
+          out.push_back({name, "time", os.str()});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgp::perf

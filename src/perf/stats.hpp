@@ -1,0 +1,62 @@
+// Outlier-robust sample statistics for the performance observatory.
+//
+// Wall-clock samples on a shared machine are contaminated: scheduler
+// preemptions, frequency transitions, and cold caches put a heavy right
+// tail on any timing distribution, and a single preempted batch can move
+// a mean or a standard deviation arbitrarily far.  The observatory
+// therefore bases every decision on order statistics — the median for
+// location, the median absolute deviation (MAD) for spread, and a seeded
+// bootstrap for a confidence interval on the median — so one bad sample
+// shifts nothing and every number is reproducible for a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgp::perf {
+
+/// Median of `v` (taken by value; partially sorted in place).  Even sizes
+/// average the two central order statistics.  0 for an empty vector.
+[[nodiscard]] double median(std::vector<double> v);
+
+/// Median absolute deviation about `center`: median(|v_i - center|).
+/// Reported raw (no 1.4826 normal-consistency factor): the regression
+/// gates work in MAD units, not estimated sigmas.
+[[nodiscard]] double mad(const std::vector<double>& v, double center);
+
+/// Percentile (p in [0, 100]) with linear interpolation between order
+/// statistics.  0 for an empty vector.
+[[nodiscard]] double percentile(std::vector<double> v, double p);
+
+struct confidence_interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Bootstrap confidence interval for the median: `resamples`
+/// with-replacement resamples of `v`, each reduced to its median; the
+/// interval is the central `confidence` percentile band of those medians.
+/// Resample indices come from splitmix64 on `seed`, so the interval is
+/// deterministic per seed (the CGP_CHECK_SEED replay contract).
+[[nodiscard]] confidence_interval bootstrap_median_ci(
+    const std::vector<double>& v, std::uint64_t seed,
+    std::size_t resamples = 200, double confidence = 0.95);
+
+/// The full summary the observatory attaches to every (benchmark, n)
+/// sweep cell.
+struct summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;        ///< about the median
+  confidence_interval ci;  ///< bootstrap CI for the median
+};
+
+/// Computes the whole summary (the bootstrap draws from `seed`).
+[[nodiscard]] summary summarize(const std::vector<double>& samples,
+                                std::uint64_t seed);
+
+}  // namespace cgp::perf

@@ -1,0 +1,14 @@
+#include "perf/timer.hpp"
+
+#include <chrono>
+
+namespace cgp::perf {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace cgp::perf

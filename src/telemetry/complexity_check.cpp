@@ -18,7 +18,9 @@ check_report complexity_check(std::string name,
 
   if (samples.size() < 3) {
     report.ok = false;
-    report.detail = "need at least 3 samples to fit a growth exponent";
+    report.inconclusive = true;
+    report.detail =
+        "inconclusive: need at least 3 samples to fit a growth exponent";
     return report;
   }
   const auto [min_it, max_it] = std::minmax_element(
@@ -26,7 +28,9 @@ check_report complexity_check(std::string name,
       [](const sample& a, const sample& b) { return a.n < b.n; });
   if (min_it->n <= 0.0 || max_it->n < 4.0 * min_it->n) {
     report.ok = false;
-    report.detail = "samples must span at least a 4x range of positive n";
+    report.inconclusive = true;
+    report.detail =
+        "inconclusive: samples must span at least a 4x range of positive n";
     return report;
   }
 

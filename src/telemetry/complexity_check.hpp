@@ -39,9 +39,10 @@ struct sample {
 inline constexpr double kDefaultSlopeTolerance = 0.35;
 
 /// Checks `samples` against the declared bound.  Requires >= 3 samples
-/// spanning at least a factor of 4 in `n` (otherwise the fit is
-/// meaningless and the report says so with ok == false).  The bound is
-/// evaluated with `var` as its single free variable.
+/// spanning at least a factor of 4 in `n`; otherwise the fit is
+/// meaningless and the report comes back INCONCLUSIVE (`inconclusive ==
+/// true`, and ok == false — an unverifiable claim never passes).  The
+/// bound is evaluated with `var` as its single free variable.
 [[nodiscard]] check_report complexity_check(
     std::string name, const std::vector<sample>& samples,
     const core::big_o& bound, double slope_tolerance = kDefaultSlopeTolerance,

@@ -25,9 +25,10 @@ std::size_t shard_index() noexcept {
 
 std::string check_report::to_string() const {
   std::ostringstream os;
-  os << "check " << name << " " << (ok ? "ok" : "VIOLATED") << " bound="
-     << bound << " slope=" << growth_slope << " max_ratio=" << max_ratio
-     << " samples=" << samples;
+  os << "check " << name << " "
+     << (ok ? "ok" : (inconclusive ? "INCONCLUSIVE" : "VIOLATED"))
+     << " bound=" << bound << " slope=" << growth_slope
+     << " max_ratio=" << max_ratio << " samples=" << samples;
   if (!detail.empty()) os << " (" << detail << ")";
   return os.str();
 }
@@ -115,8 +116,9 @@ std::string registry::export_text() const {
     os << "gauge " << name << " " << g->value() << "\n";
   for (const auto& [name, h] : histograms_) {
     os << "histogram " << name << " count=" << h->count()
-       << " sum=" << h->sum() << " mean=" << h->mean() << " max=" << h->max()
-       << "\n";
+       << " sum=" << h->sum() << " mean=" << h->mean()
+       << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
+       << " p99=" << h->percentile(99) << " max=" << h->max() << "\n";
   }
   for (const check_report& r : checks_) os << r.to_string() << "\n";
   return os.str();
@@ -146,7 +148,9 @@ std::string registry::export_json() const {
     first = false;
     os << json_quote(name) << ":{\"count\":" << h->count()
        << ",\"sum\":" << h->sum() << ",\"mean\":" << h->mean()
-       << ",\"max\":" << h->max() << ",\"buckets\":[";
+       << ",\"p50\":" << h->percentile(50) << ",\"p95\":" << h->percentile(95)
+       << ",\"p99\":" << h->percentile(99) << ",\"max\":" << h->max()
+       << ",\"buckets\":[";
     bool first_b = true;
     for (std::size_t i = 0; i < histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket_count(i);
@@ -166,6 +170,7 @@ std::string registry::export_json() const {
     os << "{\"name\":" << json_quote(r.name)
        << ",\"bound\":" << json_quote(r.bound)
        << ",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"inconclusive\":" << (r.inconclusive ? "true" : "false")
        << ",\"growth_slope\":" << r.growth_slope
        << ",\"max_ratio\":" << r.max_ratio << ",\"tolerance\":" << r.tolerance
        << ",\"samples\":" << r.samples
@@ -173,6 +178,30 @@ std::string registry::export_json() const {
   }
   os << "]}";
   return os.str();
+}
+
+// --- counter_snapshot -------------------------------------------------------
+
+counter_snapshot::counter_snapshot(registry& reg) : reg_(&reg) {
+  for (const auto& [name, v] : reg.counter_values()) base_.emplace(name, v);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot::delta()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, v] : reg_->counter_values()) {
+    const auto it = base_.find(name);
+    const std::uint64_t before = it == base_.end() ? 0 : it->second;
+    if (v > before) out.emplace_back(name, v - before);
+  }
+  return out;
+}
+
+std::uint64_t counter_snapshot::delta_sum(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& [name, d] : delta())
+    if (name.compare(0, prefix.size(), prefix) == 0) total += d;
+  return total;
 }
 
 // --- span -------------------------------------------------------------------

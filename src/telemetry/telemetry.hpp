@@ -151,6 +151,34 @@ class histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Interpolated percentile estimate (p in [0, 100]): walks the log2
+  /// buckets to the one containing the target rank and interpolates
+  /// linearly inside its [lo, hi] value range, so the estimation error is
+  /// bounded by one bucket width.  Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    double target = (p / 100.0) * static_cast<double>(total);
+    if (target < 1.0) target = 1.0;
+    if (target > static_cast<double>(total))
+      target = static_cast<double>(total);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const double c = static_cast<double>(bucket_count(i));
+      if (c == 0.0) continue;
+      if (cum + c >= target) {
+        const auto [lo, hi] = bucket_bounds(i);
+        const double frac = (target - cum) / c;
+        return static_cast<double>(lo) +
+               (static_cast<double>(hi) - static_cast<double>(lo)) * frac;
+      }
+      cum += c;
+    }
+    // Concurrent mutation can leave the bucket walk one short of count();
+    // the max is the honest upper estimate then.
+    return static_cast<double>(max());
+  }
+
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -174,6 +202,11 @@ struct check_report {
   std::string name;     ///< metric name, `subsystem.object.event` style
   std::string bound;    ///< the declared bound, e.g. "O(n log n)"
   bool ok = false;      ///< observed ops stayed within the bound
+  /// True when the sample set could not support a fit at all (too few
+  /// samples or too narrow an n-range): the check is INCONCLUSIVE, which
+  /// is still not a pass (ok stays false) — an unverifiable performance
+  /// concept must not gate as verified.
+  bool inconclusive = false;
   double growth_slope = 0.0;  ///< fitted excess growth exponent (log-log)
   double max_ratio = 0.0;     ///< max over samples of ops / bound(n)
   double tolerance = 0.0;     ///< slope above this rejects
@@ -232,6 +265,31 @@ class registry {
   std::map<std::string, std::unique_ptr<gauge>> gauges_;
   std::map<std::string, std::unique_ptr<histogram>> histograms_;
   std::vector<check_report> checks_;
+};
+
+// ---------------------------------------------------------------------------
+// counter_snapshot: per-scope counter deltas
+// ---------------------------------------------------------------------------
+
+/// Captures every counter's value at construction so a scope's counter
+/// *growth* can be read back later: `delta()` subtracts the captured
+/// values (counters created after the snapshot count from zero).  The
+/// performance observatory (src/perf) brackets each measured benchmark
+/// with one of these, so every timing result carries the operation counts
+/// — comparisons, messages, rewrites — that explain it.
+class counter_snapshot {
+ public:
+  explicit counter_snapshot(registry& reg = registry::global());
+
+  /// Counters that grew since construction, with their growth; name-sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> delta()
+      const;
+  /// Growth summed over all counters whose name starts with `prefix`.
+  [[nodiscard]] std::uint64_t delta_sum(const std::string& prefix) const;
+
+ private:
+  registry* reg_;
+  std::map<std::string, std::uint64_t> base_;
 };
 
 // ---------------------------------------------------------------------------

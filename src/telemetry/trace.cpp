@@ -195,6 +195,12 @@ std::string sink::export_chrome_trace() const {
        << json_quote(e.cat) << ",\"ph\":\"" << static_cast<char>(e.ph)
        << "\",\"ts\":" << ts_buf << ",\"pid\":" << e.pid
        << ",\"tid\":" << e.tid;
+    if (e.ph == event::phase::counter) {
+      // Counter tracks carry ONLY the plotted series: extra args keys
+      // would each become their own Perfetto series and bury the metric.
+      os << ",\"args\":{\"value\":" << e.value << "}}";
+      continue;
+    }
     if (e.ph == event::phase::instant) os << ",\"s\":\"t\"";
     if (e.ph == event::phase::flow_start ||
         e.ph == event::phase::flow_finish) {
@@ -300,6 +306,34 @@ void instant(std::string name, std::string cat,
   s.record(std::move(e));
 }
 
+void counter_sample(const std::string& name, double value,
+                    const std::string& cat) {
+  if constexpr (!kEnabled) return;
+  if (!tls.ctx.active()) return;
+  sink& s = sink::global();
+  event e;
+  e.ph = event::phase::counter;
+  e.link = event::link_kind::scope;
+  e.ts_ns = s.now_ns();
+  e.pid = tls.rank;
+  e.tid = thread_lane();
+  e.trace_id = tls.ctx.trace_id;
+  e.span_id = next_id();
+  e.parent_span = tls.ctx.span_id;
+  e.value = value;
+  e.name = name;
+  e.cat = cat;
+  s.record(std::move(e));
+}
+
+void sample_registry_counters(const std::string& prefix, registry& reg) {
+  if constexpr (!kEnabled) return;
+  if (!tls.ctx.active()) return;
+  for (const auto& [name, v] : reg.counter_values())
+    if (name.compare(0, prefix.size(), prefix) == 0)
+      counter_sample(name, static_cast<double>(v));
+}
+
 std::uint64_t flow_begin(const std::string& name, const std::string& cat) {
   if constexpr (!kEnabled) return 0;
   if (!tls.ctx.active()) return 0;
@@ -400,6 +434,19 @@ validation_result validate_chrome_trace(const json_value& doc) {
   for (const json_value& jv : doc.at("traceEvents").arr) {
     parsed_event e;
     e.ph = jv.at("ph").str.empty() ? '?' : jv.at("ph").str[0];
+    if (e.ph == 'C') {
+      // Counter-track samples stand outside the span structure; validate
+      // their own contract (a named series with a numeric value) here.
+      ++r.counters;
+      if (jv.at("name").str.empty())
+        fail("counter event with an empty series name");
+      const json_value& args = jv.at("args");
+      if (!args.has("value") ||
+          !args.at("value").is(json_value::kind::number))
+        fail("counter '" + jv.at("name").str +
+             "' has no numeric args.value to plot");
+      continue;
+    }
     e.ts = jv.at("ts").num;
     e.pid = static_cast<long>(jv.at("pid").num);
     e.tid = static_cast<long>(jv.at("tid").num);

@@ -107,6 +107,7 @@ struct event {
     begin = 'B',        ///< duration start
     end = 'E',          ///< duration end
     instant = 'i',      ///< point event (diagnostic, rewrite step)
+    counter = 'C',      ///< counter-track sample (metric on the timeline)
     flow_start = 's',   ///< causal arrow source (submit / send)
     flow_finish = 'f',  ///< causal arrow target (task start / delivery)
   };
@@ -126,6 +127,7 @@ struct event {
   std::uint64_t span_id = 0;      ///< begin/end: the span; instant: owner
   std::uint64_t parent_span = 0;  ///< begin: parent span id (0 = root)
   std::uint64_t flow_id = 0;      ///< flow_start / flow_finish pairing
+  double value = 0.0;             ///< counter sample value (phase::counter)
   std::string name;
   std::string cat;
   /// Extra key/value payload (diagnostic text, rewrite before/after, ...).
@@ -242,6 +244,20 @@ class child_span {
 void instant(std::string name, std::string cat = "instant",
              std::vector<std::pair<std::string, std::string>> args = {});
 
+/// One Perfetto counter-track sample ('C' event) under the current trace,
+/// so metrics and spans share a single timeline: Perfetto renders every
+/// distinct `name` as its own counter track plotting `value` over time.
+/// No-op when the calling thread is untraced.
+void counter_sample(const std::string& name, double value,
+                    const std::string& cat = "counter");
+
+/// Samples every registry counter whose name starts with `prefix` as a
+/// counter track (one 'C' event per counter, all at the current
+/// timestamp).  Drivers call this at phase boundaries to stitch the
+/// metric trajectory into the trace.  No-op when untraced.
+void sample_registry_counters(const std::string& prefix,
+                              registry& reg = registry::global());
+
 /// Emits a flow-start arrowtail at the current position and returns the
 /// flow id to carry across the boundary (0 when untraced — pass it along
 /// anyway; flow_finish(0, ...) is a no-op).
@@ -262,6 +278,7 @@ struct validation_result {
   std::vector<std::string> errors;
   std::size_t spans = 0;         ///< matched begin/end pairs
   std::size_t instants = 0;
+  std::size_t counters = 0;      ///< counter-track samples ('C' events)
   std::size_t flows = 0;         ///< matched s/f pairs
   std::size_t ranks = 0;         ///< distinct pids owning spans
   std::size_t threads = 0;       ///< distinct tids owning spans
@@ -280,7 +297,9 @@ struct validation_result {
 ///  * link="scope" children lie within the parent's [begin, end] interval,
 ///    link="async" children begin no earlier than the parent begins
 ///    ("out of parent scope");
-///  * every flow-finish has a flow-start with the same id, no later.
+///  * every flow-finish has a flow-start with the same id, no later;
+///  * every counter event ('C') has a non-empty name and a numeric
+///    args.value (the series Perfetto plots).
 [[nodiscard]] validation_result validate_chrome_trace(const json_value& doc);
 
 }  // namespace cgp::telemetry::trace

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/property.hpp"
 #include "distributed/algorithms.hpp"
 #include "distributed/network.hpp"
 #include "graph/instrumented.hpp"
@@ -126,6 +127,36 @@ TEST(TelemetryHistogram, RecordAggregates) {
   EXPECT_EQ(h.bucket_count(7), 1u);  // [64, 127] holds 100
 }
 
+TEST(TelemetryHistogram, PercentilesInterpolateFromBuckets) {
+  telemetry::histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);  // empty
+
+  // 100 identical values: every percentile lands in that bucket.
+  for (int i = 0; i < 100; ++i) h.record(8);
+  const auto [lo8, hi8] = telemetry::histogram::bucket_bounds(
+      telemetry::histogram::bucket_of(8));
+  for (const double p : {1.0, 50.0, 99.0}) {
+    EXPECT_GE(h.percentile(p), static_cast<double>(lo8));
+    EXPECT_LE(h.percentile(p), static_cast<double>(hi8));
+  }
+
+  // Skewed distribution: 95 small, 5 large.  p50 stays with the small
+  // mass, p99 reaches the large bucket, and the sequence is monotone.
+  telemetry::histogram skew;
+  for (int i = 0; i < 95; ++i) skew.record(10);
+  for (int i = 0; i < 5; ++i) skew.record(10'000);
+  const double p50 = skew.percentile(50.0);
+  const double p95 = skew.percentile(95.0);
+  const double p99 = skew.percentile(99.0);
+  EXPECT_LE(p50, 15.0);
+  EXPECT_GE(p99, 8192.0);  // inside [8192, 16383], the bucket of 10000
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Out-of-range requests clamp instead of extrapolating.
+  EXPECT_GE(skew.percentile(100.0), p99);
+  EXPECT_LE(skew.percentile(0.0), p50);
+}
+
 // ---------------------------------------------------------------------------
 // spans
 // ---------------------------------------------------------------------------
@@ -217,6 +248,65 @@ TEST(TelemetryExport, TextIsOneLinePerMetric) {
   EXPECT_NE(text.find("gauge a.b.depth 4\n"), std::string::npos);
   EXPECT_NE(text.find("histogram a.b.lat count=1"), std::string::npos);
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(TelemetryExport, ExportsCarryHistogramPercentiles) {
+  telemetry::registry reg;
+  telemetry::histogram& h = reg.get_histogram("pctl.hist");
+  for (int i = 0; i < 95; ++i) h.record(10);
+  for (int i = 0; i < 5; ++i) h.record(10'000);
+
+  // Text: still one line, now with the interpolated percentile summary.
+  const std::string text = reg.export_text();
+  for (const char* key : {" p50=", " p95=", " p99="})
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+
+  // JSON: the histogram object exposes the same three percentiles.
+  const auto doc = telemetry::parse_json(reg.export_json());
+  const auto& hist = doc.at("histograms").at("pctl.hist");
+  // The JSON writer renders at stream precision; compare relatively.
+  EXPECT_NEAR(hist.at("p50").num, h.percentile(50.0),
+              h.percentile(50.0) * 1e-4);
+  EXPECT_NEAR(hist.at("p95").num, h.percentile(95.0),
+              h.percentile(95.0) * 1e-4);
+  EXPECT_NEAR(hist.at("p99").num, h.percentile(99.0),
+              h.percentile(99.0) * 1e-4);
+  EXPECT_LE(hist.at("p50").num, hist.at("p99").num);
+}
+
+// ---------------------------------------------------------------------------
+// counter snapshots
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryCounterSnapshot, DeltaSeesOnlyGrowth) {
+  telemetry::registry reg;
+  reg.get_counter("snap.a").add(10);
+  reg.get_counter("snap.b").add(5);
+
+  telemetry::counter_snapshot snap(reg);
+  EXPECT_TRUE(snap.delta().empty());
+
+  reg.get_counter("snap.a").add(7);
+  reg.get_counter("snap.c").add(3);  // created after the snapshot
+  const auto d = snap.delta();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].first, "snap.a");
+  EXPECT_EQ(d[0].second, 7u);
+  EXPECT_EQ(d[1].first, "snap.c");
+  EXPECT_EQ(d[1].second, 3u);
+}
+
+TEST(TelemetryCounterSnapshot, DeltaSumFiltersByPrefix) {
+  telemetry::registry reg;
+  telemetry::counter_snapshot snap(reg);
+  reg.get_counter("pre.fix.one").add(4);
+  reg.get_counter("pre.fix.two").add(6);
+  reg.get_counter("other.three").add(100);
+  EXPECT_EQ(snap.delta_sum("pre.fix."), 10u);
+  EXPECT_EQ(snap.delta_sum("other."), 100u);
+  EXPECT_EQ(snap.delta_sum("missing."), 0u);
+  EXPECT_EQ(snap.delta_sum(""), 110u);
 }
 
 TEST(TelemetryExport, ParserRejectsMalformedJson) {
@@ -315,6 +405,78 @@ TEST(ComplexityCheck, RefusesMeaninglessSampleSets) {
   EXPECT_FALSE(telemetry::complexity_check(
                    "too.narrow", {{10, 10}, {20, 20}, {30, 30}}, bound)
                    .ok);
+}
+
+TEST(ComplexityCheck, UnfittableSweepsReportInconclusiveNotViolated) {
+  const core::big_o bound = core::big_o::n();
+  // Too few samples to fit a slope.
+  const auto few =
+      telemetry::complexity_check("too.few", {{10, 10}, {4000, 4000}}, bound);
+  EXPECT_FALSE(few.ok);
+  EXPECT_TRUE(few.inconclusive);
+  EXPECT_NE(few.detail.find("inconclusive"), std::string::npos);
+  EXPECT_NE(few.to_string().find("INCONCLUSIVE"), std::string::npos);
+  // Enough samples but max(n) < 4·min(n).
+  const auto narrow = telemetry::complexity_check(
+      "too.narrow", {{10, 10}, {20, 20}, {30, 30}}, bound);
+  EXPECT_FALSE(narrow.ok);
+  EXPECT_TRUE(narrow.inconclusive);
+  // A fittable sweep that fails is VIOLATED, not inconclusive.
+  std::vector<telemetry::sample> quad;
+  for (double n = 64; n <= 4096; n *= 2) quad.push_back({n, n * n});
+  const auto violated =
+      telemetry::complexity_check("synthetic.quadratic", quad, bound);
+  EXPECT_FALSE(violated.ok);
+  EXPECT_FALSE(violated.inconclusive);
+  EXPECT_NE(violated.to_string().find("VIOLATED"), std::string::npos);
+  // The JSON export distinguishes the two failure kinds.
+  telemetry::registry reg;
+  reg.record_check(few);
+  reg.record_check(violated);
+  const auto doc = telemetry::parse_json(reg.export_json());
+  ASSERT_EQ(doc.at("checks").arr.size(), 2u);
+  EXPECT_TRUE(doc.at("checks").arr[0].at("inconclusive").b);
+  EXPECT_FALSE(doc.at("checks").arr[1].at("inconclusive").b);
+}
+
+TEST(ComplexityCheck, ConstantTimeSeriesPassesConstantAndLinearBounds) {
+  std::vector<telemetry::sample> flat;
+  for (double n = 64; n <= 8192; n *= 2) flat.push_back({n, 12.0});
+  const auto vs_one =
+      telemetry::complexity_check("flat.vs.one", flat, core::big_o::one());
+  EXPECT_TRUE(vs_one.ok) << vs_one.detail;
+  EXPECT_FALSE(vs_one.inconclusive);
+  EXPECT_NEAR(vs_one.growth_slope, 0.0, 1e-9);
+  // O(n) over-declares a constant series; the check accepts (it bounds
+  // growth from above) rather than reporting a violation.
+  const auto vs_n =
+      telemetry::complexity_check("flat.vs.n", flat, core::big_o::n());
+  EXPECT_TRUE(vs_n.ok) << vs_n.detail;
+  EXPECT_LT(vs_n.growth_slope, 0.0);
+}
+
+TEST(ComplexityCheck, NoisyLinearSeriesNearBoundaryIsDeterministic) {
+  // Multiplicative noise on a linear series, drawn from the session seed:
+  // bounded ±10% noise cannot push the excess past the 0.35 tolerance, so
+  // the verdict must be ok for every seed — and identical on replay.
+  std::uint64_t state = cgp::check::default_seed();
+  auto noise = [&state] {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return 0.9 + 0.2 * (static_cast<double>(z % 1000) / 1000.0);
+  };
+  std::vector<telemetry::sample> noisy;
+  for (double n = 64; n <= 8192; n *= 2) noisy.push_back({n, 3.0 * n * noise()});
+  const auto first =
+      telemetry::complexity_check("noisy.linear", noisy, core::big_o::n());
+  EXPECT_TRUE(first.ok) << first.detail;
+  EXPECT_FALSE(first.inconclusive);
+  const auto replay =
+      telemetry::complexity_check("noisy.linear", noisy, core::big_o::n());
+  EXPECT_DOUBLE_EQ(first.growth_slope, replay.growth_slope);
 }
 
 // A deliberately-quadratic "sort" (selection sort) whose comparisons are

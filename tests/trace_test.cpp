@@ -382,6 +382,80 @@ TEST_F(TraceTest, ValidatorFlagsUnbalancedAndOrphanedTraces) {
 }
 
 // ---------------------------------------------------------------------------
+// counter tracks
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, CounterSamplesRecordOnlyUnderATrace) {
+  // Untraced: silent, like every other hook.
+  trace::counter_sample("metrics.silent", 1.0);
+  trace::sample_registry_counters("anything.");
+  EXPECT_EQ(trace::sink::global().size(), 0u);
+
+  {
+    trace::trace_span root("root", "test");
+    trace::counter_sample("metrics.visible", 42.5);
+  }
+  const auto samples = events_named("metrics.visible");
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].ph, trace::event::phase::counter);
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.5);
+}
+
+TEST_F(TraceTest, RegistrySamplingExportsValidatedCounterTracks) {
+  auto& reg = telemetry::registry::global();
+  reg.get_counter("tracectr.a").add(3);
+  reg.get_counter("tracectr.b").add(9);
+  reg.get_counter("othersys.c").add(100);
+  {
+    trace::trace_span root("root", "test");
+    trace::sample_registry_counters("tracectr.");
+  }
+
+  const std::string json = trace::sink::global().export_chrome_trace();
+  const auto doc = telemetry::parse_json(json);
+  // Each 'C' event carries exactly the plotted series in args.value
+  // (extra keys would become their own Perfetto series).
+  std::size_t counter_events = 0;
+  for (const auto& e : doc.at("traceEvents").arr) {
+    if (e.at("ph").str != "C") continue;
+    ++counter_events;
+    EXPECT_EQ(e.at("name").str.rfind("tracectr.", 0), 0u);
+    ASSERT_TRUE(e.at("args").has("value"));
+    EXPECT_TRUE(e.at("args").at("value").is(telemetry::json_value::kind::number));
+  }
+  EXPECT_EQ(counter_events, 2u);
+
+  const auto v = trace::validate_chrome_trace(doc);
+  EXPECT_TRUE(v.ok) << v.error_text();
+  EXPECT_EQ(v.counters, 2u);
+}
+
+TEST_F(TraceTest, ValidatorRejectsCounterWithoutNumericValue) {
+  const auto validate_text = [](const std::string& text) {
+    return trace::validate_chrome_trace(telemetry::parse_json(text));
+  };
+  // A counter event with no args.value is not plottable.
+  auto v = validate_text(
+      "{\"traceEvents\":[{\"name\":\"m\",\"cat\":\"c\",\"ph\":\"C\","
+      "\"ts\":1,\"pid\":0,\"tid\":1,\"args\":{}}],\"otherData\":{}}");
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error_text().find("value"), std::string::npos);
+  // A nameless counter has no track to land on.
+  v = validate_text(
+      "{\"traceEvents\":[{\"name\":\"\",\"cat\":\"c\",\"ph\":\"C\","
+      "\"ts\":1,\"pid\":0,\"tid\":1,\"args\":{\"value\":1}}],"
+      "\"otherData\":{}}");
+  EXPECT_FALSE(v.ok);
+  // A well-formed counter among spans validates and is counted.
+  v = validate_text(
+      "{\"traceEvents\":[{\"name\":\"m\",\"cat\":\"c\",\"ph\":\"C\","
+      "\"ts\":1,\"pid\":0,\"tid\":1,\"args\":{\"value\":3.5}}],"
+      "\"otherData\":{}}");
+  EXPECT_TRUE(v.ok) << v.error_text();
+  EXPECT_EQ(v.counters, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // caret rendering (the diagnostic's human-facing form)
 // ---------------------------------------------------------------------------
 
