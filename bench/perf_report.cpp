@@ -15,7 +15,8 @@
 //
 // Exit codes: 0 ok; 1 regression vs baseline; 2 a fitted-vs-declared
 // complexity verdict came back violated (or inconclusive, which for these
-// curated sweeps means the harness itself broke); 3 usage/IO error.
+// curated sweeps means the harness itself broke); 3 usage/IO error; 4 the
+// live sampler's measured overhead on the thread pool exceeded its budget.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,6 +40,7 @@
 #include "rewrite/parser.hpp"
 #include "sequences/instrumented.hpp"
 #include "stllint/stllint.hpp"
+#include "telemetry/live.hpp"
 
 namespace {
 
@@ -161,6 +163,31 @@ perf::bench_registry build_registry() {
              };
            }});
 
+  // The same fan-out with the live sampler streaming in the background:
+  // the pair quantifies continuous observation's cost on the hottest
+  // concurrent path.  Same declared bound, same deterministic task
+  // counters; the sampler_overhead gate below compares the two sweeps'
+  // wall times and trips when sampling costs more than its budget.
+  reg.add({.name = "parallel.thread_pool.sampled",
+           .subsystem = "parallel",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "parallel.thread_pool.tasks",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto pool = std::make_shared<parallel::thread_pool>(2);
+             auto sampler = std::make_shared<telemetry::live::sampler>(
+                 telemetry::live::sample_options{.period_ms = 25,
+                                                 .capacity = 256,
+                                                 .watch = true});
+             sampler->start();
+             return [pool, sampler, n] {
+               pool->run_chunks(n, [](std::size_t c) {
+                 volatile std::size_t sink = 0;
+                 for (std::size_t i = 0; i < 64; ++i) sink = sink + c;
+               });
+             };
+           }});
+
   // Echo wave (PIF) on a ring under the deterministic simulator: two
   // messages per edge, and a ring has n edges.
   reg.add({.name = "distributed.sim_transport",
@@ -262,6 +289,78 @@ bool parse_args(int argc, char** argv, options& o) {
   return true;
 }
 
+// --- sampler overhead gate --------------------------------------------------
+
+// Background sampling must stay within a 10% tax on the thread pool.
+constexpr double kSamplerOverheadBudget = 1.10;
+
+struct overhead_verdict {
+  bool present = false;  ///< both sweeps found
+  bool ok = true;
+  telemetry::json_value block;  ///< the "sampler_overhead" report object
+};
+
+// Compares the sampled and unsampled thread-pool sweeps point by point.
+// Wall time is noisy, so a single slow point must not trip the gate: a
+// point counts as over budget only when the sampled run's entire bootstrap
+// CI clears budget * the unsampled median, and the gate fails only when at
+// least half the sweep points are over.
+overhead_verdict gate_sampler_overhead(
+    const std::vector<perf::benchmark_result>& results) {
+  overhead_verdict v;
+  const perf::benchmark_result* plain = nullptr;
+  const perf::benchmark_result* sampled = nullptr;
+  for (const auto& r : results) {
+    if (r.name == "parallel.thread_pool") plain = &r;
+    if (r.name == "parallel.thread_pool.sampled") sampled = &r;
+  }
+  if (!plain || !sampled || plain->sweep.size() != sampled->sweep.size())
+    return v;
+  v.present = true;
+
+  const auto num = [](double x) {
+    telemetry::json_value j;
+    j.k = telemetry::json_value::kind::number;
+    j.num = x;
+    return j;
+  };
+  v.block.k = telemetry::json_value::kind::object;
+  v.block.obj["budget_ratio"] = num(kSamplerOverheadBudget);
+  telemetry::json_value pts;
+  pts.k = telemetry::json_value::kind::array;
+  std::size_t over = 0;
+  for (std::size_t i = 0; i < plain->sweep.size(); ++i) {
+    const auto& p = plain->sweep[i];
+    const auto& s = sampled->sweep[i];
+    const double ratio =
+        p.time_ns.median > 0.0 ? s.time_ns.median / p.time_ns.median : 0.0;
+    const bool tripped =
+        p.time_ns.median > 0.0 &&
+        s.time_ns.ci.lo > p.time_ns.median * kSamplerOverheadBudget;
+    if (tripped) ++over;
+    telemetry::json_value pt;
+    pt.k = telemetry::json_value::kind::object;
+    pt.obj["n"] = num(static_cast<double>(p.n));
+    pt.obj["unsampled_median_ns"] = num(p.time_ns.median);
+    pt.obj["sampled_median_ns"] = num(s.time_ns.median);
+    pt.obj["sampled_ci_lo_ns"] = num(s.time_ns.ci.lo);
+    pt.obj["ratio"] = num(ratio);
+    telemetry::json_value t;
+    t.k = telemetry::json_value::kind::boolean;
+    t.b = tripped;
+    pt.obj["over_budget"] = std::move(t);
+    pts.arr.push_back(std::move(pt));
+  }
+  v.ok = over < (plain->sweep.size() + 1) / 2;
+  v.block.obj["points"] = std::move(pts);
+  v.block.obj["points_over_budget"] = num(static_cast<double>(over));
+  telemetry::json_value ok;
+  ok.k = telemetry::json_value::kind::boolean;
+  ok.b = v.ok;
+  v.block.obj["ok"] = std::move(ok);
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,7 +414,9 @@ int main(int argc, char** argv) {
 
   const auto results = perf::run_all(registry, topts, seed);
   const auto env = perf::env_info(perf::utc_timestamp());
-  const auto doc = perf::report_json(results, env);
+  auto doc = perf::report_json(results, env);
+  const auto overhead = gate_sampler_overhead(results);
+  if (overhead.present) doc.obj["sampler_overhead"] = overhead.block;
   const std::string rendered = telemetry::dump_json(doc);
 
   for (const std::string& path : {opt.out, opt.write_baseline}) {
@@ -369,6 +470,20 @@ int main(int argc, char** argv) {
     std::cerr << "a complexity fit is not consistent with its declared "
                  "bound\n";
     rc = rc == 0 ? 2 : rc;
+  }
+
+  if (overhead.present) {
+    if (overhead.ok) {
+      std::cout << "sampler overhead gate: ok (budget "
+                << kSamplerOverheadBudget << "x)\n";
+    } else {
+      std::cerr << "sampler overhead gate: background sampling costs more "
+                   "than "
+                << kSamplerOverheadBudget
+                << "x the unsampled thread pool at half or more sweep "
+                   "points\n";
+      rc = rc == 0 ? 4 : rc;
+    }
   }
   return rc;
 }

@@ -6,8 +6,34 @@
 
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/watchdog.hpp"
 
 namespace cgp::distributed {
+
+namespace {
+
+// Live-sampler feeds: resolved once, updated on the engine's hot paths so
+// a running sampler sees per-period message/fault rates and the current
+// in-flight backlog instead of only post-run totals.
+telemetry::gauge& in_flight_gauge() {
+  static telemetry::gauge& g = telemetry::registry::global().get_gauge(
+      "distributed.network.in_flight");
+  return g;
+}
+
+telemetry::counter& live_routed_counter() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "distributed.network.live_messages_routed");
+  return c;
+}
+
+telemetry::counter& live_faults_counter() {
+  static telemetry::counter& c = telemetry::registry::global().get_counter(
+      "distributed.network.live_faults");
+  return c;
+}
+
+}  // namespace
 
 const char* to_string(topology t) {
   switch (t) {
@@ -221,6 +247,7 @@ void net_base::do_send(int from, int to, std::string_view tag,
   std::bernoulli_distribution dropped(f.drop);
   if (f.drop > 0.0 && dropped(fault_rng_)) {
     ++stats_.messages_dropped;
+    live_faults_counter().add();
     return;
   }
   std::bernoulli_distribution duplicated(f.duplicate);
@@ -232,6 +259,7 @@ void net_base::do_send(int from, int to, std::string_view tag,
   };
   if (dup) {
     ++stats_.messages_duplicated;
+    live_faults_counter().add();
     schedule_async(message(m), extra());
   }
   schedule_async(std::move(m), extra());
@@ -270,6 +298,7 @@ std::size_t net_base::route_outboxes() {
         std::bernoulli_distribution dropped(f.drop);
         if (dropped(fault_rng_)) {
           ++stats_.messages_dropped;
+          live_faults_counter().add();
           continue;
         }
       }
@@ -280,6 +309,7 @@ std::size_t net_base::route_outboxes() {
       }
       if (dup) {
         ++stats_.messages_duplicated;
+        live_faults_counter().add();
         schedule_sync(message(m));
         ++scheduled;
       }
@@ -384,7 +414,9 @@ run_stats net_base::run_synchronous(std::size_t max_rounds) {
     // own state, so backends may run the supersteps concurrently.
     for_each_node([this](std::size_t i) { node_superstep(i); });
     const std::size_t sent = route_outboxes();
-    (void)sent;
+    live_routed_counter().add(sent);
+    in_flight_gauge().set(static_cast<std::int64_t>(pending_count_));
+    if (run_heartbeat_) run_heartbeat_->beat();
     bool any_alive = false;
     for (std::size_t i = 0; i < node_count(); ++i) any_alive |= !crashed_[i];
     if (!any_alive) break;
@@ -406,6 +438,9 @@ run_stats net_base::run_asynchronous(std::size_t max_rounds) {
       if (crash_round_[i] != 0 && now_ >= crash_round_[i]) crashed_[i] = true;
     deliver_to(static_cast<std::size_t>(ev.msg.dst), ev.msg);
     ++delivered;
+    live_routed_counter().add();
+    in_flight_gauge().set(static_cast<std::int64_t>(events_.size()));
+    if (run_heartbeat_) run_heartbeat_->beat();
   }
   stats_.rounds = static_cast<std::size_t>(now_);
   return stats_;
@@ -453,11 +488,20 @@ run_stats net_base::run(std::size_t max_rounds) {
   const auto run_ctx = run_span.context();
   phase_trace_id_ = run_ctx.trace_id;
   phase_parent_span_ = run_ctx.span_id;
+  // Liveness: the run is one busy watchdog participant, beaten once per
+  // superstep/event, so a transport wedged mid-run (e.g. a deadlocked
+  // worker barrier) shows up as a stall instead of a silent hang.
+  run_heartbeat_ = telemetry::live::watchdog::global().register_heartbeat(
+      std::string("distributed.") + backend_name() + ".run");
+  run_heartbeat_->begin_work();
   run_start_phase();
   if (opts_.mode == timing::synchronous)
     (void)run_synchronous(max_rounds);
   else
     (void)run_asynchronous(max_rounds);
+  run_heartbeat_->end_work();
+  run_heartbeat_.reset();
+  in_flight_gauge().set(0);
   finalize_stats();
   // Fold this run into the process-wide telemetry registry so every
   // backend exports uniformly (the taxonomy's measured dimensions:

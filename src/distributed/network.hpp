@@ -49,6 +49,10 @@
 #include <string_view>
 #include <vector>
 
+namespace cgp::telemetry::live {
+class heartbeat;
+}  // namespace cgp::telemetry::live
+
 namespace cgp::distributed {
 
 /// A message: source/destination node ids, a tag, and an integer payload.
@@ -367,6 +371,11 @@ class net_base {
   std::size_t round_ = 0;
   run_stats stats_;
   std::vector<std::map<std::string, long>> decisions_;  ///< per node
+
+  // Stall-watchdog heartbeat for the current run(): registered at run
+  // entry, marked busy for the run's duration, beaten once per superstep
+  // (sync) / delivered event batch (async), released at run exit.
+  std::shared_ptr<telemetry::live::heartbeat> run_heartbeat_;
 
   // Trace context of the current phase span (start phase / round span),
   // captured on the coordinator so worker-thread tasks can adopt it and

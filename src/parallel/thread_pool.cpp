@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "telemetry/trace.hpp"
+#include "telemetry/watchdog.hpp"
 
 namespace cgp::parallel {
 
@@ -15,6 +16,13 @@ using clock = std::chrono::steady_clock;
 std::uint64_t us_between(clock::time_point a, clock::time_point b) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+// Distinguishes heartbeat names across pool instances (tests construct
+// many short-lived pools; stale registrations self-prune via weak_ptr).
+unsigned next_pool_id() {
+  static std::atomic<unsigned> id{0};
+  return id.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -34,8 +42,15 @@ thread_pool::thread_pool(unsigned n)
           "parallel.thread_pool.task_us")) {
   workers_ = n != 0 ? n : std::max(1u, std::thread::hardware_concurrency());
   threads_.reserve(workers_);
+  heartbeats_.reserve(workers_);
+  const unsigned pool_id = next_pool_id();
   for (unsigned i = 0; i < workers_; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    heartbeats_.push_back(
+        telemetry::live::watchdog::global().register_heartbeat(
+            "parallel.thread_pool.p" + std::to_string(pool_id) + ".worker" +
+            std::to_string(i)));
+  for (unsigned i = 0; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 thread_pool::~thread_pool() {
@@ -77,7 +92,8 @@ void thread_pool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void thread_pool::worker_loop() {
+void thread_pool::worker_loop(unsigned idx) {
+  telemetry::live::heartbeat& hb = *heartbeats_[idx];
   for (;;) {
     std::function<void()> task;
     {
@@ -94,6 +110,9 @@ void thread_pool::worker_loop() {
       queue_.pop_front();
     }
     queue_depth_.sub();
+    // Busy from here: a task that wedges leaves this worker busy+silent,
+    // which is exactly what the stall watchdog flags.
+    hb.begin_work();
     if constexpr (telemetry::kEnabled) {
       const auto run_start = clock::now();
       task();
@@ -103,6 +122,7 @@ void thread_pool::worker_loop() {
     } else {
       task();
     }
+    hb.end_work();
     tasks_completed_.add();
   }
 }

@@ -11,11 +11,16 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+
+namespace cgp::telemetry::live {
+class heartbeat;
+}  // namespace cgp::telemetry::live
 
 namespace cgp::parallel {
 
@@ -48,10 +53,14 @@ class thread_pool {
   [[nodiscard]] double utilization() const noexcept;
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned idx);
 
   unsigned workers_ = 0;
   std::vector<std::thread> threads_;
+  // One stall-watchdog heartbeat per worker (live observability): workers
+  // mark busy around each task, so a wedged task shows up as a stall while
+  // an idle worker parked on the condition variable stays healthy.
+  std::vector<std::shared_ptr<telemetry::live::heartbeat>> heartbeats_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -69,18 +69,25 @@ std::string environment::to_string() const {
 }
 
 environment env_info(std::string timestamp) {
-  environment e;
-  e.compiler = compiler_id();
+  // Everything but the timestamp is a process-lifetime constant, so probe
+  // it exactly once: every exporter in the process (telemetry, trace,
+  // perf, live) then stamps the SAME block, not a per-call re-derivation.
+  static const environment cached = [] {
+    environment e;
+    e.compiler = compiler_id();
 #ifdef CGP_BUILD_TYPE
-  e.build_type = CGP_BUILD_TYPE;
+    e.build_type = CGP_BUILD_TYPE;
 #endif
-  if (e.build_type.empty()) e.build_type = "unspecified";
+    if (e.build_type.empty()) e.build_type = "unspecified";
 #ifdef CGP_CXX_FLAGS
-  e.cxx_flags = CGP_CXX_FLAGS;
+    e.cxx_flags = CGP_CXX_FLAGS;
 #endif
-  e.hardware_threads = std::thread::hardware_concurrency();
-  if (e.hardware_threads == 0) e.hardware_threads = 1;
-  e.os = os_id();
+    e.hardware_threads = std::thread::hardware_concurrency();
+    if (e.hardware_threads == 0) e.hardware_threads = 1;
+    e.os = os_id();
+    return e;
+  }();
+  environment e = cached;
   e.timestamp = std::move(timestamp);
   return e;
 }

@@ -237,6 +237,14 @@ expr simplifier::simplify(const expr& e,
   reg.get_counter("rewrite.simplifier.passes").add(static_cast<std::uint64_t>(passes));
   reg.get_histogram("rewrite.simplifier.passes_per_call")
       .record(static_cast<std::uint64_t>(passes));
+  // Live cache hit-rate series: the sampler snapshots this gauge (ppm,
+  // avoiding float gauges) so a warming/thrashing instantiation cache is
+  // visible while a long analysis run is still going.
+  const std::uint64_t hits = cache_hit_counter().value();
+  const std::uint64_t misses = cache_miss_counter().value();
+  if (hits + misses != 0)
+    reg.get_gauge("rewrite.simplifier.cache_hit_rate_ppm")
+        .set(static_cast<std::int64_t>(hits * 1000000 / (hits + misses)));
   if (traced && steps != nullptr) {
     // The full derivation chain, one instant per applied rule, in order.
     for (std::size_t i = first_step; i < steps->size(); ++i) {

@@ -1282,6 +1282,11 @@ void analyzer::run(const ast_program& program,
       .add(stats_.expressions - before.expressions);
   reg.get_counter("stllint.analyzer.loop_passes")
       .add(stats_.loop_passes - before.loop_passes);
+  // Level metric for the live sampler: diagnostics found by the most
+  // recent run, so a service loop's per-input severity is visible as a
+  // series rather than only a cumulative count.
+  reg.get_gauge("stllint.analyzer.last_run_diagnostics")
+      .set(static_cast<std::int64_t>(diags_.size()));
 }
 
 }  // namespace cgp::stllint

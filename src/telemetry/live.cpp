@@ -1,0 +1,380 @@
+#include "telemetry/live.hpp"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/recorder.hpp"
+
+namespace cgp::telemetry::live {
+namespace {
+
+counter& samples_counter() {
+  static counter& c = registry::global().get_counter("telemetry.live.samples");
+  return c;
+}
+
+gauge& series_gauge() {
+  static gauge& g = registry::global().get_gauge("telemetry.live.series");
+  return g;
+}
+
+const char* kind_name(char k) noexcept {
+  switch (k) {
+    case 'c':
+      return "counter_delta";
+    case 'g':
+      return "gauge";
+    case 'n':
+      return "hist_count_delta";
+    case 's':
+      return "hist_sum_delta";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& metric) {
+  std::string out = "cgp_";
+  out.reserve(metric.size() + 4);
+  for (const char ch : metric) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+sampler::sampler(sample_options opts, registry& reg)
+    : opts_(opts), reg_(&reg) {
+  if (opts_.period_ms == 0) opts_.period_ms = 1;
+  if (opts_.capacity == 0) opts_.capacity = 1;
+  // Register the sampler's own meta-metrics up front: created lazily at the
+  // end of the first tick they would be missing from that tick's snapshot,
+  // making the first-ever run's export differ from every later one (the
+  // manual-clock determinism test gates on byte-identical documents).
+  if constexpr (kEnabled) {
+    (void)samples_counter();
+    (void)series_gauge();
+  }
+}
+
+sampler::~sampler() { stop(); }
+
+void sampler::start() {
+  if constexpr (!kEnabled) return;
+  const std::lock_guard lock(run_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void sampler::stop() {
+  std::thread t;
+  {
+    const std::lock_guard lock(run_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    t = std::move(thread_);
+    running_ = false;
+  }
+  run_cv_.notify_all();
+  if (t.joinable()) t.join();
+}
+
+bool sampler::running() const {
+  const std::lock_guard lock(run_mu_);
+  return running_;
+}
+
+void sampler::run_loop() {
+  std::unique_lock lock(run_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_at(steady_now_ms());
+    lock.lock();
+    run_cv_.wait_for(lock, std::chrono::milliseconds(opts_.period_ms),
+                     [this] { return stop_requested_; });
+  }
+}
+
+sampler::shard& sampler::shard_of(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+const sampler::shard& sampler::shard_of(const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+void sampler::append(const std::string& name, char kind, std::uint64_t t_ms,
+                     std::uint64_t raw, std::int64_t gauge_level) {
+  shard& sh = shard_of(name);
+  const std::lock_guard lock(sh.mu);
+  series_state& st = sh.metrics[name];
+  st.kind = kind;
+  double v;
+  if (kind == 'g') {
+    v = static_cast<double>(gauge_level);
+    st.last_value = v;
+  } else {
+    // Per-period delta; a registry reset mid-flight makes raw < last_raw,
+    // in which case the honest delta restarts from the new absolute value.
+    v = raw >= st.last_raw ? static_cast<double>(raw - st.last_raw)
+                           : static_cast<double>(raw);
+    st.last_raw = raw;
+  }
+  ++st.total_points;
+  if (st.ring.size() < opts_.capacity) {
+    st.ring.push_back({t_ms, v});
+    return;
+  }
+  st.ring[st.head] = {t_ms, v};
+  st.head = (st.head + 1) % opts_.capacity;
+}
+
+void sampler::sample_at(std::uint64_t now_ms) {
+  if constexpr (!kEnabled) return;
+  std::size_t metric_count = 0;
+  for (const auto& [name, v] : reg_->counter_values()) {
+    // Read the pre-append baseline so nonzero movement can feed the
+    // flight recorder without re-deriving the delta.
+    std::uint64_t prev;
+    {
+      shard& sh = shard_of(name);
+      const std::lock_guard lock(sh.mu);
+      prev = sh.metrics[name].last_raw;
+    }
+    append(name, 'c', now_ms, v, 0);
+    if (v > prev)
+      flight_recorder::global().note(flight_entry::kind::counter, name,
+                                     static_cast<double>(v - prev));
+    ++metric_count;
+  }
+  for (const auto& [name, v] : reg_->gauge_values()) {
+    append(name, 'g', now_ms, 0, v);
+    ++metric_count;
+  }
+  for (const auto& [name, cnt, sum] : reg_->histogram_totals()) {
+    append(name + ".count", 'n', now_ms, cnt, 0);
+    append(name + ".sum", 's', now_ms, sum, 0);
+    metric_count += 2;
+  }
+  if (opts_.watch)
+    watchdog::global().check(now_ms, opts_.period_ms, opts_.miss_threshold);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  samples_counter().add(1);
+  series_gauge().set(static_cast<std::int64_t>(metric_count));
+}
+
+std::uint64_t sampler::samples_taken() const {
+  return samples_.load(std::memory_order_relaxed);
+}
+
+std::vector<series_view> sampler::series() const {
+  std::map<std::string, series_view> out;
+  for (const shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    for (const auto& [name, st] : sh.metrics) {
+      series_view v;
+      v.name = name;
+      v.kind = kind_name(st.kind);
+      v.total_points = st.total_points;
+      v.points.reserve(st.ring.size());
+      for (std::size_t i = 0; i < st.ring.size(); ++i)
+        v.points.push_back(st.ring[(st.head + i) % st.ring.size()]);
+      out.emplace(name, std::move(v));
+    }
+  }
+  std::vector<series_view> result;
+  result.reserve(out.size());
+  for (auto& [name, v] : out) result.push_back(std::move(v));
+  return result;
+}
+
+std::string sampler::export_prometheus() const {
+  std::ostringstream os;
+  // One pull over the retained state: counters expose their cumulative
+  // absolute value (what a Prometheus scraper rate()s over), gauges their
+  // latest level.
+  std::map<std::string, std::pair<char, std::uint64_t>> cumulative;
+  std::map<std::string, double> levels;
+  for (const shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    for (const auto& [name, st] : sh.metrics) {
+      if (st.kind == 'g')
+        levels[name] = st.last_value;
+      else
+        cumulative[name] = {st.kind, st.last_raw};
+    }
+  }
+  for (const auto& [name, kv] : cumulative) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " counter\n"
+       << pname << " " << kv.second << "\n";
+  }
+  for (const auto& [name, v] : levels) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n"
+       << pname << " " << static_cast<long long>(v) << "\n";
+  }
+  return os.str();
+}
+
+std::string sampler::export_json() const {
+  json_value doc;
+  doc.k = json_value::kind::object;
+  auto& obj = doc.obj;
+  {
+    json_value schema;
+    schema.k = json_value::kind::string;
+    schema.str = "cgp.live.v1";
+    obj["schema"] = std::move(schema);
+  }
+  const auto num = [](double v) {
+    json_value j;
+    j.k = json_value::kind::number;
+    j.num = v;
+    return j;
+  };
+  const auto str = [](std::string s) {
+    json_value j;
+    j.k = json_value::kind::string;
+    j.str = std::move(s);
+    return j;
+  };
+  obj["period_ms"] = num(static_cast<double>(opts_.period_ms));
+  obj["capacity"] = num(static_cast<double>(opts_.capacity));
+  obj["samples"] = num(static_cast<double>(samples_taken()));
+  json_value series_arr;
+  series_arr.k = json_value::kind::array;
+  for (series_view& v : series()) {
+    json_value s;
+    s.k = json_value::kind::object;
+    s.obj["name"] = str(std::move(v.name));
+    s.obj["kind"] = str(std::move(v.kind));
+    s.obj["total_points"] = num(static_cast<double>(v.total_points));
+    json_value pts;
+    pts.k = json_value::kind::array;
+    for (const series_point& p : v.points) {
+      json_value pt;
+      pt.k = json_value::kind::object;
+      pt.obj["t_ms"] = num(static_cast<double>(p.t_ms));
+      pt.obj["v"] = num(p.value);
+      pts.arr.push_back(std::move(pt));
+    }
+    s.obj["points"] = std::move(pts);
+    series_arr.arr.push_back(std::move(s));
+  }
+  obj["series"] = std::move(series_arr);
+  if (opts_.watch) {
+    json_value wd;
+    wd.k = json_value::kind::object;
+    json_value stalls;
+    stalls.k = json_value::kind::array;
+    for (const stall_event& ev : watchdog::global().stalls()) {
+      json_value s;
+      s.k = json_value::kind::object;
+      s.obj["participant"] = str(ev.participant);
+      s.obj["last_beat_ms"] = num(static_cast<double>(ev.last_beat_ms));
+      s.obj["detected_at_ms"] = num(static_cast<double>(ev.detected_at_ms));
+      s.obj["silent_ms"] = num(static_cast<double>(ev.silent_ms));
+      stalls.arr.push_back(std::move(s));
+    }
+    wd.obj["stalls"] = std::move(stalls);
+    obj["watchdog"] = std::move(wd);
+  }
+  return dump_json(doc);
+}
+
+void sampler::clear() {
+  for (shard& sh : shards_) {
+    const std::lock_guard lock(sh.mu);
+    sh.metrics.clear();
+  }
+  samples_.store(0, std::memory_order_relaxed);
+}
+
+std::string live_validation::error_text() const {
+  std::string out;
+  for (const std::string& e : errors) out += e + "\n";
+  return out;
+}
+
+live_validation validate_live_export(const json_value& doc) {
+  live_validation r;
+  const auto fail = [&r](std::string msg) {
+    r.ok = false;
+    r.errors.push_back(std::move(msg));
+  };
+  if (!doc.has("schema") || doc.at("schema").str != "cgp.live.v1") {
+    fail("document is not a cgp.live.v1 export");
+    return r;
+  }
+  for (const char* key : {"period_ms", "capacity", "samples"})
+    if (!doc.has(key) || !doc.at(key).is(json_value::kind::number))
+      fail(std::string("missing numeric '") + key + "'");
+  if (!doc.has("series") || !doc.at("series").is(json_value::kind::array)) {
+    fail("missing series array");
+    return r;
+  }
+  const double cap =
+      doc.has("capacity") && doc.at("capacity").is(json_value::kind::number)
+          ? doc.at("capacity").num
+          : 0.0;
+  for (const json_value& s : doc.at("series").arr) {
+    ++r.series;
+    if (!s.has("name") || !s.has("kind") || !s.has("points") ||
+        !s.at("points").is(json_value::kind::array)) {
+      fail("series " + std::to_string(r.series - 1) +
+           " is missing name/kind/points");
+      continue;
+    }
+    const std::string& kind = s.at("kind").str;
+    if (kind == "counter_delta")
+      ++r.counters;
+    else if (kind == "gauge")
+      ++r.gauges;
+    else if (kind == "hist_count_delta" || kind == "hist_sum_delta")
+      ++r.histograms;
+    else
+      fail("series '" + s.at("name").str + "' has unknown kind '" + kind +
+           "'");
+    const auto& pts = s.at("points").arr;
+    if (cap > 0.0 && static_cast<double>(pts.size()) > cap)
+      fail("series '" + s.at("name").str + "' retains more points than " +
+           "capacity");
+    double prev_t = -1.0;
+    for (const json_value& p : pts) {
+      ++r.points;
+      if (!p.has("t_ms") || !p.has("v")) {
+        fail("series '" + s.at("name").str + "' has a malformed point");
+        break;
+      }
+      const double t = p.at("t_ms").num;
+      if (t < prev_t) {
+        fail("series '" + s.at("name").str + "' goes backwards in time");
+        break;
+      }
+      prev_t = t;
+    }
+  }
+  if (doc.has("watchdog")) {
+    const json_value& wd = doc.at("watchdog");
+    if (!wd.has("stalls") || !wd.at("stalls").is(json_value::kind::array)) {
+      fail("watchdog block has no stalls array");
+    } else {
+      for (const json_value& s : wd.at("stalls").arr) {
+        ++r.stalls;
+        for (const char* key :
+             {"participant", "last_beat_ms", "detected_at_ms", "silent_ms"})
+          if (!s.has(key)) fail(std::string("stall missing '") + key + "'");
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace cgp::telemetry::live

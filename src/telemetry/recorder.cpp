@@ -1,0 +1,194 @@
+#include "telemetry/recorder.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace cgp::telemetry::live {
+
+std::uint64_t steady_now_ms() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+const char* to_string(flight_entry::kind k) noexcept {
+  switch (k) {
+    case flight_entry::kind::span:
+      return "span";
+    case flight_entry::kind::counter:
+      return "counter";
+    case flight_entry::kind::watchdog:
+      return "watchdog";
+    case flight_entry::kind::marker:
+      return "marker";
+  }
+  return "?";
+}
+
+flight_recorder::flight_recorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+flight_recorder& flight_recorder::global() {
+  static flight_recorder r;
+  return r;
+}
+
+void flight_recorder::set_capacity(std::size_t capacity) {
+  const std::lock_guard lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+}
+
+std::size_t flight_recorder::capacity() const {
+  const std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+void flight_recorder::note(flight_entry::kind k, std::string name,
+                           double value, std::string detail) {
+  if constexpr (!kEnabled) return;
+  flight_entry e;
+  e.k = k;
+  e.name = std::move(name);
+  e.value = value;
+  e.detail = std::move(detail);
+  const std::lock_guard lock(mu_);
+  // Stamp under the lock: insertion order and time order coincide, which
+  // validate_flight_dump checks.
+  e.t_ms = steady_now_ms();
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+std::uint64_t flight_recorder::recorded() const {
+  const std::lock_guard lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t flight_recorder::overwritten() const {
+  const std::lock_guard lock(mu_);
+  return overwritten_;
+}
+
+std::vector<flight_entry> flight_recorder::snapshot() const {
+  const std::lock_guard lock(mu_);
+  std::vector<flight_entry> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has lapped; 0 before that.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::string flight_recorder::dump_json() const {
+  // Snapshot first (its own lock), then serialize lock-free: a dump taken
+  // from a fault path must not hold the ring lock while building strings.
+  const std::vector<flight_entry> entries = snapshot();
+  std::uint64_t rec, over;
+  std::size_t cap;
+  {
+    const std::lock_guard lock(mu_);
+    rec = recorded_;
+    over = overwritten_;
+    cap = capacity_;
+  }
+  std::ostringstream os;
+  os << "{\"schema\":\"cgp.flight.v1\",\"capacity\":" << cap
+     << ",\"recorded\":" << rec << ",\"overwritten\":" << over
+     << ",\"entries\":[";
+  bool first = true;
+  for (const flight_entry& e : entries) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"t_ms\":" << e.t_ms << ",\"kind\":" << json_quote(to_string(e.k))
+       << ",\"name\":" << json_quote(e.name) << ",\"value\":" << e.value
+       << ",\"detail\":" << json_quote(e.detail) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void flight_recorder::clear() {
+  const std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  overwritten_ = 0;
+}
+
+std::string flight_validation::error_text() const {
+  std::string out;
+  for (const std::string& e : errors) out += e + "\n";
+  return out;
+}
+
+flight_validation validate_flight_dump(const json_value& doc) {
+  flight_validation r;
+  const auto fail = [&r](std::string msg) {
+    r.ok = false;
+    r.errors.push_back(std::move(msg));
+  };
+  if (!doc.has("schema") || doc.at("schema").str != "cgp.flight.v1") {
+    fail("document is not a cgp.flight.v1 dump");
+    return r;
+  }
+  for (const char* key : {"capacity", "recorded", "overwritten"})
+    if (!doc.has(key) || !doc.at(key).is(json_value::kind::number))
+      fail(std::string("missing numeric '") + key + "'");
+  if (!doc.has("entries") || !doc.at("entries").is(json_value::kind::array)) {
+    fail("missing entries array");
+    return r;
+  }
+  const auto& entries = doc.at("entries").arr;
+  if (r.ok) {
+    const double cap = doc.at("capacity").num;
+    const double rec = doc.at("recorded").num;
+    const double over = doc.at("overwritten").num;
+    if (static_cast<double>(entries.size()) > cap)
+      fail("more entries than capacity");
+    if (over > rec) fail("overwrote more entries than were ever recorded");
+    if (rec - over != static_cast<double>(entries.size()))
+      fail("recorded - overwritten does not match the entry count");
+  }
+  double prev_t = -1.0;
+  for (const json_value& e : entries) {
+    ++r.entries;
+    if (!e.has("t_ms") || !e.has("kind") || !e.has("name") ||
+        !e.has("value") || !e.has("detail")) {
+      fail("entry " + std::to_string(r.entries - 1) + " is missing a field");
+      continue;
+    }
+    const double t = e.at("t_ms").num;
+    if (t < prev_t)
+      fail("entry " + std::to_string(r.entries - 1) +
+           " goes backwards in time");
+    prev_t = t;
+    const std::string& k = e.at("kind").str;
+    if (k == "span")
+      ++r.spans;
+    else if (k == "counter")
+      ++r.counters;
+    else if (k == "watchdog")
+      ++r.watchdog_verdicts;
+    else if (k == "marker")
+      ++r.markers;
+    else
+      fail("entry " + std::to_string(r.entries - 1) + " has unknown kind '" +
+           k + "'");
+  }
+  return r;
+}
+
+}  // namespace cgp::telemetry::live

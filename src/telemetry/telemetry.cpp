@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "telemetry/export.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace cgp::telemetry {
 
@@ -84,6 +85,16 @@ std::vector<std::pair<std::string, std::int64_t>> registry::gauge_values()
   return out;
 }
 
+std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>>
+registry::histogram_totals() const {
+  const std::lock_guard lock(mu_);
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.emplace_back(name, h->count(), h->sum());
+  return out;
+}
+
 std::vector<check_report> registry::check_reports() const {
   const std::lock_guard lock(mu_);
   return checks_;
@@ -116,9 +127,16 @@ std::string registry::export_text() const {
     os << "gauge " << name << " " << g->value() << "\n";
   for (const auto& [name, h] : histograms_) {
     os << "histogram " << name << " count=" << h->count()
-       << " sum=" << h->sum() << " mean=" << h->mean()
-       << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
-       << " p99=" << h->percentile(99) << " max=" << h->max() << "\n";
+       << " sum=" << h->sum() << " mean=" << h->mean();
+    // Percentiles of zero samples do not exist; printing 0 would read as
+    // "measured and instantaneous", so say null explicitly.
+    if (h->count() == 0) {
+      os << " p50=null p95=null p99=null";
+    } else {
+      os << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
+         << " p99=" << h->percentile(99);
+    }
+    os << " max=" << h->max() << "\n";
   }
   for (const check_report& r : checks_) os << r.to_string() << "\n";
   return os.str();
@@ -147,10 +165,16 @@ std::string registry::export_json() const {
     if (!first) os << ",";
     first = false;
     os << json_quote(name) << ":{\"count\":" << h->count()
-       << ",\"sum\":" << h->sum() << ",\"mean\":" << h->mean()
-       << ",\"p50\":" << h->percentile(50) << ",\"p95\":" << h->percentile(95)
-       << ",\"p99\":" << h->percentile(99) << ",\"max\":" << h->max()
-       << ",\"buckets\":[";
+       << ",\"sum\":" << h->sum() << ",\"mean\":" << h->mean();
+    if (h->count() == 0) {
+      // No samples means no percentiles: explicit nulls, not a fake 0.
+      os << ",\"p50\":null,\"p95\":null,\"p99\":null";
+    } else {
+      os << ",\"p50\":" << h->percentile(50)
+         << ",\"p95\":" << h->percentile(95)
+         << ",\"p99\":" << h->percentile(99);
+    }
+    os << ",\"max\":" << h->max() << ",\"buckets\":[";
     bool first_b = true;
     for (std::size_t i = 0; i < histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket_count(i);
@@ -225,9 +249,12 @@ span::~span() {
   if constexpr (kEnabled) {
     current_span = parent_;
     --span_depth;
+    const std::uint64_t us = elapsed_us();
     reg_->get_counter(name_ + ".calls").add();
-    reg_->get_histogram(name_ + ".duration_us").record(elapsed_us());
+    reg_->get_histogram(name_ + ".duration_us").record(us);
     if (ops_ != 0) reg_->get_counter(name_ + ".ops").add(ops_);
+    live::flight_recorder::global().note(live::flight_entry::kind::span,
+                                         name_, static_cast<double>(us));
   }
 }
 

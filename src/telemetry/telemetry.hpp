@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -243,6 +244,11 @@ class registry {
   counter_values() const;
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
   gauge_values() const;
+  /// (name, count, sum) per histogram — the cheap totals the live sampler
+  /// turns into per-period rate series without walking buckets.
+  [[nodiscard]] std::vector<std::tuple<std::string, std::uint64_t,
+                                       std::uint64_t>>
+  histogram_totals() const;
   [[nodiscard]] std::vector<check_report> check_reports() const;
 
   /// Sum of all counters whose name starts with `prefix` (test helper:

@@ -1,0 +1,326 @@
+// Tests for the live observability layer: the flight recorder's overwrite
+// ring and dump validation, watchdog stall semantics (busy/idle, one
+// verdict per episode, weak-registration pruning, callbacks), manual-clock
+// sampler determinism (byte-identical cgp.live.v1 exports across runs),
+// series content (counter deltas vs gauge levels), Prometheus exposition,
+// and the shutdown races the tsan preset hammers (start/stop/start,
+// sample-during-export).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/env_info.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/live.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace {
+
+using namespace cgp;
+namespace live = telemetry::live;
+
+// ---------------------------------------------------------------------------
+// flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, OverwritesOldestAndCountsTotals) {
+  live::flight_recorder fr(4);
+  for (int i = 0; i < 6; ++i)
+    fr.note(live::flight_entry::kind::marker, "e" + std::to_string(i),
+            static_cast<double>(i));
+  EXPECT_EQ(fr.recorded(), 6u);
+  EXPECT_EQ(fr.overwritten(), 2u);
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  // Oldest-first, and the two oldest notes were overwritten.
+  EXPECT_EQ(entries.front().name, "e2");
+  EXPECT_EQ(entries.back().name, "e5");
+}
+
+TEST(FlightRecorderTest, DumpRoundTripsAndValidates) {
+  live::flight_recorder fr(16);
+  fr.note(live::flight_entry::kind::span, "a.span", 12.0);
+  fr.note(live::flight_entry::kind::counter, "a.counter", 3.0);
+  fr.note(live::flight_entry::kind::watchdog, "a.worker", 99.0, "stall");
+  fr.note(live::flight_entry::kind::marker, "note");
+  const auto doc = telemetry::parse_json(fr.dump_json());
+  const auto v = live::validate_flight_dump(doc);
+  EXPECT_TRUE(v.ok) << v.error_text();
+  EXPECT_EQ(v.entries, 4u);
+  EXPECT_EQ(v.spans, 1u);
+  EXPECT_EQ(v.counters, 1u);
+  EXPECT_EQ(v.watchdog_verdicts, 1u);
+  EXPECT_EQ(v.markers, 1u);
+  // dump -> parse -> dump is a fixed point through the bundled JSON layer.
+  const std::string dumped = telemetry::dump_json(doc);
+  EXPECT_EQ(telemetry::dump_json(telemetry::parse_json(dumped)), dumped);
+}
+
+TEST(FlightRecorderTest, ValidatorRejectsIncoherentTotals) {
+  live::flight_recorder fr(8);
+  fr.note(live::flight_entry::kind::marker, "x");
+  auto doc = telemetry::parse_json(fr.dump_json());
+  doc.obj["recorded"].num = 0.0;  // totals no longer match the entry count
+  const auto v = live::validate_flight_dump(doc);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(FlightRecorderTest, ClearEmptiesRingAndTotals) {
+  live::flight_recorder fr(4);
+  fr.note(live::flight_entry::kind::marker, "x");
+  fr.clear();
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, FlagsBusySilentParticipantOncePerEpisode) {
+  live::watchdog wd;
+  auto hb = wd.register_heartbeat("test.worker");
+  hb->begin_work();
+  hb->beat_at(100);
+  // Budget is miss_threshold * period = 20ms of silence while busy.
+  EXPECT_EQ(wd.check(115, 10, 2), 0u);  // within budget
+  EXPECT_EQ(wd.check(125, 10, 2), 1u);  // flagged
+  EXPECT_EQ(wd.check(200, 10, 2), 0u);  // same episode: no second verdict
+  const auto stalls = wd.stalls();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].participant, "test.worker");
+  EXPECT_EQ(stalls[0].last_beat_ms, 100u);
+  EXPECT_EQ(stalls[0].detected_at_ms, 125u);
+  EXPECT_EQ(stalls[0].silent_ms, 25u);
+  // Completing the unit of work ends the episode; a fresh silent busy
+  // stretch earns a fresh verdict.
+  hb->end_work();
+  hb->begin_work();
+  hb->beat_at(300);
+  EXPECT_EQ(wd.check(330, 10, 2), 1u);
+  EXPECT_EQ(wd.stall_count(), 2u);
+}
+
+TEST(WatchdogTest, IdleSilenceIsHealthy) {
+  live::watchdog wd;
+  auto hb = wd.register_heartbeat("test.idler");
+  hb->beat_at(0);  // idle (never begin_work), silent forever
+  EXPECT_EQ(wd.check(1000000, 10, 2), 0u);
+  EXPECT_EQ(wd.stall_count(), 0u);
+}
+
+TEST(WatchdogTest, DroppedRegistrationsPrune) {
+  live::watchdog wd;
+  auto hb = wd.register_heartbeat("test.transient");
+  EXPECT_EQ(wd.heartbeat_count(), 1u);
+  hb.reset();  // owner is gone; the watchdog only held a weak_ptr
+  EXPECT_EQ(wd.check(100, 10, 2), 0u);
+  EXPECT_EQ(wd.heartbeat_count(), 0u);
+}
+
+TEST(WatchdogTest, CallbackFiresPerVerdict) {
+  live::watchdog wd;
+  std::vector<live::stall_event> seen;
+  wd.on_stall([&seen](const live::stall_event& ev) { seen.push_back(ev); });
+  auto hb = wd.register_heartbeat("test.cb");
+  hb->begin_work();
+  hb->beat_at(50);
+  (void)wd.check(100, 10, 2);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].participant, "test.cb");
+  EXPECT_EQ(seen[0].silent_ms, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// manual-clock sampler: determinism and series content
+// ---------------------------------------------------------------------------
+
+std::string manual_run_export() {
+  auto& reg = telemetry::registry::global();
+  reg.reset();
+  live::sampler s({.period_ms = 10, .capacity = 16, .watch = false});
+  auto& c = reg.get_counter("live_test.counter");
+  auto& g = reg.get_gauge("live_test.gauge");
+  auto& h = reg.get_histogram("live_test.hist");
+  for (int t = 0; t < 5; ++t) {
+    c.add(3);
+    g.set(t);
+    h.record(static_cast<std::uint64_t>(t) * 7 + 1);
+    s.sample_at(static_cast<std::uint64_t>(t) * 10);
+  }
+  return s.export_json();
+}
+
+TEST(LiveSamplerTest, ManualClockExportIsByteIdenticalAcrossRuns) {
+  // The CGP_CHECK_SEED replay contract for the live layer: with the clock
+  // injected and the registry reset, two identical runs must serialize to
+  // byte-identical cgp.live.v1 documents.
+  const std::string first = manual_run_export();
+  const std::string second = manual_run_export();
+  EXPECT_EQ(first, second);
+  const auto v = live::validate_live_export(telemetry::parse_json(first));
+  EXPECT_TRUE(v.ok) << v.error_text();
+}
+
+TEST(LiveSamplerTest, SeriesCarryCounterDeltasAndGaugeLevels) {
+  const auto doc = telemetry::parse_json(manual_run_export());
+  const live::series_view* found = nullptr;
+  std::vector<live::series_view> views;
+  for (const auto& s : doc.at("series").arr) {
+    live::series_view v;
+    v.name = s.at("name").str;
+    v.kind = s.at("kind").str;
+    for (const auto& p : s.at("points").arr)
+      v.points.push_back({static_cast<std::uint64_t>(p.at("t_ms").num),
+                          p.at("v").num});
+    views.push_back(std::move(v));
+  }
+  const auto find = [&](const std::string& name) -> const live::series_view* {
+    for (const auto& v : views)
+      if (v.name == name) return &v;
+    return nullptr;
+  };
+  // Counter series hold per-period deltas (steady +3 per tick).
+  found = find("live_test.counter");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, "counter_delta");
+  ASSERT_EQ(found->points.size(), 5u);
+  for (const auto& p : found->points) EXPECT_EQ(p.value, 3.0);
+  EXPECT_EQ(found->points[0].t_ms, 0u);
+  EXPECT_EQ(found->points[4].t_ms, 40u);
+  // Gauge series hold levels (0..4).
+  found = find("live_test.gauge");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, "gauge");
+  ASSERT_EQ(found->points.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(found->points[i].value, static_cast<double>(i));
+  // Histograms stream their totals as two delta series.
+  found = find("live_test.hist.count");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, "hist_count_delta");
+  for (const auto& p : found->points) EXPECT_EQ(p.value, 1.0);
+  EXPECT_NE(find("live_test.hist.sum"), nullptr);
+}
+
+TEST(LiveSamplerTest, RingRetainsOnlyNewestPointsWithinCapacity) {
+  auto& reg = telemetry::registry::global();
+  reg.reset();
+  live::sampler s({.period_ms = 10, .capacity = 4, .watch = false});
+  auto& c = reg.get_counter("live_test.ring_counter");
+  for (int t = 0; t < 10; ++t) {
+    c.add(static_cast<std::uint64_t>(t) + 1);
+    s.sample_at(static_cast<std::uint64_t>(t) * 10);
+  }
+  for (const auto& v : s.series()) {
+    if (v.name != "live_test.ring_counter") continue;
+    EXPECT_EQ(v.total_points, 10u);
+    ASSERT_EQ(v.points.size(), 4u);  // capacity-bounded
+    // Oldest retained point is tick 6 (delta 7 at t=60).
+    EXPECT_EQ(v.points.front().t_ms, 60u);
+    EXPECT_EQ(v.points.front().value, 7.0);
+    EXPECT_EQ(v.points.back().t_ms, 90u);
+    EXPECT_EQ(v.points.back().value, 10.0);
+    return;
+  }
+  FAIL() << "series live_test.ring_counter not found";
+}
+
+TEST(LiveSamplerTest, PrometheusExpositionExposesCumulativeValues) {
+  auto& reg = telemetry::registry::global();
+  reg.reset();
+  live::sampler s({.period_ms = 10, .capacity = 8, .watch = false});
+  reg.get_counter("live_test.prom.requests").add(41);
+  reg.get_gauge("live_test.prom.depth").set(-3);
+  s.sample_at(0);
+  reg.get_counter("live_test.prom.requests").add(1);
+  s.sample_at(10);
+  const std::string prom = s.export_prometheus();
+  EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_requests counter\n"
+                      "cgp_live_test_prom_requests 42\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_depth gauge\n"
+                      "cgp_live_test_prom_depth -3\n"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(LiveSamplerTest, ValidatorRejectsUnknownKindsAndTimeTravel) {
+  auto doc = telemetry::parse_json(manual_run_export());
+  ASSERT_FALSE(doc.at("series").arr.empty());
+  doc.obj["series"].arr[0].obj["kind"].str = "nonsense";
+  EXPECT_FALSE(live::validate_live_export(doc).ok);
+  auto doc2 = telemetry::parse_json(manual_run_export());
+  for (auto& s : doc2.obj["series"].arr) {
+    if (s.at("points").arr.size() < 2) continue;
+    std::swap(s.obj["points"].arr.front().obj["t_ms"].num,
+              s.obj["points"].arr.back().obj["t_ms"].num);
+    EXPECT_FALSE(live::validate_live_export(doc2).ok);
+    return;
+  }
+  FAIL() << "no multi-point series to tamper with";
+}
+
+// ---------------------------------------------------------------------------
+// shutdown races (the tsan-live preset runs these under ThreadSanitizer)
+// ---------------------------------------------------------------------------
+
+TEST(LiveSamplerTest, StartStopStartSurvives) {
+  live::sampler s({.period_ms = 1, .capacity = 8, .watch = false});
+  EXPECT_FALSE(s.running());
+  s.start();
+  EXPECT_TRUE(s.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.stop();
+  EXPECT_FALSE(s.running());
+  const std::uint64_t after_first = s.samples_taken();
+  EXPECT_GT(after_first, 0u);
+  s.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.stop();
+  EXPECT_GT(s.samples_taken(), after_first);
+}
+
+TEST(LiveSamplerTest, SamplingDuringExportIsSafe) {
+  auto& reg = telemetry::registry::global();
+  live::sampler s({.period_ms = 1, .capacity = 32, .watch = false});
+  auto& c = reg.get_counter("live_test.race_counter");
+  s.start();
+  std::thread mutator([&c] {
+    for (int i = 0; i < 2000; ++i) c.add();
+  });
+  for (int i = 0; i < 20; ++i) {
+    const std::string json = s.export_json();
+    EXPECT_NO_THROW((void)telemetry::parse_json(json));
+    (void)s.export_prometheus();
+  }
+  mutator.join();
+  s.stop();
+  const auto v = live::validate_live_export(
+      telemetry::parse_json(s.export_json()));
+  EXPECT_TRUE(v.ok) << v.error_text();
+}
+
+// ---------------------------------------------------------------------------
+// env_info caching (shared environment block satellite)
+// ---------------------------------------------------------------------------
+
+TEST(EnvInfoTest, CachedBlockIsStableAcrossCallsExceptTimestamp) {
+  const auto a = perf::env_info("2026-01-01T00:00:00Z");
+  const auto b = perf::env_info("2026-01-02T00:00:00Z");
+  EXPECT_EQ(a.compiler, b.compiler);
+  EXPECT_EQ(a.build_type, b.build_type);
+  EXPECT_EQ(a.cxx_flags, b.cxx_flags);
+  EXPECT_EQ(a.hardware_threads, b.hardware_threads);
+  EXPECT_EQ(a.os, b.os);
+  EXPECT_EQ(a.timestamp, "2026-01-01T00:00:00Z");
+  EXPECT_EQ(b.timestamp, "2026-01-02T00:00:00Z");
+}
+
+}  // namespace

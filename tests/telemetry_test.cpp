@@ -275,6 +275,31 @@ TEST(TelemetryExport, ExportsCarryHistogramPercentiles) {
   EXPECT_LE(hist.at("p50").num, hist.at("p99").num);
 }
 
+TEST(TelemetryExport, EmptyHistogramPercentilesAreExplicitNulls) {
+  // Percentiles of zero samples do not exist; a 0 would read as "measured
+  // and instantaneous".  Both exporters must say null, and flip to numbers
+  // as soon as one sample lands.
+  telemetry::registry reg;
+  (void)reg.get_histogram("empty.hist");
+
+  const std::string text = reg.export_text();
+  EXPECT_NE(text.find("p50=null p95=null p99=null"), std::string::npos)
+      << text;
+
+  const auto doc = telemetry::parse_json(reg.export_json());
+  const auto& hist = doc.at("histograms").at("empty.hist");
+  EXPECT_EQ(hist.at("count").num, 0.0);
+  for (const char* key : {"p50", "p95", "p99"})
+    EXPECT_TRUE(hist.at(key).is(telemetry::json_value::kind::null)) << key;
+
+  reg.get_histogram("empty.hist").record(7);
+  const auto doc2 = telemetry::parse_json(reg.export_json());
+  const auto& hist2 = doc2.at("histograms").at("empty.hist");
+  for (const char* key : {"p50", "p95", "p99"})
+    EXPECT_TRUE(hist2.at(key).is(telemetry::json_value::kind::number)) << key;
+  EXPECT_EQ(reg.export_text().find("p50=null"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // counter snapshots
 // ---------------------------------------------------------------------------

@@ -145,6 +145,24 @@ TEST_F(TraceTest, MaxEventsCapDropsNewEventsAndCounts) {
             2.0 * trace::sink::kShards);
 }
 
+TEST_F(TraceTest, DropAccountingSurvivesExportRoundTrip) {
+  // Regression: the drop counter must survive a full serialize -> parse ->
+  // re-serialize -> parse cycle, not just appear in the first export — a
+  // consumer that rewrites the document (as bench/trace_export does when it
+  // stamps the environment block) must not lose the truncation record.
+  auto& sink = trace::sink::global();
+  sink.set_max_events(2 * trace::sink::kShards);
+  for (int i = 0; i < 8; ++i) trace::trace_span span("overflow", "test");
+  ASSERT_GT(sink.dropped(), 0u);
+
+  const auto once = telemetry::parse_json(sink.export_chrome_trace());
+  const auto twice = telemetry::parse_json(telemetry::dump_json(once));
+  EXPECT_EQ(twice.at("otherData").at("dropped_events").num,
+            static_cast<double>(sink.dropped()));
+  EXPECT_EQ(twice.at("otherData").at("max_events").num,
+            once.at("otherData").at("max_events").num);
+}
+
 TEST_F(TraceTest, ExportRoundTripsThroughBundledJsonParser) {
   {
     trace::trace_span root("root", "test");
