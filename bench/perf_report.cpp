@@ -11,12 +11,32 @@
 //               [--no-gate-time]          counters-only gate (deterministic)
 //               [--plant-regression NAME] artificially slow one benchmark 6x
 //                                         (self-test: the gate must trip)
+//               [--profile]               capture a deterministic manual-clock
+//                                         call-graph profile of the registry:
+//                                         writes cgp.prof.v1 JSON + collapsed
+//                                         stacks, prints the hot-path table,
+//                                         and (with --plant-regression) the
+//                                         clean-vs-planted profile diff
+//               [--profile-out FILE]      profile path (default PROF_perf.json;
+//                                         collapsed stacks land next to it
+//                                         with a .folded extension)
+//               [--profile-baseline FILE] when the baseline gate trips, diff
+//                                         the captured profile against this
+//                                         cgp.prof.v1 file and print the
+//                                         top-5 frame deltas
+//               [--self-check-diff]       with --plant-regression: exit 0 only
+//                                         when the clean-vs-planted diff
+//                                         localizes the planted benchmark in
+//                                         its top-5 grown paths
 //               [--list]                  print benchmark names and exit
 //
 // Exit codes: 0 ok; 1 regression vs baseline; 2 a fitted-vs-declared
 // complexity verdict came back violated (or inconclusive, which for these
-// curated sweeps means the harness itself broke); 3 usage/IO error; 4 the
-// live sampler's measured overhead on the thread pool exceeded its budget.
+// curated sweeps means the harness itself broke); 3 usage/IO error; 4 an
+// overhead gate (live sampler or profiler probes) exceeded its budget on
+// the thread pool; 5 a profile self-check failed (capture not
+// byte-deterministic, structural validation, or --self-check-diff failed
+// to localize the planted regression).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -35,12 +55,14 @@
 #include "parallel/thread_pool.hpp"
 #include "perf/benchmark.hpp"
 #include "perf/env_info.hpp"
+#include "perf/profdiff.hpp"
 #include "perf/report.hpp"
 #include "rewrite/engine.hpp"
 #include "rewrite/parser.hpp"
 #include "sequences/instrumented.hpp"
 #include "stllint/stllint.hpp"
 #include "telemetry/live.hpp"
+#include "telemetry/profile.hpp"
 
 namespace {
 
@@ -188,6 +210,44 @@ perf::bench_registry build_registry() {
              };
            }});
 
+  // And the same fan-out again with profiler probes live: the profiling
+  // session enables wall-clock collection for this sweep only, so every
+  // task runs the submit wrapper (path capture + adopt + probe).  The
+  // probe_overhead gate below compares this sweep against the bare pool
+  // and trips when attribution costs more than its budget.
+  reg.add({.name = "parallel.thread_pool.profiled",
+           .subsystem = "parallel",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "parallel.thread_pool.tasks",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto pool = std::make_shared<parallel::thread_pool>(2);
+             // RAII profiling session: enable on entry unless an outer
+             // capture (--profile) already owns the profiler, in which
+             // case both ends are no-ops and the outer clock mode wins.
+             struct profiling_session {
+               bool owned;
+               profiling_session()
+                   : owned(!telemetry::profile::profiler::global().enabled()) {
+                 if (owned) {
+                   telemetry::profile::profiler::global().set_manual_clock(
+                       false);
+                   telemetry::profile::profiler::global().enable();
+                 }
+               }
+               ~profiling_session() {
+                 if (owned) telemetry::profile::profiler::global().disable();
+               }
+             };
+             auto session = std::make_shared<profiling_session>();
+             return [pool, session, n] {
+               pool->run_chunks(n, [](std::size_t c) {
+                 volatile std::size_t sink = 0;
+                 for (std::size_t i = 0; i < 64; ++i) sink = sink + c;
+               });
+             };
+           }});
+
   // Echo wave (PIF) on a ring under the deterministic simulator: two
   // messages per edge, and a ring has n edges.
   reg.add({.name = "distributed.sim_transport",
@@ -245,10 +305,14 @@ struct options {
   std::string baseline;
   std::string write_baseline;
   std::string plant;
+  std::string profile_out = "PROF_perf.json";
+  std::string profile_baseline;
   double time_tolerance = 4.0;
   bool gate_time = true;
   bool quick = false;
   bool list = false;
+  bool profile = false;
+  bool self_check_diff = false;
 };
 
 bool parse_args(int argc, char** argv, options& o) {
@@ -275,6 +339,18 @@ bool parse_args(int argc, char** argv, options& o) {
       const char* v = next();
       if (!v) return false;
       o.time_tolerance = std::stod(v);
+    } else if (a == "--profile") {
+      o.profile = true;
+    } else if (a == "--profile-out") {
+      const char* v = next();
+      if (!v) return false;
+      o.profile_out = v;
+    } else if (a == "--profile-baseline") {
+      const char* v = next();
+      if (!v) return false;
+      o.profile_baseline = v;
+    } else if (a == "--self-check-diff") {
+      o.self_check_diff = true;
     } else if (a == "--no-gate-time") {
       o.gate_time = false;
     } else if (a == "--quick") {
@@ -289,30 +365,37 @@ bool parse_args(int argc, char** argv, options& o) {
   return true;
 }
 
-// --- sampler overhead gate --------------------------------------------------
+// --- overhead gates ---------------------------------------------------------
 
-// Background sampling must stay within a 10% tax on the thread pool.
+// Continuous observation must stay within a 10% tax on the thread pool:
+// the live sampler (PR 6) and the profiler's probes alike.
 constexpr double kSamplerOverheadBudget = 1.10;
+constexpr double kProbeOverheadBudget = 1.10;
 
 struct overhead_verdict {
   bool present = false;  ///< both sweeps found
   bool ok = true;
-  telemetry::json_value block;  ///< the "sampler_overhead" report object
+  telemetry::json_value block;  ///< the report object for this gate
 };
 
-// Compares the sampled and unsampled thread-pool sweeps point by point.
-// Wall time is noisy, so a single slow point must not trip the gate: a
-// point counts as over budget only when the sampled run's entire bootstrap
-// CI clears budget * the unsampled median, and the gate fails only when at
-// least half the sweep points are over.
-overhead_verdict gate_sampler_overhead(
-    const std::vector<perf::benchmark_result>& results) {
+// Compares an instrumented thread-pool sweep against the bare one, point
+// by point.  Wall time is noisy ON BOTH SIDES, so a point counts as over
+// budget only when the two bootstrap CIs separate past the budget — the
+// instrumented run's CI.lo clears budget * the bare run's CI.hi (a slow
+// bare sample must not manufacture headroom, and a slow instrumented
+// sample must not manufacture a violation) — and the gate fails only when
+// at least half the sweep points are over.  A genuine blowup (the planted
+// 6x twin) separates the intervals at every point; jitter does not.
+overhead_verdict gate_overhead_pair(
+    const std::vector<perf::benchmark_result>& results,
+    const std::string& bare_name, const std::string& instrumented_name,
+    double budget) {
   overhead_verdict v;
   const perf::benchmark_result* plain = nullptr;
   const perf::benchmark_result* sampled = nullptr;
   for (const auto& r : results) {
-    if (r.name == "parallel.thread_pool") plain = &r;
-    if (r.name == "parallel.thread_pool.sampled") sampled = &r;
+    if (r.name == bare_name) plain = &r;
+    if (r.name == instrumented_name) sampled = &r;
   }
   if (!plain || !sampled || plain->sweep.size() != sampled->sweep.size())
     return v;
@@ -325,7 +408,7 @@ overhead_verdict gate_sampler_overhead(
     return j;
   };
   v.block.k = telemetry::json_value::kind::object;
-  v.block.obj["budget_ratio"] = num(kSamplerOverheadBudget);
+  v.block.obj["budget_ratio"] = num(budget);
   telemetry::json_value pts;
   pts.k = telemetry::json_value::kind::array;
   std::size_t over = 0;
@@ -334,14 +417,14 @@ overhead_verdict gate_sampler_overhead(
     const auto& s = sampled->sweep[i];
     const double ratio =
         p.time_ns.median > 0.0 ? s.time_ns.median / p.time_ns.median : 0.0;
-    const bool tripped =
-        p.time_ns.median > 0.0 &&
-        s.time_ns.ci.lo > p.time_ns.median * kSamplerOverheadBudget;
+    const bool tripped = p.time_ns.ci.hi > 0.0 &&
+                         s.time_ns.ci.lo > p.time_ns.ci.hi * budget;
     if (tripped) ++over;
     telemetry::json_value pt;
     pt.k = telemetry::json_value::kind::object;
     pt.obj["n"] = num(static_cast<double>(p.n));
     pt.obj["unsampled_median_ns"] = num(p.time_ns.median);
+    pt.obj["unsampled_ci_hi_ns"] = num(p.time_ns.ci.hi);
     pt.obj["sampled_median_ns"] = num(s.time_ns.median);
     pt.obj["sampled_ci_lo_ns"] = num(s.time_ns.ci.lo);
     pt.obj["ratio"] = num(ratio);
@@ -359,6 +442,54 @@ overhead_verdict gate_sampler_overhead(
   ok.b = v.ok;
   v.block.obj["ok"] = std::move(ok);
   return v;
+}
+
+// --- deterministic profile capture ------------------------------------------
+
+struct profile_capture {
+  telemetry::profile::profile_snapshot snap;
+  std::string json;    ///< cgp.prof.v1 text (byte-deterministic)
+  std::string folded;  ///< flamegraph.pl collapsed stacks
+};
+
+// Runs every benchmark's workload a fixed number of times under the
+// manual clock, outside the adaptive timing harness (whose calibrated
+// invocation counts are wall-clock dependent and would wreck
+// determinism).  Each benchmark gets a `bench.<name>` frame on the
+// driver thread; worker-side probes re-root under it via the thread
+// pool's shadow-path propagation.
+profile_capture capture_profile(const perf::bench_registry& registry) {
+  auto& prof = telemetry::profile::profiler::global();
+  prof.disable();
+  prof.set_manual_clock(true);
+  prof.reset();
+  prof.enable();
+  for (const auto& def : registry.all()) {
+    telemetry::profile::probe bench_probe(
+        std::string_view("bench." + def.name));
+    for (const std::size_t n : def.sizes) {
+      auto workload = def.setup(n);
+      for (int rep = 0; rep < 2; ++rep) workload();
+    }
+  }
+  prof.disable();
+  profile_capture cap;
+  cap.snap = prof.snapshot();
+  prof.set_manual_clock(false);
+  cap.json = telemetry::profile::export_json(cap.snap);
+  cap.folded = telemetry::profile::collapsed(cap.snap);
+  return cap;
+}
+
+// The collapsed-stack artifact lands next to the profile JSON.
+std::string folded_path_for(const std::string& profile_out) {
+  const std::string suffix = ".json";
+  if (profile_out.size() > suffix.size() &&
+      profile_out.compare(profile_out.size() - suffix.size(), suffix.size(),
+                          suffix) == 0)
+    return profile_out.substr(0, profile_out.size() - suffix.size()) +
+           ".folded";
+  return profile_out + ".folded";
 }
 
 }  // namespace
@@ -400,6 +531,76 @@ int main(int argc, char** argv) {
     }
     registry = std::move(planted);
   }
+  if (opt.self_check_diff && opt.plant.empty()) {
+    std::cerr << "--self-check-diff requires --plant-regression\n";
+    return 3;
+  }
+
+  // Deterministic profile capture: two manual-clock passes over the (possibly
+  // planted) registry must serialize byte-identically, and the document must
+  // pass structural validation, before the artifacts are written.
+  const bool want_profile = opt.profile || opt.self_check_diff;
+  profile_capture cap;
+  telemetry::json_value prof_doc;
+  if (want_profile) {
+    cap = capture_profile(registry);
+    const profile_capture again = capture_profile(registry);
+    if (cap.json != again.json) {
+      std::cerr << "profile self-check: two manual-clock captures are not "
+                   "byte-identical\n";
+      return 5;
+    }
+    prof_doc = telemetry::parse_json(cap.json);
+    const auto pv = telemetry::profile::validate_profile(prof_doc);
+    if (!pv.ok) {
+      std::cerr << "profile self-check: cgp.prof.v1 validation failed:\n";
+      for (const auto& e : pv.errors) std::cerr << "  " << e << "\n";
+      return 5;
+    }
+    const std::string folded_path = folded_path_for(opt.profile_out);
+    for (const auto& [path, text] :
+         {std::pair<const std::string&, const std::string&>{opt.profile_out,
+                                                            cap.json},
+          {folded_path, cap.folded}}) {
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 3;
+      }
+      out << text;
+      if (&text == &cap.json) out << "\n";
+    }
+    std::cout << "profile: " << pv.nodes << " frames over " << pv.roots
+              << " roots (depth " << pv.max_depth
+              << "), captured twice byte-identically -> " << opt.profile_out
+              << " + " << folded_path << "\n";
+    std::cout << telemetry::profile::render_hot_table(cap.snap, 10);
+  }
+
+  // Clean-vs-planted attribution: diff an un-planted capture against the
+  // planted one; the planted benchmark's paths must dominate the deltas.
+  if (want_profile && !opt.plant.empty()) {
+    const profile_capture clean = capture_profile(build_registry());
+    const auto diff =
+        perf::profile_diff(telemetry::parse_json(clean.json), prof_doc);
+    std::cout << perf::render_profile_diff(diff, 5);
+    if (opt.self_check_diff) {
+      const std::string needle = "bench." + opt.plant;
+      bool localized = false;
+      for (std::size_t i = 0; i < diff.deltas.size() && i < 5; ++i)
+        if (diff.deltas[i].status == "grown" &&
+            diff.deltas[i].path.find(needle) != std::string::npos)
+          localized = true;
+      if (!localized) {
+        std::cerr << "--self-check-diff: top-5 profile deltas do not name "
+                  << needle << "\n";
+        return 5;
+      }
+      std::cout << "profile diff localizes the planted regression at "
+                << needle << "\n";
+      return 0;
+    }
+  }
 
   // Quick mode keeps the n-sweeps identical (counters must match the
   // baseline exactly) and only shrinks the timing batches.
@@ -415,8 +616,14 @@ int main(int argc, char** argv) {
   const auto results = perf::run_all(registry, topts, seed);
   const auto env = perf::env_info(perf::utc_timestamp());
   auto doc = perf::report_json(results, env);
-  const auto overhead = gate_sampler_overhead(results);
+  const auto overhead =
+      gate_overhead_pair(results, "parallel.thread_pool",
+                         "parallel.thread_pool.sampled", kSamplerOverheadBudget);
   if (overhead.present) doc.obj["sampler_overhead"] = overhead.block;
+  const auto probe_overhead =
+      gate_overhead_pair(results, "parallel.thread_pool",
+                         "parallel.thread_pool.profiled", kProbeOverheadBudget);
+  if (probe_overhead.present) doc.obj["probe_overhead"] = probe_overhead.block;
   const std::string rendered = telemetry::dump_json(doc);
 
   for (const std::string& path : {opt.out, opt.write_baseline}) {
@@ -464,6 +671,26 @@ int main(int argc, char** argv) {
                 << r.detail << "\n";
     if (!regressions.empty()) rc = 1;
     else std::cout << "baseline gate: ok (" << opt.baseline << ")\n";
+    // Attribution: when the gate trips and a profile baseline is on hand,
+    // name the culprit call paths instead of just the benchmark.
+    if (rc == 1 && want_profile && !opt.profile_baseline.empty()) {
+      std::ifstream pin(opt.profile_baseline);
+      if (!pin) {
+        std::cerr << "cannot read profile baseline " << opt.profile_baseline
+                  << "\n";
+      } else {
+        std::stringstream pbuf;
+        pbuf << pin.rdbuf();
+        try {
+          const auto base_prof = telemetry::parse_json(pbuf.str());
+          const auto diff = perf::profile_diff(base_prof, prof_doc);
+          std::cerr << perf::render_profile_diff(diff, 5);
+        } catch (const telemetry::json_error& e) {
+          std::cerr << "profile baseline is not valid JSON: " << e.what()
+                    << "\n";
+        }
+      }
+    }
   }
 
   if (fit_failed) {
@@ -482,6 +709,17 @@ int main(int argc, char** argv) {
                 << kSamplerOverheadBudget
                 << "x the unsampled thread pool at half or more sweep "
                    "points\n";
+      rc = rc == 0 ? 4 : rc;
+    }
+  }
+  if (probe_overhead.present) {
+    if (probe_overhead.ok) {
+      std::cout << "probe overhead gate: ok (budget " << kProbeOverheadBudget
+                << "x)\n";
+    } else {
+      std::cerr << "probe overhead gate: profiler probes cost more than "
+                << kProbeOverheadBudget
+                << "x the bare thread pool at half or more sweep points\n";
       rc = rc == 0 ? 4 : rc;
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/watchdog.hpp"
@@ -246,6 +247,7 @@ void net_base::do_send(int from, int to, std::string_view tag,
   const fault_options& f = opts_.faults;
   std::bernoulli_distribution dropped(f.drop);
   if (f.drop > 0.0 && dropped(fault_rng_)) {
+    telemetry::profile::probe fault_probe(prof_fault_frame_);
     ++stats_.messages_dropped;
     live_faults_counter().add();
     return;
@@ -258,6 +260,7 @@ void net_base::do_send(int from, int to, std::string_view tag,
     return d(fault_rng_);
   };
   if (dup) {
+    telemetry::profile::probe fault_probe(prof_fault_frame_);
     ++stats_.messages_duplicated;
     live_faults_counter().add();
     schedule_async(message(m), extra());
@@ -297,6 +300,7 @@ std::size_t net_base::route_outboxes() {
       if (f.drop > 0.0) {
         std::bernoulli_distribution dropped(f.drop);
         if (dropped(fault_rng_)) {
+          telemetry::profile::probe fault_probe(prof_fault_frame_);
           ++stats_.messages_dropped;
           live_faults_counter().add();
           continue;
@@ -308,6 +312,7 @@ std::size_t net_base::route_outboxes() {
         dup = duplicated(fault_rng_);
       }
       if (dup) {
+        telemetry::profile::probe fault_probe(prof_fault_frame_);
         ++stats_.messages_duplicated;
         live_faults_counter().add();
         schedule_sync(message(m));
@@ -372,8 +377,12 @@ void net_base::node_superstep(std::size_t i) {
       adopt.emplace(phase);
   }
   telemetry::trace::rank_scope rank(static_cast<int>(i));
-  for (const message& m : inboxes_[i]) deliver_to(i, m);
-  inboxes_[i].clear();
+  telemetry::profile::probe superstep_probe(prof_superstep_frame_);
+  {
+    telemetry::profile::probe deliver_probe(prof_deliver_frame_);
+    for (const message& m : inboxes_[i]) deliver_to(i, m);
+    inboxes_[i].clear();
+  }
   context ctx(*this, static_cast<int>(i));
   telemetry::trace::child_span span("on_round", "distributed");
   procs_[i]->on_round(ctx);
@@ -413,7 +422,10 @@ run_stats net_base::run_synchronous(std::size_t max_rounds) {
     // Deliveries then on_round, node by node; each node touches only its
     // own state, so backends may run the supersteps concurrently.
     for_each_node([this](std::size_t i) { node_superstep(i); });
-    const std::size_t sent = route_outboxes();
+    const std::size_t sent = [this] {
+      telemetry::profile::probe route_probe(prof_route_frame_);
+      return route_outboxes();
+    }();
     live_routed_counter().add(sent);
     in_flight_gauge().set(static_cast<std::int64_t>(pending_count_));
     if (run_heartbeat_) run_heartbeat_->beat();
@@ -436,7 +448,10 @@ run_stats net_base::run_asynchronous(std::size_t max_rounds) {
     // Deferred crashes: at_round counts scheduler ticks here.
     for (std::size_t i = 0; i < node_count(); ++i)
       if (crash_round_[i] != 0 && now_ >= crash_round_[i]) crashed_[i] = true;
-    deliver_to(static_cast<std::size_t>(ev.msg.dst), ev.msg);
+    {
+      telemetry::profile::probe deliver_probe(prof_deliver_frame_);
+      deliver_to(static_cast<std::size_t>(ev.msg.dst), ev.msg);
+    }
     ++delivered;
     live_routed_counter().add();
     in_flight_gauge().set(static_cast<std::int64_t>(events_.size()));
@@ -462,7 +477,10 @@ void net_base::run_start_phase() {
     telemetry::trace::child_span span("start", "distributed");
     procs_[i]->start(ctx);
   });
-  if (opts_.mode == timing::synchronous) (void)route_outboxes();
+  if (opts_.mode == timing::synchronous) {
+    telemetry::profile::probe route_probe(prof_route_frame_);
+    (void)route_outboxes();
+  }
 }
 
 void net_base::finalize_stats() {
@@ -485,6 +503,18 @@ run_stats net_base::run(std::size_t max_rounds) {
   telemetry::trace::child_span run_span("distributed.network.run",
                                         "distributed");
   run_span.arg("backend", backend_name());
+  // Resolve this backend's phase frames once per run (backend_name() is
+  // virtual, so this cannot happen in the base constructor) and open the
+  // run-level frame; superstep probes on worker threads re-root under it
+  // via the thread pool's shadow-path propagation.
+  const std::string prof_prefix = std::string("distributed.") + backend_name();
+  if constexpr (telemetry::kEnabled) {
+    prof_superstep_frame_ = telemetry::profile::intern(prof_prefix + ".superstep");
+    prof_route_frame_ = telemetry::profile::intern(prof_prefix + ".route");
+    prof_deliver_frame_ = telemetry::profile::intern(prof_prefix + ".deliver");
+    prof_fault_frame_ = telemetry::profile::intern(prof_prefix + ".fault");
+  }
+  telemetry::profile::probe run_probe(std::string_view(prof_prefix + ".run"));
   const auto run_ctx = run_span.context();
   phase_trace_id_ = run_ctx.trace_id;
   phase_parent_span_ = run_ctx.span_id;

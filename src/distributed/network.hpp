@@ -383,6 +383,15 @@ class net_base {
   // stays independent of telemetry/trace.hpp.
   std::uint64_t phase_trace_id_ = 0;
   std::uint64_t phase_parent_span_ = 0;
+
+  // Interned profiler frame ids for this backend's phase probes
+  // (distributed.<backend>.{superstep,route,deliver,fault}), resolved at
+  // run() entry where backend_name() dispatches virtually.  Raw ids keep
+  // this header independent of telemetry/profile.hpp.
+  std::uint32_t prof_superstep_frame_ = 0xffff'ffffu;
+  std::uint32_t prof_route_frame_ = 0xffff'ffffu;
+  std::uint32_t prof_deliver_frame_ = 0xffff'ffffu;
+  std::uint32_t prof_fault_frame_ = 0xffff'ffffu;
 };
 
 /// The deterministic sequential simulator (the seed's `network`, recast as

@@ -6,11 +6,14 @@
 // and each wrapper returns its operation count for complexity checking.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cgp::graph::instrumented {
@@ -54,6 +57,8 @@ struct counting_bfs_visitor {
 template <core::VertexListGraph G>
 std::pair<std::vector<long>, std::uint64_t> bfs_distances(
     const G& g, core::vertex_t<G> start) {
+  static const auto kBfsFrame = telemetry::profile::intern("graph.bfs");
+  telemetry::profile::probe bfs_probe(kBfsFrame);
   std::uint64_t ops = 0;
   auto dist =
       breadth_first_search(g, start, detail::counting_bfs_visitor<G>{&ops});
@@ -102,6 +107,53 @@ std::pair<std::vector<edge<P>>, std::uint64_t> kruskal_mst(
   }
   detail::report("kruskal", ops, g.vertex_count(), edge_total);
   return {std::move(mst), ops};
+}
+
+/// PageRank by damped power iteration over out-edges, counting one
+/// operation per edge traversal per sweep (the O(k·(V + E)) currency).
+/// Dangling mass is redistributed uniformly so ranks stay a distribution.
+/// Returns (ranks, operation count).
+template <class P>
+std::pair<std::vector<double>, std::uint64_t> pagerank(
+    const adjacency_list<P>& g, std::size_t iterations = 20,
+    double damping = 0.85) {
+  static const auto kPagerankFrame =
+      telemetry::profile::intern("graph.pagerank");
+  telemetry::profile::probe pagerank_probe(kPagerankFrame);
+  const std::size_t n = g.vertex_count();
+  std::uint64_t ops = 0;
+  if (n == 0) {
+    detail::report("pagerank", ops, 0, 0);
+    return {{}, ops};
+  }
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    static const auto kIterFrame =
+        telemetry::profile::intern("graph.pagerank.iteration");
+    telemetry::profile::probe iter_probe(kIterFrame);
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      ++ops;
+      const auto& out = g.out_edges_of(v);
+      if (out.empty()) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(out.size());
+      for (const auto& e : out) {
+        ++ops;
+        next[e.dst] += share;
+      }
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    for (std::size_t v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  detail::report("pagerank", ops, n, detail::edge_count_of(g));
+  return {std::move(rank), ops};
 }
 
 }  // namespace cgp::graph::instrumented

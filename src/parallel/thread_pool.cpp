@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <optional>
 
+#include "telemetry/profile.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/watchdog.hpp"
 
@@ -60,42 +62,67 @@ thread_pool::~thread_pool() {
   }
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Deregister eagerly: dropping our shared_ptrs expires the watchdog's
+  // weak slots, and the explicit prune removes them NOW rather than at
+  // the sampler's next tick — a destroyed pool must not leave dangling
+  // entries in a long-lived watchdog.
+  heartbeats_.clear();
+  if constexpr (telemetry::kEnabled)
+    telemetry::live::watchdog::global().prune_expired();
 }
 
 void thread_pool::submit(std::function<void()> task) {
+  queued_task item;
+  item.fn = std::move(task);
   if constexpr (telemetry::kEnabled) {
-    // Causal propagation: capture the submitter's trace context and restore
-    // it in the worker, so the task's span parents under the submitting
-    // span (link=async) and a flow arrow connects the two lanes.  Untraced
-    // submits (no active context) skip the wrapper entirely.
-    const auto ctx = telemetry::trace::current_context();
-    if (ctx.active()) {
-      const std::uint64_t flow =
-          telemetry::trace::flow_begin("parallel.thread_pool.task",
-                                       "parallel");
-      task = [ctx, flow, inner = std::move(task)] {
-        telemetry::trace::context_scope adopt(ctx);
-        telemetry::trace::trace_span span("parallel.thread_pool.task",
-                                          "parallel");
-        telemetry::trace::flow_end(flow, "parallel.thread_pool.task",
-                                   "parallel");
-        inner();
-      };
-    }
+    // Causal propagation: capture the submitter's trace context and
+    // shadow-stack path beside the task (run_task restores both in the
+    // worker), so the task's span parents under the submitting span
+    // (link=async, flow arrow between the lanes) and a flamegraph shows
+    // pool tasks under whatever submitted them.  Both captures are plain
+    // inline data — no wrapper closure, no extra allocation.
+    item.ctx = telemetry::trace::current_context();
+    if (item.ctx.active())
+      item.flow =
+          telemetry::trace::flow_begin("parallel.thread_pool.task", "parallel");
+    item.path = telemetry::profile::current_path();
   }
   {
     const std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
   }
   tasks_submitted_.add();
   queue_depth_.add();
   cv_.notify_one();
 }
 
+void thread_pool::run_task(queued_task& item) {
+  if constexpr (telemetry::kEnabled) {
+    const bool traced = item.ctx.active();
+    if (traced || telemetry::profile::profiler::global().enabled()) {
+      std::optional<telemetry::trace::context_scope> adopt;
+      std::optional<telemetry::trace::trace_span> span;
+      if (traced) {
+        adopt.emplace(item.ctx);
+        span.emplace("parallel.thread_pool.task", "parallel");
+        telemetry::trace::flow_end(item.flow, "parallel.thread_pool.task",
+                                   "parallel");
+      }
+      telemetry::profile::adopt_scope padopt(item.path);
+      static const auto kTaskFrame =
+          telemetry::profile::intern("parallel.thread_pool.task");
+      telemetry::profile::probe probe(kTaskFrame);
+      item.fn();
+      return;
+    }
+  }
+  item.fn();
+}
+
 void thread_pool::worker_loop(unsigned idx) {
   telemetry::live::heartbeat& hb = *heartbeats_[idx];
   for (;;) {
-    std::function<void()> task;
+    queued_task task;
     {
       std::unique_lock lock(mutex_);
       if constexpr (telemetry::kEnabled) {
@@ -115,12 +142,12 @@ void thread_pool::worker_loop(unsigned idx) {
     hb.begin_work();
     if constexpr (telemetry::kEnabled) {
       const auto run_start = clock::now();
-      task();
+      run_task(task);
       const std::uint64_t us = us_between(run_start, clock::now());
       busy_us_.add(us);
       task_us_.record(us);
     } else {
-      task();
+      run_task(task);
     }
     hb.end_work();
     tasks_completed_.add();
@@ -142,6 +169,11 @@ void thread_pool::run_chunks(std::size_t chunks,
   // context, so every chunk parents under this call in the trace tree.
   telemetry::trace::child_span tspan("parallel.thread_pool.run_chunks",
                                      "parallel");
+  // Profiled runs get a frame here; chunk tasks capture this thread's
+  // path at submit, so worker-side frames nest under this call.
+  static const auto kChunksFrame =
+      telemetry::profile::intern("parallel.thread_pool.run_chunks");
+  telemetry::profile::probe pprobe(kChunksFrame);
   if (chunks == 1) {
     fn(0);
     return;

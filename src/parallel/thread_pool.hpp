@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -16,7 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cgp::telemetry::live {
 class heartbeat;
@@ -53,7 +56,21 @@ class thread_pool {
   [[nodiscard]] double utilization() const noexcept;
 
  private:
+  // Queue entries carry the submitter's causal metadata BESIDE the task
+  // instead of re-wrapping it into a second std::function: the trace
+  // context and shadow-stack path are plain inline data (no allocation),
+  // so traced/profiled submits cost a memcpy, not a heap round trip —
+  // that difference is what keeps attribution inside the probe-overhead
+  // budget perf_report gates on.
+  struct queued_task {
+    std::function<void()> fn;
+    telemetry::trace::span_context ctx{};  ///< submitter's trace context
+    std::uint64_t flow = 0;                ///< flow arrow id (traced only)
+    telemetry::profile::call_path path{};  ///< submitter's shadow stack
+  };
+
   void worker_loop(unsigned idx);
+  void run_task(queued_task& item);
 
   unsigned workers_ = 0;
   std::vector<std::thread> threads_;
@@ -61,7 +78,7 @@ class thread_pool {
   // mark busy around each task, so a wedged task shows up as a stall while
   // an idle worker parked on the condition variable stays healthy.
   std::vector<std::shared_ptr<telemetry::live::heartbeat>> heartbeats_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<queued_task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -1,0 +1,128 @@
+#include "perf/profdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/profile.hpp"
+
+namespace cgp::perf {
+
+namespace {
+
+struct path_stat {
+  double excl = 0.0;
+  double count = 0.0;
+};
+
+void flatten(const telemetry::json_value& node, std::string& path,
+             std::map<std::string, path_stat>& out) {
+  const std::size_t len = path.size();
+  if (!path.empty()) path += ';';
+  path += node.at("name").str;
+  path_stat& s = out[path];  // paths are unique per validated profile
+  s.excl += node.at("excl").num;
+  s.count += node.at("count").num;
+  for (const auto& c : node.at("children").arr) flatten(c, path, out);
+  path.resize(len);
+}
+
+}  // namespace
+
+profile_diff_result profile_diff(const telemetry::json_value& before,
+                                 const telemetry::json_value& after) {
+  profile_diff_result out;
+  const auto vb = telemetry::profile::validate_profile(before);
+  const auto va = telemetry::profile::validate_profile(after);
+  if (!vb.ok) {
+    out.ok = false;
+    for (const auto& e : vb.errors) out.errors.push_back("before: " + e);
+  }
+  if (!va.ok) {
+    out.ok = false;
+    for (const auto& e : va.errors) out.errors.push_back("after: " + e);
+  }
+  if (!out.ok) return out;
+  if (before.at("unit").str != after.at("unit").str) {
+    out.ok = false;
+    out.errors.push_back("unit mismatch: before is \"" +
+                         before.at("unit").str + "\", after is \"" +
+                         after.at("unit").str + "\"");
+    return out;
+  }
+  out.unit = before.at("unit").str;
+
+  std::map<std::string, path_stat> b, a;
+  std::string scratch;
+  for (const auto& r : before.at("roots").arr) flatten(r, scratch, b);
+  for (const auto& r : after.at("roots").arr) flatten(r, scratch, a);
+
+  for (const auto& [path, sb] : b) {
+    const auto it = a.find(path);
+    frame_delta d;
+    d.path = path;
+    d.excl_before = sb.excl;
+    d.count_before = sb.count;
+    if (it == a.end()) {
+      d.status = "vanished";
+      d.delta = -sb.excl;
+    } else {
+      d.excl_after = it->second.excl;
+      d.count_after = it->second.count;
+      d.delta = d.excl_after - d.excl_before;
+      if (d.delta > 0.0)
+        d.status = "grown";
+      else if (d.delta < 0.0)
+        d.status = "shrunk";
+      else
+        continue;  // unchanged paths carry no signal
+    }
+    out.deltas.push_back(std::move(d));
+  }
+  for (const auto& [path, sa] : a) {
+    if (b.count(path) != 0) continue;
+    frame_delta d;
+    d.path = path;
+    d.status = "new";
+    d.excl_after = sa.excl;
+    d.count_after = sa.count;
+    d.delta = sa.excl;
+    out.deltas.push_back(std::move(d));
+  }
+
+  std::sort(out.deltas.begin(), out.deltas.end(),
+            [](const frame_delta& x, const frame_delta& y) {
+              const double ax = std::fabs(x.delta), ay = std::fabs(y.delta);
+              if (ax != ay) return ax > ay;
+              return x.path < y.path;
+            });
+  return out;
+}
+
+std::string render_profile_diff(const profile_diff_result& d,
+                                std::size_t top_n) {
+  std::ostringstream out;
+  if (!d.ok) {
+    out << "profile diff failed:\n";
+    for (const auto& e : d.errors) out << "  " << e << "\n";
+    return out.str();
+  }
+  const std::size_t n = std::min(top_n, d.deltas.size());
+  out << "profile diff (top " << n << " of " << d.deltas.size()
+      << " changed paths, exclusive " << d.unit << "):\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const frame_delta& f = d.deltas[i];
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "  %-8s %+14.0f  (%.0f -> %.0f)  %s\n", f.status.c_str(),
+                  f.delta, f.excl_before, f.excl_after, f.path.c_str());
+    out << line;
+  }
+  if (d.deltas.empty()) out << "  (no changed paths)\n";
+  return out.str();
+}
+
+}  // namespace cgp::perf

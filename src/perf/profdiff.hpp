@@ -1,0 +1,52 @@
+// Profile diffing: frame-by-frame comparison of two cgp.prof.v1
+// documents, the attribution half of the baseline gate.  Where
+// report.hpp's compare_reports says "benchmark X got slower",
+// profile_diff says *which call path* absorbed the time: each path is
+// classified grown / shrunk / new / vanished by its exclusive-time
+// delta, and the result is sorted by |delta| so the top entries name
+// the culprit.  In manual-clock mode deltas are tick-exact, which is
+// what lets the --plant-regression self-test assert that the planted
+// hot loop lands in the top-5.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+
+namespace cgp::perf {
+
+/// One diffed call path ("a;b;c" in collapsed-stack notation).
+struct frame_delta {
+  std::string path;
+  /// "grown" | "shrunk" | "new" | "vanished".  Paths whose exclusive
+  /// time is unchanged are omitted from the diff entirely.
+  std::string status;
+  double excl_before = 0.0;
+  double excl_after = 0.0;
+  double delta = 0.0;  ///< excl_after - excl_before
+  double count_before = 0.0;
+  double count_after = 0.0;
+};
+
+struct profile_diff_result {
+  bool ok = true;  ///< false when either input failed validation
+  std::vector<std::string> errors;
+  std::string unit;  ///< shared unit of both profiles
+  /// Sorted by |delta| descending, ties by path ascending (deterministic).
+  std::vector<frame_delta> deltas;
+};
+
+/// Compares two parsed cgp.prof.v1 documents.  Both must pass
+/// telemetry::profile::validate_profile and agree on the unit; otherwise
+/// `ok` is false and `errors` says why.
+[[nodiscard]] profile_diff_result profile_diff(
+    const telemetry::json_value& before, const telemetry::json_value& after);
+
+/// Human-readable top-N rendering: status, exclusive before -> after,
+/// signed delta, call path.
+[[nodiscard]] std::string render_profile_diff(const profile_diff_result& d,
+                                              std::size_t top_n);
+
+}  // namespace cgp::perf

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "rewrite/eval.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -90,6 +91,8 @@ std::optional<expr> simplifier::rewrite_at_root(
     auto binding = e.match(r.pattern);
     if (!binding) continue;
     if (r.guard && !r.guard(*binding)) continue;
+    telemetry::profile::probe rule_probe(
+        std::string_view("rewrite.rule." + r.name));
     expr out = r.replacement.substitute(*binding);
     count_rule_hit(r.name);
     if (trace)
@@ -144,6 +147,8 @@ std::optional<expr> simplifier::rewrite_at_root(
 
     auto binding = e.match(pattern);
     if (!binding) continue;
+    telemetry::profile::probe rule_probe(std::string_view(
+        "rewrite.rule." + r.concept_name + "::" + r.axiom_name));
     expr out = replacement.substitute(*binding);
     count_rule_hit(r.concept_name + "::" + r.axiom_name);
     if (trace)
@@ -162,6 +167,9 @@ std::optional<expr> simplifier::rewrite_at_root(
         const value v = evaluate(e, {});
         expr out = expr::lit(v, e.type());
         if (!(out == e)) {
+          static const auto kFoldFrame =
+              telemetry::profile::intern("rewrite.rule.constant-fold");
+          telemetry::profile::probe rule_probe(kFoldFrame);
           count_rule_hit("constant-fold");
           if (trace)
             trace->push_back(
@@ -214,6 +222,9 @@ expr simplifier::simplify_once(const expr& e, bool& changed,
 expr simplifier::simplify(const expr& e,
                           std::vector<rewrite_step>* trace) const {
   telemetry::trace::child_span tspan("rewrite.simplifier.simplify", "rewrite");
+  static const auto kSimplifyFrame =
+      telemetry::profile::intern("rewrite.simplifier.simplify");
+  telemetry::profile::probe simplify_probe(kSimplifyFrame);
   // When the caller is tracing causally but did not ask for a step vector,
   // record into a local one so the derivation chain still reaches the trace.
   std::vector<rewrite_step> local_steps;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <charconv>
 
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -1222,6 +1223,9 @@ class exec_impl {
     int passes_used = 0;
     const int loop_line = cond != nullptr ? cond->line : 0;
     for (int pass = 0; pass < a_.opt_.max_loop_passes; ++pass) {
+      static const auto kPassFrame =
+          telemetry::profile::intern("stllint.analyzer.pass");
+      telemetry::profile::probe pass_probe(kPassFrame);
       ++a_.stats_.loop_passes;
       ++passes_used;
       note(loop_line, "loop analysis pass " + std::to_string(pass + 1), "");
@@ -1268,6 +1272,9 @@ class exec_impl {
 void analyzer::run(const ast_program& program,
                    const std::vector<std::string>& source) {
   telemetry::trace::child_span tspan("stllint.analyzer.run", "stllint");
+  static const auto kRunFrame =
+      telemetry::profile::intern("stllint.analyzer.run");
+  telemetry::profile::probe run_probe(kRunFrame);
   source_lines_ = source;
   const stats before = stats_;
   exec_impl impl(*this);

@@ -1,5 +1,6 @@
 #include "telemetry/live.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <sstream>
@@ -43,6 +44,27 @@ std::string prometheus_name(const std::string& metric) {
     const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
                     (ch >= '0' && ch <= '9') || ch == '_';
     out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
   }
   return out;
 }
@@ -198,27 +220,51 @@ std::string sampler::export_prometheus() const {
   std::ostringstream os;
   // One pull over the retained state: counters expose their cumulative
   // absolute value (what a Prometheus scraper rate()s over), gauges their
-  // latest level.
-  std::map<std::string, std::pair<char, std::uint64_t>> cumulative;
-  std::map<std::string, double> levels;
+  // latest level.  Sanitization can collide — "a.b" and "a:b" both map to
+  // cgp_a_b — and the text format allows exactly one # TYPE line per
+  // family, so samples are grouped by exposition name and keep the
+  // original registry name as an escaped {metric="..."} label.
+  struct prom_sample {
+    std::string metric;
+    bool is_gauge = false;
+    std::uint64_t raw = 0;
+    double level = 0.0;
+  };
+  std::map<std::string, std::vector<prom_sample>> families;
   for (const shard& sh : shards_) {
     const std::lock_guard lock(sh.mu);
     for (const auto& [name, st] : sh.metrics) {
-      if (st.kind == 'g')
-        levels[name] = st.last_value;
-      else
-        cumulative[name] = {st.kind, st.last_raw};
+      prom_sample s;
+      s.metric = name;
+      s.is_gauge = st.kind == 'g';
+      s.raw = st.last_raw;
+      s.level = st.last_value;
+      families[prometheus_name(name)].push_back(std::move(s));
     }
   }
-  for (const auto& [name, kv] : cumulative) {
-    const std::string pname = prometheus_name(name);
-    os << "# TYPE " << pname << " counter\n"
-       << pname << " " << kv.second << "\n";
-  }
-  for (const auto& [name, v] : levels) {
-    const std::string pname = prometheus_name(name);
-    os << "# TYPE " << pname << " gauge\n"
-       << pname << " " << static_cast<long long>(v) << "\n";
+  for (auto& [pname, samples] : families) {
+    std::sort(samples.begin(), samples.end(),
+              [](const prom_sample& a, const prom_sample& b) {
+                return a.metric < b.metric;
+              });
+    // A family whose colliding members disagree on kind has no honest
+    // single type; the spec's escape hatch for that is "untyped".
+    bool any_gauge = false;
+    bool any_counter = false;
+    for (const prom_sample& s : samples) (s.is_gauge ? any_gauge : any_counter) = true;
+    const char* type = any_gauge && any_counter ? "untyped"
+                       : any_gauge              ? "gauge"
+                                                : "counter";
+    os << "# TYPE " << pname << " " << type << "\n";
+    for (const prom_sample& s : samples) {
+      os << pname << "{metric=\"" << prometheus_escape_label(s.metric)
+         << "\"} ";
+      if (s.is_gauge)
+        os << static_cast<long long>(s.level);
+      else
+        os << s.raw;
+      os << "\n";
+    }
   }
   return os.str();
 }

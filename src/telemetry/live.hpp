@@ -98,8 +98,11 @@ class sampler {
   [[nodiscard]] std::vector<series_view> series() const;
 
   /// Latest values in Prometheus text exposition format: counters and
-  /// histogram totals as cumulative `cgp_*` counters, gauges as gauges,
-  /// one `# TYPE` line each.
+  /// histogram totals as cumulative `cgp_*` counters, gauges as gauges.
+  /// Samples are grouped by sanitized exposition name (one `# TYPE` line
+  /// per family, `untyped` when colliding members disagree on kind) and
+  /// each carries the original registry name as an escaped
+  /// `{metric="..."}` label.
   [[nodiscard]] std::string export_prometheus() const;
 
   /// Full retained series as a `cgp.live.v1` JSON document (schema,
@@ -164,5 +167,9 @@ struct live_validation {
 /// Sanitizes a registry metric name into a Prometheus metric name:
 /// `cgp_` prefix, every non-[a-zA-Z0-9_] byte replaced with '_'.
 [[nodiscard]] std::string prometheus_name(const std::string& metric);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
 
 }  // namespace cgp::telemetry::live

@@ -59,10 +59,11 @@ void flight_recorder::note(flight_entry::kind k, std::string name,
   e.value = value;
   e.detail = std::move(detail);
   const std::lock_guard lock(mu_);
-  // Stamp under the lock: insertion order and time order coincide, which
-  // validate_flight_dump checks.
+  // Stamp under the lock: insertion order, time order, and sequence order
+  // all coincide, which validate_flight_dump checks.
   e.t_ms = steady_now_ms();
   ++recorded_;
+  e.seq = recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(e));
     return;
@@ -112,7 +113,8 @@ std::string flight_recorder::dump_json() const {
   for (const flight_entry& e : entries) {
     if (!first) os << ",";
     first = false;
-    os << "{\"t_ms\":" << e.t_ms << ",\"kind\":" << json_quote(to_string(e.k))
+    os << "{\"t_ms\":" << e.t_ms << ",\"seq\":" << e.seq
+       << ",\"kind\":" << json_quote(to_string(e.k))
        << ",\"name\":" << json_quote(e.name) << ",\"value\":" << e.value
        << ",\"detail\":" << json_quote(e.detail) << "}";
   }
@@ -163,9 +165,10 @@ flight_validation validate_flight_dump(const json_value& doc) {
       fail("recorded - overwritten does not match the entry count");
   }
   double prev_t = -1.0;
+  double prev_seq = 0.0;
   for (const json_value& e : entries) {
     ++r.entries;
-    if (!e.has("t_ms") || !e.has("kind") || !e.has("name") ||
+    if (!e.has("t_ms") || !e.has("seq") || !e.has("kind") || !e.has("name") ||
         !e.has("value") || !e.has("detail")) {
       fail("entry " + std::to_string(r.entries - 1) + " is missing a field");
       continue;
@@ -175,6 +178,13 @@ flight_validation validate_flight_dump(const json_value& doc) {
       fail("entry " + std::to_string(r.entries - 1) +
            " goes backwards in time");
     prev_t = t;
+    // seq must be STRICTLY increasing: equal or reordered stamps mean two
+    // writers tore the ring.
+    const double sq = e.at("seq").num;
+    if (sq <= prev_seq)
+      fail("entry " + std::to_string(r.entries - 1) +
+           " has a non-increasing seq");
+    prev_seq = sq;
     const std::string& k = e.at("kind").str;
     if (k == "span")
       ++r.spans;

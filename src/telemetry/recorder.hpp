@@ -41,6 +41,11 @@ struct flight_entry {
   };
 
   std::uint64_t t_ms = 0;
+  /// Strictly increasing stamp (1-based, assigned under the ring lock).
+  /// t_ms has millisecond granularity, so bursts of entries share a
+  /// timestamp; seq totally orders them and lets a dump prove no entry
+  /// was torn or reordered by concurrent writers.
+  std::uint64_t seq = 0;
   kind k = kind::marker;
   std::string name;
   double value = 0.0;

@@ -146,6 +146,17 @@ std::size_t watchdog::heartbeat_count() const {
   return n;
 }
 
+std::size_t watchdog::prune_expired() {
+  const std::lock_guard lock(mu_);
+  const std::size_t before = beats_.size();
+  beats_.erase(std::remove_if(beats_.begin(), beats_.end(),
+                              [](const std::weak_ptr<heartbeat>& w) {
+                                return w.expired();
+                              }),
+               beats_.end());
+  return before - beats_.size();
+}
+
 void watchdog::reset() {
   const std::lock_guard lock(mu_);
   stalls_.clear();

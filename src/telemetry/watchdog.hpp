@@ -110,6 +110,13 @@ class watchdog {
   /// Currently registered (live, non-expired) participants.
   [[nodiscard]] std::size_t heartbeat_count() const;
 
+  /// Eagerly drops expired registrations, returning how many were
+  /// removed.  check() prunes lazily on its next tick, but a long-lived
+  /// sampler can go a whole period holding dangling weak_ptr slots from a
+  /// torn-down pool — owners that deregister in bulk (thread_pool's
+  /// destructor) call this so a stopped pool leaves nothing behind.
+  std::size_t prune_expired();
+
   /// Drops verdicts and the callback, prunes expired registrations
   /// (test isolation; live handles stay registered).
   void reset();

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "perf/env_info.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/live.hpp"
@@ -68,6 +69,56 @@ TEST(FlightRecorderTest, ValidatorRejectsIncoherentTotals) {
   doc.obj["recorded"].num = 0.0;  // totals no longer match the entry count
   const auto v = live::validate_flight_dump(doc);
   EXPECT_FALSE(v.ok);
+}
+
+TEST(FlightRecorderTest, ValidatorRejectsNonMonotoneSeq) {
+  live::flight_recorder fr(8);
+  fr.note(live::flight_entry::kind::marker, "a");
+  fr.note(live::flight_entry::kind::marker, "b");
+  auto doc = telemetry::parse_json(fr.dump_json());
+  ASSERT_EQ(doc.at("entries").arr.size(), 2u);
+  // Duplicate seq: two writers "tearing" the ring must be caught.
+  doc.obj["entries"].arr[1].obj["seq"].num =
+      doc.at("entries").arr[0].at("seq").num;
+  EXPECT_FALSE(live::validate_flight_dump(doc).ok);
+  // Missing seq entirely is a schema violation too.
+  auto doc2 = telemetry::parse_json(fr.dump_json());
+  doc2.obj["entries"].arr[0].obj.erase("seq");
+  EXPECT_FALSE(live::validate_flight_dump(doc2).ok);
+}
+
+// Satellite regression (tsan-live hammers this): N writer threads keep
+// appending while the main thread dumps.  Every mid-flight dump and the
+// final quiescent dump must parse and validate — in particular the seq
+// stamps must stay strictly increasing, proving note() never tears an
+// entry across the overwrite ring under contention.
+TEST(FlightRecorderTest, ConcurrentWritersDumpValidates) {
+  live::flight_recorder fr(64);
+  constexpr int kWriters = 4;
+  constexpr int kNotesPerWriter = 500;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&fr, w] {
+      for (int i = 0; i < kNotesPerWriter; ++i) {
+        const auto k = i % 2 == 0 ? live::flight_entry::kind::span
+                                  : live::flight_entry::kind::marker;
+        fr.note(k, "w" + std::to_string(w) + ".n" + std::to_string(i),
+                static_cast<double>(i));
+      }
+    });
+  for (int i = 0; i < 25; ++i) {
+    const auto doc = telemetry::parse_json(fr.dump_json());
+    const auto v = live::validate_flight_dump(doc);
+    EXPECT_TRUE(v.ok) << v.error_text();
+  }
+  for (std::thread& t : writers) t.join();
+  const auto doc = telemetry::parse_json(fr.dump_json());
+  const auto v = live::validate_flight_dump(doc);
+  EXPECT_TRUE(v.ok) << v.error_text();
+  EXPECT_EQ(v.entries, 64u);
+  EXPECT_EQ(fr.recorded(),
+            static_cast<std::uint64_t>(kWriters * kNotesPerWriter));
 }
 
 TEST(FlightRecorderTest, ClearEmptiesRingAndTotals) {
@@ -241,13 +292,79 @@ TEST(LiveSamplerTest, PrometheusExpositionExposesCumulativeValues) {
   reg.get_counter("live_test.prom.requests").add(1);
   s.sample_at(10);
   const std::string prom = s.export_prometheus();
-  EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_requests counter\n"
-                      "cgp_live_test_prom_requests 42\n"),
-            std::string::npos)
+  EXPECT_NE(
+      prom.find("# TYPE cgp_live_test_prom_requests counter\n"
+                "cgp_live_test_prom_requests{metric=\"live_test.prom.requests"
+                "\"} 42\n"),
+      std::string::npos)
       << prom;
   EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_depth gauge\n"
-                      "cgp_live_test_prom_depth -3\n"),
+                      "cgp_live_test_prom_depth{metric=\"live_test.prom.depth"
+                      "\"} -3\n"),
             std::string::npos)
+      << prom;
+}
+
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& ndl) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(ndl); pos != std::string::npos;
+       pos = hay.find(ndl, pos + ndl.size()))
+    ++n;
+  return n;
+}
+
+}  // namespace
+
+// Exposition-format conformance: label values escape backslash, double
+// quote, and newline; sanitization collisions share ONE # TYPE line per
+// family (untyped when the colliding members disagree on kind) while the
+// {metric="..."} label keeps the underlying series distinct.
+TEST(LiveSamplerTest, PrometheusExpositionEscapesLabelsAndGroupsFamilies) {
+  auto& reg = telemetry::registry::global();
+  reg.reset();
+  live::sampler s({.period_ms = 10, .capacity = 8, .watch = false});
+  reg.get_counter("live_test.prom.esc\\back\"quote\nline").add(5);
+  reg.get_counter("live_test.prom.col.x").add(1);
+  reg.get_counter("live_test.prom.col:x").add(2);
+  reg.get_counter("live_test.prom.mix.a").add(3);
+  reg.get_gauge("live_test.prom.mix:a").set(4);
+  s.sample_at(0);
+  const std::string prom = s.export_prometheus();
+  // Escaping: the raw name's \, ", and newline arrive as \\, \", \n.
+  EXPECT_NE(prom.find("{metric=\"live_test.prom.esc\\\\back\\\"quote"
+                      "\\nline\"} 5"),
+            std::string::npos)
+      << prom;
+  // No raw newline may survive inside a label value (every line must be a
+  // comment, a sample, or blank — an unescaped break would split one).
+  EXPECT_EQ(prom.find("quote\nline"), std::string::npos) << prom;
+  // Same-kind collision: one TYPE line, both series present under labels.
+  EXPECT_EQ(count_occurrences(prom, "# TYPE cgp_live_test_prom_col_x "), 1u)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_col_x counter\n"
+                      "cgp_live_test_prom_col_x{metric=\"live_test.prom.col."
+                      "x\"} 1\n"
+                      "cgp_live_test_prom_col_x{metric=\"live_test.prom.col:"
+                      "x\"} 2\n"),
+            std::string::npos)
+      << prom;
+  // Mixed-kind collision: the family degrades to untyped.
+  EXPECT_EQ(count_occurrences(prom, "# TYPE cgp_live_test_prom_mix_a "), 1u)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE cgp_live_test_prom_mix_a untyped\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("cgp_live_test_prom_mix_a{metric=\"live_test.prom.mix."
+                      "a\"} 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("cgp_live_test_prom_mix_a{metric=\"live_test.prom.mix:"
+                      "a\"} 4\n"),
+            std::string::npos)
+      << prom;
+  // Every # TYPE name appears exactly once across the whole document.
+  EXPECT_EQ(count_occurrences(prom, "# TYPE cgp_live_test_prom_esc"), 1u)
       << prom;
 }
 
@@ -305,6 +422,30 @@ TEST(LiveSamplerTest, SamplingDuringExportIsSafe) {
   const auto v = live::validate_live_export(
       telemetry::parse_json(s.export_json()));
   EXPECT_TRUE(v.ok) << v.error_text();
+}
+
+// Satellite regression (tsan-live hammers this): destroying a thread pool
+// while the watchdog-driving sampler is live must deregister the pool's
+// worker heartbeats IMMEDIATELY (the dtor's eager prune_expired), not at
+// the sampler's next tick — and the concurrent prune/check on the shared
+// global watchdog must be race-free.
+TEST(WatchdogTest, PoolDestructionPrunesHeartbeatsWhileSamplerRuns) {
+  auto& wd = live::watchdog::global();
+  const std::size_t baseline = wd.heartbeat_count();
+  live::sampler s({.period_ms = 1, .capacity = 16, .watch = true});
+  s.start();
+  for (int round = 0; round < 8; ++round) {
+    {
+      parallel::thread_pool pool(2);
+      EXPECT_EQ(wd.heartbeat_count(), baseline + 2);
+      pool.run_chunks(4, [](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      });
+    }
+    // No sampler tick needed: the dtor pruned the dead registrations.
+    EXPECT_EQ(wd.heartbeat_count(), baseline);
+  }
+  s.stop();
 }
 
 // ---------------------------------------------------------------------------
