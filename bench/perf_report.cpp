@@ -34,7 +34,8 @@
 // complexity verdict came back violated (or inconclusive, which for these
 // curated sweeps means the harness itself broke); 3 usage/IO error; 4 an
 // overhead gate (live sampler or profiler probes) exceeded its budget on
-// the thread pool; 5 a profile self-check failed (capture not
+// the thread pool, or the work-stealing scaling gate lost to the legacy
+// pool on the nested fork-join sweep; 5 a profile self-check failed (capture not
 // byte-deterministic, structural validation, or --self-check-diff failed
 // to localize the planted regression).
 #include <cstring>
@@ -52,7 +53,9 @@
 #include "distributed/network.hpp"
 #include "distributed/parallel_transport.hpp"
 #include "graph/instrumented.hpp"
+#include "parallel/task_group.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing_pool.hpp"
 #include "perf/benchmark.hpp"
 #include "perf/env_info.hpp"
 #include "perf/profdiff.hpp"
@@ -74,6 +77,29 @@ std::vector<int> random_ints(std::size_t n, std::uint32_t seed) {
   std::vector<int> v(n);
   for (int& x : v) x = dist(rng);
   return v;
+}
+
+// Nested, irregular fork-join — the workload shape work stealing exists
+// for (same tree as bench/sec4_dataparallel.cpp).  Each of n roots forks
+// a skewed batch of leaf tasks through a nested task_group, so the total
+// task count is a deterministic, linear function of n and the scaling
+// pair below can fit (and baseline-gate) ops on the pools' task counters.
+template <class Pool>
+void nested_irregular(Pool& pool, std::size_t roots) {
+  parallel::task_group<Pool> group(pool);
+  for (std::size_t r = 0; r < roots; ++r)
+    group.run([&pool, r] {
+      parallel::task_group<Pool> inner(pool);
+      const std::size_t kids = 2 + r % 6;  // skewed fan-out
+      for (std::size_t k = 0; k < kids; ++k)
+        inner.run([r, k] {
+          volatile double acc = 0.0;
+          const std::size_t spins = 200 + 997 * ((r * 7 + k) % 13);
+          for (std::size_t i = 0; i < spins; ++i) acc = acc + 1.0 / (i + 1.0);
+        });
+      inner.wait();
+    });
+  group.wait();
 }
 
 // --- benchmark registry -----------------------------------------------------
@@ -248,6 +274,38 @@ perf::bench_registry build_registry() {
              };
            }});
 
+  // Threads-sweep scaling pair (DESIGN.md §12): the SAME nested irregular
+  // fork-join runs on both Executor models at the same width.  The task
+  // counters are deterministic (n roots plus a skewed, arithmetic number
+  // of kids), so the baseline counter gate pins the amount of scheduled
+  // work on both sides; the scaling gate in main() then compares the two
+  // sweeps' wall times and trips when the stealing pool's bootstrap CI
+  // separates ABOVE the shared-queue pool's past its budget — i.e. the
+  // redesign must never lose throughput on the workload it exists for.
+  reg.add({.name = "parallel.scaling.thread_pool",
+           .subsystem = "parallel",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64},
+           .counter_prefix = "parallel.thread_pool.tasks",
+           .deterministic_profile = false,
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto pool = std::make_shared<parallel::thread_pool>(
+                 parallel::pool_options{.workers = 4});
+             return [pool, n] { nested_irregular(*pool, n); };
+           }});
+
+  reg.add({.name = "parallel.scaling.work_stealing",
+           .subsystem = "parallel",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64},
+           .counter_prefix = "parallel.work_stealing.tasks",
+           .deterministic_profile = false,
+           .setup = [](std::size_t n) -> std::function<void()> {
+             auto pool = std::make_shared<parallel::work_stealing_pool>(
+                 parallel::pool_options{.workers = 4});
+             return [pool, n] { nested_irregular(*pool, n); };
+           }});
+
   // Echo wave (PIF) on a ring under the deterministic simulator: two
   // messages per edge, and a ring has n edges.
   reg.add({.name = "distributed.sim_transport",
@@ -371,6 +429,12 @@ bool parse_args(int argc, char** argv, options& o) {
 // the live sampler (PR 6) and the profiler's probes alike.
 constexpr double kSamplerOverheadBudget = 1.10;
 constexpr double kProbeOverheadBudget = 1.10;
+// The work-stealing pool must not lose throughput to the legacy
+// shared-queue pool on the nested irregular fork-join sweep.  The budget
+// is generous (and the CI separation asymmetric, see gate_overhead_pair)
+// because a saturated single-core runner serializes both schedules —
+// only a genuine scheduling pathology separates the intervals.
+constexpr double kScalingBudget = 1.25;
 
 struct overhead_verdict {
   bool present = false;  ///< both sweeps found
@@ -386,10 +450,14 @@ struct overhead_verdict {
 // sample must not manufacture a violation) — and the gate fails only when
 // at least half the sweep points are over.  A genuine blowup (the planted
 // 6x twin) separates the intervals at every point; jitter does not.
+// `a_key`/`b_key` label the two sides in the emitted JSON block
+// ("unsampled"/"sampled" for the observation-tax gates, pool names for
+// the scaling gate); the verdict logic is identical either way.
 overhead_verdict gate_overhead_pair(
     const std::vector<perf::benchmark_result>& results,
     const std::string& bare_name, const std::string& instrumented_name,
-    double budget) {
+    double budget, const std::string& a_key = "unsampled",
+    const std::string& b_key = "sampled") {
   overhead_verdict v;
   const perf::benchmark_result* plain = nullptr;
   const perf::benchmark_result* sampled = nullptr;
@@ -423,10 +491,10 @@ overhead_verdict gate_overhead_pair(
     telemetry::json_value pt;
     pt.k = telemetry::json_value::kind::object;
     pt.obj["n"] = num(static_cast<double>(p.n));
-    pt.obj["unsampled_median_ns"] = num(p.time_ns.median);
-    pt.obj["unsampled_ci_hi_ns"] = num(p.time_ns.ci.hi);
-    pt.obj["sampled_median_ns"] = num(s.time_ns.median);
-    pt.obj["sampled_ci_lo_ns"] = num(s.time_ns.ci.lo);
+    pt.obj[a_key + "_median_ns"] = num(p.time_ns.median);
+    pt.obj[a_key + "_ci_hi_ns"] = num(p.time_ns.ci.hi);
+    pt.obj[b_key + "_median_ns"] = num(s.time_ns.median);
+    pt.obj[b_key + "_ci_lo_ns"] = num(s.time_ns.ci.lo);
     pt.obj["ratio"] = num(ratio);
     telemetry::json_value t;
     t.k = telemetry::json_value::kind::boolean;
@@ -465,6 +533,9 @@ profile_capture capture_profile(const perf::bench_registry& registry) {
   prof.reset();
   prof.enable();
   for (const auto& def : registry.all()) {
+    // Nested fork-join sweeps opt out: helping makes their manual-clock
+    // attribution scheduling-dependent (see benchmark_def).
+    if (!def.deterministic_profile) continue;
     telemetry::profile::probe bench_probe(
         std::string_view("bench." + def.name));
     for (const std::size_t n : def.sizes) {
@@ -624,6 +695,11 @@ int main(int argc, char** argv) {
       gate_overhead_pair(results, "parallel.thread_pool",
                          "parallel.thread_pool.profiled", kProbeOverheadBudget);
   if (probe_overhead.present) doc.obj["probe_overhead"] = probe_overhead.block;
+  const auto scaling =
+      gate_overhead_pair(results, "parallel.scaling.thread_pool",
+                         "parallel.scaling.work_stealing", kScalingBudget,
+                         "thread_pool", "work_stealing");
+  if (scaling.present) doc.obj["scaling_gate"] = scaling.block;
   const std::string rendered = telemetry::dump_json(doc);
 
   for (const std::string& path : {opt.out, opt.write_baseline}) {
@@ -720,6 +796,20 @@ int main(int argc, char** argv) {
       std::cerr << "probe overhead gate: profiler probes cost more than "
                 << kProbeOverheadBudget
                 << "x the bare thread pool at half or more sweep points\n";
+      rc = rc == 0 ? 4 : rc;
+    }
+  }
+  if (scaling.present) {
+    if (scaling.ok) {
+      std::cout << "scaling gate: ok — work_stealing_pool holds throughput "
+                   "against thread_pool on the nested fork-join sweep "
+                   "(budget "
+                << kScalingBudget << "x)\n";
+    } else {
+      std::cerr << "scaling gate: work_stealing_pool is more than "
+                << kScalingBudget
+                << "x slower than thread_pool on the nested fork-join sweep "
+                   "at half or more points\n";
       rc = rc == 0 ? 4 : rc;
     }
   }

@@ -10,6 +10,8 @@
 #include <random>
 
 #include "parallel/algorithms.hpp"
+#include "parallel/task_group.hpp"
+#include "parallel/work_stealing_pool.hpp"
 
 namespace {
 
@@ -43,6 +45,53 @@ void bm_parallel_reduce_threads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (1 << 22));
 }
 BENCHMARK(bm_parallel_reduce_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Same algorithm, other Executor model: the concept-bounded reduce runs
+// unchanged over the work-stealing scheduler.
+void bm_stealing_reduce_threads(benchmark::State& state) {
+  const auto v = workload(1 << 22);
+  work_stealing_pool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        parallel_reduce<std::plus<>>(v.begin(), v.end(), {}, pool));
+  state.SetItemsProcessed(state.iterations() * (1 << 22));
+}
+BENCHMARK(bm_stealing_reduce_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Nested, irregular fork-join — the workload shape stealing exists for.
+// Each root task forks a geometric tree of subtasks with skewed leaf
+// costs; on the shared-queue pool every fork funnels through one mutex
+// and waiters can only help FIFO, while stealing keeps forks worker-local
+// and rebalances the skew.
+template <class Pool>
+void nested_irregular(Pool& pool, std::size_t roots) {
+  task_group<Pool> group(pool);
+  for (std::size_t r = 0; r < roots; ++r)
+    group.run([&pool, r] {
+      task_group<Pool> inner(pool);
+      const std::size_t kids = 2 + r % 6;  // skewed fan-out
+      for (std::size_t k = 0; k < kids; ++k)
+        inner.run([r, k] {
+          volatile double acc = 0.0;
+          const std::size_t spins = 200 + 997 * ((r * 7 + k) % 13);
+          for (std::size_t i = 0; i < spins; ++i) acc = acc + 1.0 / (i + 1.0);
+        });
+      inner.wait();
+    });
+  group.wait();
+}
+
+void bm_nested_thread_pool(benchmark::State& state) {
+  thread_pool pool(4);
+  for (auto _ : state) nested_irregular(pool, 64);
+}
+BENCHMARK(bm_nested_thread_pool);
+
+void bm_nested_work_stealing(benchmark::State& state) {
+  work_stealing_pool pool(4);
+  for (auto _ : state) nested_irregular(pool, 64);
+}
+BENCHMARK(bm_nested_work_stealing);
 
 void bm_parallel_scan_threads(benchmark::State& state) {
   const auto v = workload(1 << 22);

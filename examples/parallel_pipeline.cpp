@@ -1,7 +1,10 @@
 // Data-parallel pipeline (Section 4): histogram + prefix statistics over a
 // synthetic measurement stream using the Monoid-constrained data-parallel
-// primitives.  The semantic concepts earn their keep: a non-associative
-// operation will not compile into parallel_reduce.
+// primitives.  Both concept layers earn their keep: a non-associative
+// operation will not compile into parallel_reduce (semantic concept), and
+// the same algorithms run unchanged over the legacy thread_pool or the
+// work-stealing executor (Executor concept) — the final stage swaps
+// schedulers without touching the pipeline.
 //
 // Build: cmake --build build && ./build/examples/parallel_pipeline
 #include <chrono>
@@ -9,6 +12,7 @@
 #include <random>
 
 #include "parallel/algorithms.hpp"
+#include "parallel/work_stealing_pool.hpp"
 
 namespace {
 
@@ -22,7 +26,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main() {
   using namespace cgp::parallel;
   thread_pool pool;
-  std::printf("thread pool: %u workers\n\n", pool.size());
+  std::printf("thread pool: %u workers\n\n", pool.worker_count());
 
   // Synthetic sensor readings.
   const std::size_t n = 8'000'000;
@@ -59,6 +63,27 @@ int main() {
   std::printf("sort      (parallel_sort):      %.3fs  hottest=%.2f "
               "coldest=%.2f\n",
               seconds_since(t0), celsius.front(), celsius.back());
+
+  // Stage 5: the Executor concept at work — the SAME algorithm call on a
+  // different scheduler.  Per-band work here is irregular (band size varies
+  // wildly after the sort), which is the work-stealing pool's home turf:
+  // a worker that drew a thin band steals bands from loaded peers.
+  work_stealing_pool stealer({.workers = 4, .steal_attempts = 2});
+  std::vector<double> band_mean(64);
+  t0 = std::chrono::steady_clock::now();
+  parallel_for(
+      band_mean.size(),
+      [&](std::size_t b) {
+        // Irregular share: band b covers an n/2^(b%8)-ish slice.
+        const std::size_t lo = b * (n / band_mean.size());
+        const std::size_t hi = lo + (n / band_mean.size()) / (1 + b % 8);
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += celsius[i];
+        band_mean[b] = hi > lo ? acc / static_cast<double>(hi - lo) : 0.0;
+      },
+      stealer, /*grain=*/1);
+  std::printf("bands     (work_stealing_pool): %.3fs  band0=%.2f\n",
+              seconds_since(t0), band_mean[0]);
 
   // The semantic guardrail, in comments because it must NOT compile:
   //   parallel_reduce<std::minus<>>(celsius.begin(), celsius.end());

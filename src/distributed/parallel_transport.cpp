@@ -1,35 +1,16 @@
 #include "distributed/parallel_transport.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <thread>
-
 #include "distributed/transport.hpp"
 
 namespace cgp::distributed {
 
+// Proof obligations: the executor-templated backend is a Transport for
+// both shipped Executor models — the two concept boundaries compose.
 static_assert(Transport<parallel_transport>);
+static_assert(Transport<stealing_transport>);
 
-namespace {
-
-unsigned worker_count(const net_options& opts) {
-  if (opts.workers != 0) return opts.workers;
-  return std::max(2u, std::thread::hardware_concurrency());
-}
-
-}  // namespace
-
-parallel_transport::parallel_transport(const net_options& opts)
-    : net_base(opts), pool_(worker_count(opts)) {
-  if (opts.mode == timing::asynchronous)
-    throw std::invalid_argument(
-        "parallel_transport implements only timing::synchronous supersteps; "
-        "use sim_transport for timing::asynchronous runs");
-}
-
-void parallel_transport::for_each_node(
-    const std::function<void(std::size_t)>& fn) {
-  pool_.run_chunks(node_count(), fn);
-}
+// Anchor the common instantiations in one translation unit.
+template class basic_parallel_transport<parallel::thread_pool>;
+template class basic_parallel_transport<parallel::work_stealing_pool>;
 
 }  // namespace cgp::distributed

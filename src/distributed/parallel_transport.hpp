@@ -1,14 +1,22 @@
 // The parallel backend of the Transport concept: each synchronous
 // superstep fans the per-node handlers (mailbox deliveries + on_round)
-// out across a parallel::thread_pool and joins them at the round barrier,
+// out across a parallel Executor and joins them at the round barrier,
 // so a 64-node wave actually uses the machine's cores.
+//
+// The executor is a template parameter bounded by the Executor concept —
+// the two concept-bounded module boundaries of this library compose:
+// `basic_parallel_transport<E>` is a Transport for EVERY Executor E, so
+// superstep fan-out runs over the legacy shared-queue pool, the
+// work-stealing pool, or any future scheduler without touching the
+// distributed layer.  `parallel_transport` (legacy pool) and
+// `stealing_transport` (work-stealing) are the named instantiations.
 //
 // Determinism: identical to sim_transport by construction.  Worker tasks
 // touch only node-local state (the node's inbox, outbox, rng, stats slots
 // and decision map); message routing, statistics, and the fault plan run
 // single-threaded at the barrier in canonical sender order (see
 // network.hpp).  For a fixed seed, decisions and run_stats match the
-// sequential simulator bit for bit.
+// sequential simulator bit for bit — on either executor.
 //
 // Timing: implements `timing::synchronous` only — asynchronous event
 // interleaving is the deterministic simulator's job (see the backend
@@ -16,28 +24,76 @@
 // timing::asynchronous throws.
 #pragma once
 
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
 #include "distributed/network.hpp"
+#include "parallel/executor.hpp"
+#include "parallel/options.hpp"
+#include "parallel/task_group.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing_pool.hpp"
 
 namespace cgp::distributed {
 
-class parallel_transport final : public net_base {
+namespace detail {
+
+/// net_options::workers -> pool_options: 0 = auto resolves to at least 2
+/// so concurrency is always exercised even on one-core machines.
+inline parallel::pool_options superstep_pool_options(const net_options& opts) {
+  const unsigned workers =
+      opts.workers != 0 ? opts.workers
+                        : std::max(2u, std::thread::hardware_concurrency());
+  return parallel::pool_options{.workers = workers};
+}
+
+}  // namespace detail
+
+template <parallel::Executor E>
+class basic_parallel_transport final : public net_base {
  public:
   /// Workers: net_options::workers threads (0 = auto: hardware
   /// concurrency, at least 2 so concurrency is always exercised).
-  explicit parallel_transport(const net_options& opts);
+  explicit basic_parallel_transport(const net_options& opts)
+      : net_base(opts), pool_(detail::superstep_pool_options(opts)) {
+    if (opts.mode == timing::asynchronous)
+      throw std::invalid_argument(
+          "parallel_transport implements only timing::synchronous "
+          "supersteps; use sim_transport for timing::asynchronous runs");
+  }
 
   /// Worker threads executing supersteps.
-  [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] unsigned workers() const noexcept {
+    return pool_.worker_count();
+  }
+
+  /// The underlying executor (e.g. to share it with algorithm calls).
+  [[nodiscard]] E& executor() noexcept { return pool_; }
 
  protected:
-  void for_each_node(const std::function<void(std::size_t)>& fn) override;
+  void for_each_node(const std::function<void(std::size_t)>& fn) override {
+    if constexpr (requires { pool_.run_chunks(node_count(), fn); }) {
+      pool_.run_chunks(node_count(), fn);
+    } else {
+      parallel::task_group<E> group(pool_);
+      for (std::size_t nd = 0; nd < node_count(); ++nd)
+        group.run([&fn, nd] { fn(nd); });
+      group.wait();
+    }
+  }
   [[nodiscard]] const char* backend_name() const noexcept override {
     return "parallel";
   }
 
  private:
-  parallel::thread_pool pool_;
+  E pool_;
 };
+
+/// Legacy-pool instantiation: the name every existing call site uses.
+using parallel_transport = basic_parallel_transport<parallel::thread_pool>;
+/// Work-stealing instantiation for irregular per-node workloads.
+using stealing_transport =
+    basic_parallel_transport<parallel::work_stealing_pool>;
 
 }  // namespace cgp::distributed

@@ -7,12 +7,15 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "parallel/algorithms.hpp"
+#include "parallel/executor.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -153,6 +156,171 @@ std::pair<std::vector<double>, std::uint64_t> pagerank(
     rank.swap(next);
   }
   detail::report("pagerank", ops, n, detail::edge_count_of(g));
+  return {std::move(rank), ops};
+}
+
+// ---------------------------------------------------------------------------
+// Executor-parallel entry points
+// ---------------------------------------------------------------------------
+//
+// Both take ANY Executor (concept-bounded, like the Section 4 algorithms):
+// the same call runs over the legacy thread_pool, the work_stealing_pool —
+// where the irregular per-vertex degree distribution is exactly what
+// stealing rebalances — or the inline archetype (serial proof build).
+
+/// Level-synchronous parallel BFS.  Each level's frontier is expanded in
+/// parallel; discovery claims a vertex with a compare-exchange on its
+/// distance slot, so every vertex is discovered exactly once.  Distances
+/// match the sequential `bfs_distances` exactly (BFS depth is
+/// order-independent).  Returns (distances, operation count).
+template <class P, parallel::Executor E = parallel::thread_pool>
+std::pair<std::vector<long>, std::uint64_t> bfs_distances_parallel(
+    const adjacency_list<P>& g, std::size_t start,
+    E& exec = parallel::thread_pool::default_pool(),
+    std::size_t grain = 128) {
+  static const auto kFrame = telemetry::profile::intern("graph.bfs_parallel");
+  telemetry::profile::probe bfs_probe(kFrame);
+  const std::size_t n = g.vertex_count();
+  std::uint64_t ops = 0;
+  if (n == 0 || start >= n) {
+    detail::report("bfs_parallel", ops, n, detail::edge_count_of(g));
+    return {std::vector<long>(n, -1), ops};
+  }
+  std::vector<std::atomic<long>> dist(n);
+  for (auto& d : dist) d.store(-1, std::memory_order_relaxed);
+  dist[start].store(0, std::memory_order_relaxed);
+  std::vector<std::size_t> frontier{start};
+  long level = 0;
+  while (!frontier.empty()) {
+    const auto [chunks, size] =
+        parallel::detail::chunks_for(frontier.size(), exec, grain);
+    std::vector<std::vector<std::size_t>> next_local(
+        std::max<std::size_t>(chunks, 1));
+    std::vector<std::uint64_t> ops_local(std::max<std::size_t>(chunks, 1), 0);
+    const long next_level = level + 1;
+    auto expand = [&](std::size_t c) {
+      const std::size_t lo = c * size;
+      const std::size_t hi = std::min(lo + size, frontier.size());
+      std::uint64_t local_ops = 0;
+      auto& out_frontier = next_local[c];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t v = frontier[i];
+        ++local_ops;  // vertex visit
+        for (const auto& e : g.out_edges_of(v)) {
+          ++local_ops;  // edge examination
+          long expected = -1;
+          if (dist[e.dst].compare_exchange_strong(expected, next_level,
+                                                  std::memory_order_acq_rel))
+            out_frontier.push_back(e.dst);
+        }
+      }
+      ops_local[c] = local_ops;
+    };
+    if (chunks <= 1) {
+      expand(0);
+    } else {
+      parallel::detail::run_chunks_on(exec, chunks, expand);
+    }
+    // Merge in chunk order: the next frontier (and therefore every later
+    // expansion order) is deterministic for a fixed chunking.
+    std::vector<std::size_t> next;
+    for (auto& local : next_local)
+      next.insert(next.end(), local.begin(), local.end());
+    for (const std::uint64_t o : ops_local) ops += o;
+    frontier.swap(next);
+    level = next_level;
+  }
+  std::vector<long> out(n);
+  for (std::size_t v = 0; v < n; ++v)
+    out[v] = dist[v].load(std::memory_order_relaxed);
+  detail::report("bfs_parallel", ops, n, detail::edge_count_of(g));
+  return {std::move(out), ops};
+}
+
+/// Parallel PageRank.  Each sweep scatters rank shares into CHUNK-LOCAL
+/// accumulator vectors (no write sharing, no atomics on the hot loop) and
+/// a second parallel pass merges them per-vertex in chunk-index order —
+/// the addition order is fixed, so results are deterministic for a given
+/// executor width.  Returns (ranks, operation count).
+template <class P, parallel::Executor E = parallel::thread_pool>
+std::pair<std::vector<double>, std::uint64_t> pagerank_parallel(
+    const adjacency_list<P>& g, E& exec = parallel::thread_pool::default_pool(),
+    std::size_t iterations = 20, double damping = 0.85,
+    std::size_t grain = 64) {
+  static const auto kFrame =
+      telemetry::profile::intern("graph.pagerank_parallel");
+  telemetry::profile::probe pagerank_probe(kFrame);
+  const std::size_t n = g.vertex_count();
+  std::uint64_t ops = 0;
+  if (n == 0) {
+    detail::report("pagerank_parallel", ops, 0, 0);
+    return {{}, ops};
+  }
+  const auto [chunks, size] = parallel::detail::chunks_for(n, exec, grain);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  if (chunks <= 1) {
+    auto result = pagerank(g, iterations, damping);
+    detail::report("pagerank_parallel", result.second, n,
+                   detail::edge_count_of(g));
+    return result;
+  }
+  std::vector<std::vector<double>> local(chunks,
+                                         std::vector<double>(n, 0.0));
+  std::vector<double> dangling_local(chunks, 0.0);
+  std::vector<std::uint64_t> ops_local(chunks, 0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    static const auto kIterFrame =
+        telemetry::profile::intern("graph.pagerank_parallel.iteration");
+    telemetry::profile::probe iter_probe(kIterFrame);
+    // Scatter phase: chunk c writes only local[c] — zero sharing.
+    parallel::detail::run_chunks_on(exec, chunks, [&, size =
+                                                          size](std::size_t c) {
+      auto& mine = local[c];
+      std::fill(mine.begin(), mine.end(), 0.0);
+      double dangling = 0.0;
+      std::uint64_t my_ops = 0;
+      const std::size_t lo = c * size;
+      const std::size_t hi = std::min(lo + size, n);
+      for (std::size_t v = lo; v < hi; ++v) {
+        ++my_ops;
+        const auto& out = g.out_edges_of(v);
+        if (out.empty()) {
+          dangling += rank[v];
+          continue;
+        }
+        const double share = rank[v] / static_cast<double>(out.size());
+        for (const auto& e : out) {
+          ++my_ops;
+          mine[e.dst] += share;
+        }
+      }
+      dangling_local[c] = dangling;
+      ops_local[c] = my_ops;
+    });
+    double dangling = 0.0;
+    for (const double d : dangling_local) dangling += d;
+    for (const std::uint64_t o : ops_local) ops += o;
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    // Merge phase: vertex-parallel; per-vertex sum runs in chunk-index
+    // order, so the floating-point result is independent of scheduling.
+    parallel::detail::run_chunks_on(exec, chunks,
+                                    [&, size = size](std::size_t c) {
+                                      const std::size_t lo = c * size;
+                                      const std::size_t hi =
+                                          std::min(lo + size, n);
+                                      for (std::size_t v = lo; v < hi; ++v) {
+                                        double acc = 0.0;
+                                        for (std::size_t k = 0; k < chunks;
+                                             ++k)
+                                          acc += local[k][v];
+                                        next[v] = base + damping * acc;
+                                      }
+                                    });
+    rank.swap(next);
+  }
+  detail::report("pagerank_parallel", ops, n, detail::edge_count_of(g));
   return {std::move(rank), ops};
 }
 

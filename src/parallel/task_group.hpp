@@ -1,0 +1,136 @@
+// Recursive fork-join over any Executor.
+//
+// A task_group owns a set of forked tasks and a blocking `wait()` barrier.
+// The part that makes NESTED parallelism safe is helping: while waiting,
+// the caller first drains runnable tasks through the executor's
+// `try_help()` hook (a pool worker pops its own deque / steals / pops the
+// shared queue) instead of blocking a scarce worker thread.  A nested
+// `parallel_for` issued from inside a pool task therefore executes its
+// splits on the very worker that is waiting for them — the submit queue
+// cannot deadlock on its own barrier, which is what hard-wired
+// `run_chunks`-style fan-out did under recursion.
+//
+// Executors without a try_help hook (the inline archetype) skip straight
+// to the condition-variable wait; the archetype runs tasks inline at
+// submit, so its groups are already complete by then.
+//
+// The wait loop re-arms with a bounded timeout: between "nothing runnable
+// right now" and "parked on the group cv", another thread may enqueue a
+// task this waiter could help with.  The periodic rescan bounds that lost
+// opportunity (and any exotic all-waiters-blocked interleaving) to one
+// timeout period instead of forever.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "parallel/executor.hpp"
+
+namespace cgp::parallel {
+
+template <Executor E>
+class task_group {
+ public:
+  explicit task_group(E& exec) : exec_(&exec) {}
+
+  /// Waits for stragglers; never lets tasks outlive the group state.
+  ~task_group() {
+    if (pending_.load(std::memory_order_acquire) != 0) try_wait_no_throw();
+  }
+
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+
+  /// Forks `f` onto the executor.  Exceptions thrown by `f` are captured
+  /// (first one wins) and rethrown from wait().
+  template <std::invocable F>
+  void run(F&& f) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    exec_->submit(
+        [this, fn = std::forward<F>(f)]() mutable { invoke_one(fn); });
+  }
+
+  /// Blocks until every forked task has finished, helping the executor
+  /// run queued tasks meanwhile.  Rethrows the first captured exception.
+  void wait() {
+    wait_impl();
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Tasks forked and not yet completed.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  template <class F>
+  void invoke_one(F& fn) {
+    try {
+      fn();
+    } catch (...) {
+      const std::lock_guard lock(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+    // The decrement and the wake form ONE critical section.  A waiter may
+    // only conclude "done" from a pending_==0 it observed either under
+    // this mutex or by locking it afterwards (wait_impl), so by the time
+    // the group can be destroyed the final task has left this scope — the
+    // cv/mutex members are never touched after the barrier opens.
+    const std::lock_guard lock(m_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      cv_.notify_all();
+  }
+
+  void wait_impl() {
+    using namespace std::chrono_literals;
+    for (;;) {
+      if (pending_.load(std::memory_order_acquire) == 0) {
+        // Rendezvous with the final task: its decrement-to-zero happened
+        // inside the mutex, so acquiring it here blocks until that task
+        // has released its critical section and will never touch the
+        // group again.  Only then may our caller destroy us.
+        const std::lock_guard lock(m_);
+        return;
+      }
+      // Helping phase: run whatever the executor can hand this thread.
+      if constexpr (requires(E& e) {
+                      { e.try_help() } -> std::convertible_to<bool>;
+                    }) {
+        while (pending_.load(std::memory_order_acquire) != 0 &&
+               exec_->try_help()) {
+        }
+      }
+      // Parking phase: bounded, so a task enqueued after the helping scan
+      // (or an all-waiters interleaving) stalls us at most one period.
+      std::unique_lock lock(m_);
+      if (cv_.wait_for(lock, 1ms, [this] {
+            return pending_.load(std::memory_order_acquire) == 0;
+          }))
+        return;
+    }
+  }
+
+  void try_wait_no_throw() noexcept {
+    try {
+      wait_impl();
+    } catch (...) {
+    }
+  }
+
+  E* exec_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
+};
+
+}  // namespace cgp::parallel

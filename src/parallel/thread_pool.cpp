@@ -1,10 +1,12 @@
 #include "parallel/thread_pool.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <optional>
 
+#include "parallel/task_group.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/watchdog.hpp"
@@ -27,9 +29,21 @@ unsigned next_pool_id() {
   return id.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Which pool (if any) the current thread works for: lets try_help refuse
+// to run tasks on foreign threads, preserving the legacy contract that
+// external callers of run_chunks only wait, never execute.
+thread_local const thread_pool* tls_worker_pool = nullptr;
+
+// Workers drain up to this many tasks per queue-lock acquisition.  The
+// single shared mutex is the legacy pool's only contention point; batching
+// amortizes it without starving peers (the batch is small and bounded).
+constexpr std::size_t kPopBatch = 4;
+
 }  // namespace
 
-thread_pool::thread_pool(unsigned n)
+thread_pool::thread_pool(unsigned n) : thread_pool(pool_options{.workers = n}) {}
+
+thread_pool::thread_pool(const pool_options& opts)
     : tasks_submitted_(telemetry::registry::global().get_counter(
           "parallel.thread_pool.tasks_submitted")),
       tasks_completed_(telemetry::registry::global().get_counter(
@@ -42,7 +56,9 @@ thread_pool::thread_pool(unsigned n)
           "parallel.thread_pool.queue_depth")),
       task_us_(telemetry::registry::global().get_histogram(
           "parallel.thread_pool.task_us")) {
-  workers_ = n != 0 ? n : std::max(1u, std::thread::hardware_concurrency());
+  opts.validate();
+  workers_ = opts.resolved_workers();
+  capacity_ = opts.queue_capacity;
   threads_.reserve(workers_);
   heartbeats_.reserve(workers_);
   const unsigned pool_id = next_pool_id();
@@ -61,6 +77,7 @@ thread_pool::~thread_pool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
   // Deregister eagerly: dropping our shared_ptrs expires the watchdog's
   // weak slots, and the explicit prune removes them NOW rather than at
@@ -71,24 +88,17 @@ thread_pool::~thread_pool() {
     telemetry::live::watchdog::global().prune_expired();
 }
 
-void thread_pool::submit(std::function<void()> task) {
-  queued_task item;
-  item.fn = std::move(task);
-  if constexpr (telemetry::kEnabled) {
-    // Causal propagation: capture the submitter's trace context and
-    // shadow-stack path beside the task (run_task restores both in the
-    // worker), so the task's span parents under the submitting span
-    // (link=async, flow arrow between the lanes) and a flamegraph shows
-    // pool tasks under whatever submitted them.  Both captures are plain
-    // inline data — no wrapper closure, no extra allocation.
-    item.ctx = telemetry::trace::current_context();
-    if (item.ctx.active())
-      item.flow =
-          telemetry::trace::flow_begin("parallel.thread_pool.task", "parallel");
-    item.path = telemetry::profile::current_path();
-  }
+void thread_pool::enqueue(detail::task_item&& item) {
   {
-    const std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    if (capacity_ != 0)
+      // Backpressure, with two escape hatches: a stopping pool must not
+      // wedge a submitter forever, and a worker submitting (nested
+      // fork-join) cannot block — it is its own consumer.
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < capacity_ ||
+               tls_worker_pool == this;
+      });
     queue_.push_back(std::move(item));
   }
   tasks_submitted_.add();
@@ -96,33 +106,42 @@ void thread_pool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void thread_pool::run_task(queued_task& item) {
+void thread_pool::execute(detail::task_item& item) {
+  static const auto kTaskFrame =
+      telemetry::profile::intern("parallel.thread_pool.task");
   if constexpr (telemetry::kEnabled) {
-    const bool traced = item.ctx.active();
-    if (traced || telemetry::profile::profiler::global().enabled()) {
-      std::optional<telemetry::trace::context_scope> adopt;
-      std::optional<telemetry::trace::trace_span> span;
-      if (traced) {
-        adopt.emplace(item.ctx);
-        span.emplace("parallel.thread_pool.task", "parallel");
-        telemetry::trace::flow_end(item.flow, "parallel.thread_pool.task",
-                                   "parallel");
-      }
-      telemetry::profile::adopt_scope padopt(item.path);
-      static const auto kTaskFrame =
-          telemetry::profile::intern("parallel.thread_pool.task");
-      telemetry::profile::probe probe(kTaskFrame);
-      item.fn();
-      return;
-    }
+    const auto run_start = clock::now();
+    detail::run_task_item(item, "parallel.thread_pool.task", kTaskFrame);
+    const std::uint64_t us = us_between(run_start, clock::now());
+    busy_us_.add(us);
+    task_us_.record(us);
+  } else {
+    detail::run_task_item(item, "parallel.thread_pool.task", kTaskFrame);
   }
-  item.fn();
+  tasks_completed_.add();
+  if (capacity_ != 0) space_cv_.notify_one();
+}
+
+bool thread_pool::try_help() {
+  if (tls_worker_pool != this) return false;
+  std::optional<detail::task_item> task;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  queue_depth_.sub();
+  execute(*task);
+  return true;
 }
 
 void thread_pool::worker_loop(unsigned idx) {
+  tls_worker_pool = this;
   telemetry::live::heartbeat& hb = *heartbeats_[idx];
+  std::array<std::optional<detail::task_item>, kPopBatch> batch;
   for (;;) {
-    queued_task task;
+    std::size_t got = 0;
     {
       std::unique_lock lock(mutex_);
       if constexpr (telemetry::kEnabled) {
@@ -133,24 +152,30 @@ void thread_pool::worker_loop(unsigned idx) {
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       }
       if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // Batch-pop: drain several tasks under one lock acquisition, but
+      // only from the SURPLUS beyond one-task-per-peer.  A batch of k > 1
+      // always leaves at least workers_-1 tasks queued, so peer workers
+      // each still get one — tasks that rendezvous across workers (up to
+      // pool width) keep the one-task-per-worker spread they rely on.
+      const std::size_t surplus =
+          queue_.size() - std::min<std::size_t>(queue_.size(), workers_ - 1);
+      const std::size_t take =
+          std::min(kPopBatch, std::max<std::size_t>(1, surplus));
+      for (; got < take; ++got) {
+        batch[got] = std::move(queue_.front());
+        queue_.pop_front();
+      }
     }
-    queue_depth_.sub();
+    queue_depth_.sub(static_cast<std::int64_t>(got));
+    if (capacity_ != 0) space_cv_.notify_one();
     // Busy from here: a task that wedges leaves this worker busy+silent,
     // which is exactly what the stall watchdog flags.
     hb.begin_work();
-    if constexpr (telemetry::kEnabled) {
-      const auto run_start = clock::now();
-      run_task(task);
-      const std::uint64_t us = us_between(run_start, clock::now());
-      busy_us_.add(us);
-      task_us_.record(us);
-    } else {
-      run_task(task);
+    for (std::size_t i = 0; i < got; ++i) {
+      execute(*batch[i]);
+      batch[i].reset();
     }
     hb.end_work();
-    tasks_completed_.add();
   }
 }
 
@@ -178,28 +203,10 @@ void thread_pool::run_chunks(std::size_t chunks,
     fn(0);
     return;
   }
-  struct barrier_state {
-    std::mutex m;
-    std::condition_variable done;
-    std::size_t remaining;
-    std::exception_ptr error;
-  };
-  barrier_state bs{.remaining = chunks};
-  for (std::size_t c = 0; c < chunks; ++c) {
-    submit([&bs, &fn, c] {
-      try {
-        fn(c);
-      } catch (...) {
-        const std::lock_guard lock(bs.m);
-        if (!bs.error) bs.error = std::current_exception();
-      }
-      const std::lock_guard lock(bs.m);
-      if (--bs.remaining == 0) bs.done.notify_all();
-    });
-  }
-  std::unique_lock lock(bs.m);
-  bs.done.wait(lock, [&bs] { return bs.remaining == 0; });
-  if (bs.error) std::rethrow_exception(bs.error);
+  task_group<thread_pool> group(*this);
+  for (std::size_t c = 0; c < chunks; ++c)
+    group.run([&fn, c] { fn(c); });
+  group.wait();
 }
 
 thread_pool& thread_pool::default_pool() {

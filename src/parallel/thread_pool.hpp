@@ -1,10 +1,17 @@
-// A work-queue thread pool: the execution substrate for the data-parallel
-// generic library of Section 4.
+// The legacy work-queue thread pool: one mutex-guarded FIFO shared by all
+// workers.  Still the right executor for coarse, uniform fan-out (its
+// FIFO ordering is also what the causal-trace tests pin down); the
+// work-stealing pool (work_stealing_pool.hpp) is the executor for
+// fine-grained, irregular, or nested work.  Both model the Executor
+// concept (executor.hpp), so every algorithm and transport built on the
+// concept runs unchanged on either.
 //
 // Design follows the C++ Core Guidelines concurrency rules: RAII thread
 // ownership (jthread-style join-on-destroy), no detached threads, condition
 // variables always paired with predicates, and all shared state behind one
-// mutex.
+// mutex.  Workers batch-pop several tasks per lock acquisition (the queue
+// mutex is the pool's only contention point, so amortizing it matters once
+// the threads-sweep benchmark puts submitters and workers on all cores).
 #pragma once
 
 #include <condition_variable>
@@ -17,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/executor.hpp"
+#include "parallel/options.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -32,21 +41,55 @@ class thread_pool {
   /// Spawns `n` workers (defaults to hardware concurrency, at least 1).
   explicit thread_pool(unsigned n = 0);
 
+  /// Unified construction surface shared with work_stealing_pool:
+  /// validates the options (std::invalid_argument names the bad knob).
+  /// `queue_capacity` bounds the shared queue — submit blocks for space
+  /// (backpressure); `steal_attempts` is validated but unused here.
+  explicit thread_pool(const pool_options& opts);
+
   /// Joins all workers; outstanding tasks are completed first.
   ~thread_pool();
 
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
 
+  [[nodiscard]] unsigned worker_count() const noexcept { return workers_; }
+  /// Back-compat alias for worker_count().
   [[nodiscard]] unsigned size() const noexcept { return workers_; }
 
-  /// Enqueues a task.
-  void submit(std::function<void()> task);
+  /// Enqueues any invocable.  Concept-bounded and single-erasure: the
+  /// callable is erased once into task_fn, so move-only callables work
+  /// and std::function callers no longer pay a second wrapper.
+  template <std::invocable F>
+  void submit(F&& task) {
+    detail::task_item item;
+    item.fn = task_fn(std::forward<F>(task));
+    detail::capture_task_meta(item, "parallel.thread_pool.task");
+    enqueue(std::move(item));
+  }
+
+  /// Deprecated entry point: converting through std::function first adds
+  /// a copyability requirement and (for callers that built the function
+  /// themselves) a second type erasure.  Pass the callable directly.
+  [[deprecated(
+      "pass the callable straight to submit(F&&); routing through "
+      "std::function<void()> forces an extra type-erasure")]]
+  void submit(std::function<void()> task) {
+    submit<std::function<void()>&>(task);
+  }
 
   /// Runs `chunk_fn(0..chunks-1)` across the pool and BLOCKS until all
   /// chunks finish.  Exceptions from chunks are rethrown (first one wins).
+  /// Safe to call from inside a pool task: the waiting worker helps run
+  /// queued chunks instead of deadlocking the queue (see task_group).
   void run_chunks(std::size_t chunks,
                   const std::function<void(std::size_t)>& chunk_fn);
+
+  /// Helping hook for task_group::wait — runs one queued task on the
+  /// CALLING thread if (and only if) it is one of this pool's workers.
+  /// Returns false for non-workers and when the queue is empty, so
+  /// external waiters keep the legacy block-on-condvar behavior.
+  bool try_help();
 
   /// Process-wide default pool.
   [[nodiscard]] static thread_pool& default_pool();
@@ -56,31 +99,21 @@ class thread_pool {
   [[nodiscard]] double utilization() const noexcept;
 
  private:
-  // Queue entries carry the submitter's causal metadata BESIDE the task
-  // instead of re-wrapping it into a second std::function: the trace
-  // context and shadow-stack path are plain inline data (no allocation),
-  // so traced/profiled submits cost a memcpy, not a heap round trip —
-  // that difference is what keeps attribution inside the probe-overhead
-  // budget perf_report gates on.
-  struct queued_task {
-    std::function<void()> fn;
-    telemetry::trace::span_context ctx{};  ///< submitter's trace context
-    std::uint64_t flow = 0;                ///< flow arrow id (traced only)
-    telemetry::profile::call_path path{};  ///< submitter's shadow stack
-  };
-
+  void enqueue(detail::task_item&& item);
   void worker_loop(unsigned idx);
-  void run_task(queued_task& item);
+  void execute(detail::task_item& item);
 
   unsigned workers_ = 0;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
   std::vector<std::thread> threads_;
   // One stall-watchdog heartbeat per worker (live observability): workers
   // mark busy around each task, so a wedged task shows up as a stall while
   // an idle worker parked on the condition variable stays healthy.
   std::vector<std::shared_ptr<telemetry::live::heartbeat>> heartbeats_;
-  std::deque<queued_task> queue_;
+  std::deque<detail::task_item> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable space_cv_;  ///< submitters waiting on capacity
   bool stopping_ = false;
 
   // Telemetry handles resolved once (references are stable); increments on
@@ -93,5 +126,7 @@ class thread_pool {
   telemetry::gauge& queue_depth_;
   telemetry::histogram& task_us_;
 };
+
+static_assert(Executor<thread_pool>);
 
 }  // namespace cgp::parallel

@@ -1,0 +1,266 @@
+#include "parallel/work_stealing_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "parallel/task_group.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/trace.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace cgp::parallel {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(clock::time_point a, clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+unsigned next_pool_id() {
+  static std::atomic<unsigned> id{0};
+  return id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Which stealing pool (if any) the current thread works for, and its
+// worker index there: submit routes through this to reach the caller's
+// own deque, and try_help refuses foreign threads (external waiters keep
+// the wait-only contract, same as thread_pool).
+thread_local const work_stealing_pool* tls_ws_pool = nullptr;
+thread_local unsigned tls_ws_index = 0;
+
+// Cheap per-thread xorshift for victim probing.  Deterministically seeded
+// from the worker index — probe SEQUENCES differ across workers, which is
+// all randomized stealing needs, and nothing here depends on wall-clock
+// entropy.
+thread_local std::uint32_t tls_rng_state = 0;
+
+std::uint32_t next_rand() {
+  std::uint32_t x = tls_rng_state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  tls_rng_state = x;
+  return x;
+}
+
+}  // namespace
+
+work_stealing_pool::work_stealing_pool(const pool_options& opts)
+    : tasks_submitted_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.tasks_submitted")),
+      tasks_completed_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.tasks_completed")),
+      steals_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.steals")),
+      steal_probes_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.steal_probes")),
+      parks_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.parks")),
+      busy_us_(telemetry::registry::global().get_counter(
+          "parallel.work_stealing.busy_us")),
+      queue_depth_(telemetry::registry::global().get_gauge(
+          "parallel.work_stealing.queue_depth")),
+      task_us_(telemetry::registry::global().get_histogram(
+          "parallel.work_stealing.task_us")) {
+  opts.validate();
+  workers_ = opts.resolved_workers();
+  steal_attempts_ = opts.steal_attempts;
+  park_timeout_us_ = opts.park_timeout_us;
+  capacity_ = opts.queue_capacity;
+  slots_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    slots_.push_back(std::make_unique<worker_slot>());
+  const unsigned pool_id = next_pool_id();
+  heartbeats_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    heartbeats_.push_back(
+        telemetry::live::watchdog::global().register_heartbeat(
+            "parallel.work_stealing.p" + std::to_string(pool_id) + ".worker" +
+            std::to_string(i)));
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+work_stealing_pool::~work_stealing_pool() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: orders the store against the workers'
+    // predicate re-check under idle_m_, so no sleeper misses the stop.
+    const std::lock_guard lock(idle_m_);
+  }
+  idle_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  heartbeats_.clear();
+  if constexpr (telemetry::kEnabled)
+    telemetry::live::watchdog::global().prune_expired();
+}
+
+void work_stealing_pool::wake_one() {
+  if (sleepers_.load(std::memory_order_acquire) == 0) return;
+  // The lock pairs with the sleeper's ++sleepers_/wait under idle_m_,
+  // closing the "checked sleepers_ before the sleeper registered" race;
+  // the bounded park timeout backstops anything left.
+  const std::lock_guard lock(idle_m_);
+  idle_cv_.notify_one();
+}
+
+void work_stealing_pool::enqueue(detail::task_item&& item) {
+  if (tls_ws_pool == this) {
+    // Worker self-submit: own deque, back (LIFO hot end).  Never blocks on
+    // capacity — a worker is its own consumer, and fork-join would
+    // deadlock against a full inject queue.
+    worker_slot& s = *slots_[tls_ws_index];
+    const std::lock_guard lock(s.m);
+    s.dq.push_back(std::move(item));
+  } else {
+    std::unique_lock lock(inject_m_);
+    if (capacity_ != 0)
+      space_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               inject_.size() < capacity_;
+      });
+    inject_.push_back(std::move(item));
+  }
+  tasks_submitted_.add();
+  queue_depth_.add();
+  ready_.fetch_add(1, std::memory_order_acq_rel);
+  wake_one();
+}
+
+// Claim order: own deque back (LIFO, cache-warm), inject queue front
+// (FIFO fairness for external work), then stealing — `steal_attempts_`
+// random probes followed by one full round-robin sweep so a lone loaded
+// victim is always found before parking.  Thieves take the FRONT of a
+// victim's deque: the oldest task is the coarsest split, the one worth
+// moving across workers.
+bool work_stealing_pool::next_task(unsigned self, detail::task_item& out) {
+  {
+    worker_slot& s = *slots_[self];
+    const std::lock_guard lock(s.m);
+    if (!s.dq.empty()) {
+      out = std::move(s.dq.back());
+      s.dq.pop_back();
+      ready_.fetch_sub(1, std::memory_order_acq_rel);
+      queue_depth_.sub();
+      return true;
+    }
+  }
+  {
+    const std::lock_guard lock(inject_m_);
+    if (!inject_.empty()) {
+      out = std::move(inject_.front());
+      inject_.pop_front();
+      ready_.fetch_sub(1, std::memory_order_acq_rel);
+      queue_depth_.sub();
+      if (capacity_ != 0) space_cv_.notify_one();
+      return true;
+    }
+  }
+  if (workers_ > 1) {
+    auto steal_from = [&](unsigned victim) {
+      if (victim == self) return false;
+      worker_slot& v = *slots_[victim];
+      const std::lock_guard lock(v.m);
+      steal_probes_.add();
+      if (v.dq.empty()) return false;
+      out = std::move(v.dq.front());
+      v.dq.pop_front();
+      ready_.fetch_sub(1, std::memory_order_acq_rel);
+      queue_depth_.sub();
+      steals_.add();
+      return true;
+    };
+    for (unsigned a = 0; a < steal_attempts_; ++a)
+      if (steal_from(next_rand() % workers_)) return true;
+    for (unsigned v = 0; v < workers_; ++v)
+      if (steal_from((self + 1 + v) % workers_)) return true;
+  }
+  return false;
+}
+
+void work_stealing_pool::execute(detail::task_item& item) {
+  static const auto kTaskFrame =
+      telemetry::profile::intern("parallel.work_stealing.task");
+  if constexpr (telemetry::kEnabled) {
+    const auto run_start = clock::now();
+    detail::run_task_item(item, "parallel.work_stealing.task", kTaskFrame);
+    const std::uint64_t us = us_between(run_start, clock::now());
+    busy_us_.add(us);
+    task_us_.record(us);
+  } else {
+    detail::run_task_item(item, "parallel.work_stealing.task", kTaskFrame);
+  }
+  tasks_completed_.add();
+}
+
+bool work_stealing_pool::try_help() {
+  if (tls_ws_pool != this) return false;
+  detail::task_item item;
+  if (!next_task(tls_ws_index, item)) return false;
+  execute(item);
+  return true;
+}
+
+void work_stealing_pool::worker_loop(unsigned idx) {
+  tls_ws_pool = this;
+  tls_ws_index = idx;
+  tls_rng_state = 0x9E3779B9u * (idx + 1) | 1u;  // golden-ratio spread, odd
+  telemetry::live::heartbeat& hb = *heartbeats_[idx];
+  detail::task_item item;
+  for (;;) {
+    if (next_task(idx, item)) {
+      // Wake chaining: if more work remains queued after this claim, pull
+      // ONE more sleeper in.  Each woken worker that finds work wakes the
+      // next — the active set grows geometrically with load, and an
+      // isolated submit wakes exactly one thread instead of the herd.
+      if (ready_.load(std::memory_order_acquire) > 0) wake_one();
+      hb.begin_work();
+      execute(item);
+      hb.end_work();
+      item.fn = task_fn();
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        ready_.load(std::memory_order_acquire) == 0)
+      return;  // stopping and drained
+    // Park, bounded: the timeout re-arms the scan so a wakeup lost to the
+    // sleepers_-vs-enqueue race costs at most park_timeout_us.
+    parks_.add();
+    std::unique_lock lock(idle_m_);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(park_timeout_us_),
+                      [this] {
+                        return stopping_.load(std::memory_order_acquire) ||
+                               ready_.load(std::memory_order_acquire) > 0;
+                      });
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void work_stealing_pool::run_chunks(
+    std::size_t chunks, const std::function<void(std::size_t)>& chunk_fn) {
+  if (chunks == 0) return;
+  telemetry::span span("parallel.work_stealing.run_chunks");
+  span.charge(chunks);
+  telemetry::trace::child_span tspan("parallel.work_stealing.run_chunks",
+                                     "parallel");
+  static const auto kChunksFrame =
+      telemetry::profile::intern("parallel.work_stealing.run_chunks");
+  telemetry::profile::probe pprobe(kChunksFrame);
+  if (chunks == 1) {
+    chunk_fn(0);
+    return;
+  }
+  task_group<work_stealing_pool> group(*this);
+  for (std::size_t c = 0; c < chunks; ++c)
+    group.run([&chunk_fn, c] { chunk_fn(c); });
+  group.wait();
+}
+
+}  // namespace cgp::parallel

@@ -37,6 +37,12 @@ struct benchmark_def {
   std::string counter_prefix;
   /// Excess-exponent tolerance for the fit (see perf::fit_against).
   double excess_tolerance = kDefaultExcessTolerance;
+  /// Whether the workload belongs in the byte-deterministic manual-clock
+  /// profile capture.  Nested fork-join workloads must opt out: a worker
+  /// blocked in task_group::wait helps with whatever task is available,
+  /// and those inline executions land inside the waiting frame's tick
+  /// span, so its manual-clock total depends on the schedule.
+  bool deterministic_profile = true;
   /// Builds the workload for one sweep size.  Setup cost (allocating
   /// inputs, constructing pools) belongs here, outside the timed region;
   /// the returned callable is what gets timed.

@@ -110,13 +110,13 @@ std::optional<expr> simplifier::rewrite_at_root(
     // Memoized instantiation of the rule for this (type, operator) shape.
     const std::string key = std::to_string(ri) + "\x1f" + e.type() + "\x1f" +
                             e.symbol();
-    auto cached = instantiation_cache_.find(key);
-    if (cached != instantiation_cache_.end()) {
+    const auto* cached = instantiation_cache_.find(key);
+    if (cached != nullptr) {
       cache_hit_counter().add();
     } else {
       cache_miss_counter().add();
     }
-    if (cached == instantiation_cache_.end()) {
+    if (cached == nullptr) {
       std::optional<std::pair<expr, expr>> inst;
       if (const auto model =
               registry_->find_model(r.concept_name, {e.type(), e.symbol()})) {
@@ -140,10 +140,14 @@ std::optional<expr> simplifier::rewrite_at_root(
         // effect immediately (the "for free" extensibility of Section 3.2).
         continue;
       }
-      cached = instantiation_cache_.emplace(key, std::move(inst)).first;
+      // Racing simplify() calls may both compute the instantiation; the
+      // insert-only map keeps the winner and everyone shares its stable
+      // address (losers recomputed equal values — instantiation is pure).
+      cached = &instantiation_cache_.try_emplace(key, std::move(inst))
+                    .first->second;
     }
-    if (!cached->second) continue;
-    const auto& [pattern, replacement] = *cached->second;
+    if (!cached->has_value()) continue;
+    const auto& [pattern, replacement] = **cached;
 
     auto binding = e.match(pattern);
     if (!binding) continue;

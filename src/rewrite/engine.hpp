@@ -8,10 +8,13 @@
 // a library can override the generic algebra with a faster call.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/registry.hpp"
+#include "parallel/concurrent_map.hpp"
 #include "rewrite/rules.hpp"
 
 namespace cgp::rewrite {
@@ -22,6 +25,25 @@ class simplifier {
   explicit simplifier(const core::concept_registry& reg =
                           core::concept_registry::global())
       : registry_(&reg) {}
+
+  /// Movable (factory functions return simplifiers by value); the
+  /// instantiation memo is not carried across — it is a pure cache, and
+  /// the concurrent map pins its shards in place, so the moved-to
+  /// simplifier simply rewarms.  Moving a simplifier other threads are
+  /// using is a bug with or without the memo.
+  simplifier(simplifier&& other) noexcept
+      : registry_(other.registry_),
+        concept_rules_(std::move(other.concept_rules_)),
+        expr_rules_(std::move(other.expr_rules_)),
+        fold_constants_(other.fold_constants_) {}
+  simplifier& operator=(simplifier&& other) noexcept {
+    registry_ = other.registry_;
+    concept_rules_ = std::move(other.concept_rules_);
+    expr_rules_ = std::move(other.expr_rules_);
+    fold_constants_ = other.fold_constants_;
+    instantiation_cache_.clear();
+    return *this;
+  }
 
   /// Registers a generic concept-guarded rule.
   void add_concept_rule(concept_rule r) {
@@ -67,8 +89,13 @@ class simplifier {
   bool fold_constants_ = false;
   /// Memoizes axiom instantiation per (rule index, type, operator): the
   /// registry lookup + term renaming + pattern construction happen once per
-  /// concrete shape instead of at every node visit.
-  mutable std::map<std::string, std::optional<std::pair<expr, expr>>>
+  /// concrete shape instead of at every node visit.  A striped insert-only
+  /// concurrent map, so `simplify` (const) is safe to call from many
+  /// threads at once — `simplify_batch` (batch.hpp) fans a workload over
+  /// one shared simplifier and all threads share the memo.  Mutation of
+  /// the rule set (add_concept_rule) clears it and must be quiescent.
+  mutable parallel::concurrent_map<std::string,
+                                   std::optional<std::pair<expr, expr>>>
       instantiation_cache_;
 };
 
