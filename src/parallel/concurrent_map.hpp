@@ -37,7 +37,8 @@ class concurrent_map {
 
   struct node {
     std::pair<const Key, T> kv;
-    node* next = nullptr;  ///< bucket chain
+    node* next = nullptr;    ///< bucket chain
+    std::size_t seq = 0;     ///< insertion index within the shard's deque
     template <class K, class... Args>
     explicit node(K&& k, Args&&... args)
         : kv(std::piecewise_construct,
@@ -68,16 +69,20 @@ class concurrent_map {
   concurrent_map(const concurrent_map&) = delete;
   concurrent_map& operator=(const concurrent_map&) = delete;
 
-  /// Forward iterator over (shard, insertion-order) pairs.  Valid only
-  /// while no concurrent insert runs (quiescent traversal).
+  /// Forward iterator over (shard, insertion-order) pairs.  Dereference
+  /// goes through a node pointer captured while the shard lock was held —
+  /// never through the shard's deque, whose internal block map other
+  /// threads mutate while inserting — so an iterator returned by
+  /// insert/try_emplace may be dereferenced concurrently with inserts.
+  /// Traversal (begin / operator++) still requires quiescence.
   class iterator {
    public:
     iterator() = default;
-    value_type& operator*() const { return map_->shards_[si_].nodes[ni_].kv; }
-    value_type* operator->() const { return &**this; }
+    value_type& operator*() const { return n_->kv; }
+    value_type* operator->() const { return &n_->kv; }
     iterator& operator++() {
       ++ni_;
-      advance_shard();
+      settle();
       return *this;
     }
     iterator operator++(int) {
@@ -91,23 +96,35 @@ class concurrent_map {
 
    private:
     friend class concurrent_map;
+    /// Traversal construction (begin/end): indexes shard deques, so
+    /// quiescent phases only.
     iterator(concurrent_map* m, std::size_t si, std::size_t ni)
         : map_(m), si_(si), ni_(ni) {
-      advance_shard();
+      settle();
     }
-    void advance_shard() {
+    /// Insert-path construction: the caller holds the shard lock and hands
+    /// over the node pointer directly — no deque access ever again.
+    iterator(concurrent_map* m, std::size_t si, node* n)
+        : map_(m), si_(si), ni_(n->seq), n_(n) {}
+    void settle() {
       while (si_ < Stripes && ni_ >= map_->shards_[si_].nodes.size()) {
         ++si_;
         ni_ = 0;
       }
+      n_ = si_ < Stripes ? &map_->shards_[si_].nodes[ni_] : nullptr;
     }
     concurrent_map* map_ = nullptr;
     std::size_t si_ = Stripes;
     std::size_t ni_ = 0;
+    node* n_ = nullptr;
   };
 
-  [[nodiscard]] iterator begin() { return iterator(this, 0, 0); }
-  [[nodiscard]] iterator end() { return iterator(this, Stripes, 0); }
+  [[nodiscard]] iterator begin() {
+    return iterator(this, std::size_t{0}, std::size_t{0});
+  }
+  [[nodiscard]] iterator end() {
+    return iterator(this, Stripes, std::size_t{0});
+  }
 
   /// Inserts key -> T(args...) if absent.  Returns {iterator, true} for
   /// the winner, {iterator-to-existing, false} for everyone else.  The
@@ -120,13 +137,13 @@ class concurrent_map {
     const std::lock_guard lock(s.m);
     const std::size_t b = (h / Stripes) & (s.buckets.size() - 1);
     for (node* n = s.buckets[b]; n != nullptr; n = n->next)
-      if (n->kv.first == key)
-        return {iterator(this, si, index_of(s, n)), false};
+      if (n->kv.first == key) return {iterator(this, si, n), false};
     s.nodes.emplace_back(std::forward<K>(key), std::forward<Args>(args)...);
     node* n = &s.nodes.back();
+    n->seq = s.nodes.size() - 1;
     n->next = s.buckets[b];
     s.buckets[b] = n;
-    return {iterator(this, si, s.nodes.size() - 1), true};
+    return {iterator(this, si, n), true};
   }
 
   /// std::map-style insert of a ready value.
@@ -182,14 +199,6 @@ class concurrent_map {
   }
 
  private:
-  // Insertion order == deque index; walking back from the tail is fine
-  // because racing-loser lookups are rare and shards are short.
-  static std::size_t index_of(shard& s, node* n) {
-    for (std::size_t i = s.nodes.size(); i-- > 0;)
-      if (&s.nodes[i] == n) return i;
-    return 0;  // unreachable: n lives in s.nodes
-  }
-
   std::array<shard, Stripes> shards_{};
 };
 

@@ -14,11 +14,14 @@
 // to the condition-variable wait; the archetype runs tasks inline at
 // submit, so its groups are already complete by then.
 //
-// The wait loop re-arms with a bounded timeout: between "nothing runnable
+// Only waiters that can actually help (pool workers, per the executor's
+// can_help() hook) park with a bounded timeout: between "nothing runnable
 // right now" and "parked on the group cv", another thread may enqueue a
-// task this waiter could help with.  The periodic rescan bounds that lost
-// opportunity (and any exotic all-waiters-blocked interleaving) to one
-// timeout period instead of forever.
+// task this waiter could help with, and the periodic rescan bounds that
+// lost opportunity to one timeout period.  Waiters that can never help —
+// external callers of run_chunks — park untimed: the completion notify in
+// invoke_one is never lost (decrement and wake share one critical
+// section), so polling would only burn cycles.
 #pragma once
 
 #include <atomic>
@@ -47,12 +50,24 @@ class task_group {
   task_group& operator=(const task_group&) = delete;
 
   /// Forks `f` onto the executor.  Exceptions thrown by `f` are captured
-  /// (first one wins) and rethrown from wait().
+  /// (first one wins) and rethrown from wait().  If submission itself
+  /// fails (e.g. bad_alloc while erasing the callable), the fork count is
+  /// rolled back before rethrowing so wait() never blocks on a task that
+  /// was never enqueued.
   template <std::invocable F>
   void run(F&& f) {
     pending_.fetch_add(1, std::memory_order_acq_rel);
-    exec_->submit(
-        [this, fn = std::forward<F>(f)]() mutable { invoke_one(fn); });
+    try {
+      exec_->submit(
+          [this, fn = std::forward<F>(f)]() mutable { invoke_one(fn); });
+    } catch (...) {
+      // Same decrement-and-wake critical section as invoke_one, in case a
+      // concurrent waiter is already parked on the barrier.
+      const std::lock_guard lock(m_);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        cv_.notify_all();
+      throw;
+    }
   }
 
   /// Blocks until every forked task has finished, helping the executor
@@ -92,6 +107,26 @@ class task_group {
 
   void wait_impl() {
     using namespace std::chrono_literals;
+    // Can this thread ever run tasks itself?  Executors with a can_help()
+    // hook answer for the CALLING thread (pool workers help, external
+    // callers never do); executors with only try_help are assumed
+    // helpers; executors with neither (the inline archetype) are not.
+    // Worker status is a thread_local property — it cannot change while
+    // we wait — so deciding once up front is sound.
+    const bool helper = [this] {
+      if constexpr (requires(E& e) {
+                      { e.try_help() } -> std::convertible_to<bool>;
+                    }) {
+        if constexpr (requires(const E& e) {
+                        { e.can_help() } -> std::convertible_to<bool>;
+                      })
+          return static_cast<bool>(exec_->can_help());
+        else
+          return true;
+      } else {
+        return false;
+      }
+    }();
     for (;;) {
       if (pending_.load(std::memory_order_acquire) == 0) {
         // Rendezvous with the final task: its decrement-to-zero happened
@@ -105,13 +140,24 @@ class task_group {
       if constexpr (requires(E& e) {
                       { e.try_help() } -> std::convertible_to<bool>;
                     }) {
-        while (pending_.load(std::memory_order_acquire) != 0 &&
+        while (helper && pending_.load(std::memory_order_acquire) != 0 &&
                exec_->try_help()) {
         }
       }
-      // Parking phase: bounded, so a task enqueued after the helping scan
-      // (or an all-waiters interleaving) stalls us at most one period.
       std::unique_lock lock(m_);
+      if (!helper) {
+        // A thread that can never execute tasks needs no rescan: the
+        // completion notify in invoke_one (decrement + wake under this
+        // mutex, so never lost) is its only wake source.  Park untimed
+        // instead of polling at ~1kHz for the whole fan-out.
+        cv_.wait(lock, [this] {
+          return pending_.load(std::memory_order_acquire) == 0;
+        });
+        return;
+      }
+      // Helping waiter parks bounded: between "nothing runnable" and
+      // "parked", another thread may enqueue a task this waiter could
+      // help with; the timeout re-arms the scan.
       if (cv_.wait_for(lock, 1ms, [this] {
             return pending_.load(std::memory_order_acquire) == 0;
           }))

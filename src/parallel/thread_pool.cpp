@@ -122,6 +122,8 @@ void thread_pool::execute(detail::task_item& item) {
   if (capacity_ != 0) space_cv_.notify_one();
 }
 
+bool thread_pool::can_help() const noexcept { return tls_worker_pool == this; }
+
 bool thread_pool::try_help() {
   if (tls_worker_pool != this) return false;
   std::optional<detail::task_item> task;

@@ -91,6 +91,11 @@ class thread_pool {
   /// external waiters keep the legacy block-on-condvar behavior.
   bool try_help();
 
+  /// True iff the CALLING thread is one of this pool's workers — i.e.
+  /// try_help could ever succeed from here.  task_group::wait uses this
+  /// to park external waiters untimed instead of poll-rescanning.
+  [[nodiscard]] bool can_help() const noexcept;
+
   /// Process-wide default pool.
   [[nodiscard]] static thread_pool& default_pool();
 

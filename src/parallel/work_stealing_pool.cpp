@@ -111,6 +111,11 @@ void work_stealing_pool::wake_one() {
 }
 
 void work_stealing_pool::enqueue(detail::task_item&& item) {
+  // ready_ is bumped BEFORE the publishing lock is released: claims
+  // (fetch_sub in next_task) run under the same lock, so the increment
+  // for an item always lands before any decrement for it — the counter
+  // can never transiently wrap below zero and fake "work everywhere" to
+  // sleepers or stall the stopping&&drained exit check.
   if (tls_ws_pool == this) {
     // Worker self-submit: own deque, back (LIFO hot end).  Never blocks on
     // capacity — a worker is its own consumer, and fork-join would
@@ -118,6 +123,7 @@ void work_stealing_pool::enqueue(detail::task_item&& item) {
     worker_slot& s = *slots_[tls_ws_index];
     const std::lock_guard lock(s.m);
     s.dq.push_back(std::move(item));
+    ready_.fetch_add(1, std::memory_order_acq_rel);
   } else {
     std::unique_lock lock(inject_m_);
     if (capacity_ != 0)
@@ -126,10 +132,10 @@ void work_stealing_pool::enqueue(detail::task_item&& item) {
                inject_.size() < capacity_;
       });
     inject_.push_back(std::move(item));
+    ready_.fetch_add(1, std::memory_order_acq_rel);
   }
   tasks_submitted_.add();
   queue_depth_.add();
-  ready_.fetch_add(1, std::memory_order_acq_rel);
   wake_one();
 }
 
@@ -197,6 +203,10 @@ void work_stealing_pool::execute(detail::task_item& item) {
     detail::run_task_item(item, "parallel.work_stealing.task", kTaskFrame);
   }
   tasks_completed_.add();
+}
+
+bool work_stealing_pool::can_help() const noexcept {
+  return tls_ws_pool == this;
 }
 
 bool work_stealing_pool::try_help() {

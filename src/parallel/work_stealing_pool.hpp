@@ -84,6 +84,11 @@ class work_stealing_pool {
   /// false for non-workers and when nothing is runnable anywhere.
   bool try_help();
 
+  /// True iff the CALLING thread is one of this pool's workers — i.e.
+  /// try_help could ever succeed from here.  task_group::wait uses this
+  /// to park external waiters untimed instead of poll-rescanning.
+  [[nodiscard]] bool can_help() const noexcept;
+
  private:
   struct worker_slot {
     std::mutex m;

@@ -324,6 +324,30 @@ TEST(ConcurrentMap, PointersAreStableAcrossLaterInserts) {
   EXPECT_EQ(map.size(), 2001u);
 }
 
+TEST(ConcurrentMap, InsertIteratorDerefSafeDuringSameShardInserts) {
+  // Regression: operator* used to index the shard's deque, racing with
+  // concurrent emplace_back into the same shard (deque block-map mutation).
+  // The iterator now holds the node pointer captured under the shard lock,
+  // so a held iterator may be dereferenced while its shard keeps growing.
+  par::concurrent_map<int, int> map(8);
+  const auto [held, inserted] = map.try_emplace(0, 42);
+  ASSERT_TRUE(inserted);
+  std::atomic<bool> done{false};
+  std::thread writer([&map, &done] {
+    // std::hash<int> is identity on mainstream stdlibs, so multiples of
+    // the stripe count (64) all land in the held iterator's shard.
+    for (int i = 1; i <= 4000; ++i) map.try_emplace(i * 64, i);
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    EXPECT_EQ(held->first, 0);
+    EXPECT_EQ(held->second, 42);
+  }
+  writer.join();
+  EXPECT_EQ(held->second, 42);
+  EXPECT_EQ(map.size(), 4001u);
+}
+
 TEST(ConcurrentMap, IterationAndClear) {
   par::concurrent_map<int, int> map(64);
   for (int i = 0; i < 100; ++i) map.insert(i, i * i);
