@@ -441,6 +441,70 @@ class heartbeat_process final : public process {
   std::set<int> suspected_;
 };
 
+// ---------------------------------------------------------------------------
+// SWIM-style gossip membership
+// ---------------------------------------------------------------------------
+
+class gossip_membership_process final : public process {
+ public:
+  explicit gossip_membership_process(std::size_t timeout)
+      : timeout_(timeout) {}
+
+  void start(context& ctx) override {
+    counter_[ctx.id()] = 0;
+    fresh_[ctx.id()] = 0;
+  }
+
+  void receive(context& ctx, const message& m) override {
+    // payload: flat [id, counter, id, counter, ...]; adopt strictly newer
+    // counters and remember the round we saw them advance.
+    for (std::size_t k = 0; k + 1 < m.payload.size(); k += 2) {
+      const int j = static_cast<int>(m.payload[k]);
+      const long c = m.payload[k + 1];
+      const auto it = counter_.find(j);
+      if (it == counter_.end() || c > it->second) {
+        counter_[j] = c;
+        fresh_[j] = ctx.round();
+      }
+    }
+    ctx.charge(m.payload.size() / 2);  // table-merge comparisons
+  }
+
+  void on_round(context& ctx) override {
+    constexpr std::size_t kFanout = 3;
+    ++counter_[ctx.id()];
+    fresh_[ctx.id()] = ctx.round();
+    std::vector<long> flat;
+    flat.reserve(2 * counter_.size());
+    for (const auto& [j, c] : counter_) {
+      flat.push_back(j);
+      flat.push_back(c);
+    }
+    const neighbor_span nbrs = ctx.neighbors();
+    if (nbrs.size() <= kFanout) {
+      for (int nb : nbrs) ctx.send(nb, "gossip", flat);
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(0, nbrs.size() - 1);
+      std::set<std::size_t> chosen;
+      while (chosen.size() < kFanout) chosen.insert(pick(ctx.rng()));
+      for (const std::size_t idx : chosen)
+        ctx.send(nbrs[static_cast<std::ptrdiff_t>(idx)], "gossip", flat);
+    }
+    // (Re)decide the full membership view; the final round's values are
+    // this node's answer.
+    for (const auto& [j, c] : counter_) {
+      const bool alive =
+          j == ctx.id() || ctx.round() <= fresh_[j] + timeout_;
+      ctx.decide("member:" + std::to_string(j), alive ? 1 : 0);
+    }
+  }
+
+ private:
+  std::size_t timeout_;
+  std::map<int, long> counter_;         ///< highest heartbeat seen per member
+  std::map<int, std::size_t> fresh_;    ///< round that counter last advanced
+};
+
 }  // namespace
 
 process_factory lcr_leader_election() {
@@ -484,6 +548,12 @@ process_factory bfs_spanning_tree(int root) {
 process_factory heartbeat_detector(std::size_t timeout_rounds) {
   return [timeout_rounds](int) {
     return std::make_unique<heartbeat_process>(timeout_rounds);
+  };
+}
+
+process_factory gossip_membership(std::size_t suspect_timeout) {
+  return [suspect_timeout](int) {
+    return std::make_unique<gossip_membership_process>(suspect_timeout);
   };
 }
 

@@ -71,6 +71,20 @@ namespace cgp::distributed {
 /// "suspects:<id>").  Tolerates crash faults; strategy: heart beat.
 [[nodiscard]] process_factory heartbeat_detector(std::size_t timeout_rounds);
 
+/// SWIM-style gossip membership: every node keeps a heartbeat-counter
+/// table over the whole membership, bumps its own counter each round, and
+/// gossips the table to a small random subset of its neighbors (fanout 3).
+/// A member whose counter has not advanced for `suspect_timeout` rounds is
+/// declared down.  Each round every node (re)decides "member:<j>" = 1/0
+/// for every member it knows of, so the FINAL round's decisions are its
+/// membership view — the churn soak tests compare that view against the
+/// runtime's ground truth (`net_base::is_down`) once the churn schedule
+/// ends.  Tolerates crash AND recovery (a restarted node's counter resumes
+/// advancing and it is re-admitted).  Tables are O(n) per node, so this is
+/// a small-to-medium-n protocol — the taxonomy's failure-detection row for
+/// dynamic membership, not a million-node algorithm.
+[[nodiscard]] process_factory gossip_membership(std::size_t suspect_timeout);
+
 // ---------------------------------------------------------------------------
 // Convenience drivers
 // ---------------------------------------------------------------------------

@@ -34,30 +34,50 @@ telemetry::counter& live_faults_counter() {
   return c;
 }
 
-}  // namespace
-
-const char* to_string(topology t) {
-  switch (t) {
-    case topology::ring:
-      return "ring";
-    case topology::complete:
-      return "complete";
-    case topology::star:
-      return "star";
-    case topology::grid:
-      return "grid";
-    case topology::random_connected:
-      return "random_connected";
-    case topology::line:
-      return "line";
-  }
-  return "?";
+/// splitmix64 finalizer — the per-message / per-(node, round) fault hash.
+/// Stateless, so a fault decision does not depend on the order draws
+/// happen in: the property that lets inproc_transport decide faults at
+/// lock-free cross-thread send sites and still match the single-threaded
+/// routing barrier bit for bit.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
+
+/// Uniform in [0, 1) from the hash's top 53 bits.
+[[nodiscard]] constexpr double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Memoized per-tag counter bump: routing a million same-tag messages does
+/// one map lookup, not a million.
+class tag_counter {
+ public:
+  explicit tag_counter(std::map<std::string, std::size_t>& by_tag)
+      : by_tag_(&by_tag) {}
+  void bump(const std::string& tag) {
+    if (slot_ == nullptr || *last_ != tag) {
+      auto [it, inserted] = by_tag_->try_emplace(tag, 0);
+      last_ = &it->first;
+      slot_ = &it->second;
+    }
+    ++*slot_;
+  }
+
+ private:
+  std::map<std::string, std::size_t>* by_tag_;
+  const std::string* last_ = nullptr;
+  std::size_t* slot_ = nullptr;
+};
+
+}  // namespace
 
 // --- context ----------------------------------------------------------------
 
 long context::uid() const { return net_->uid_of(id_); }
-const std::vector<int>& context::neighbors() const {
+neighbor_span context::neighbors() const {
   return net_->neighbors_of(id_);
 }
 std::size_t context::round() const { return net_->round_; }
@@ -74,23 +94,25 @@ void context::decide(const std::string& key, long value) {
 }
 
 std::mt19937& context::rng() {
-  return net_->node_rngs_[static_cast<std::size_t>(id_)];
+  return net_->node_rng(static_cast<std::size_t>(id_));
 }
 
 // --- construction -----------------------------------------------------------
 
-net_base::net_base(const net_options& opts)
+net_base::net_base(const net_options& opts, std::size_t shards)
     : opts_(opts),
-      adjacency_(opts.nodes),
       uids_(opts.nodes),
       crashed_(opts.nodes, false),
+      churn_down_(opts.nodes, 0),
       crash_round_(opts.nodes, 0),
+      send_seq_(opts.nodes, 0),
+      decisions_(opts.nodes),
       rng_(opts.seed),
-      fault_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull),
-      outboxes_(opts.nodes),
-      mailboxes_(opts.nodes),
-      inboxes_(opts.nodes),
-      decisions_(opts.nodes) {
+      fault_seed_(static_cast<std::uint64_t>(opts.seed) ^
+                  0x9e3779b97f4a7c15ull),
+      churn_seed_(mix64(static_cast<std::uint64_t>(opts.seed) ^
+                        0xc2b2ae3d27d4eb4full)),
+      async_fault_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull) {
   const std::size_t n = opts.nodes;
   if (n == 0) throw std::invalid_argument("net_options: need at least one node");
   // Fault knobs are validated here, once, so every backend shares the same
@@ -107,80 +129,37 @@ net_base::net_base(const net_options& opts)
         "net_options: faults.duplicate must be a probability in [0, 1], got " +
         std::to_string(f.duplicate));
   }
+  if (!(f.churn_crash >= 0.0 && f.churn_crash <= 1.0) ||
+      !(f.churn_recover >= 0.0 && f.churn_recover <= 1.0)) {
+    throw std::invalid_argument(
+        "net_options: faults.churn_crash/churn_recover must be "
+        "probabilities in [0, 1]");
+  }
   if (opts.mode == timing::synchronous && f.max_delay != 0) {
     throw std::invalid_argument(
         "net_options: faults.max_delay requires timing::asynchronous — a "
         "synchronous round delivers every message at the next round "
         "boundary, so per-message delay has no defined meaning there");
   }
-  const auto link = [&](std::size_t a, std::size_t b) {
-    adjacency_[a].push_back(static_cast<int>(b));
-    adjacency_[b].push_back(static_cast<int>(a));
-    ++edges_;
-  };
-  switch (opts.topo) {
-    case topology::ring:
-      for (std::size_t i = 0; i < n; ++i) link(i, (i + 1) % n);
-      if (n == 1) adjacency_[0].clear(), edges_ = 0;
-      break;
-    case topology::line:
-      for (std::size_t i = 0; i + 1 < n; ++i) link(i, i + 1);
-      break;
-    case topology::complete:
-      for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = i + 1; j < n; ++j) link(i, j);
-      break;
-    case topology::star:
-      for (std::size_t i = 1; i < n; ++i) link(0, i);
-      break;
-    case topology::grid: {
-      const std::size_t side =
-          static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t r = i / side, c = i % side;
-        if (c + 1 < side && i + 1 < n) link(i, i + 1);
-        if ((r + 1) * side + c < n) link(i, (r + 1) * side + c);
-      }
-      break;
-    }
-    case topology::random_connected: {
-      // Random spanning tree + extra random edges: connected by
-      // construction.
-      std::vector<std::size_t> order(n);
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::shuffle(order.begin(), order.end(), rng_);
-      for (std::size_t i = 1; i < n; ++i) {
-        std::uniform_int_distribution<std::size_t> pick(0, i - 1);
-        link(order[i], order[pick(rng_)]);
-      }
-      std::uniform_int_distribution<std::size_t> any(0, n - 1);
-      for (std::size_t extra = 0; extra < n / 2; ++extra) {
-        const std::size_t a = any(rng_);
-        const std::size_t b = any(rng_);
-        if (a == b) continue;
-        if (std::find(adjacency_[a].begin(), adjacency_[a].end(),
-                      static_cast<int>(b)) != adjacency_[a].end())
-          continue;
-        link(a, b);
-      }
-      break;
-    }
+  if (opts.mode == timing::asynchronous && f.churn()) {
+    throw std::invalid_argument(
+        "net_options: churn_crash/churn_recover are drawn per synchronous "
+        "round boundary; timing::asynchronous has no rounds to draw at");
   }
-  // Deduplicate parallel links (e.g. a 2-node ring), then recount edges.
-  for (auto& adj : adjacency_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-  }
-  std::size_t degree_sum = 0;
-  for (const auto& adj : adjacency_) degree_sum += adj.size();
-  edges_ = degree_sum / 2;
+  topo_ = build_topology(opts.topo, n, rng_);
   // uids: a seeded permutation of 1..n.
   std::iota(uids_.begin(), uids_.end(), 1L);
   std::shuffle(uids_.begin(), uids_.end(), rng_);
-  node_rngs_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    node_rngs_.emplace_back(opts.seed +
-                            1000003u * static_cast<std::uint32_t>(i));
+  // Shard layout: contiguous node ranges, one outbox/incoming/inbox arena
+  // per shard.
+  shard_count_ = std::max<std::size_t>(1, std::min(shards, n));
+  shard_width_ = (n + shard_count_ - 1) / shard_count_;
+  shard_rngs_.resize(shard_count_);
+  outbox_arena_.resize(shard_count_);
+  incoming_.resize(shard_count_);
+  inbox_arena_.resize(shard_count_);
+  inbox_begin_.assign(n, 0);
+  inbox_end_.assign(n, 0);
   stats_.local_steps_per_node.assign(n, 0);
   stats_.messages_sent_per_node.assign(n, 0);
   stats_.messages_received_per_node.assign(n, 0);
@@ -202,7 +181,14 @@ void net_base::set_uids(std::vector<long> uids) {
 void net_base::crash(int node, std::size_t at_round) {
   const std::size_t i = check_node(node, "crash");
   crash_round_[i] = at_round;
-  if (at_round == 0) crashed_[i] = true;
+  if (at_round == 0) {
+    if (!crashed_[i]) {
+      crashed_[i] = true;
+      if (churn_down_[i] == 0) ++down_count_;
+    }
+  } else {
+    have_deferred_crashes_ = true;
+  }
 }
 
 void net_base::corrupt(int node, std::function<void(message&)> hook) {
@@ -210,14 +196,76 @@ void net_base::corrupt(int node, std::function<void(message&)> hook) {
       std::move(hook);
 }
 
+std::mt19937& net_base::node_rng(std::size_t node) {
+  // Lazy: a million-node network materializes engines only at nodes that
+  // draw.  Each shard owns its map, so concurrent shard tasks never touch
+  // the same container; the seed is a function of (run seed, node) alone,
+  // so laziness cannot perturb determinism or backend parity.
+  auto& shard_map = shard_rngs_[shard_of(node)];
+  const auto key = static_cast<std::uint32_t>(node);
+  auto it = shard_map.find(key);
+  if (it == shard_map.end())
+    it = shard_map
+             .emplace(key, std::mt19937(opts_.seed +
+                                        1000003u * static_cast<std::uint32_t>(
+                                                       node)))
+             .first;
+  return it->second;
+}
+
+// --- the deterministic fault plan -------------------------------------------
+
+net_base::fault_draw net_base::draw_faults(std::size_t src,
+                                           std::uint64_t seq) const noexcept {
+  const fault_options& f = opts_.faults;
+  fault_draw d;
+  if (f.drop <= 0.0 && f.duplicate <= 0.0) return d;
+  const std::uint64_t key =
+      mix64(fault_seed_ ^ mix64(static_cast<std::uint64_t>(src) ^
+                                seq * 0xd6e8feb86659fd93ull));
+  d.drop = f.drop > 0.0 && unit_interval(key) < f.drop;
+  d.dup = f.duplicate > 0.0 &&
+          unit_interval(mix64(key ^ 0xa3c59ac2ee4c9d7bull)) < f.duplicate;
+  return d;
+}
+
+void net_base::apply_round_faults() {
+  if (have_deferred_crashes_) {
+    for (std::size_t i = 0; i < node_count(); ++i) {
+      if (crash_round_[i] != 0 && round_ >= crash_round_[i] && !crashed_[i]) {
+        crashed_[i] = true;
+        if (churn_down_[i] == 0) ++down_count_;
+      }
+    }
+  }
+  const fault_options& f = opts_.faults;
+  if (!f.churn()) return;
+  if (f.churn_until != 0 && round_ > f.churn_until) return;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (crashed_[i]) continue;  // explicit crashes are permanent
+    const double u = unit_interval(
+        mix64(churn_seed_ ^ mix64(static_cast<std::uint64_t>(i) ^
+                                  static_cast<std::uint64_t>(round_) *
+                                      0x9e3779b97f4a7c15ull)));
+    if (churn_down_[i] != 0) {
+      if (f.churn_recover > 0.0 && u < f.churn_recover) {
+        churn_down_[i] = 0;
+        --down_count_;
+      }
+    } else if (f.churn_crash > 0.0 && u < f.churn_crash) {
+      churn_down_[i] = 1;
+      ++down_count_;
+    }
+  }
+}
+
 // --- sending ----------------------------------------------------------------
 
 void net_base::do_send(int from, int to, std::string_view tag,
                        std::vector<long>&& payload) {
   const std::size_t src = check_node(from, "send");
-  if (crashed_[src]) return;
-  const auto& adj = adjacency_[src];
-  if (std::find(adj.begin(), adj.end(), to) == adj.end())
+  if (crashed_[src] || churn_down_[src] != 0) return;
+  if (!topo_.is_adjacent(from, to))
     throw std::invalid_argument(
         "send: node " + std::to_string(from) + " is not adjacent to " +
         std::to_string(to) + " in this topology");
@@ -234,10 +282,12 @@ void net_base::do_send(int from, int to, std::string_view tag,
       m.flow_id = telemetry::trace::flow_begin("msg." + m.tag, "distributed");
     }
   }
+  const std::uint64_t seq = send_seq_[src]++;
   if (opts_.mode == timing::synchronous) {
-    // Node-local buffering only: statistics and the fault plan are applied
-    // at the routing barrier, in canonical sender order, on one thread.
-    outboxes_[src].push_back(std::move(m));
+    // Backend-chosen sink: the base arenas (faults at the routing
+    // barrier), or inproc's cross-thread mailboxes (faults at the send
+    // site — the hash plan makes both agree).
+    enqueue_sync(src, seq, std::move(m));
     return;
   }
   // Asynchronous engine (single-threaded): count and schedule immediately.
@@ -245,27 +295,33 @@ void net_base::do_send(int from, int to, std::string_view tag,
   ++stats_.messages_by_tag[m.tag];
   ++stats_.messages_sent_per_node[src];
   const fault_options& f = opts_.faults;
-  std::bernoulli_distribution dropped(f.drop);
-  if (f.drop > 0.0 && dropped(fault_rng_)) {
+  const fault_draw d = draw_faults(src, seq);
+  if (d.drop) {
     telemetry::profile::probe fault_probe(prof_fault_frame_);
     ++stats_.messages_dropped;
     live_faults_counter().add();
     return;
   }
-  std::bernoulli_distribution duplicated(f.duplicate);
-  const bool dup = f.duplicate > 0.0 && duplicated(fault_rng_);
   const auto extra = [&]() -> std::uint64_t {
     if (f.max_delay == 0) return 0;
-    std::uniform_int_distribution<std::uint64_t> d(0, f.max_delay);
-    return d(fault_rng_);
+    std::uniform_int_distribution<std::uint64_t> delay(0, f.max_delay);
+    return delay(async_fault_rng_);
   };
-  if (dup) {
+  if (d.dup) {
     telemetry::profile::probe fault_probe(prof_fault_frame_);
     ++stats_.messages_duplicated;
     live_faults_counter().add();
     schedule_async(message(m), extra());
   }
   schedule_async(std::move(m), extra());
+}
+
+void net_base::enqueue_sync(std::size_t src, std::uint64_t seq, message&& m) {
+  // Node-local buffering only: shard tasks process their nodes in
+  // ascending order, so the arena's order is (sender, sequence) — the
+  // canonical order — with no per-message queue operations.
+  outbox_arena_[shard_of(src)].push_back(
+      outbox_entry{static_cast<std::uint32_t>(src), seq, std::move(m)});
 }
 
 void net_base::schedule_async(message&& m, std::uint64_t extra_delay) {
@@ -279,49 +335,40 @@ void net_base::schedule_async(message&& m, std::uint64_t extra_delay) {
   events_.push(event{t, seq_++, std::move(m)});
 }
 
-void net_base::schedule_sync(message&& m) {
-  // Construction rejects max_delay in synchronous mode, so every message
-  // is due exactly one round after it was sent — no per-link reordering to
-  // compensate for.
-  const std::size_t due = round_ + 1;
-  const auto dst = static_cast<std::size_t>(m.dst);
-  mailboxes_[dst].push_back(pending_msg{due, std::move(m)});
-  ++pending_count_;
-}
-
 std::size_t net_base::route_outboxes() {
   std::size_t scheduled = 0;
   const fault_options& f = opts_.faults;
-  for (std::size_t src = 0; src < outboxes_.size(); ++src) {
-    for (message& m : outboxes_[src]) {
+  const bool any_message_fault = f.drop > 0.0 || f.duplicate > 0.0;
+  tag_counter tags(stats_.messages_by_tag);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    for (outbox_entry& e : outbox_arena_[s]) {
       ++stats_.messages_total;
-      ++stats_.messages_by_tag[m.tag];
-      ++stats_.messages_sent_per_node[src];
-      if (f.drop > 0.0) {
-        std::bernoulli_distribution dropped(f.drop);
-        if (dropped(fault_rng_)) {
+      tags.bump(e.msg.tag);
+      ++stats_.messages_sent_per_node[e.src];
+      bool dup = false;
+      if (any_message_fault) {
+        const fault_draw d = draw_faults(e.src, e.seq);
+        if (d.drop) {
           telemetry::profile::probe fault_probe(prof_fault_frame_);
           ++stats_.messages_dropped;
           live_faults_counter().add();
           continue;
         }
+        dup = d.dup;
       }
-      bool dup = false;
-      if (f.duplicate > 0.0) {
-        std::bernoulli_distribution duplicated(f.duplicate);
-        dup = duplicated(fault_rng_);
-      }
+      auto& dest =
+          incoming_[shard_of(static_cast<std::size_t>(e.msg.dst))];
       if (dup) {
         telemetry::profile::probe fault_probe(prof_fault_frame_);
         ++stats_.messages_duplicated;
         live_faults_counter().add();
-        schedule_sync(message(m));
+        dest.push_back(e.msg);  // the copy is delivered BEFORE the original
         ++scheduled;
       }
-      schedule_sync(std::move(m));
+      dest.push_back(std::move(e.msg));
       ++scheduled;
     }
-    outboxes_[src].clear();
+    outbox_arena_[s].clear();  // recycle the arena's capacity
   }
   return scheduled;
 }
@@ -329,7 +376,7 @@ std::size_t net_base::route_outboxes() {
 // --- delivery ---------------------------------------------------------------
 
 void net_base::deliver_to(std::size_t dst, const message& m) {
-  if (crashed_[dst]) return;
+  if (crashed_[dst] || churn_down_[dst] != 0) return;
   ++stats_.local_steps_per_node[dst];
   ++stats_.messages_received_per_node[dst];
   context ctx(*this, static_cast<int>(dst));
@@ -360,11 +407,8 @@ void net_base::decide_node(int node, const std::string& key, long value) {
 
 // --- the synchronous superstep ----------------------------------------------
 
-void net_base::node_superstep(std::size_t i) {
-  if (crashed_[i]) {
-    inboxes_[i].clear();  // messages to a crashed node rot undelivered
-    return;
-  }
+void net_base::node_superstep(std::size_t i, std::span<const message> inbox) {
+  if (crashed_[i] || churn_down_[i] != 0) return;  // mail rots undelivered
   // When this task runs on a worker thread it has no ambient trace
   // context; adopt the enclosing round span's so the node's spans stay in
   // the run's causal tree.  On the coordinator (sim backend) the context
@@ -378,67 +422,75 @@ void net_base::node_superstep(std::size_t i) {
   }
   telemetry::trace::rank_scope rank(static_cast<int>(i));
   telemetry::profile::probe superstep_probe(prof_superstep_frame_);
-  {
+  if (!inbox.empty()) {
     telemetry::profile::probe deliver_probe(prof_deliver_frame_);
-    for (const message& m : inboxes_[i]) deliver_to(i, m);
-    inboxes_[i].clear();
+    for (const message& m : inbox) deliver_to(i, m);
   }
   context ctx(*this, static_cast<int>(i));
   telemetry::trace::child_span span("on_round", "distributed");
   procs_[i]->on_round(ctx);
 }
 
-run_stats net_base::run_synchronous(std::size_t max_rounds) {
+void net_base::shard_superstep(std::size_t s) {
+  const auto [lo, hi] = shard_range(s);
+  auto& in = incoming_[s];
+  if (in.empty()) {
+    // Nothing due anywhere in this shard: run the bare supersteps.
+    for (std::size_t i = lo; i < hi; ++i) node_superstep(i, {});
+    return;
+  }
+  // Stable counting-sort of the shard's incoming arena by destination:
+  // count, prefix, scatter.  The arena arrives in canonical routing order,
+  // and the sort is stable, so each node's span IS its canonical mailbox.
+  auto& arena = inbox_arena_[s];
+  for (std::size_t i = lo; i < hi; ++i) inbox_end_[i] = 0;
+  for (const message& m : in) ++inbox_end_[static_cast<std::size_t>(m.dst)];
+  std::uint32_t running = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    inbox_begin_[i] = running;
+    running += inbox_end_[i];
+    inbox_end_[i] = inbox_begin_[i];  // becomes the scatter cursor
+  }
+  arena.resize(in.size());
+  for (message& m : in)
+    arena[inbox_end_[static_cast<std::size_t>(m.dst)]++] = std::move(m);
+  in.clear();  // recycle
+  for (std::size_t i = lo; i < hi; ++i)
+    node_superstep(i, std::span<const message>(
+                          arena.data() + inbox_begin_[i],
+                          arena.data() + inbox_end_[i]));
+}
+
+void net_base::run_synchronous(std::size_t max_rounds) {
   for (round_ = 1; round_ <= max_rounds; ++round_) {
     telemetry::trace::child_span round_span("round", "distributed");
     round_span.arg("round", std::to_string(round_));
     const auto round_ctx = round_span.context();
     phase_trace_id_ = round_ctx.trace_id;
     phase_parent_span_ = round_ctx.span_id;
-    // Crash-stop nodes whose time has come.
-    for (std::size_t i = 0; i < node_count(); ++i)
-      if (crash_round_[i] != 0 && round_ >= crash_round_[i])
-        crashed_[i] = true;
-    // Extract every node's due messages into its inbox, preserving the
-    // canonical (routing round, sender, send sequence) order.
-    bool any_due = false;
-    for (std::size_t i = 0; i < node_count(); ++i) {
-      auto& box = mailboxes_[i];
-      auto& in = inboxes_[i];
-      in.clear();
-      auto keep = box.begin();
-      for (auto it = box.begin(); it != box.end(); ++it) {
-        if (it->due_round <= round_) {
-          in.push_back(std::move(it->msg));
-        } else {
-          if (keep != it) *keep = std::move(*it);
-          ++keep;
-        }
-      }
-      pending_count_ -= static_cast<std::size_t>(in.size());
-      box.erase(keep, box.end());
-      any_due |= !in.empty();
-    }
-    // Deliveries then on_round, node by node; each node touches only its
-    // own state, so backends may run the supersteps concurrently.
-    for_each_node([this](std::size_t i) { node_superstep(i); });
+    // Crash-stop nodes whose time has come; draw this round's churn.
+    apply_round_faults();
+    // Synchronous mode has no delay faults, so every pending message is
+    // due this round; each shard buckets its incoming arena and drains
+    // every node's span contiguously.
+    const bool any_due = pending_count_ > 0;
+    pending_count_ = 0;
+    for_each_shard([this](std::size_t s) { shard_superstep(s); });
     const std::size_t sent = [this] {
       telemetry::profile::probe route_probe(prof_route_frame_);
       return route_outboxes();
     }();
+    pending_count_ = sent;
     live_routed_counter().add(sent);
     in_flight_gauge().set(static_cast<std::int64_t>(pending_count_));
     if (run_heartbeat_) run_heartbeat_->beat();
-    bool any_alive = false;
-    for (std::size_t i = 0; i < node_count(); ++i) any_alive |= !crashed_[i];
-    if (!any_alive) break;
+    if (all_down()) break;
     if (!any_due && pending_count_ == 0) break;  // quiescent
   }
   stats_.rounds = round_;
-  return stats_;
 }
 
-run_stats net_base::run_asynchronous(std::size_t max_rounds) {
+void net_base::run_asynchronous(std::size_t max_rounds) {
   std::size_t delivered = 0;
   const std::size_t max_events = max_rounds * node_count();
   while (!events_.empty() && delivered < max_events) {
@@ -446,8 +498,13 @@ run_stats net_base::run_asynchronous(std::size_t max_rounds) {
     events_.pop();
     now_ = ev.time;
     // Deferred crashes: at_round counts scheduler ticks here.
-    for (std::size_t i = 0; i < node_count(); ++i)
-      if (crash_round_[i] != 0 && now_ >= crash_round_[i]) crashed_[i] = true;
+    if (have_deferred_crashes_) {
+      for (std::size_t i = 0; i < node_count(); ++i)
+        if (crash_round_[i] != 0 && now_ >= crash_round_[i] && !crashed_[i]) {
+          crashed_[i] = true;
+          ++down_count_;
+        }
+    }
     {
       telemetry::profile::probe deliver_probe(prof_deliver_frame_);
       deliver_to(static_cast<std::size_t>(ev.msg.dst), ev.msg);
@@ -458,29 +515,38 @@ run_stats net_base::run_asynchronous(std::size_t max_rounds) {
     if (run_heartbeat_) run_heartbeat_->beat();
   }
   stats_.rounds = static_cast<std::size_t>(now_);
-  return stats_;
+}
+
+void net_base::run_node_start(std::size_t i) {
+  if (crashed_[i] || churn_down_[i] != 0) return;
+  std::optional<telemetry::trace::context_scope> adopt;
+  if constexpr (telemetry::kEnabled) {
+    const telemetry::trace::span_context phase{phase_trace_id_,
+                                               phase_parent_span_};
+    if (phase.active() && !(telemetry::trace::current_context() == phase))
+      adopt.emplace(phase);
+  }
+  ++stats_.local_steps_per_node[i];
+  context ctx(*this, static_cast<int>(i));
+  telemetry::trace::rank_scope rank(static_cast<int>(i));
+  telemetry::trace::child_span span("start", "distributed");
+  procs_[i]->start(ctx);
 }
 
 void net_base::run_start_phase() {
-  for_each_node([this](std::size_t i) {
-    if (crashed_[i]) return;
-    std::optional<telemetry::trace::context_scope> adopt;
-    if constexpr (telemetry::kEnabled) {
-      const telemetry::trace::span_context phase{phase_trace_id_,
-                                                 phase_parent_span_};
-      if (phase.active() && !(telemetry::trace::current_context() == phase))
-        adopt.emplace(phase);
-    }
-    ++stats_.local_steps_per_node[i];
-    context ctx(*this, static_cast<int>(i));
-    telemetry::trace::rank_scope rank(static_cast<int>(i));
-    telemetry::trace::child_span span("start", "distributed");
-    procs_[i]->start(ctx);
+  for_each_shard([this](std::size_t s) {
+    const auto [lo, hi] = shard_range(s);
+    for (std::size_t i = lo; i < hi; ++i) run_node_start(i);
   });
   if (opts_.mode == timing::synchronous) {
     telemetry::profile::probe route_probe(prof_route_frame_);
-    (void)route_outboxes();
+    pending_count_ = route_outboxes();
   }
+}
+
+void net_base::execute_synchronous(std::size_t max_rounds) {
+  run_start_phase();
+  run_synchronous(max_rounds);
 }
 
 void net_base::finalize_stats() {
@@ -524,11 +590,12 @@ run_stats net_base::run(std::size_t max_rounds) {
   run_heartbeat_ = telemetry::live::watchdog::global().register_heartbeat(
       std::string("distributed.") + backend_name() + ".run");
   run_heartbeat_->begin_work();
-  run_start_phase();
-  if (opts_.mode == timing::synchronous)
-    (void)run_synchronous(max_rounds);
-  else
-    (void)run_asynchronous(max_rounds);
+  if (opts_.mode == timing::synchronous) {
+    execute_synchronous(max_rounds);
+  } else {
+    run_start_phase();
+    run_asynchronous(max_rounds);
+  }
   run_heartbeat_->end_work();
   run_heartbeat_.reset();
   in_flight_gauge().set(0);

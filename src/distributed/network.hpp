@@ -1,5 +1,6 @@
 // An in-process message-passing runtime — the experimental substrate for
-// Section 4's distributed algorithm concept taxonomy.
+// Section 4's distributed algorithm concept taxonomy, engineered for
+// million-node simulations (DESIGN.md §13).
 //
 // Substitution note (see DESIGN.md §7): the paper's Section 4 classifies
 // distributed algorithms along orthogonal dimensions (topology, timing,
@@ -10,33 +11,52 @@
 //     dimensions (size, topology, timing, seed, channel order, fault
 //     plan, worker count) — new dimensions extend the aggregate instead
 //     of forcing positional-constructor churn;
-//   * `net_base` is the shared engine: topology wiring, uids, canonical
+//   * `net_base` is the shared engine: one immutable CSR topology
+//     (topology.hpp) shared by every node, uids, batched arena-based
 //     message routing, fault injection, and measured statistics
 //     (messages, rounds, LOCAL COMPUTATION per node — the quantity the
 //     paper says is "rarely accounted for");
 //   * backends plug in an execution strategy: `sim_transport` runs
 //     handlers sequentially and deterministically (and is the only
 //     backend implementing `timing::asynchronous` via an event queue),
-//     `parallel_transport` (parallel_transport.hpp) runs each node's
-//     synchronous superstep concurrently on a thread pool;
+//     `parallel_transport` (parallel_transport.hpp) runs each shard's
+//     synchronous superstep concurrently on an Executor, and
+//     `inproc_transport` (inproc_transport.hpp) replaces the whole
+//     engine with shard-owning threads and real cross-thread mailbox
+//     sends;
 //   * the driver-facing boundary is the `Transport` concept
 //     (transport.hpp), checked with an archetype in the spirit of
 //     core/archetypes.hpp, so algorithm drivers provably need nothing
 //     beyond the concept and run unchanged on interchangeable backends.
 //
 // Fault injection is unified behind one surface on every backend: crash
-// stops (`crash`), Byzantine corruption hooks (`corrupt`), and the
-// message-level drop / duplicate / delay knobs of `fault_options`.
+// stops (`crash`), Byzantine corruption hooks (`corrupt`), the
+// message-level drop / duplicate / delay knobs of `fault_options`, and the
+// churn schedule (randomized crash/recover per round) the membership
+// scenarios soak under.
 //
 // Determinism contract: for `timing::synchronous`, every backend delivers
 // each node's round-r mailbox in CANONICAL ORDER — sorted by (sending
-// round, sender index, per-sender send sequence) — and draws fault
-// decisions in that same order from a dedicated engine at the (single
-// threaded) routing barrier.  Handler invocations only touch node-local
-// state, so a run's decisions and statistics are identical across
-// backends for a fixed seed.
+// round, sender index, per-sender send sequence, duplicate-before-original)
+// — and every per-message fault decision is a pure hash of (seed, sender,
+// send sequence), so the decision is the same whether it is drawn at a
+// single-threaded routing barrier (sim/parallel) or at a cross-thread send
+// site (inproc).  Handler invocations only touch node-local state, so a
+// run's decisions and statistics are identical across backends for a
+// fixed seed.
+//
+// Scale notes (the §13 batching protocol): senders append to per-shard
+// outbox arenas; the router drains them in shard order into per-
+// destination-shard incoming arenas (one contiguous append stream per
+// shard, no per-message queue ops); each shard buckets its arena by
+// destination with a stable counting sort at the round barrier and drains
+// every node's span contiguously.  All arenas are recycled round over
+// round, per-node RNGs are materialized lazily, and per-node state is
+// flat arrays — a million-node ring is a handful of large allocations,
+// not millions of small ones.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -44,10 +64,16 @@
 #include <optional>
 #include <queue>
 #include <random>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "distributed/topology.hpp"
 
 namespace cgp::telemetry::live {
 class heartbeat;
@@ -71,17 +97,17 @@ struct message {
   std::uint64_t flow_id = 0;      ///< pairs the send arrow with delivery
 };
 
-/// Topologies for the taxonomy's Topology dimension.
-enum class topology { ring, complete, star, grid, random_connected, line };
-
-[[nodiscard]] const char* to_string(topology t);
+/// Contiguous view of a node's (sorted) neighbor row in the shared CSR
+/// topology.  `const std::vector<int>&` converts to it, so pre-CSR models
+/// of the Transport concept (e.g. the archetype) conform unchanged.
+using neighbor_span = std::span<const int>;
 
 /// Delivery timing for the taxonomy's Timing dimension.
 enum class timing { synchronous, asynchronous };
 
 /// Message-level fault injection (the taxonomy's Fault-Tolerance
 /// dimension, message axis).  Applied identically on every backend, to
-/// every send, from a dedicated deterministic engine.
+/// every send, as a pure hash of (seed, sender, send sequence).
 struct fault_options {
   /// Probability a message is silently lost in transit.
   double drop = 0.0;
@@ -93,9 +119,27 @@ struct fault_options {
   /// the next round boundary, so construction rejects a nonzero max_delay
   /// under timing::synchronous.
   std::uint32_t max_delay = 0;
+  /// Churn schedule (process axis): at every synchronous round boundary
+  /// each non-crashed node goes down with probability `churn_crash`, and
+  /// each churned-down node comes back with probability `churn_recover`.
+  /// The draw is a pure hash of (seed, node, round), so the schedule is
+  /// identical on every backend.  A churned-down node drops its mail and
+  /// runs no handlers; on recovery it resumes with its process state
+  /// intact (a restart-from-disk model).  Explicit `crash()` remains
+  /// permanent.  Synchronous mode only.
+  double churn_crash = 0.0;
+  double churn_recover = 0.0;
+  /// Last round the churn schedule applies to (0 = for the whole run).
+  /// The soak tests let churn rage until this bound, then require the
+  /// membership view to converge to the surviving set.
+  std::size_t churn_until = 0;
 
   [[nodiscard]] bool any() const noexcept {
-    return drop > 0.0 || duplicate > 0.0 || max_delay != 0;
+    return drop > 0.0 || duplicate > 0.0 || max_delay != 0 ||
+           churn_crash > 0.0 || churn_recover > 0.0;
+  }
+  [[nodiscard]] bool churn() const noexcept {
+    return churn_crash > 0.0 || churn_recover > 0.0;
   }
 };
 
@@ -114,7 +158,8 @@ struct net_options {
   /// reordering channels.  Synchronous delivery is inherently ordered by
   /// the round barrier, so the flag only affects asynchronous runs.
   bool fifo_links = true;
-  /// parallel_transport only: worker thread count (0 = auto, at least 2).
+  /// parallel_transport / inproc_transport only: worker thread count
+  /// (0 = auto, at least 2).
   unsigned workers = 0;
   fault_options faults{};
 };
@@ -129,7 +174,7 @@ class context {
   [[nodiscard]] int id() const noexcept { return id_; }
   /// The node's unique identifier (a pseudonymized uid, not its index).
   [[nodiscard]] long uid() const;
-  [[nodiscard]] const std::vector<int>& neighbors() const;
+  [[nodiscard]] neighbor_span neighbors() const;
   [[nodiscard]] std::size_t round() const;
   [[nodiscard]] std::size_t node_count() const;
 
@@ -146,6 +191,8 @@ class context {
   void decide(const std::string& key, long value);
 
   /// Deterministic per-node randomness (for randomized strategies).
+  /// Materialized lazily — a million-node run pays for engines only at
+  /// the nodes that actually draw.
   [[nodiscard]] std::mt19937& rng();
 
  private:
@@ -173,6 +220,12 @@ using process_factory = std::function<std::unique_ptr<process>(int id)>;
 /// are counted in the total but never delivered, duplicated deliveries are
 /// NOT in the total (the extra copy shows up in `messages_duplicated` and
 /// in the receiver's per-node count).
+///
+/// The per-node arrays are sized by node count — query them through the
+/// span accessors (or the scalar per-node lookups), which are O(1) and
+/// allocation-free even at a million nodes.  Copying the whole struct
+/// copies the arrays; `net_base::stats()` hands out a const reference for
+/// post-run queries that should not.
 struct run_stats {
   std::size_t messages_total = 0;
   std::size_t messages_dropped = 0;
@@ -183,6 +236,19 @@ struct run_stats {
   std::vector<std::size_t> local_steps_per_node;
   std::vector<std::size_t> messages_sent_per_node;
   std::vector<std::size_t> messages_received_per_node;
+
+  /// Allocation-free views of the per-node arrays (the O(n)-copy fix:
+  /// accessors never clone a million-entry vector).
+  [[nodiscard]] std::span<const std::size_t> local_steps_span()
+      const noexcept {
+    return local_steps_per_node;
+  }
+  [[nodiscard]] std::span<const std::size_t> sent_span() const noexcept {
+    return messages_sent_per_node;
+  }
+  [[nodiscard]] std::span<const std::size_t> received_span() const noexcept {
+    return messages_received_per_node;
+  }
 
   /// Messages sent with `tag` (0 when the tag never appeared).
   [[nodiscard]] std::size_t messages_for(const std::string& tag) const {
@@ -218,12 +284,15 @@ struct run_stats {
   }
 };
 
-/// The shared engine behind every transport backend: topology wiring,
+/// The shared engine behind every transport backend: the CSR topology,
 /// uids, the canonical synchronous superstep loop, the asynchronous event
 /// queue, the unified fault surface, decisions, and statistics.  Backends
-/// override `for_each_node` with their execution strategy; everything a
-/// per-node task touches is node-local (its own mailbox, outbox, rng,
-/// stats slots and decision map), so the strategy may be concurrent.
+/// override `for_each_shard` with their execution strategy (everything a
+/// shard task touches is node-local — the shard's slice of the arenas,
+/// rngs, stats slots and decision maps — so the strategy may be
+/// concurrent), or, like inproc_transport, replace the whole synchronous
+/// engine via `execute_synchronous` + `enqueue_sync` while reusing the
+/// shared per-node superstep, fault hashing, and accounting.
 class net_base {
  public:
   virtual ~net_base() = default;
@@ -240,7 +309,8 @@ class net_base {
 
   /// Crash-stops a node before the given round (fault injection).  Under
   /// timing::asynchronous `at_round` is measured in scheduler ticks; 0
-  /// crashes the node before the run starts in either mode.
+  /// crashes the node before the run starts in either mode.  Permanent —
+  /// unlike churn, a crashed node never recovers.
   void crash(int node, std::size_t at_round = 0);
 
   /// Installs a Byzantine corruption hook: called for every message sent by
@@ -248,20 +318,37 @@ class net_base {
   void corrupt(int node, std::function<void(message&)> hook);
 
   /// Runs to quiescence (no messages in flight and no pending events) or
-  /// `max_rounds`, whichever first.  Returns the statistics.
+  /// `max_rounds`, whichever first.  Returns the statistics (by value —
+  /// use stats() for allocation-free post-run queries).
   run_stats run(std::size_t max_rounds = 100000);
 
+  /// The statistics of the (latest) run, without copying the per-node
+  /// arrays.
+  [[nodiscard]] const run_stats& stats() const noexcept { return stats_; }
+
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return adjacency_.size();
+    return topo_.node_count();
   }
-  [[nodiscard]] const std::vector<int>& neighbors_of(int id) const {
-    return adjacency_[check_node(id, "neighbors_of")];
+  [[nodiscard]] neighbor_span neighbors_of(int id) const {
+    return topo_.neighbors(check_node(id, "neighbors_of"));
   }
   [[nodiscard]] long uid_of(int id) const {
     return uids_[check_node(id, "uid_of")];
   }
-  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return topo_.edge_count();
+  }
+  /// The shared immutable CSR topology.
+  [[nodiscard]] const csr_topology& topo() const noexcept { return topo_; }
   [[nodiscard]] const net_options& options() const noexcept { return opts_; }
+
+  /// Whether a node is currently out of service (explicitly crashed or
+  /// churned down) — the ground truth the membership soak tests compare
+  /// gossip views against.
+  [[nodiscard]] bool is_down(int node) const {
+    const std::size_t i = check_node(node, "is_down");
+    return crashed_[i] || churn_down_[i] != 0;
+  }
 
   /// Decisions recorded via context::decide.
   [[nodiscard]] std::optional<long> decision(int node,
@@ -274,15 +361,18 @@ class net_base {
       const;
 
  protected:
-  explicit net_base(const net_options& opts);
+  /// `shards` is the unit of execution parallelism: nodes live in
+  /// contiguous shards, senders append to their shard's outbox arena, and
+  /// `for_each_shard` runs one task per shard.  Sequential backends pass 1.
+  explicit net_base(const net_options& opts, std::size_t shards = 1);
 
-  /// Execution strategy: invoke `fn(i)` once for every node index.  All
-  /// invocations of one barrier phase may run concurrently; `fn` only
-  /// touches node-local state.  The engine calls this once for the start
-  /// phase and once per synchronous round.
-  virtual void for_each_node(const std::function<void(std::size_t)>& fn) = 0;
+  /// Execution strategy: invoke `fn(s)` once for every shard index in
+  /// [0, shard_count()).  All invocations of one barrier phase may run
+  /// concurrently; `fn` only touches shard-local state.
+  virtual void for_each_shard(const std::function<void(std::size_t)>& fn) = 0;
 
-  /// Short backend label ("sim", "parallel") for traces and metrics.
+  /// Short backend label ("sim", "parallel", "inproc") for traces and
+  /// metrics.
   [[nodiscard]] virtual const char* backend_name() const noexcept = 0;
 
   /// Whether this backend implements timing::asynchronous (only the
@@ -291,82 +381,81 @@ class net_base {
     return false;
   }
 
- private:
-  friend class context;
+  /// The synchronous engine: start phase + round loop.  The base
+  /// implementation is the barrier-per-round arena engine below;
+  /// inproc_transport overrides it with its thread-owning mailbox loop.
+  virtual void execute_synchronous(std::size_t max_rounds);
+
+  /// Synchronous send sink: where a validated, corrupted, trace-stamped
+  /// message goes.  Base: the sender shard's outbox arena (faults and
+  /// statistics are applied later, at the routing barrier).  Backends with
+  /// cross-thread sends override this and apply `draw_faults` inline —
+  /// the hash makes both schedules agree.
+  virtual void enqueue_sync(std::size_t src, std::uint64_t seq, message&& m);
+
+  // --- shared machinery for custom engines ---------------------------------
+
+  /// Deterministic per-message fault plan: a pure function of the run seed
+  /// and the message's (sender, send-sequence) identity.
+  struct fault_draw {
+    bool drop = false;
+    bool dup = false;
+  };
+  [[nodiscard]] fault_draw draw_faults(std::size_t src,
+                                       std::uint64_t seq) const noexcept;
+
+  /// One node's synchronous superstep: deliver `inbox` in canonical order,
+  /// then on_round.  Down nodes let their mail rot.  Adopts the enclosing
+  /// phase span's trace context when executing on a worker thread.
+  void node_superstep(std::size_t i, std::span<const message> inbox);
+
+  /// One node's start-phase slot (trace adoption + accounting + start()).
+  void run_node_start(std::size_t i);
+
+  /// Applies the deferred-crash schedule and the churn hash draws for the
+  /// current `round_`.  Single-threaded contexts only (the coordinator, or
+  /// a barrier completion step).
+  void apply_round_faults();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  [[nodiscard]] std::size_t shard_of(std::size_t node) const noexcept {
+    return node / shard_width_;
+  }
+  /// The contiguous [begin, end) node range of shard `s`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t s) const noexcept {
+    const std::size_t lo = std::min(node_count(), s * shard_width_);
+    return {lo, std::min(node_count(), lo + shard_width_)};
+  }
+  [[nodiscard]] bool all_down() const noexcept {
+    return down_count_ == node_count();
+  }
 
   [[nodiscard]] std::size_t check_node(int id, const char* what) const {
-    if (id < 0 || static_cast<std::size_t>(id) >= adjacency_.size())
+    if (id < 0 || static_cast<std::size_t>(id) >= topo_.node_count())
       throw std::out_of_range(std::string(what) + ": node " +
                               std::to_string(id) +
                               " out of range for a network of " +
-                              std::to_string(adjacency_.size()) + " nodes");
+                              std::to_string(topo_.node_count()) + " nodes");
     return static_cast<std::size_t>(id);
   }
 
-  // Handler-side entry points (called from per-node tasks; thread-safe by
-  // node-locality, see for_each_node).
-  void do_send(int from, int to, std::string_view tag,
-               std::vector<long>&& payload);
-  void charge_node(int node, std::size_t steps);
-  void decide_node(int node, const std::string& key, long value);
-
-  // One node's synchronous superstep: deliver its due mailbox in canonical
-  // order, then on_round.  Adopts the enclosing phase span's trace context
-  // (phase_trace_*) when executing on a worker thread.
-  void node_superstep(std::size_t i);
-  void deliver_to(std::size_t dst, const message& m);
-
-  // Coordinator-side routing barrier: drains every per-sender outbox in
-  // sender order, counts statistics, applies the fault plan, and schedules
-  // deliveries.  Returns the number of newly scheduled messages.
-  std::size_t route_outboxes();
-  void schedule_sync(message&& m);
-  void schedule_async(message&& m, std::uint64_t extra_delay);
-
-  run_stats run_synchronous(std::size_t max_rounds);
-  run_stats run_asynchronous(std::size_t max_rounds);
-  void run_start_phase();
-  void finalize_stats();
-
+  // Shared state a custom engine needs to read or (in synchronized phases)
+  // write.  Worker tasks only ever touch node-local slots; the scalar
+  // fields are coordinator/completion-step territory.
   net_options opts_;
-  std::vector<std::vector<int>> adjacency_;
-  std::size_t edges_ = 0;
+  csr_topology topo_;
   std::vector<long> uids_;
   std::vector<std::unique_ptr<process>> procs_;
-  std::vector<bool> crashed_;
+  std::vector<bool> crashed_;             ///< explicit crash-stop (permanent)
+  std::vector<unsigned char> churn_down_; ///< churn schedule (recoverable)
   std::vector<std::size_t> crash_round_;
+  std::size_t down_count_ = 0;
+  bool have_deferred_crashes_ = false;
   std::map<int, std::function<void(message&)>> corruption_;
-  std::mt19937 rng_;        ///< topology/uid/latency randomness
-  std::mt19937 fault_rng_;  ///< fault plan draws (canonical routing order)
-  std::vector<std::mt19937> node_rngs_;
-
-  // Synchronous engine: per-sender outboxes filled by the node tasks, then
-  // routed at the barrier into per-destination mailboxes tagged with a due
-  // round (always the next round — construction rejects delay faults in
-  // synchronous mode).
-  struct pending_msg {
-    std::size_t due_round;
-    message msg;
-  };
-  std::vector<std::vector<message>> outboxes_;      ///< indexed by sender
-  std::vector<std::vector<pending_msg>> mailboxes_; ///< indexed by dest
-  std::vector<std::vector<message>> inboxes_;       ///< this round's input
-  std::size_t pending_count_ = 0;
-
-  // Asynchronous engine (sim backend only): (delivery_time, sequence,
-  // message) min-heap.
-  struct event {
-    std::uint64_t time;
-    std::uint64_t seq;
-    message msg;
-    friend bool operator>(const event& a, const event& b) {
-      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
-    }
-  };
-  std::priority_queue<event, std::vector<event>, std::greater<>> events_;
-  std::uint64_t now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::map<std::pair<int, int>, std::uint64_t> link_last_delivery_;
+  std::vector<std::uint64_t> send_seq_;   ///< per-sender send sequence
 
   std::size_t round_ = 0;
   run_stats stats_;
@@ -392,17 +481,86 @@ class net_base {
   std::uint32_t prof_route_frame_ = 0xffff'ffffu;
   std::uint32_t prof_deliver_frame_ = 0xffff'ffffu;
   std::uint32_t prof_fault_frame_ = 0xffff'ffffu;
+
+ private:
+  friend class context;
+
+  // Handler-side entry points (called from per-node tasks; thread-safe by
+  // node-locality, see for_each_shard).
+  void do_send(int from, int to, std::string_view tag,
+               std::vector<long>&& payload);
+  void charge_node(int node, std::size_t steps);
+  void decide_node(int node, const std::string& key, long value);
+  [[nodiscard]] std::mt19937& node_rng(std::size_t node);
+
+  void deliver_to(std::size_t dst, const message& m);
+
+  // Base synchronous engine: one shard's round slice — bucket the shard's
+  // incoming arena by destination (stable counting sort), then run every
+  // node's superstep over its contiguous span.
+  void shard_superstep(std::size_t s);
+
+  // Coordinator-side routing barrier: drains every per-shard outbox arena
+  // in shard order (= ascending sender order), counts statistics, applies
+  // the hash fault plan, and appends deliveries to the destination shards'
+  // incoming arenas.  Returns the number of newly scheduled messages.
+  std::size_t route_outboxes();
+  void schedule_async(message&& m, std::uint64_t extra_delay);
+
+  void run_synchronous(std::size_t max_rounds);
+  void run_asynchronous(std::size_t max_rounds);
+  void run_start_phase();
+  void finalize_stats();
+
+  std::size_t shard_count_ = 1;
+  std::size_t shard_width_ = 1;
+
+  std::mt19937 rng_;  ///< topology/uid/latency randomness
+  std::uint64_t fault_seed_ = 0;  ///< per-message fault hash key
+  std::uint64_t churn_seed_ = 0;  ///< per-(node, round) churn hash key
+  std::mt19937 async_fault_rng_;  ///< async delay draws (sim only)
+  /// Lazily materialized per-node engines, owned by the node's shard (one
+  /// map per shard so concurrent shards never share a bucket).
+  std::vector<std::unordered_map<std::uint32_t, std::mt19937>> shard_rngs_;
+
+  // Synchronous engine arenas (all recycled round over round):
+  struct outbox_entry {
+    std::uint32_t src;
+    std::uint64_t seq;
+    message msg;
+  };
+  std::vector<std::vector<outbox_entry>> outbox_arena_;  ///< per source shard
+  std::vector<std::vector<message>> incoming_;     ///< per destination shard
+  std::vector<std::vector<message>> inbox_arena_;  ///< bucketed by dst
+  std::vector<std::uint32_t> inbox_begin_;  ///< per node: span start
+  std::vector<std::uint32_t> inbox_end_;    ///< per node: span end
+  std::size_t pending_count_ = 0;
+
+  // Asynchronous engine (sim backend only): (delivery_time, sequence,
+  // message) min-heap.
+  struct event {
+    std::uint64_t time;
+    std::uint64_t seq;
+    message msg;
+    friend bool operator>(const event& a, const event& b) {
+      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    }
+  };
+  std::priority_queue<event, std::vector<event>, std::greater<>> events_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::map<std::pair<int, int>, std::uint64_t> link_last_delivery_;
 };
 
 /// The deterministic sequential simulator (the seed's `network`, recast as
 /// one backend of the Transport concept).  Implements both timing modes.
 class sim_transport final : public net_base {
  public:
-  explicit sim_transport(const net_options& opts) : net_base(opts) {}
+  explicit sim_transport(const net_options& opts) : net_base(opts, 1) {}
 
  protected:
-  void for_each_node(const std::function<void(std::size_t)>& fn) override {
-    for (std::size_t i = 0; i < node_count(); ++i) fn(i);
+  void for_each_shard(const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t s = 0; s < shard_count(); ++s) fn(s);
   }
   [[nodiscard]] const char* backend_name() const noexcept override {
     return "sim";
@@ -413,7 +571,8 @@ class sim_transport final : public net_base {
 };
 
 /// Transitional alias for the pre-redesign class name; new code should
-/// name the backend it wants (sim_transport / parallel_transport).
+/// name the backend it wants (sim_transport / parallel_transport /
+/// inproc_transport).
 using network = sim_transport;
 
 }  // namespace cgp::distributed

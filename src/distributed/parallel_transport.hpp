@@ -1,7 +1,9 @@
 // The parallel backend of the Transport concept: each synchronous
-// superstep fans the per-node handlers (mailbox deliveries + on_round)
-// out across a parallel Executor and joins them at the round barrier,
-// so a 64-node wave actually uses the machine's cores.
+// superstep fans the per-SHARD slices (mailbox bucketing + deliveries +
+// on_round for the shard's contiguous node range) out across a parallel
+// Executor and joins them at the round barrier.  One shard per worker:
+// a million-node superstep is `workers` tasks over recycled arenas, not
+// a million task submissions.
 //
 // The executor is a template parameter bounded by the Executor concept —
 // the two concept-bounded module boundaries of this library compose:
@@ -11,12 +13,13 @@
 // distributed layer.  `parallel_transport` (legacy pool) and
 // `stealing_transport` (work-stealing) are the named instantiations.
 //
-// Determinism: identical to sim_transport by construction.  Worker tasks
-// touch only node-local state (the node's inbox, outbox, rng, stats slots
-// and decision map); message routing, statistics, and the fault plan run
-// single-threaded at the barrier in canonical sender order (see
-// network.hpp).  For a fixed seed, decisions and run_stats match the
-// sequential simulator bit for bit — on either executor.
+// Determinism: identical to sim_transport by construction.  Shard tasks
+// touch only shard-local state (the shard's arena slice and its nodes'
+// rngs, stats slots and decision maps); message routing, statistics, and
+// the hash fault plan run single-threaded at the barrier in canonical
+// sender order (see network.hpp).  For a fixed seed, decisions and
+// run_stats match the sequential simulator bit for bit — on either
+// executor, at any shard count.
 //
 // Timing: implements `timing::synchronous` only — asynchronous event
 // interleaving is the deterministic simulator's job (see the backend
@@ -56,7 +59,8 @@ class basic_parallel_transport final : public net_base {
   /// Workers: net_options::workers threads (0 = auto: hardware
   /// concurrency, at least 2 so concurrency is always exercised).
   explicit basic_parallel_transport(const net_options& opts)
-      : net_base(opts), pool_(detail::superstep_pool_options(opts)) {
+      : net_base(opts, detail::superstep_pool_options(opts).workers),
+        pool_(detail::superstep_pool_options(opts)) {
     if (opts.mode == timing::asynchronous)
       throw std::invalid_argument(
           "parallel_transport implements only timing::synchronous "
@@ -72,15 +76,11 @@ class basic_parallel_transport final : public net_base {
   [[nodiscard]] E& executor() noexcept { return pool_; }
 
  protected:
-  void for_each_node(const std::function<void(std::size_t)>& fn) override {
-    if constexpr (requires { pool_.run_chunks(node_count(), fn); }) {
-      pool_.run_chunks(node_count(), fn);
-    } else {
-      parallel::task_group<E> group(pool_);
-      for (std::size_t nd = 0; nd < node_count(); ++nd)
-        group.run([&fn, nd] { fn(nd); });
-      group.wait();
-    }
+  void for_each_shard(const std::function<void(std::size_t)>& fn) override {
+    parallel::task_group<E> group(pool_);
+    for (std::size_t s = 0; s < shard_count(); ++s)
+      group.run([&fn, s] { fn(s); });
+    group.wait();
   }
   [[nodiscard]] const char* backend_name() const noexcept override {
     return "parallel";

@@ -6,12 +6,13 @@
 // A Transport is anything that can host a distributed algorithm run:
 // construct from `net_options`, spawn one process per node, expose the
 // wiring (node_count / neighbors_of / uid_of / edge_count), accept the
-// unified fault surface (crash, corrupt; drop/duplicate/delay ride in via
-// net_options::faults), run to quiescence, and report decisions and
-// measured statistics.  Algorithm drivers constrained on this concept —
-// `run_ring_election`, the benchmarks, the backend-parity tests — run
+// unified fault surface (crash, corrupt; drop/duplicate/delay/churn ride
+// in via net_options::faults), run to quiescence, and report decisions
+// and measured statistics.  Algorithm drivers constrained on this concept
+// — `run_ring_election`, the benchmarks, the backend-parity tests — run
 // unchanged on any backend: the deterministic `sim_transport`, the
-// thread-pool `parallel_transport`, or the archetype below.
+// executor-fan-out `parallel_transport`, the shared-memory mailbox
+// `inproc_transport`, or the archetype below.
 //
 // `transport_archetype` is the syntactic archetype (core/archetypes.hpp
 // style): the MINIMAL model of the concept, with do-nothing semantics.
@@ -52,7 +53,11 @@ concept Transport =
       // Wiring introspection.
       { ct.node_count() } -> std::convertible_to<std::size_t>;
       { ct.edge_count() } -> std::convertible_to<std::size_t>;
-      { ct.neighbors_of(node) } -> std::convertible_to<const std::vector<int>&>;
+      // `neighbor_span` (std::span<const int>): CSR backends return a view
+      // into the shared edges array; `const std::vector<int>&` converts,
+      // so pre-CSR models (the archetype below) conform unchanged — the
+      // concept's OPERATIONS did not move when the representation did.
+      { ct.neighbors_of(node) } -> std::convertible_to<neighbor_span>;
       { ct.uid_of(node) } -> std::convertible_to<long>;
       { ct.options() } -> std::convertible_to<const net_options&>;
       // Outcomes.

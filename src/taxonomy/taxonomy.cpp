@@ -174,6 +174,9 @@ taxonomy distributed_taxonomy() {
                         "randomized", "compositional", "heart-beat",
                         "probe-echo", "wave"})
     t.refine("strategy", p, "any");
+  // Gossip is the epidemic refinement of the heart-beat strategy: the same
+  // liveness signal, disseminated transitively instead of only pairwise.
+  t.refine("strategy", "gossip", "heart-beat");
 
   // Timing: an algorithm correct under weaker assumptions refines one that
   // needs stronger ones: asynchronous -> partially-synchronous ->
@@ -307,6 +310,22 @@ taxonomy distributed_taxonomy() {
                  {"time", big_o::n("R")}},
        .implemented_by = "distributed::heartbeat_detector",
        .notes = "2E messages per round for R rounds"});
+  t.add_algorithm(
+      {.name = "gossip-membership",
+       .classification = {{"problem", "failure-detection"},
+                          {"topology", "arbitrary"},
+                          {"fault-tolerance", "crash"},
+                          {"information-sharing", "message-passing"},
+                          {"strategy", "gossip"},
+                          {"timing", "synchronous"},
+                          {"process-management", "dynamic-join"}},
+       .costs = {{"messages", big_o::constant(3.0) * n * big_o::n("R")},
+                 {"time", big_o::n("R")}},
+       .implemented_by = "distributed::gossip_membership",
+       .notes = "SWIM-style heartbeat-counter tables gossiped to a fanout-3 "
+                "neighbor sample each round; churned-down members are "
+                "suspected after a counter-staleness timeout and re-admitted "
+                "on recovery (the churn soak tests' subject)"});
   return t;
 }
 

@@ -1,10 +1,16 @@
-// Conformance suite: randomized differential testing of the Transport
-// backends.  The determinism contract (network.hpp) says a synchronous
-// run's decisions and statistics are identical on every backend for a
-// fixed seed; here that parity is re-verified under RANDOMIZED topologies,
-// node counts, seeds, channel orders, and fault knobs, rather than the
-// hand-picked configurations of transport_test.cpp.  Any mismatch prints a
-// CGP_CHECK_SEED line that replays the exact configuration.
+// Conformance suite: randomized THREE-WAY differential testing of the
+// Transport backends.  The determinism contract (network.hpp) says a
+// synchronous run's decisions and statistics are identical on every
+// backend for a fixed seed; here that parity is re-verified between the
+// sequential simulator, the executor-fan-out parallel backend, and the
+// shared-memory mailbox inproc backend under RANDOMIZED topologies (all
+// nine builders, including the scale-era torus/random_regular/power_law),
+// node counts, seeds, channel orders, fault knobs, and churn schedules,
+// rather than the hand-picked configurations of transport_test.cpp.  Any
+// mismatch prints a CGP_CHECK_SEED line that replays the exact
+// configuration.  A fixed 100k-node case keeps the oracle honest at scale
+// inside tier-1 (the million-node twin lives in distributed_scale_test.cpp
+// under the `slow` label).
 #include <cstdint>
 #include <map>
 #include <string>
@@ -15,6 +21,7 @@
 #include "check/gtest_support.hpp"
 #include "check/property.hpp"
 #include "distributed/algorithms.hpp"
+#include "distributed/inproc_transport.hpp"
 #include "distributed/network.hpp"
 #include "distributed/parallel_transport.hpp"
 
@@ -39,14 +46,11 @@ struct plan {
 /// Derives a full run configuration from one generated 64-bit value, so a
 /// parity failure shrinks/replays through the ordinary seed machinery.
 plan random_plan(check::random_source& rs, bool with_faults) {
-  static constexpr dist::topology topos[] = {
-      dist::topology::ring,     dist::topology::line,
-      dist::topology::complete, dist::topology::star,
-      dist::topology::grid,     dist::topology::random_connected};
+  const auto topos = dist::all_topologies();
   plan p;
-  p.opts.nodes = 2 + rs.below(7);  // 2..8
-  p.opts.topo = topos[rs.below(6)];
-  p.opts.mode = dist::timing::synchronous;  // parallel backend is sync-only
+  p.opts.nodes = 2 + rs.below(31);  // 2..32: several shards per worker
+  p.opts.topo = topos[rs.below(topos.size())];
+  p.opts.mode = dist::timing::synchronous;  // parallel/inproc are sync-only
   p.opts.seed = static_cast<std::uint32_t>(rs.bits());
   p.opts.fifo_links = rs.chance(50);
   p.opts.workers = static_cast<unsigned>(2 + rs.below(3));
@@ -56,6 +60,13 @@ plan random_plan(check::random_source& rs, bool with_faults) {
     if (rs.chance(30)) {
       p.crash_node = static_cast<int>(rs.below(p.opts.nodes));
       p.crash_round = rs.below(4);
+    }
+    if (rs.chance(40)) {
+      // A churn schedule: the per-(node, round) hash draws must replay
+      // identically on every backend.
+      p.opts.faults.churn_crash = 0.05 * static_cast<double>(1 + rs.below(3));
+      p.opts.faults.churn_recover = 0.2;
+      p.opts.faults.churn_until = 2 + rs.below(6);
     }
   }
   return p;
@@ -86,7 +97,9 @@ bool stats_equal(const dist::run_stats& a, const dist::run_stats& b) {
 bool backends_agree(const plan& p, const dist::process_factory& factory) {
   const outcome sim = run_on<dist::sim_transport>(p, factory);
   const outcome par = run_on<dist::parallel_transport>(p, factory);
-  return sim.decisions == par.decisions && stats_equal(sim.stats, par.stats);
+  const outcome inp = run_on<dist::inproc_transport>(p, factory);
+  return sim.decisions == par.decisions && stats_equal(sim.stats, par.stats) &&
+         sim.decisions == inp.decisions && stats_equal(sim.stats, inp.stats);
 }
 
 check::config parity_config() {
@@ -152,4 +165,47 @@ TEST(TransportConformance, ParallelBackendIsSelfDeterministic) {
       },
       parity_config());
   EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(TransportConformance, InprocBackendIsSelfDeterministic) {
+  // Same for the shared-memory mailbox backend: cross-thread sends race on
+  // the destination mailboxes, but the canonical sort before delivery must
+  // erase any interleaving difference between runs.
+  const auto res = check::for_all<std::uint64_t>(
+      "transport.inproc.self_determinism",
+      [](std::uint64_t raw) {
+        check::random_source rs(raw);
+        const plan p = random_plan(rs, /*with_faults=*/true);
+        const auto a =
+            run_on<dist::inproc_transport>(p, dist::bfs_spanning_tree(0));
+        const auto b =
+            run_on<dist::inproc_transport>(p, dist::bfs_spanning_tree(0));
+        return a.decisions == b.decisions && stats_equal(a.stats, b.stats);
+      },
+      parity_config());
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(TransportConformance, ThreeWayParityAtHundredThousandNodes) {
+  // One fixed large configuration inside tier-1: flooding over a 100k-node
+  // random connected graph with drops and duplicates.  All three backends
+  // must agree bit-for-bit on decisions and the full per-node statistics
+  // vectors.  (The million-node twin lives under the `slow` label.)
+  plan p;
+  p.opts.nodes = 100'000;
+  p.opts.topo = dist::topology::random_connected;
+  p.opts.mode = dist::timing::synchronous;
+  p.opts.seed = 0xC5Au;
+  p.opts.workers = 4;
+  p.opts.faults.drop = 0.05;
+  p.opts.faults.duplicate = 0.05;
+  const auto factory = dist::flooding_broadcast(0);
+  const outcome sim = run_on<dist::sim_transport>(p, factory);
+  const outcome par = run_on<dist::parallel_transport>(p, factory);
+  const outcome inp = run_on<dist::inproc_transport>(p, factory);
+  EXPECT_GT(sim.stats.messages_total, 100'000u);  // the run actually flooded
+  EXPECT_TRUE(stats_equal(sim.stats, par.stats));
+  EXPECT_TRUE(stats_equal(sim.stats, inp.stats));
+  EXPECT_EQ(sim.decisions, par.decisions);
+  EXPECT_EQ(sim.decisions, inp.decisions);
 }

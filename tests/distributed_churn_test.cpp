@@ -1,0 +1,134 @@
+// Churn soak: SWIM-style gossip membership (algorithms.hpp) under the
+// runtime's randomized crash/recover schedule (`fault_options::churn_*`).
+// Nodes crash and recover via seeded per-(node, round) hash draws for the
+// first `churn_until` rounds; after that the membership freezes, and the
+// soak asserts every surviving node's gossip view converges to the ground
+// truth the runtime itself exposes (`net_base::is_down`):
+//
+//   * every alive node declares every other alive node a member ("member:<j>"
+//     == 1) — recovered nodes are re-admitted, not permanently suspected;
+//   * no alive node still counts a dead node as a member (any "member:<j>"
+//     entry for a down j is 0; a node that died before ever gossiping may
+//     legitimately be unknown, so absence is also accepted).
+//
+// The complete topology keeps the alive subgraph connected under any churn
+// schedule, so convergence is a property of the protocol, not of luck in
+// graph structure.  A planted never-converging twin
+// (DISABLED_SuspectTimeoutLongerThanRunNeverConverges) runs with a suspect
+// timeout longer than the whole run, so dead nodes are never evicted; ctest
+// registers it WILL_FAIL to prove the soak actually discriminates.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/gtest_support.hpp"
+#include "check/property.hpp"
+#include "distributed/algorithms.hpp"
+#include "distributed/network.hpp"
+
+namespace check = cgp::check;
+namespace dist = cgp::distributed;
+
+CGP_REGISTER_SEED_BANNER();
+
+namespace {
+
+constexpr std::size_t kChurnUntil = 20;
+constexpr std::size_t kSuspectTimeout = 10;
+// 30 quiet rounds after the churn window: enough for the last rumor of a
+// dead node to age out (timeout 10) with a wide deterministic margin.
+constexpr std::size_t kTotalRounds = kChurnUntil + 30;
+
+dist::net_options churn_options(std::uint64_t raw) {
+  dist::net_options opts;
+  opts.nodes = 16 + raw % 17;  // 16..32
+  opts.topo = dist::topology::complete;
+  opts.mode = dist::timing::synchronous;
+  opts.seed = static_cast<std::uint32_t>(raw >> 17);
+  opts.faults.churn_crash = 0.08;
+  opts.faults.churn_recover = 0.2;
+  opts.faults.churn_until = kChurnUntil;
+  return opts;
+}
+
+/// Runs gossip membership under churn and checks the final membership view
+/// of every surviving node against is_down().  `downs_seen` accumulates how
+/// many dead nodes the schedule actually produced, so the caller can verify
+/// the soak exercised real churn and not only the happy path.
+bool converges_to_ground_truth(const dist::net_options& opts,
+                               std::size_t suspect_timeout,
+                               std::size_t* downs_seen) {
+  dist::sim_transport net(opts);
+  net.spawn(dist::gossip_membership(suspect_timeout));
+  net.run(kTotalRounds);
+  const int n = static_cast<int>(net.node_count());
+  for (int j = 0; j < n; ++j)
+    if (net.is_down(j) && downs_seen) ++*downs_seen;
+  for (int i = 0; i < n; ++i) {
+    if (net.is_down(i)) continue;
+    for (int j = 0; j < n; ++j) {
+      const auto view = net.decision(i, "member:" + std::to_string(j));
+      if (net.is_down(j)) {
+        if (view.has_value() && *view != 0) return false;  // dead, kept
+      } else {
+        if (!view.has_value() || *view != 1) return false;  // alive, evicted
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(GossipChurnSoak, MembershipConvergesAfterChurnStops) {
+  std::size_t downs_seen = 0;
+  check::config cfg;
+  cfg.cases = 10;  // each case is a full 50-round network run
+  const auto res = check::for_all<std::uint64_t>(
+      "distributed.gossip.churn_convergence",
+      [&downs_seen](std::uint64_t raw) {
+        return converges_to_ground_truth(churn_options(raw), kSuspectTimeout,
+                                         &downs_seen);
+      },
+      cfg);
+  EXPECT_TRUE(res.ok) << res.message;
+  // The schedule must have actually killed somebody across the soak,
+  // otherwise the dead-node half of the oracle was never exercised.
+  EXPECT_GT(downs_seen, 0u);
+}
+
+TEST(GossipChurnSoak, RecoveredNodesAreReadmitted) {
+  // Deterministic single-schedule variant pinned to one seed with a high
+  // recovery rate: most churn victims come back, and every one that does
+  // must be back in every survivor's view.
+  dist::net_options opts = churn_options(0x5eedf00dULL);
+  opts.faults.churn_recover = 0.5;
+  std::size_t downs = 0;
+  EXPECT_TRUE(converges_to_ground_truth(opts, kSuspectTimeout, &downs));
+}
+
+// Planted WILL_FAIL twin (see tests/CMakeLists.txt): with a suspect timeout
+// longer than the entire run, gossip NEVER evicts anyone — node 3 is
+// explicitly crashed after it has introduced itself, so some survivor still
+// counts it as a member at the end and the ground-truth comparison fails.
+// ctest inverts the outcome (WILL_FAIL TRUE); if this test ever PASSES, the
+// soak's oracle has gone soft.
+TEST(GossipChurnSoak, DISABLED_SuspectTimeoutLongerThanRunNeverConverges) {
+  dist::net_options opts = churn_options(0x0ddba11ULL);
+  opts.faults.churn_crash = 0.0;  // only the planted crash below
+  dist::sim_transport net(opts);
+  net.spawn(dist::gossip_membership(/*suspect_timeout=*/1000));
+  net.crash(3, /*round=*/5);  // after round 1: every node has met node 3
+  net.run(kTotalRounds);
+  ASSERT_TRUE(net.is_down(3));
+  bool some_survivor_evicted_node3 = true;
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    if (net.is_down(i)) continue;
+    const auto view = net.decision(i, "member:3");
+    if (view.has_value() && *view != 0) some_survivor_evicted_node3 = false;
+  }
+  EXPECT_TRUE(some_survivor_evicted_node3)
+      << "timeout=1000 should never evict, so this must fail";
+}

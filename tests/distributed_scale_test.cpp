@@ -1,0 +1,176 @@
+// Million-node scale suite (ISSUE: scale src/distributed to millions of
+// simulated nodes).  Three kinds of coverage:
+//
+//   * An ungated allocation regression: `run_stats` per-node queries must be
+//     O(1) views, never O(n) copies.  The binary replaces global operator
+//     new/delete with counting shims and asserts that a full set of stats
+//     queries against a MILLION-node network allocates (almost) nothing —
+//     a reintroduced vector-by-value accessor costs ~8 MB per call and
+//     trips the gate by three orders of magnitude.
+//
+//   * `slow`-labelled full runs at n = 1,000,000: a ring heartbeat failure
+//     detection run (crash a node, expect exactly its two ring neighbors to
+//     suspect it, nobody else) and a three-way sim/parallel/inproc parity
+//     check of flooding over a random connected graph with faults.  These
+//     are skipped unless CGP_RUN_SLOW=1 (ctest labels them `slow`, CI runs
+//     them in a dedicated step) so tier-1 stays fast.
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "distributed/algorithms.hpp"
+#include "distributed/inproc_transport.hpp"
+#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
+
+namespace dist = cgp::distributed;
+
+// ---------------------------------------------------------------------------
+// Counting allocator shims (whole-binary; tests read the deltas)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::size_t> g_alloc_bytes{0};
+std::atomic<std::size_t> g_alloc_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+constexpr std::size_t kMillion = 1'000'000;
+
+bool slow_enabled() {
+  const char* v = std::getenv("CGP_RUN_SLOW");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+#define CGP_REQUIRE_SLOW()                                               \
+  do {                                                                   \
+    if (!slow_enabled())                                                 \
+      GTEST_SKIP() << "set CGP_RUN_SLOW=1 to run million-node scenarios" \
+                      " (ctest label: slow)";                            \
+  } while (false)
+
+}  // namespace
+
+TEST(MillionNodeStats, QueriesDoNotCopyPerNodeArrays) {
+  // Construction sizes the three per-node arrays at n entries; from then on
+  // every stats query must be a view or a scalar.
+  dist::net_options opts;
+  opts.nodes = kMillion;
+  opts.topo = dist::topology::ring;
+  opts.seed = 11;
+  dist::sim_transport net(opts);
+
+  const dist::run_stats& st = net.stats();
+  ASSERT_EQ(st.messages_sent_per_node.size(), kMillion);
+
+  const std::size_t bytes_before =
+      g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto sent = st.sent_span();
+  const auto received = st.received_span();
+  const auto steps = st.local_steps_span();
+  const std::size_t sent_mid = net.stats().messages_sent_by(123'456);
+  const std::size_t recv_mid = net.stats().messages_received_by(999'999);
+  const std::size_t beats = st.messages_for("beat");
+  const std::size_t bytes_after = g_alloc_bytes.load(std::memory_order_relaxed);
+
+  // The accessors return views over the live arrays...
+  EXPECT_EQ(&net.stats(), &st);  // stats() hands out a reference, not a copy
+  EXPECT_EQ(sent.data(), st.messages_sent_per_node.data());
+  EXPECT_EQ(received.data(), st.messages_received_per_node.data());
+  EXPECT_EQ(steps.data(), st.local_steps_per_node.data());
+  EXPECT_EQ(sent.size(), kMillion);
+  EXPECT_EQ(sent_mid + recv_mid + beats, 0u);  // nothing ran yet
+
+  // ...and allocate nothing proportional to n.  An O(n) copy of even ONE
+  // array is 8 MB; allow a small constant slack for the std::string key.
+  EXPECT_LT(bytes_after - bytes_before, 4096u)
+      << "stats queries on a million-node network must not clone per-node "
+         "arrays";
+}
+
+TEST(MillionNodeRuns, RingHeartbeatDetectsTheOneCrashedNode) {
+  CGP_REQUIRE_SLOW();
+  constexpr int kVictim = 123'456;
+  dist::net_options opts;
+  opts.nodes = kMillion;
+  opts.topo = dist::topology::ring;
+  opts.seed = 29;
+  dist::sim_transport net(opts);
+  net.spawn(dist::heartbeat_detector(/*timeout_rounds=*/1));
+  net.crash(kVictim, /*round=*/2);
+  const auto stats = net.run(/*max_rounds=*/4);
+
+  // Heartbeats never quiesce: the run exhausts its round budget.
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_GT(stats.messages_total, 7'000'000u);  // ~2M beats per round
+  EXPECT_TRUE(net.is_down(kVictim));
+
+  // Exactly the victim's two ring neighbors suspect it — nobody else
+  // suspects anybody across all million nodes.
+  std::map<std::pair<int, std::string>, long> suspicions;
+  for (const auto& [key, value] : net.all_decisions())
+    if (key.second.starts_with("suspects:")) suspicions.emplace(key, value);
+  const std::string victim_key = "suspects:" + std::to_string(kVictim);
+  ASSERT_EQ(suspicions.size(), 2u);
+  EXPECT_EQ(suspicions.count({kVictim - 1, victim_key}), 1u);
+  EXPECT_EQ(suspicions.count({kVictim + 1, victim_key}), 1u);
+}
+
+TEST(MillionNodeRuns, ThreeWayFloodingParityOnRandomConnected) {
+  CGP_REQUIRE_SLOW();
+  dist::net_options opts;
+  opts.nodes = kMillion;
+  opts.topo = dist::topology::random_connected;
+  opts.seed = 31;
+  opts.workers = 4;
+  opts.faults.drop = 0.02;
+  opts.faults.duplicate = 0.02;
+  const auto factory = dist::flooding_broadcast(0);
+
+  const auto run_one = [&]<class Transport>(std::type_identity<Transport>) {
+    Transport net(opts);
+    net.spawn(factory);
+    const auto stats = net.run(/*max_rounds=*/200);
+    return std::pair{stats, net.all_decisions()};
+  };
+  const auto sim = run_one(std::type_identity<dist::sim_transport>{});
+  const auto par = run_one(std::type_identity<dist::parallel_transport>{});
+  const auto inp = run_one(std::type_identity<dist::inproc_transport>{});
+
+  EXPECT_GT(sim.first.messages_total, kMillion);  // the flood really spread
+  EXPECT_EQ(sim.second, par.second);
+  EXPECT_EQ(sim.second, inp.second);
+  EXPECT_EQ(sim.first.messages_total, par.first.messages_total);
+  EXPECT_EQ(sim.first.messages_total, inp.first.messages_total);
+  EXPECT_EQ(sim.first.rounds, par.first.rounds);
+  EXPECT_EQ(sim.first.rounds, inp.first.rounds);
+  EXPECT_EQ(sim.first.messages_dropped, par.first.messages_dropped);
+  EXPECT_EQ(sim.first.messages_dropped, inp.first.messages_dropped);
+  EXPECT_EQ(sim.first.messages_sent_per_node, par.first.messages_sent_per_node);
+  EXPECT_EQ(sim.first.messages_sent_per_node, inp.first.messages_sent_per_node);
+  EXPECT_EQ(sim.first.messages_received_per_node,
+            par.first.messages_received_per_node);
+  EXPECT_EQ(sim.first.messages_received_per_node,
+            inp.first.messages_received_per_node);
+}
