@@ -1,0 +1,349 @@
+// Health-observatory end-to-end driver and self-check: runs SWIM gossip
+// membership under churn + drop/duplicate faults on ALL THREE Transport
+// backends (sim, parallel, inproc) with the observatory enabled in
+// deterministic manual-clock mode, plants two anomalies —
+//
+//   * a HOT shard: the topology is power_law (preferential attachment),
+//     so the health shard holding the highest-degree hub receives a
+//     grossly skewed share of the gossip traffic;
+//   * a STALLED shard: every node of one other health shard is
+//     crash-stopped at round 6, so its sends flat-line while the rest of
+//     the run keeps chattering;
+//
+// — then ticks the observatory, exports the cgp.health.v1 document to
+// health.json (argv[1] or --out overrides), re-parses and structurally
+// validates it, and exits non-zero unless every backend's verdicts NAME
+// both planted shards.  The whole scenario runs twice and the two exports
+// must be byte-identical (the manual-clock determinism contract), the
+// three backends' roll-ups must agree exactly (the cross-backend
+// determinism contract), and the sampled exemplars must have landed as
+// valid `health.exemplar` instants in the Perfetto trace.
+//
+// With --no-anomaly the topology is a ring and nothing is crashed; the
+// naming requirement then fails by construction — CI wraps that
+// invocation in a WILL_FAIL test, which simultaneously proves the gate
+// can fail and that a healthy uniform run produces no false skew/stall
+// verdict (a false positive would make the twin exit 0 and trip
+// WILL_FAIL).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "distributed/algorithms.hpp"
+#include "distributed/inproc_transport.hpp"
+#include "distributed/network.hpp"
+#include "distributed/parallel_transport.hpp"
+#include "perf/env_info.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace cgp;
+namespace health = telemetry::health;
+
+constexpr std::size_t kNodes = 192;
+constexpr std::size_t kHealthShards = 16;
+constexpr std::size_t kRounds = 36;
+constexpr std::size_t kSuspectTimeout = 6;
+constexpr std::size_t kStallRound = 6;
+
+// The gate's explicit rule set (health.json documents it): the runs are
+// fully deterministic (fixed seed), and the skew threshold sits between
+// the measured uniform-ring baseline (max/mean 1.07) and the power_law
+// hub shard (2.44) with wide margin to both.
+std::vector<health::slo_rule> gate_rules() {
+  return {
+      {.kind = health::rule_kind::skew_ratio,
+       .name = "shard_skew",
+       .threshold = 1.8,
+       .min_activity = 1024},
+      {.kind = health::rule_kind::stall_budget,
+       .name = "shard_stall",
+       .budget = 4},
+      {.kind = health::rule_kind::drop_rate,
+       .name = "drop_ceiling",
+       .threshold = 0.05,
+       .min_activity = 1024},
+      {.kind = health::rule_kind::convergence_deadline,
+       .name = "gossip_convergence",
+       .budget = 8,
+       .metric = "distributed.gossip.unconverged"},
+  };
+}
+
+distributed::net_options scenario_options(bool anomaly) {
+  distributed::net_options opts;
+  opts.nodes = kNodes;
+  opts.topo =
+      anomaly ? distributed::topology::power_law : distributed::topology::ring;
+  opts.mode = distributed::timing::synchronous;
+  opts.seed = 42;
+  opts.workers = 4;
+  opts.faults.drop = 0.02;
+  opts.faults.duplicate = 0.01;
+  opts.faults.churn_crash = 0.02;
+  opts.faults.churn_recover = 0.2;
+  opts.faults.churn_until = 10;
+  return opts;
+}
+
+struct planted {
+  std::size_t hub_shard = 0;    ///< health shard of the max-degree node
+  std::size_t stall_shard = 0;  ///< health shard crash-stopped at round 6
+};
+
+/// One backend's leg of the scenario.  Returns the planted shard indices
+/// (identical across backends: the topology is a pure function of the
+/// options).  `unconverged` accumulates survivor-view mismatches against
+/// the runtime's ground truth for the convergence gauge.
+template <distributed::Transport T>
+planted run_backend(bool anomaly, std::size_t* unconverged) {
+  const distributed::net_options opts = scenario_options(anomaly);
+  T net(opts);
+  net.spawn(distributed::gossip_membership(kSuspectTimeout));
+
+  planted p;
+  const std::size_t width = (kNodes + kHealthShards - 1) / kHealthShards;
+  std::size_t best_degree = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const std::size_t deg = net.neighbors_of(static_cast<int>(i)).size();
+    if (deg > best_degree) {
+      best_degree = deg;
+      p.hub_shard = i / width;
+    }
+  }
+  // Stall a shard far from the hub (the hub's shard must stay hot, not
+  // silent).  Crashes are permanent, unlike churn.
+  p.stall_shard = (p.hub_shard + kHealthShards / 2) % kHealthShards;
+  if (anomaly) {
+    const std::size_t lo = p.stall_shard * width;
+    const std::size_t hi = std::min(kNodes, lo + width);
+    for (std::size_t i = lo; i < hi; ++i)
+      net.crash(static_cast<int>(i), kStallRound);
+  }
+
+  (void)net.run(kRounds);
+
+  // Ground-truth comparison for the convergence-deadline gauge: survivors
+  // still counting a dead node as a member (or missing a live one).
+  const int n = static_cast<int>(net.node_count());
+  for (int i = 0; i < n; ++i) {
+    if (net.is_down(i)) continue;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto view = net.decision(i, "member:" + std::to_string(j));
+      const bool thinks_alive = view.has_value() && *view == 1;
+      if (net.is_down(j) ? thinks_alive : !thinks_alive) ++*unconverged;
+    }
+  }
+  return p;
+}
+
+/// Runs the full three-backend scenario against a freshly reset
+/// observatory and returns (export bytes, planted shards).  Called twice:
+/// the byte-identity check is the manual-clock determinism contract.
+std::pair<std::string, planted> run_scenario(bool anomaly) {
+  auto& obs = health::observatory::global();
+  obs.reset();
+  std::size_t unconverged = 0;
+  const planted p1 = run_backend<distributed::sim_transport>(anomaly,
+                                                             &unconverged);
+  (void)obs.tick(1000);
+  std::size_t ignored = 0;
+  const planted p2 =
+      run_backend<distributed::parallel_transport>(anomaly, &ignored);
+  (void)obs.tick(2000);
+  const planted p3 =
+      run_backend<distributed::inproc_transport>(anomaly, &ignored);
+  telemetry::registry::global()
+      .get_gauge("distributed.gossip.unconverged")
+      .set(static_cast<std::int64_t>(unconverged));
+  // Run the tick count past the convergence deadline (budget 8) so the
+  // deadline rule is evaluated and not vacuously skipped.
+  for (std::uint64_t t = 3; t <= 10; ++t) (void)obs.tick(1000 * t);
+  if (p1.hub_shard != p2.hub_shard || p1.hub_shard != p3.hub_shard ||
+      p1.stall_shard != p2.stall_shard || p1.stall_shard != p3.stall_shard) {
+    std::cerr << "health_export: planted shards disagree across backends\n";
+    std::exit(6);
+  }
+  return {obs.export_json(), p1};
+}
+
+std::uint64_t count_rollup_field(const telemetry::json_value& rollup,
+                                 const char* key) {
+  return static_cast<std::uint64_t>(rollup.at(key).num);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if constexpr (!telemetry::kEnabled) {
+    std::cout << "health_export: CGP_TELEMETRY_DISABLED build; the health "
+                 "observatory is compiled out, nothing to validate\n";
+    return 0;
+  }
+  std::string path = "health.json";
+  bool anomaly = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-anomaly") anomaly = false;
+    else if (arg == "--out" && i + 1 < argc) path = argv[++i];
+    else if (arg[0] != '-') path = arg;
+  }
+
+  auto& obs = health::observatory::global();
+  health::health_options hopts;
+  hopts.shards = kHealthShards;
+  hopts.reservoir_k = 8;
+  hopts.seed = 42;
+  hopts.manual_clock = true;
+  hopts.rules = gate_rules();
+  obs.enable(hopts);
+
+  // Two complete passes; byte-identical exports are the determinism
+  // contract the validator cannot check from one run.
+  std::string export1, export2;
+  planted p;
+  std::tie(export1, p) = run_scenario(anomaly);
+  std::tie(export2, p) = run_scenario(anomaly);
+  if (export1 != export2) {
+    std::cerr << "health_export: manual-clock exports differ between two "
+                 "identical passes (" << export1.size() << " vs "
+              << export2.size() << " bytes)\n";
+    return 5;
+  }
+
+  telemetry::json_value doc;
+  try {
+    doc = telemetry::parse_json(export2);
+  } catch (const telemetry::json_error& e) {
+    std::cerr << "health_export: export re-parse failed: " << e.what() << "\n";
+    return 3;
+  }
+  const auto v = health::validate_health_export(doc);
+  std::cout << "health_export: backends=" << v.backends
+            << " shard_rows=" << v.shards << " exemplars=" << v.exemplars
+            << " verdicts=" << v.verdicts << " bytes=" << export2.size()
+            << "\n";
+  if (!v.ok) {
+    std::cerr << "health_export: INVALID cgp.health.v1 document:\n"
+              << v.error_text();
+    return 7;
+  }
+
+  // Cross-backend determinism: the three roll-ups must agree exactly
+  // (same seed -> same fault draws -> same per-shard traffic).
+  const auto& backends = doc.at("backends").arr;
+  if (backends.size() != 3) {
+    std::cerr << "health_export: expected 3 backends, got " << backends.size()
+              << "\n";
+    return 6;
+  }
+  for (const char* field : {"routed", "delivered", "dropped", "duplicated",
+                            "last_active_round", "rounds_active"}) {
+    const std::uint64_t want =
+        count_rollup_field(backends[0].at("rollup"), field);
+    for (const auto& b : backends) {
+      const std::uint64_t got = count_rollup_field(b.at("rollup"), field);
+      if (got != want) {
+        std::cerr << "health_export: backend '" << b.at("name").str
+                  << "' rollup." << field << " = " << got << ", '"
+                  << backends[0].at("name").str << "' says " << want
+                  << " — backends diverged\n";
+        return 6;
+      }
+    }
+  }
+
+  // The gate itself: every backend must NAME both planted shards.
+  int rc = 0;
+  for (const char* backend : {"sim", "parallel", "inproc"}) {
+    const std::string hub = "distributed." + std::string(backend) + ".shard" +
+                            std::to_string(p.hub_shard);
+    const std::string stalled = "distributed." + std::string(backend) +
+                                ".shard" + std::to_string(p.stall_shard);
+    bool hub_named = false, stall_named = false;
+    for (const auto& jv : doc.at("verdicts").arr) {
+      const std::string& rule = jv.at("rule").str;
+      const std::string& target = jv.at("target").str;
+      if (rule == "shard_skew" && target == hub) hub_named = true;
+      if (rule == "shard_stall" && target == stalled) stall_named = true;
+    }
+    if (!hub_named) {
+      std::cerr << "health_export: no shard_skew verdict names " << hub
+                << (anomaly ? "" : " — failing as the no-anomaly self-check "
+                                   "expects")
+                << "\n";
+      rc = 4;
+    }
+    if (!stall_named) {
+      std::cerr << "health_export: no shard_stall verdict names " << stalled
+                << (anomaly ? "" : " — failing as the no-anomaly self-check "
+                                   "expects")
+                << "\n";
+      rc = 4;
+    }
+  }
+
+  // Stamp the environment and write the artifact CI uploads (before the
+  // remaining checks, so a failing gate still leaves the evidence).
+  doc.obj["environment"] = perf::env_info(perf::utc_timestamp()).to_json();
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "health_export: cannot write " << path << "\n";
+      return 2;
+    }
+    out << telemetry::dump_json(doc) << "\n";
+  }
+  std::cout << "health_export: wrote " << path << "\n";
+
+  // Reservoir exemplars must land inside a valid Perfetto tree.  The full
+  // scenario above overflows the trace ring by design (tracing is not the
+  // observability layer for a 36-round three-backend soak — that is the
+  // observatory's whole point), so the exemplar contract is checked on a
+  // small dedicated traced run instead.
+  auto& sink = telemetry::trace::sink::global();
+  sink.clear();
+  {
+    telemetry::trace::trace_span root("bench.health_exemplars", "bench");
+    distributed::net_options small;
+    small.nodes = 48;
+    small.topo = distributed::topology::ring;
+    small.seed = 42;
+    distributed::sim_transport net(small);
+    net.spawn(distributed::gossip_membership(kSuspectTimeout));
+    (void)net.run(8);
+  }
+  telemetry::json_value trace_doc;
+  try {
+    trace_doc = telemetry::parse_json(sink.export_chrome_trace());
+  } catch (const telemetry::json_error& e) {
+    std::cerr << "health_export: trace re-parse failed: " << e.what() << "\n";
+    return 8;
+  }
+  const auto tv = telemetry::trace::validate_chrome_trace(trace_doc);
+  std::size_t exemplar_instants = 0;
+  for (const auto& ev : trace_doc.at("traceEvents").arr)
+    if (ev.has("name") && ev.at("name").str == "health.exemplar")
+      ++exemplar_instants;
+  std::cout << "health_export: trace spans=" << tv.spans
+            << " instants=" << tv.instants
+            << " health.exemplar=" << exemplar_instants << "\n";
+  if (!tv.ok) {
+    std::cerr << "health_export: INVALID trace:\n" << tv.error_text();
+    return 8;
+  }
+  if (exemplar_instants == 0) {
+    std::cerr << "health_export: no health.exemplar instants in the trace\n";
+    return 8;
+  }
+  if (rc == 0) std::cout << "health_export: OK\n";
+  return rc;
+}

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "distributed/inproc_transport.hpp"
 #include "distributed/parallel_transport.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/env_info.hpp"
@@ -83,8 +84,20 @@ class pagerank_process : public distributed::process {
 
 void drive_one_load_iteration(parallel::thread_pool& pool,
                               rewrite::simplifier& simp) {
+  // One run per Transport backend, so the sampler streams a
+  // `distributed.network.runs.<backend>` lane for each of the three.
   {
     distributed::parallel_transport net({.nodes = 8});
+    net.spawn([](int) { return std::make_unique<pagerank_process>(); });
+    (void)net.run(16);
+  }
+  {
+    distributed::sim_transport net({.nodes = 8});
+    net.spawn([](int) { return std::make_unique<pagerank_process>(); });
+    (void)net.run(16);
+  }
+  {
+    distributed::inproc_transport net({.nodes = 8, .workers = 2});
     net.spawn([](int) { return std::make_unique<pagerank_process>(); });
     (void)net.run(16);
   }
@@ -277,6 +290,19 @@ int main(int argc, char** argv) {
     std::cerr << "live_export: only " << covered
               << " subsystem(s) streamed series; need >= 3\n";
     return 8;
+  }
+  // Every Transport backend must stream its own run-counter lane (the
+  // load loop drives all three each iteration).
+  std::set<std::string> series_names;
+  for (const auto& s : doc.at("series").arr)
+    series_names.insert(s.at("name").str);
+  for (const char* backend : {"sim", "parallel", "inproc"}) {
+    if (!series_names.contains("distributed.network.runs." +
+                               std::string(backend))) {
+      std::cerr << "live_export: no distributed.network.runs." << backend
+                << " series — backend lane missing\n";
+      return 13;
+    }
   }
   if (plant_stall && v.stalls == 0) {
     std::cerr << "live_export: exported document carries no watchdog "

@@ -64,6 +64,7 @@
 #include "rewrite/parser.hpp"
 #include "sequences/instrumented.hpp"
 #include "stllint/stllint.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/live.hpp"
 #include "telemetry/profile.hpp"
 
@@ -329,6 +330,42 @@ perf::bench_registry build_registry(bool quick) {
              };
            }});
 
+  // The same echo wave with the health observatory live: every send pays
+  // the per-shard relaxed fetch_adds and every round the O(health shards)
+  // barrier fold.  Same declared bound, same deterministic message
+  // counters; the health_overhead gate below compares the two sweeps and
+  // trips when observation costs more than its budget.
+  reg.add({.name = "distributed.sim_transport.health",
+           .subsystem = "distributed",
+           .declared = core::big_o::n(),
+           .sizes = {8, 16, 32, 64, 128},
+           .counter_prefix = "distributed.network.messages",
+           .setup = [](std::size_t n) -> std::function<void()> {
+             // RAII health session, mirroring profiling_session: enable on
+             // entry unless an outer session already owns the observatory.
+             struct health_session {
+               bool owned;
+               health_session()
+                   : owned(!telemetry::health::observatory::global()
+                                .enabled()) {
+                 if (owned) telemetry::health::observatory::global().enable();
+               }
+               ~health_session() {
+                 if (owned) {
+                   telemetry::health::observatory::global().disable();
+                   telemetry::health::observatory::global().reset();
+                 }
+               }
+             };
+             auto session = std::make_shared<health_session>();
+             return [session, n] {
+               distributed::sim_transport net(
+                   {.nodes = n, .topo = distributed::topology::ring});
+               net.spawn(distributed::echo_wave(0));
+               (void)net.run();
+             };
+           }});
+
   // The same wave on a complete topology via the thread-pool backend:
   // message count is edge count, i.e. quadratic in nodes.
   reg.add({.name = "distributed.parallel_transport",
@@ -462,6 +499,9 @@ bool parse_args(int argc, char** argv, options& o) {
 // the live sampler (PR 6) and the profiler's probes alike.
 constexpr double kSamplerOverheadBudget = 1.10;
 constexpr double kProbeOverheadBudget = 1.10;
+// The health observatory's per-message atomics and per-round shard folds
+// must fit in the same 10% tax on the distributed engine.
+constexpr double kHealthOverheadBudget = 1.10;
 // The work-stealing pool must not lose throughput to the legacy
 // shared-queue pool on the nested irregular fork-join sweep.  The budget
 // is generous (and the CI separation asymmetric, see gate_overhead_pair)
@@ -728,6 +768,11 @@ int main(int argc, char** argv) {
       gate_overhead_pair(results, "parallel.thread_pool",
                          "parallel.thread_pool.profiled", kProbeOverheadBudget);
   if (probe_overhead.present) doc.obj["probe_overhead"] = probe_overhead.block;
+  const auto health_overhead = gate_overhead_pair(
+      results, "distributed.sim_transport", "distributed.sim_transport.health",
+      kHealthOverheadBudget, "unobserved", "observed");
+  if (health_overhead.present)
+    doc.obj["health_overhead"] = health_overhead.block;
   const auto scaling =
       gate_overhead_pair(results, "parallel.scaling.thread_pool",
                          "parallel.scaling.work_stealing", kScalingBudget,
@@ -846,6 +891,18 @@ int main(int argc, char** argv) {
       std::cerr << "probe overhead gate: profiler probes cost more than "
                 << kProbeOverheadBudget
                 << "x the bare thread pool at half or more sweep points\n";
+      rc = rc == 0 ? 4 : rc;
+    }
+  }
+  if (health_overhead.present) {
+    if (health_overhead.ok) {
+      std::cout << "health overhead gate: ok (budget "
+                << kHealthOverheadBudget << "x)\n";
+    } else {
+      std::cerr << "health overhead gate: the observatory costs more than "
+                << kHealthOverheadBudget
+                << "x the unobserved sim transport at half or more sweep "
+                   "points\n";
       rc = rc == 0 ? 4 : rc;
     }
   }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "distributed/inproc_transport.hpp"
 #include "distributed/parallel_transport.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/env_info.hpp"
@@ -78,10 +79,10 @@ class pagerank_process : public distributed::process {
   bool done_ = false;
 };
 
-// Drives the same PageRank run on both Transport backends under one
-// parent: the sim run and the parallel run must both join the causal
-// tree (the parallel backend's worker tasks adopt the phase context, so
-// its per-node spans hang off the same root).
+// Drives the same PageRank run on all three Transport backends under one
+// parent: the sim, parallel, and inproc runs must all join the causal
+// tree (the threaded backends' workers adopt the phase context, so their
+// per-node spans hang off the same root).
 void drive_distributed() {
   telemetry::trace::child_span span("bench.pagerank", "bench");
   {
@@ -93,6 +94,11 @@ void drive_distributed() {
   }
   {
     distributed::parallel_transport net({.nodes = 8});
+    net.spawn([](int) { return std::make_unique<pagerank_process>(); });
+    (void)net.run(32);
+  }
+  {
+    distributed::inproc_transport net({.nodes = 8, .workers = 2});
     net.spawn([](int) { return std::make_unique<pagerank_process>(); });
     (void)net.run(32);
   }
@@ -215,17 +221,17 @@ int main(int argc, char** argv) {
               << " rank(s); need >= 2\n";
     return 6;
   }
-  // Both Transport backends must have contributed a run span to the one
-  // causal tree (the traces==1 check above already proved nothing forked
-  // off into a separate trace).
+  // All three Transport backends must have contributed a run span to the
+  // one causal tree (the traces==1 check above already proved nothing
+  // forked off into a separate trace).
   std::size_t backend_runs = 0;
   for (const auto& ev : doc.at("traceEvents").arr)
     if (ev.at("ph").str == "B" &&
         ev.at("name").str == "distributed.network.run")
       ++backend_runs;
-  if (backend_runs != 2) {
-    std::cerr << "trace_export: expected 2 distributed.network.run spans "
-                 "(sim + parallel), got "
+  if (backend_runs != 3) {
+    std::cerr << "trace_export: expected 3 distributed.network.run spans "
+                 "(sim + parallel + inproc), got "
               << backend_runs << "\n";
     return 9;
   }

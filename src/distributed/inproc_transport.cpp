@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "distributed/transport.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/watchdog.hpp"
 
@@ -60,7 +61,16 @@ void inproc_transport::enqueue_sync(std::size_t src, std::uint64_t seq,
   const fault_draw d = draw_faults(src, seq);
   if (d.drop) {
     ++acc.dropped;
+    if (health_) health_->on_send(src, true, false);
     return;
+  }
+  // Health hooks at the send site (relaxed atomics, same slot layout the
+  // routing-barrier backends bump — the hash fault plan keeps the counts
+  // identical across backends for a fixed seed).
+  if (health_) {
+    health_->on_send(src, false, d.dup);
+    health_->on_delivered(static_cast<std::size_t>(m.dst));
+    if (d.dup) health_->on_delivered(static_cast<std::size_t>(m.dst));
   }
   mailbox& box = *mailboxes_[shard_of(static_cast<std::size_t>(m.dst))];
   const std::uint64_t original_key = (seq << 1) | 1u;
@@ -116,6 +126,11 @@ void inproc_transport::execute_synchronous(std::size_t max_rounds) {
       stop = true;
       return;
     }
+    // Single-threaded barrier point: fold the round into the health
+    // roll-ups BEFORE round_ advances, so round indices match the base
+    // engine exactly (0 = start phase, then 1..max_rounds).
+    if (health_)
+      health_->end_round(round_, phase_trace_id_, phase_parent_span_);
     if (round_ == 0) {  // the start phase just completed
       had_due = routed > 0;
       round_ = 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/health.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -352,12 +353,18 @@ std::size_t net_base::route_outboxes() {
           telemetry::profile::probe fault_probe(prof_fault_frame_);
           ++stats_.messages_dropped;
           live_faults_counter().add();
+          if (health_) health_->on_send(e.src, true, false);
           continue;
         }
         dup = d.dup;
       }
-      auto& dest =
-          incoming_[shard_of(static_cast<std::size_t>(e.msg.dst))];
+      const auto dst = static_cast<std::size_t>(e.msg.dst);
+      if (health_) {
+        health_->on_send(e.src, false, dup);
+        health_->on_delivered(dst);
+        if (dup) health_->on_delivered(dst);
+      }
+      auto& dest = incoming_[shard_of(dst)];
       if (dup) {
         telemetry::profile::probe fault_probe(prof_fault_frame_);
         ++stats_.messages_duplicated;
@@ -484,6 +491,8 @@ void net_base::run_synchronous(std::size_t max_rounds) {
     live_routed_counter().add(sent);
     in_flight_gauge().set(static_cast<std::int64_t>(pending_count_));
     if (run_heartbeat_) run_heartbeat_->beat();
+    if (health_)
+      health_->end_round(round_, phase_trace_id_, phase_parent_span_);
     if (all_down()) break;
     if (!any_due && pending_count_ == 0) break;  // quiescent
   }
@@ -539,8 +548,13 @@ void net_base::run_start_phase() {
     for (std::size_t i = lo; i < hi; ++i) run_node_start(i);
   });
   if (opts_.mode == timing::synchronous) {
-    telemetry::profile::probe route_probe(prof_route_frame_);
-    pending_count_ = route_outboxes();
+    {
+      telemetry::profile::probe route_probe(prof_route_frame_);
+      pending_count_ = route_outboxes();
+    }
+    // Round 0 = the start phase; the round loop continues from 1, so
+    // every backend reports identical round indices to the observatory.
+    if (health_) health_->end_round(0, phase_trace_id_, phase_parent_span_);
   }
 }
 
@@ -590,6 +604,10 @@ run_stats net_base::run(std::size_t max_rounds) {
   run_heartbeat_ = telemetry::live::watchdog::global().register_heartbeat(
       std::string("distributed.") + backend_name() + ".run");
   run_heartbeat_->begin_work();
+  // Health roll-ups: one fixed-size track per backend (nullptr when the
+  // observatory is off — every hook below is one pointer test then).
+  health_ = telemetry::health::observatory::global().begin_run(
+      backend_name(), node_count());
   if (opts_.mode == timing::synchronous) {
     execute_synchronous(max_rounds);
   } else {
@@ -598,6 +616,7 @@ run_stats net_base::run(std::size_t max_rounds) {
   }
   run_heartbeat_->end_work();
   run_heartbeat_.reset();
+  health_ = nullptr;
   in_flight_gauge().set(0);
   finalize_stats();
   // Fold this run into the process-wide telemetry registry so every

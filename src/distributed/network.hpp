@@ -79,6 +79,10 @@ namespace cgp::telemetry::live {
 class heartbeat;
 }  // namespace cgp::telemetry::live
 
+namespace cgp::telemetry::health {
+class backend_track;
+}  // namespace cgp::telemetry::health
+
 namespace cgp::distributed {
 
 /// A message: source/destination node ids, a tag, and an integer payload.
@@ -465,6 +469,14 @@ class net_base {
   // entry, marked busy for the run's duration, beaten once per superstep
   // (sync) / delivered event batch (async), released at run exit.
   std::shared_ptr<telemetry::live::heartbeat> run_heartbeat_;
+
+  // Health-observatory track for the current run (telemetry/health.hpp):
+  // nullptr unless the observatory is enabled, acquired at run() entry.
+  // Message hooks fire at the same sites as the fault draw (routing
+  // barrier on the base engine, cross-thread send sites on inproc);
+  // end_round fires once per synchronous round at a single-threaded
+  // barrier point, with identical round indices on every backend.
+  telemetry::health::backend_track* health_ = nullptr;
 
   // Trace context of the current phase span (start phase / round span),
   // captured on the coordinator so worker-thread tasks can adopt it and

@@ -1,0 +1,929 @@
+#include "telemetry/health.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "telemetry/recorder.hpp"
+#include "telemetry/trace.hpp"
+
+namespace cgp::telemetry::health {
+namespace {
+
+// splitmix64 — the same hash family the runtime's fault plan uses, so
+// reservoir admission is a pure function of (seed, shard, stream index)
+// and identical on every backend and every run.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] json_value jnum(double v) {
+  json_value j;
+  j.k = json_value::kind::number;
+  j.num = v;
+  return j;
+}
+[[nodiscard]] json_value jnum(std::uint64_t v) {
+  return jnum(static_cast<double>(v));
+}
+[[nodiscard]] json_value jstr(std::string s) {
+  json_value j;
+  j.k = json_value::kind::string;
+  j.str = std::move(s);
+  return j;
+}
+[[nodiscard]] json_value jobj() {
+  json_value j;
+  j.k = json_value::kind::object;
+  return j;
+}
+[[nodiscard]] json_value jarr() {
+  json_value j;
+  j.k = json_value::kind::array;
+  return j;
+}
+
+/// Nonzero log2 buckets as [index, count] pairs — compact and lossless.
+[[nodiscard]] json_value jbuckets(
+    const std::array<std::uint64_t, histogram::kBuckets>& buckets) {
+  json_value out = jarr();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    json_value pair = jarr();
+    pair.arr.push_back(jnum(static_cast<std::uint64_t>(i)));
+    pair.arr.push_back(jnum(buckets[i]));
+    out.arr.push_back(std::move(pair));
+  }
+  return out;
+}
+
+[[nodiscard]] json_value jhist(
+    std::uint64_t count, std::uint64_t sum,
+    const std::array<std::uint64_t, histogram::kBuckets>& buckets) {
+  json_value out = jobj();
+  out.obj["count"] = jnum(count);
+  out.obj["sum"] = jnum(sum);
+  out.obj["buckets"] = jbuckets(buckets);
+  return out;
+}
+
+[[nodiscard]] json_value jrollup(const shard_rollup& r) {
+  json_value out = jobj();
+  out.obj["routed"] = jnum(r.routed);
+  out.obj["delivered"] = jnum(r.delivered);
+  out.obj["dropped"] = jnum(r.dropped);
+  out.obj["duplicated"] = jnum(r.duplicated);
+  out.obj["last_active_round"] = jnum(r.last_active_round);
+  out.obj["rounds_active"] = jnum(r.rounds_active);
+  out.obj["latency"] = jhist(r.latency_count, r.latency_sum, r.latency_buckets);
+  out.obj["depth"] = jhist(r.depth_count, r.depth_sum, r.depth_buckets);
+  return out;
+}
+
+/// A verdict must land in the trace even when the evaluating thread (the
+/// sampler, or a post-run driver) has no active context: build a root
+/// instant by hand, exactly like the watchdog does for stalls.
+void record_verdict_instant(const slo_verdict& v) {
+  trace::sink& s = trace::sink::global();
+  trace::event e;
+  e.ph = trace::event::phase::instant;
+  e.link = trace::event::link_kind::root;
+  e.ts_ns = s.now_ns();
+  e.trace_id = trace::next_id();
+  e.span_id = trace::next_id();
+  e.name = "health." + v.rule + ": " + v.target;
+  e.cat = "telemetry.health";
+  e.args.emplace_back("kind", to_string(v.kind));
+  e.args.emplace_back("value", std::to_string(v.value));
+  e.args.emplace_back("threshold", std::to_string(v.threshold));
+  e.args.emplace_back("tick", std::to_string(v.tick));
+  s.record(std::move(e));
+}
+
+void emit_verdict(const slo_verdict& v) {
+  registry::global().get_counter("telemetry.health.verdicts").add(1);
+  registry::global().get_counter("telemetry.health.verdicts." + v.rule).add(1);
+  live::flight_recorder::global().note(
+      live::flight_entry::kind::marker, "health." + v.rule, v.value,
+      v.target + ": " + to_string(v.kind) + " " + std::to_string(v.value) +
+          " over " + std::to_string(v.threshold));
+  record_verdict_instant(v);
+}
+
+/// Exemplar instants join the run's causal tree: use the barrier thread's
+/// own context when it has one (the sim coordinator runs inside the round
+/// span), else adopt the engine's captured phase context (the inproc
+/// completion step fires on a bare worker thread).  Untraced runs stay
+/// silent.
+void record_exemplar_instant(const std::string& backend, const exemplar& ex,
+                             std::uint64_t trace_id,
+                             std::uint64_t parent_span) {
+  std::vector<std::pair<std::string, std::string>> args;
+  args.emplace_back("backend", backend);
+  args.emplace_back("shard", std::to_string(ex.shard));
+  args.emplace_back("round", std::to_string(ex.round));
+  args.emplace_back("delivered", std::to_string(ex.delivered));
+  args.emplace_back("latency", std::to_string(ex.latency));
+  if (trace::current_context().active()) {
+    trace::instant("health.exemplar", "telemetry.health", std::move(args));
+  } else if (trace_id != 0) {
+    const trace::context_scope adopt({trace_id, parent_span});
+    trace::instant("health.exemplar", "telemetry.health", std::move(args));
+  }
+}
+
+[[nodiscard]] double threshold_of(const slo_rule& rule) noexcept {
+  switch (rule.kind) {
+    case rule_kind::skew_ratio:
+    case rule_kind::drop_rate:
+      return rule.threshold;
+    case rule_kind::stall_budget:
+    case rule_kind::convergence_deadline:
+      return static_cast<double>(rule.budget);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* to_string(rule_kind k) noexcept {
+  switch (k) {
+    case rule_kind::skew_ratio: return "skew_ratio";
+    case rule_kind::stall_budget: return "stall_budget";
+    case rule_kind::drop_rate: return "drop_rate";
+    case rule_kind::convergence_deadline: return "convergence_deadline";
+  }
+  return "unknown";
+}
+
+bool parse_rule_kind(std::string_view s, rule_kind& out) noexcept {
+  if (s == "skew_ratio") out = rule_kind::skew_ratio;
+  else if (s == "stall_budget") out = rule_kind::stall_budget;
+  else if (s == "drop_rate") out = rule_kind::drop_rate;
+  else if (s == "convergence_deadline") out = rule_kind::convergence_deadline;
+  else return false;
+  return true;
+}
+
+std::vector<slo_rule> default_rules() {
+  return {
+      {.kind = rule_kind::skew_ratio,
+       .name = "shard_skew",
+       .threshold = 4.0,
+       .min_activity = 1024},
+      {.kind = rule_kind::stall_budget, .name = "shard_stall", .budget = 3},
+      {.kind = rule_kind::drop_rate,
+       .name = "drop_ceiling",
+       .threshold = 0.05,
+       .min_activity = 1024},
+      {.kind = rule_kind::convergence_deadline,
+       .name = "gossip_convergence",
+       .budget = 8,
+       .metric = "distributed.gossip.unconverged"},
+  };
+}
+
+void shard_rollup::fold(const shard_rollup& other) {
+  routed += other.routed;
+  delivered += other.delivered;
+  dropped += other.dropped;
+  duplicated += other.duplicated;
+  last_active_round = std::max(last_active_round, other.last_active_round);
+  rounds_active += other.rounds_active;
+  latency_count += other.latency_count;
+  latency_sum += other.latency_sum;
+  depth_count += other.depth_count;
+  depth_sum += other.depth_sum;
+  for (std::size_t i = 0; i < latency_buckets.size(); ++i) {
+    latency_buckets[i] += other.latency_buckets[i];
+    depth_buckets[i] += other.depth_buckets[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// backend_track
+// ---------------------------------------------------------------------------
+
+backend_track::backend_track(std::string name, const health_options& opts)
+    : name_(std::move(name)),
+      opts_(opts),
+      slots_(opts.shards == 0 ? 1 : opts.shards),
+      rows_(opts.shards == 0 ? 1 : opts.shards) {
+  // Pre-size the reservoirs so end_round stays allocation-free on the
+  // admission path (it runs inside a noexcept barrier completion step).
+  for (round_row& r : rows_) r.reservoir.reserve(opts_.reservoir_k);
+}
+
+void backend_track::begin_run(std::size_t nodes) {
+  const std::lock_guard lock(mu_);
+  nodes_ = nodes;
+  const std::size_t h = slots_.size();
+  width_ = nodes == 0 ? 1 : (nodes + h - 1) / h;
+  if (width_ == 0) width_ = 1;
+  shards_used_ = nodes == 0 ? 0 : (nodes + width_ - 1) / width_;
+  last_round_ns_ = 0;
+}
+
+void backend_track::end_round(std::size_t round, std::uint64_t trace_id,
+                              std::uint64_t parent_span) {
+  if constexpr (!kEnabled) return;
+  std::vector<exemplar> admitted;
+  {
+    const std::lock_guard lock(mu_);
+    std::uint64_t wall_us = 0;
+    if (!opts_.manual_clock) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      const std::uint64_t now_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+      if (last_round_ns_ != 0 && now_ns > last_round_ns_)
+        wall_us = (now_ns - last_round_ns_) / 1000;
+      last_round_ns_ = now_ns;
+    }
+    if (round + 1 > rounds_) rounds_ = round + 1;
+    for (std::size_t s = 0; s < shards_used_; ++s) {
+      round_row& row = rows_[s];
+      const std::uint64_t routed =
+          slots_[s].routed.load(std::memory_order_relaxed);
+      const std::uint64_t delivered =
+          slots_[s].delivered.load(std::memory_order_relaxed);
+      const std::uint64_t routed_delta = routed - row.prev_routed;
+      const std::uint64_t delivered_delta = delivered - row.prev_delivered;
+      row.prev_routed = routed;
+      row.prev_delivered = delivered;
+      // Inbox depth: mail this round scheduled into the next round.
+      row.depth_buckets[histogram::bucket_of(delivered_delta)] += 1;
+      row.depth_count += 1;
+      row.depth_sum += delivered_delta;
+      if (routed_delta == 0 && delivered_delta == 0) continue;
+      // Superstep latency: under the manual clock a pure function of the
+      // deterministic run (delivered + 1, so an active-but-quiet round
+      // still lands in bucket 1); wall time otherwise.
+      const std::uint64_t latency =
+          opts_.manual_clock ? delivered_delta + 1 : wall_us + 1;
+      row.latency_buckets[histogram::bucket_of(latency)] += 1;
+      row.latency_count += 1;
+      row.latency_sum += latency;
+      // Progress is SENDS: a crashed shard keeps receiving gossip from its
+      // neighbors long after it stopped doing anything, so a shard only
+      // counts as active — and only offers exemplars — in rounds where it
+      // routed traffic of its own.  This is what lets the stall rule see a
+      // wedged shard inside a still-chattering run.
+      if (routed_delta == 0) continue;
+      row.last_active_round = static_cast<std::uint64_t>(round) + 1;
+      row.rounds_active += 1;
+      // Reservoir offer (algorithm R): item i survives iff its seeded
+      // draw over [0, i) lands below k.
+      const std::uint64_t seen = ++row.seen;
+      const exemplar ex{static_cast<std::uint32_t>(s),
+                        static_cast<std::uint64_t>(round),
+                        delivered_delta,
+                        routed_delta,
+                        latency,
+                        seen};
+      if (opts_.reservoir_k == 0) continue;
+      if (row.reservoir.size() < opts_.reservoir_k) {
+        row.reservoir.push_back(ex);
+        admitted.push_back(ex);
+      } else {
+        const std::uint64_t draw =
+            mix64(opts_.seed ^ mix64(static_cast<std::uint64_t>(s) + 1) ^
+                  mix64(seen));
+        const std::uint64_t j = draw % seen;
+        if (j < opts_.reservoir_k) {
+          row.reservoir[static_cast<std::size_t>(j)] = ex;
+          admitted.push_back(ex);
+        }
+      }
+    }
+  }
+  // Outside the lock: admissions become trace instants in the phase tree.
+  for (const exemplar& ex : admitted)
+    record_exemplar_instant(name_, ex, trace_id, parent_span);
+}
+
+backend_snapshot backend_track::snapshot() const {
+  backend_snapshot out;
+  out.name = name_;
+  const std::lock_guard lock(mu_);
+  out.nodes = nodes_;
+  out.shards_used = shards_used_;
+  out.rounds = rounds_;
+  out.shards.resize(shards_used_);
+  for (std::size_t s = 0; s < shards_used_; ++s) {
+    shard_rollup& r = out.shards[s];
+    r.routed = slots_[s].routed.load(std::memory_order_relaxed);
+    r.delivered = slots_[s].delivered.load(std::memory_order_relaxed);
+    r.dropped = slots_[s].dropped.load(std::memory_order_relaxed);
+    r.duplicated = slots_[s].duplicated.load(std::memory_order_relaxed);
+    const round_row& row = rows_[s];
+    r.last_active_round = row.last_active_round;
+    r.rounds_active = row.rounds_active;
+    r.latency_count = row.latency_count;
+    r.latency_sum = row.latency_sum;
+    r.depth_count = row.depth_count;
+    r.depth_sum = row.depth_sum;
+    r.latency_buckets = row.latency_buckets;
+    r.depth_buckets = row.depth_buckets;
+    out.rollup.fold(r);
+    for (const exemplar& ex : row.reservoir) out.reservoir.push_back(ex);
+    out.reservoir_seen += row.seen;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// observatory
+// ---------------------------------------------------------------------------
+
+observatory& observatory::global() {
+  static observatory o;
+  return o;
+}
+
+void observatory::enable(health_options opts) {
+  const std::lock_guard lock(mu_);
+  if (opts.shards == 0) opts.shards = 1;
+  if (opts.rules.empty()) opts.rules = default_rules();
+  opts_ = std::move(opts);
+  tracks_.clear();
+  verdicts_.clear();
+  episodes_.clear();
+  mirrored_.clear();
+  ticks_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void observatory::disable() {
+  const std::lock_guard lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void observatory::reset() {
+  const std::lock_guard lock(mu_);
+  tracks_.clear();
+  verdicts_.clear();
+  episodes_.clear();
+  mirrored_.clear();
+  ticks_ = 0;
+}
+
+health_options observatory::options() const {
+  const std::lock_guard lock(mu_);
+  return opts_;
+}
+
+backend_track* observatory::begin_run(const char* backend,
+                                      std::size_t nodes) {
+  if constexpr (!kEnabled) return nullptr;
+  if (!enabled()) return nullptr;
+  const std::lock_guard lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return nullptr;
+  auto it = tracks_.find(backend);
+  if (it == tracks_.end())
+    it = tracks_
+             .emplace(backend, std::unique_ptr<backend_track>(
+                                   new backend_track(backend, opts_)))
+             .first;
+  it->second->begin_run(nodes);
+  return it->second.get();
+}
+
+std::uint64_t observatory::ticks() const {
+  const std::lock_guard lock(mu_);
+  return ticks_;
+}
+
+std::vector<slo_verdict> observatory::verdicts() const {
+  const std::lock_guard lock(mu_);
+  return verdicts_;
+}
+
+std::vector<backend_snapshot> observatory::snapshots() const {
+  const std::lock_guard lock(mu_);
+  std::vector<backend_snapshot> out;
+  out.reserve(tracks_.size());
+  for (const auto& [name, track] : tracks_) out.push_back(track->snapshot());
+  return out;
+}
+
+std::size_t observatory::tick(std::uint64_t now_ms) {
+  if constexpr (!kEnabled) return 0;
+  if (!enabled()) return 0;
+  const std::lock_guard lock(mu_);
+  ++ticks_;
+  std::vector<backend_snapshot> snaps;
+  snaps.reserve(tracks_.size());
+  for (const auto& [name, track] : tracks_) snaps.push_back(track->snapshot());
+  mirror_locked(snaps);
+  return evaluate_rules_locked(now_ms, snaps);
+}
+
+void observatory::mirror_locked(const std::vector<backend_snapshot>& snaps) {
+  registry& reg = registry::global();
+  // Counters are add-only: push the growth since the last mirror so the
+  // registry value tracks the cumulative roll-up exactly.
+  const auto mirror = [&](const std::string& name, std::uint64_t absolute) {
+    std::uint64_t& last = mirrored_[name];
+    if (absolute > last) {
+      reg.get_counter(name).add(absolute - last);
+      last = absolute;
+    }
+  };
+  // Histograms replay bucket-count deltas at each bucket's lower bound:
+  // bucket-faithful (counts and percentile estimates match the roll-up),
+  // sums approximated at bucket floors.
+  const auto replay =
+      [&](const std::string& hname,
+          const std::array<std::uint64_t, histogram::kBuckets>& buckets) {
+        histogram& h = reg.get_histogram(hname);
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+          if (buckets[i] == 0) continue;
+          std::uint64_t& last = mirrored_[hname + ".b" + std::to_string(i)];
+          if (buckets[i] > last) {
+            h.record_n(histogram::bucket_bounds(i).first, buckets[i] - last);
+            last = buckets[i];
+          }
+        }
+      };
+  for (const backend_snapshot& b : snaps) {
+    const std::string base = "distributed.health." + b.name;
+    for (std::size_t s = 0; s < b.shards.size(); ++s) {
+      const shard_rollup& r = b.shards[s];
+      const std::string sb = base + ".shard" + std::to_string(s);
+      mirror(sb + ".routed", r.routed);
+      mirror(sb + ".delivered", r.delivered);
+      mirror(sb + ".dropped", r.dropped);
+      mirror(sb + ".duplicated", r.duplicated);
+    }
+    mirror(base + ".routed", b.rollup.routed);
+    mirror(base + ".delivered", b.rollup.delivered);
+    mirror(base + ".dropped", b.rollup.dropped);
+    mirror(base + ".duplicated", b.rollup.duplicated);
+    replay(base + ".superstep_latency", b.rollup.latency_buckets);
+    replay(base + ".inbox_depth", b.rollup.depth_buckets);
+  }
+}
+
+std::size_t observatory::evaluate_rules_locked(
+    std::uint64_t now_ms, const std::vector<backend_snapshot>& snaps) {
+  struct violation {
+    const slo_rule* rule;
+    std::string target;
+    double value;
+  };
+  std::vector<violation> violations;
+  registry& reg = registry::global();
+  for (const slo_rule& rule : opts_.rules) {
+    switch (rule.kind) {
+      case rule_kind::skew_ratio:
+        for (const backend_snapshot& b : snaps) {
+          std::uint64_t total = 0, best = 0;
+          std::size_t best_shard = 0, active = 0;
+          for (std::size_t s = 0; s < b.shards.size(); ++s) {
+            const std::uint64_t t = b.shards[s].routed + b.shards[s].delivered;
+            if (t == 0) continue;
+            ++active;
+            total += t;
+            if (t > best) {
+              best = t;
+              best_shard = s;
+            }
+          }
+          if (active < 2 || total < rule.min_activity) continue;
+          const double mean =
+              static_cast<double>(total) / static_cast<double>(active);
+          const double ratio = static_cast<double>(best) / mean;
+          if (ratio > rule.threshold)
+            violations.push_back({&rule,
+                                  "distributed." + b.name + ".shard" +
+                                      std::to_string(best_shard),
+                                  ratio});
+        }
+        break;
+      case rule_kind::stall_budget:
+        for (const backend_snapshot& b : snaps) {
+          const std::uint64_t newest = b.rollup.last_active_round;
+          for (std::size_t s = 0; s < b.shards.size(); ++s) {
+            const shard_rollup& r = b.shards[s];
+            if (r.last_active_round == 0 || newest <= r.last_active_round)
+              continue;
+            const std::uint64_t lag = newest - r.last_active_round;
+            if (lag > rule.budget)
+              violations.push_back(
+                  {&rule,
+                   "distributed." + b.name + ".shard" + std::to_string(s),
+                   static_cast<double>(lag)});
+          }
+        }
+        break;
+      case rule_kind::drop_rate:
+        for (const backend_snapshot& b : snaps) {
+          if (b.rollup.routed == 0 || b.rollup.routed < rule.min_activity)
+            continue;
+          const double rate = static_cast<double>(b.rollup.dropped) /
+                              static_cast<double>(b.rollup.routed);
+          if (rate > rule.threshold)
+            violations.push_back({&rule, "distributed." + b.name, rate});
+        }
+        break;
+      case rule_kind::convergence_deadline: {
+        if (rule.metric.empty() || ticks_ < rule.budget) break;
+        const std::int64_t level = reg.get_gauge(rule.metric).value();
+        if (level > 0)
+          violations.push_back(
+              {&rule, rule.metric, static_cast<double>(level)});
+        break;
+      }
+    }
+  }
+  // Episode bookkeeping (watchdog semantics): one verdict per (rule,
+  // target) episode; the episode re-arms when the condition clears.
+  std::vector<slo_verdict> fresh;
+  std::set<std::pair<std::string, std::string>> current;
+  for (const violation& v : violations) {
+    const auto key = std::make_pair(v.rule->name, v.target);
+    current.insert(key);
+    bool& flagged = episodes_[key];
+    if (flagged) continue;
+    flagged = true;
+    slo_verdict verdict;
+    verdict.rule = v.rule->name;
+    verdict.kind = v.rule->kind;
+    verdict.target = v.target;
+    verdict.value = v.value;
+    verdict.threshold = threshold_of(*v.rule);
+    verdict.tick = ticks_;
+    verdict.now_ms = now_ms;
+    verdicts_.push_back(verdict);
+    fresh.push_back(std::move(verdict));
+  }
+  for (auto& [key, flagged] : episodes_)
+    if (flagged && current.find(key) == current.end()) flagged = false;
+  // Side effects outside our own data structures; the registry, the
+  // flight recorder, and the trace sink carry their own locks.
+  for (const slo_verdict& v : fresh) emit_verdict(v);
+  return fresh.size();
+}
+
+std::string observatory::export_json() const {
+  const std::lock_guard lock(mu_);
+  json_value doc = jobj();
+  doc.obj["schema"] = jstr("cgp.health.v1");
+  doc.obj["clock"] = jstr(opts_.manual_clock ? "manual" : "steady");
+  doc.obj["ticks"] = jnum(ticks_);
+  doc.obj["seed"] = jnum(opts_.seed);
+  doc.obj["shards"] = jnum(static_cast<std::uint64_t>(opts_.shards));
+  doc.obj["reservoir_k"] =
+      jnum(static_cast<std::uint64_t>(opts_.reservoir_k));
+  json_value backends = jarr();
+  shard_rollup run_rollup;
+  for (const auto& [name, track] : tracks_) {
+    const backend_snapshot b = track->snapshot();
+    json_value jb = jobj();
+    jb.obj["name"] = jstr(b.name);
+    jb.obj["nodes"] = jnum(static_cast<std::uint64_t>(b.nodes));
+    jb.obj["shards_used"] = jnum(static_cast<std::uint64_t>(b.shards_used));
+    jb.obj["rounds"] = jnum(b.rounds);
+    json_value rows = jarr();
+    for (std::size_t s = 0; s < b.shards.size(); ++s) {
+      json_value row = jrollup(b.shards[s]);
+      row.obj["index"] = jnum(static_cast<std::uint64_t>(s));
+      rows.arr.push_back(std::move(row));
+    }
+    jb.obj["shards"] = std::move(rows);
+    jb.obj["rollup"] = jrollup(b.rollup);
+    json_value reservoir = jarr();
+    for (const exemplar& ex : b.reservoir) {
+      json_value je = jobj();
+      je.obj["shard"] = jnum(static_cast<std::uint64_t>(ex.shard));
+      je.obj["round"] = jnum(ex.round);
+      je.obj["delivered"] = jnum(ex.delivered);
+      je.obj["routed"] = jnum(ex.routed);
+      je.obj["latency"] = jnum(ex.latency);
+      je.obj["seen"] = jnum(ex.seen);
+      reservoir.arr.push_back(std::move(je));
+    }
+    jb.obj["reservoir"] = std::move(reservoir);
+    jb.obj["reservoir_seen"] = jnum(b.reservoir_seen);
+    run_rollup.fold(b.rollup);
+    backends.arr.push_back(std::move(jb));
+  }
+  doc.obj["backends"] = std::move(backends);
+  doc.obj["rollup"] = jrollup(run_rollup);
+  json_value rules = jarr();
+  for (const slo_rule& r : opts_.rules) {
+    json_value jr = jobj();
+    jr.obj["name"] = jstr(r.name);
+    jr.obj["kind"] = jstr(to_string(r.kind));
+    jr.obj["threshold"] = jnum(r.threshold);
+    jr.obj["budget"] = jnum(r.budget);
+    jr.obj["metric"] = jstr(r.metric);
+    jr.obj["min_activity"] = jnum(r.min_activity);
+    rules.arr.push_back(std::move(jr));
+  }
+  doc.obj["rules"] = std::move(rules);
+  json_value verdicts = jarr();
+  for (const slo_verdict& v : verdicts_) {
+    json_value jv = jobj();
+    jv.obj["rule"] = jstr(v.rule);
+    jv.obj["kind"] = jstr(to_string(v.kind));
+    jv.obj["target"] = jstr(v.target);
+    jv.obj["value"] = jnum(v.value);
+    jv.obj["threshold"] = jnum(v.threshold);
+    jv.obj["tick"] = jnum(v.tick);
+    jv.obj["now_ms"] = jnum(v.now_ms);
+    verdicts.arr.push_back(std::move(jv));
+  }
+  doc.obj["verdicts"] = std::move(verdicts);
+  return dump_json(doc);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct checker {
+  health_validation* out;
+
+  void fail(std::string msg) {
+    out->ok = false;
+    out->errors.push_back(std::move(msg));
+  }
+  [[nodiscard]] bool num_field(const json_value& v, const std::string& key,
+                               const std::string& where, double& dst) {
+    if (!v.has(key) || !v.at(key).is(json_value::kind::number)) {
+      fail(where + ": missing numeric '" + key + "'");
+      return false;
+    }
+    dst = v.at(key).num;
+    return true;
+  }
+  [[nodiscard]] bool u64_field(const json_value& v, const std::string& key,
+                               const std::string& where, std::uint64_t& dst) {
+    double d = 0.0;
+    if (!num_field(v, key, where, d)) return false;
+    if (d < 0.0) {
+      fail(where + ": negative '" + key + "'");
+      return false;
+    }
+    dst = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  [[nodiscard]] bool str_field(const json_value& v, const std::string& key,
+                               const std::string& where, std::string& dst) {
+    if (!v.has(key) || !v.at(key).is(json_value::kind::string)) {
+      fail(where + ": missing string '" + key + "'");
+      return false;
+    }
+    dst = v.at(key).str;
+    return true;
+  }
+
+  /// Reads one histogram object; returns false (with errors) when
+  /// malformed or when the bucket counts do not sum to `count`.
+  bool read_hist(const json_value& v, const std::string& key,
+                 const std::string& where, shard_rollup& r, bool latency) {
+    if (!v.has(key) || !v.at(key).is(json_value::kind::object)) {
+      fail(where + ": missing histogram '" + key + "'");
+      return false;
+    }
+    const json_value& h = v.at(key);
+    std::uint64_t count = 0, sum = 0;
+    if (!u64_field(h, "count", where + "." + key, count) ||
+        !u64_field(h, "sum", where + "." + key, sum))
+      return false;
+    std::array<std::uint64_t, histogram::kBuckets> buckets{};
+    std::uint64_t bucket_total = 0;
+    if (!h.has("buckets") || !h.at("buckets").is(json_value::kind::array)) {
+      fail(where + "." + key + ": missing 'buckets'");
+      return false;
+    }
+    for (const json_value& pair : h.at("buckets").arr) {
+      if (!pair.is(json_value::kind::array) || pair.arr.size() != 2 ||
+          !pair.arr[0].is(json_value::kind::number) ||
+          !pair.arr[1].is(json_value::kind::number)) {
+        fail(where + "." + key + ": malformed bucket pair");
+        return false;
+      }
+      const auto idx = static_cast<std::size_t>(pair.arr[0].num);
+      if (idx >= histogram::kBuckets) {
+        fail(where + "." + key + ": bucket index " + std::to_string(idx) +
+             " out of range");
+        return false;
+      }
+      buckets[idx] += static_cast<std::uint64_t>(pair.arr[1].num);
+      bucket_total += static_cast<std::uint64_t>(pair.arr[1].num);
+    }
+    if (bucket_total != count) {
+      fail(where + "." + key + ": buckets sum to " +
+           std::to_string(bucket_total) + ", count says " +
+           std::to_string(count));
+      return false;
+    }
+    if (latency) {
+      r.latency_count = count;
+      r.latency_sum = sum;
+      r.latency_buckets = buckets;
+    } else {
+      r.depth_count = count;
+      r.depth_sum = sum;
+      r.depth_buckets = buckets;
+    }
+    return true;
+  }
+
+  bool read_rollup(const json_value& v, const std::string& where,
+                   shard_rollup& r) {
+    bool ok = u64_field(v, "routed", where, r.routed);
+    ok = u64_field(v, "delivered", where, r.delivered) && ok;
+    ok = u64_field(v, "dropped", where, r.dropped) && ok;
+    ok = u64_field(v, "duplicated", where, r.duplicated) && ok;
+    ok = u64_field(v, "last_active_round", where, r.last_active_round) && ok;
+    ok = u64_field(v, "rounds_active", where, r.rounds_active) && ok;
+    ok = read_hist(v, "latency", where, r, true) && ok;
+    ok = read_hist(v, "depth", where, r, false) && ok;
+    return ok;
+  }
+
+  void check_fold(const shard_rollup& rollup, const shard_rollup& folded,
+                  const std::string& where) {
+    const auto miscount = [&](const char* what, std::uint64_t got,
+                              std::uint64_t want) {
+      if (got != want)
+        fail(where + ": rollup." + what + " is " + std::to_string(got) +
+             ", rows fold to " + std::to_string(want));
+    };
+    miscount("routed", rollup.routed, folded.routed);
+    miscount("delivered", rollup.delivered, folded.delivered);
+    miscount("dropped", rollup.dropped, folded.dropped);
+    miscount("duplicated", rollup.duplicated, folded.duplicated);
+    miscount("last_active_round", rollup.last_active_round,
+             folded.last_active_round);
+    miscount("rounds_active", rollup.rounds_active, folded.rounds_active);
+    miscount("latency.count", rollup.latency_count, folded.latency_count);
+    miscount("latency.sum", rollup.latency_sum, folded.latency_sum);
+    miscount("depth.count", rollup.depth_count, folded.depth_count);
+    miscount("depth.sum", rollup.depth_sum, folded.depth_sum);
+  }
+};
+
+}  // namespace
+
+std::string health_validation::error_text() const {
+  std::string out;
+  for (const std::string& e : errors) {
+    out += e;
+    out += '\n';
+  }
+  return out;
+}
+
+health_validation validate_health_export(const json_value& doc) {
+  health_validation v;
+  checker c{&v};
+  if (!doc.is(json_value::kind::object)) {
+    c.fail("document is not an object");
+    return v;
+  }
+  std::string schema;
+  if (c.str_field(doc, "schema", "document", schema) &&
+      schema != "cgp.health.v1")
+    c.fail("schema is '" + schema + "', expected 'cgp.health.v1'");
+  std::string clock;
+  if (c.str_field(doc, "clock", "document", clock) && clock != "manual" &&
+      clock != "steady")
+    c.fail("clock is '" + clock + "', expected 'manual' or 'steady'");
+  std::uint64_t ticks = 0, reservoir_k = 0, shards_cfg = 0, seed = 0;
+  (void)c.u64_field(doc, "ticks", "document", ticks);
+  (void)c.u64_field(doc, "reservoir_k", "document", reservoir_k);
+  (void)c.u64_field(doc, "shards", "document", shards_cfg);
+  (void)c.u64_field(doc, "seed", "document", seed);
+
+  // Rules: unique names, known kinds; verdicts reference them.
+  std::map<std::string, rule_kind> rules;
+  if (doc.has("rules") && doc.at("rules").is(json_value::kind::array)) {
+    for (const json_value& jr : doc.at("rules").arr) {
+      std::string name, kind_s;
+      if (!c.str_field(jr, "name", "rule", name) ||
+          !c.str_field(jr, "kind", "rule", kind_s))
+        continue;
+      rule_kind kind;
+      if (!parse_rule_kind(kind_s, kind)) {
+        c.fail("rule '" + name + "': unknown kind '" + kind_s + "'");
+        continue;
+      }
+      if (!rules.emplace(name, kind).second)
+        c.fail("rule '" + name + "': duplicate name");
+    }
+  } else {
+    c.fail("document: missing 'rules' array");
+  }
+
+  shard_rollup run_fold;
+  if (doc.has("backends") && doc.at("backends").is(json_value::kind::array)) {
+    for (const json_value& jb : doc.at("backends").arr) {
+      ++v.backends;
+      std::string name;
+      if (!c.str_field(jb, "name", "backend", name)) continue;
+      const std::string where = "backend '" + name + "'";
+      std::uint64_t shards_used = 0, seen = 0;
+      (void)c.u64_field(jb, "shards_used", where, shards_used);
+      (void)c.u64_field(jb, "reservoir_seen", where, seen);
+      if (shards_used > shards_cfg)
+        c.fail(where + ": shards_used " + std::to_string(shards_used) +
+               " exceeds configured " + std::to_string(shards_cfg));
+      shard_rollup folded;
+      if (jb.has("shards") && jb.at("shards").is(json_value::kind::array)) {
+        const auto& rows = jb.at("shards").arr;
+        if (rows.size() != shards_used)
+          c.fail(where + ": " + std::to_string(rows.size()) +
+                 " shard rows, shards_used says " +
+                 std::to_string(shards_used));
+        for (const json_value& row : rows) {
+          ++v.shards;
+          shard_rollup r;
+          if (c.read_rollup(row, where + " shard row", r)) folded.fold(r);
+        }
+      } else {
+        c.fail(where + ": missing 'shards' array");
+      }
+      shard_rollup rollup;
+      if (jb.has("rollup") &&
+          c.read_rollup(jb.at("rollup"), where + " rollup", rollup)) {
+        c.check_fold(rollup, folded, where);
+        run_fold.fold(rollup);
+      }
+      // Reservoir: per-shard retention within k, plausible admissions.
+      std::map<std::uint32_t, std::uint64_t> kept;
+      std::uint64_t max_seen = 0;
+      if (jb.has("reservoir") &&
+          jb.at("reservoir").is(json_value::kind::array)) {
+        for (const json_value& je : jb.at("reservoir").arr) {
+          ++v.exemplars;
+          std::uint64_t shard = 0, ex_seen = 0;
+          if (!c.u64_field(je, "shard", where + " exemplar", shard) ||
+              !c.u64_field(je, "seen", where + " exemplar", ex_seen))
+            continue;
+          if (shard >= shards_used)
+            c.fail(where + ": exemplar shard " + std::to_string(shard) +
+                   " out of range");
+          if (ex_seen == 0)
+            c.fail(where + ": exemplar admission index 0 (must be 1-based)");
+          max_seen = std::max(max_seen, ex_seen);
+          ++kept[static_cast<std::uint32_t>(shard)];
+        }
+      } else {
+        c.fail(where + ": missing 'reservoir' array");
+      }
+      for (const auto& [shard, count] : kept)
+        if (count > reservoir_k)
+          c.fail(where + ": shard " + std::to_string(shard) + " kept " +
+                 std::to_string(count) + " exemplars, k is " +
+                 std::to_string(reservoir_k));
+      if (max_seen > seen)
+        c.fail(where + ": exemplar admission index " +
+               std::to_string(max_seen) + " exceeds reservoir_seen " +
+               std::to_string(seen));
+    }
+  } else {
+    c.fail("document: missing 'backends' array");
+  }
+  shard_rollup top;
+  if (doc.has("rollup") && c.read_rollup(doc.at("rollup"), "run rollup", top))
+    c.check_fold(top, run_fold, "run");
+
+  if (doc.has("verdicts") && doc.at("verdicts").is(json_value::kind::array)) {
+    for (const json_value& jv : doc.at("verdicts").arr) {
+      ++v.verdicts;
+      std::string rule, kind_s, target;
+      std::uint64_t tick = 0;
+      if (!c.str_field(jv, "rule", "verdict", rule) ||
+          !c.str_field(jv, "kind", "verdict", kind_s) ||
+          !c.str_field(jv, "target", "verdict", target) ||
+          !c.u64_field(jv, "tick", "verdict", tick))
+        continue;
+      const auto it = rules.find(rule);
+      if (it == rules.end()) {
+        c.fail("verdict references unknown rule '" + rule + "'");
+        continue;
+      }
+      rule_kind kind;
+      if (!parse_rule_kind(kind_s, kind) || kind != it->second)
+        c.fail("verdict '" + rule + "': kind '" + kind_s +
+               "' does not match the rule");
+      if (tick == 0 || tick > ticks)
+        c.fail("verdict '" + rule + "': tick " + std::to_string(tick) +
+               " outside [1, " + std::to_string(ticks) + "]");
+    }
+  } else {
+    c.fail("document: missing 'verdicts' array");
+  }
+  return v;
+}
+
+}  // namespace cgp::telemetry::health

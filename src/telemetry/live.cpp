@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <set>
 #include <sstream>
 #include <utility>
 
+#include "telemetry/health.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace cgp::telemetry::live {
@@ -159,6 +161,11 @@ void sampler::append(const std::string& name, char kind, std::uint64_t t_ms,
 
 void sampler::sample_at(std::uint64_t now_ms) {
   if constexpr (!kEnabled) return;
+  // Drive the health observatory first: its tick mirrors the per-shard
+  // roll-ups into the registry (and evaluates the SLO rules), so the
+  // registry walk below samples this tick's fresh values.  One relaxed
+  // load when the observatory is disabled.
+  health::observatory::global().tick(now_ms);
   std::size_t metric_count = 0;
   for (const auto& [name, v] : reg_->counter_values()) {
     // Read the pre-append baseline so nonzero movement can feed the
@@ -230,10 +237,24 @@ std::string sampler::export_prometheus() const {
     std::uint64_t raw = 0;
     double level = 0.0;
   };
+  // Registered histograms export as full `histogram`-typed families below
+  // (_bucket/_sum/_count); their ring-derived <name>.count / <name>.sum
+  // series are suppressed here, because those would sanitize to the very
+  // cgp_<name>_count / cgp_<name>_sum sample names the histogram family
+  // owns, and the format forbids one name under two types.
+  const std::vector<registry::histogram_view> hists = reg_->histogram_views();
+  std::set<std::string> hist_names;
+  for (const registry::histogram_view& h : hists) hist_names.insert(h.name);
   std::map<std::string, std::vector<prom_sample>> families;
   for (const shard& sh : shards_) {
     const std::lock_guard lock(sh.mu);
     for (const auto& [name, st] : sh.metrics) {
+      if (st.kind == 'n' || st.kind == 's') {
+        const std::size_t dot = name.rfind('.');
+        if (dot != std::string::npos &&
+            hist_names.count(name.substr(0, dot)) != 0)
+          continue;
+      }
       prom_sample s;
       s.metric = name;
       s.is_gauge = st.kind == 'g';
@@ -265,6 +286,31 @@ std::string sampler::export_prometheus() const {
         os << s.raw;
       os << "\n";
     }
+  }
+  // Full log2-histogram families: cumulative `le`-bucketed series (each
+  // bucket's le is its inclusive upper value bound), then _sum and
+  // _count, per the text exposition format.  Concurrent recording can
+  // leave the bucket walk ahead of the count snapshot; the +Inf bucket
+  // takes the max so the cumulative series stays monotone.
+  for (const registry::histogram_view& h : hists) {
+    const std::string pname = prometheus_name(h.name);
+    const std::string label = prometheus_escape_label(h.name);
+    os << "# TYPE " << pname << " histogram\n";
+    std::size_t max_bucket = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      if (h.buckets[i] != 0) max_bucket = i;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= max_bucket; ++i) {
+      cumulative += h.buckets[i];
+      os << pname << "_bucket{metric=\"" << label << "\",le=\""
+         << histogram::bucket_bounds(i).second << "\"} " << cumulative
+         << "\n";
+    }
+    const std::uint64_t total = std::max(cumulative, h.count);
+    os << pname << "_bucket{metric=\"" << label << "\",le=\"+Inf\"} " << total
+       << "\n";
+    os << pname << "_sum{metric=\"" << label << "\"} " << h.sum << "\n";
+    os << pname << "_count{metric=\"" << label << "\"} " << total << "\n";
   }
   return os.str();
 }

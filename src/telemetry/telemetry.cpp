@@ -95,6 +95,22 @@ registry::histogram_totals() const {
   return out;
 }
 
+std::vector<registry::histogram_view> registry::histogram_views() const {
+  const std::lock_guard lock(mu_);
+  std::vector<histogram_view> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    histogram_view v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    for (std::size_t i = 0; i < histogram::kBuckets; ++i)
+      v.buckets[i] = h->bucket_count(i);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 std::vector<check_report> registry::check_reports() const {
   const std::lock_guard lock(mu_);
   return checks_;

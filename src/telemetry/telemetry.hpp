@@ -122,6 +122,22 @@ class histogram {
     }
   }
 
+  /// Bulk record: `n` observations of value `v` in one shot (the health
+  /// observatory replays per-shard bucket deltas through this).  Same
+  /// ordering guarantees as n calls to record().
+  void record_n(std::uint64_t v, std::uint64_t n) noexcept {
+    if constexpr (kEnabled) {
+      if (n == 0) return;
+      buckets_[bucket_of(v)].fetch_add(n, std::memory_order_relaxed);
+      count_.fetch_add(n, std::memory_order_relaxed);
+      sum_.fetch_add(v * n, std::memory_order_relaxed);
+      std::uint64_t seen = max_.load(std::memory_order_relaxed);
+      while (v > seen &&
+             !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
   [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) {
     return static_cast<std::size_t>(std::bit_width(v));
   }
@@ -249,6 +265,17 @@ class registry {
   [[nodiscard]] std::vector<std::tuple<std::string, std::uint64_t,
                                        std::uint64_t>>
   histogram_totals() const;
+
+  /// Full per-bucket snapshot of one histogram, as exporters that need
+  /// real distributions (Prometheus `_bucket` series) consume it.
+  struct histogram_view {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, histogram::kBuckets> buckets{};
+  };
+  /// Every registered histogram with its buckets, name-sorted.
+  [[nodiscard]] std::vector<histogram_view> histogram_views() const;
   [[nodiscard]] std::vector<check_report> check_reports() const;
 
   /// Sum of all counters whose name starts with `prefix` (test helper:

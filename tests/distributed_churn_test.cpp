@@ -26,6 +26,7 @@
 #include "check/gtest_support.hpp"
 #include "check/property.hpp"
 #include "distributed/algorithms.hpp"
+#include "distributed/inproc_transport.hpp"
 #include "distributed/network.hpp"
 
 namespace check = cgp::check;
@@ -56,11 +57,15 @@ dist::net_options churn_options(std::uint64_t raw) {
 /// Runs gossip membership under churn and checks the final membership view
 /// of every surviving node against is_down().  `downs_seen` accumulates how
 /// many dead nodes the schedule actually produced, so the caller can verify
-/// the soak exercised real churn and not only the happy path.
+/// the soak exercised real churn and not only the happy path.  Templated on
+/// the Transport backend: the churn schedule is a pure hash of
+/// (seed, node, round), so the same options must converge identically on
+/// the sequential simulator and the threaded backends.
+template <typename Transport = dist::sim_transport>
 bool converges_to_ground_truth(const dist::net_options& opts,
                                std::size_t suspect_timeout,
                                std::size_t* downs_seen) {
-  dist::sim_transport net(opts);
+  Transport net(opts);
   net.spawn(dist::gossip_membership(suspect_timeout));
   net.run(kTotalRounds);
   const int n = static_cast<int>(net.node_count());
@@ -97,6 +102,23 @@ TEST(GossipChurnSoak, MembershipConvergesAfterChurnStops) {
   // The schedule must have actually killed somebody across the soak,
   // otherwise the dead-node half of the oracle was never exercised.
   EXPECT_GT(downs_seen, 0u);
+}
+
+TEST(GossipChurnSoak, InprocBackendConvergesUnderChurn) {
+  // The same soak on the sharded inproc backend (ISSUE 10 satellite: the
+  // health/watchdog work leans on inproc-under-churn staying correct).
+  // One pinned schedule, run on both the simulator and inproc: both must
+  // converge, and the hash-drawn churn schedule must kill the same nodes.
+  dist::net_options opts = churn_options(0xc0ffeeULL);
+  opts.workers = 3;
+  std::size_t downs_sim = 0;
+  std::size_t downs_inproc = 0;
+  EXPECT_TRUE(converges_to_ground_truth<dist::sim_transport>(
+      opts, kSuspectTimeout, &downs_sim));
+  EXPECT_TRUE(converges_to_ground_truth<dist::inproc_transport>(
+      opts, kSuspectTimeout, &downs_inproc));
+  EXPECT_EQ(downs_sim, downs_inproc);
+  EXPECT_GT(downs_sim, 0u) << "pinned schedule produced no churn victims";
 }
 
 TEST(GossipChurnSoak, RecoveredNodesAreReadmitted) {
